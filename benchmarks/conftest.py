@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table/figure benchmark works from the same per-preset snapshots and
+write reports, which are computed once per session and cached — the paper's
+evaluation likewise reuses the same runs across Tables 2/3 and Figures 17/18.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.apps import RUN_PRESETS, build_run
+from repro.baselines import AMReXOriginalWriter, NoCompressionWriter
+from repro.core import AMRICConfig, AMRICWriter
+
+#: method key -> writer factory(preset)
+METHOD_FACTORIES = {
+    "nocomp": lambda preset: NoCompressionWriter(),
+    "amrex": lambda preset: AMReXOriginalWriter(error_bound=preset.error_bound_amrex),
+    "amric_szlr": lambda preset: AMRICWriter(AMRICConfig(
+        compressor="sz_lr", error_bound=preset.error_bound_amric)),
+    "amric_szinterp": lambda preset: AMRICWriter(AMRICConfig(
+        compressor="sz_interp", error_bound=preset.error_bound_amric)),
+}
+
+
+@pytest.fixture(scope="session")
+def preset_hierarchy():
+    """Lazily built, cached hierarchy for each run preset."""
+    cache: Dict[str, object] = {}
+
+    def get(name: str):
+        if name not in cache:
+            cache[name] = build_run(name).hierarchy
+        return cache[name]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def write_report(preset_hierarchy):
+    """Lazily computed, cached WriteReport for (preset, method)."""
+    cache: Dict[Tuple[str, str], object] = {}
+
+    def get(preset_name: str, method: str):
+        key = (preset_name, method)
+        if key not in cache:
+            preset = RUN_PRESETS[preset_name]
+            writer = METHOD_FACTORIES[method](preset)
+            cache[key] = writer.write_plotfile(preset_hierarchy(preset_name))
+        return cache[key]
+
+    return get
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "paper: benchmark reproducing a paper table/figure")

@@ -1,0 +1,60 @@
+"""Figure 8 — how an 8³ unit block is partitioned by the SZ block size.
+
+With the default 6³ truncation an 8³ unit block decomposes into one 6³ cube
+plus thin residue blocks (6×6×2, 6×2×2, 2×2×2) that carry almost no 3D
+structure; the adaptive 4³ choice tiles the block exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.adaptive import residue_block_shapes, select_sz_block_size
+
+
+@pytest.mark.paper
+def test_fig8_partition_structure(benchmark):
+    def partitions():
+        return {
+            "6^3 (original)": residue_block_shapes(8, 6),
+            "4^3 (adaptive)": residue_block_shapes(8, select_sz_block_size(8)),
+        }
+
+    shapes = benchmark.pedantic(partitions, rounds=1, iterations=1)
+
+    rows = []
+    for name, shape_list in shapes.items():
+        thin = [s for s in shape_list if min(s) <= 2]
+        rows.append({
+            "partition": name,
+            "sub-blocks": len(shape_list),
+            "thin residues (min side <= 2)": len(thin),
+            "thin volume fraction": sum(np.prod(s) for s in thin) / 8 ** 3,
+        })
+    print()
+    print(format_table(rows, title="Figure 8 — partitioning an 8^3 unit block", floatfmt=".3f"))
+
+    original = shapes["6^3 (original)"]
+    adaptive = shapes["4^3 (adaptive)"]
+    # original: exactly one full 6^3 block and seven thin residues (Figure 8a)
+    assert original.count((6, 6, 6)) == 1
+    assert sum(1 for s in original if min(s) <= 2) == 7
+    # adaptive: eight full 4^3 blocks, no residues (Figure 8b)
+    assert set(adaptive) == {(4, 4, 4)}
+    assert len(adaptive) == 8
+    # both partitions cover the unit block exactly
+    for shape_list in shapes.values():
+        assert sum(int(np.prod(s)) for s in shape_list) == 8 ** 3
+
+
+@pytest.mark.paper
+def test_fig8_equation1_over_unit_sizes(benchmark):
+    """Equation 1 evaluated over the unit-block sizes AMR data produces."""
+    sizes = benchmark.pedantic(
+        lambda: {unit: select_sz_block_size(unit) for unit in (4, 8, 12, 16, 24, 32, 48, 64, 128)},
+        rounds=1, iterations=1)
+    print()
+    print(format_table([{"unit block": k, "SZ block": v} for k, v in sizes.items()],
+                       title="Equation 1"))
+    assert sizes[8] == 4 and sizes[32] == 4 and sizes[12] == 4
+    assert sizes[16] == 6 and sizes[64] == 6 and sizes[128] == 6

@@ -1,0 +1,50 @@
+"""Table 1 — the run matrix: levels, grid sizes, densities, error bounds.
+
+Regenerates the configuration table for the six (scaled-down) runs and checks
+that each simulated run reproduces the structural properties of its paper
+counterpart: two AMR levels, a fully covered coarse level, and a fine-level
+density in the neighbourhood of the Table 1 value.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.apps import RUN_PRESETS
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("name", sorted(RUN_PRESETS))
+def test_table1_run_structure(benchmark, preset_hierarchy, name):
+    preset = RUN_PRESETS[name]
+    hierarchy = benchmark.pedantic(lambda: preset_hierarchy(name), rounds=1, iterations=1)
+
+    densities = hierarchy.densities()
+    row = {
+        "run": name,
+        "levels": hierarchy.nlevels,
+        "grid (scaled)": "x".join(str(s) for s in hierarchy[0].domain.shape),
+        "grid (paper)": "x".join(str(s) for s in preset.paper_coarse_shape),
+        "coarse density": densities[0],
+        "fine density": densities[1] if len(densities) > 1 else 0.0,
+        "paper fine density": preset.paper_fine_density,
+        "data (scaled MB)": hierarchy.nbytes / 1e6,
+        "data (paper GB)": preset.paper_data_gb,
+        "eb AMRIC": preset.error_bound_amric,
+        "eb AMReX": preset.error_bound_amrex,
+    }
+    print()
+    print(format_table([row], title=f"Table 1 (scaled) — {name}", floatfmt=".4f"))
+
+    # structural checks mirroring Table 1
+    assert hierarchy.nlevels == 2
+    assert hierarchy.ref_ratios == (2,)
+    assert densities[0] == pytest.approx(1.0)
+    # fine-level density lands in the same regime as the paper's value
+    # (clustered boxes over-cover, so allow up to ~4x the target, and not less
+    # than a quarter of it)
+    assert preset.paper_fine_density / 4 < densities[1] < preset.paper_fine_density * 4
+    assert hierarchy.is_properly_nested()
+    assert hierarchy.component_names == \
+        (("Ex", "Ey", "Ez", "Bx", "By", "Bz") if preset.app == "warpx"
+         else ("baryon_density", "dark_matter_density", "temperature", "xmom", "ymom", "zmom"))

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Nyx-like multi-timestep in situ compression study.
+
+Reproduces the Nyx side of the paper's evaluation at laptop scale: a
+multi-step AMR run dumps a plotfile at every step through three writers
+(NoComp, AMReX-original, AMRIC), and the script reports per-step compression
+ratios, quality, compressor-launch counts and the modelled write time on the
+paper-scale (Table 1) configuration.
+
+    python examples/nyx_insitu.py [--steps 3] [--size 48]
+"""
+
+import argparse
+
+from repro.analysis.reporting import format_table
+from repro.apps import RUN_PRESETS, build_run
+from repro.baselines import AMReXOriginalWriter, NoCompressionWriter
+from repro.core import AMRICConfig, AMRICWriter
+from repro.parallel import IOCostModel
+from repro.parallel.iomodel import RankWorkload
+
+
+def scale_workloads(report, preset):
+    """Scale the measured per-rank workload up to the paper-scale run."""
+    measured_raw = max(report.raw_bytes, 1)
+    scale = preset.paper_total_bytes / measured_raw
+    raw_per_rank = preset.paper_total_bytes / preset.paper_nranks
+    cr = report.compression_ratio
+    launches = max(1, round(sum(w.compressor_launches for w in report.rank_workloads)
+                            / max(len(report.rank_workloads), 1)))
+    return [RankWorkload(raw_bytes=int(raw_per_rank),
+                         compressed_bytes=int(raw_per_rank / cr),
+                         compressor_launches=int(launches))
+            for _ in range(preset.paper_nranks)]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=2)
+    parser.add_argument("--size", type=int, default=48)
+    parser.add_argument("--preset", default="nyx_1", choices=sorted(RUN_PRESETS))
+    args = parser.parse_args()
+
+    preset = RUN_PRESETS[args.preset]
+    sim = build_run(preset, coarse_shape=(args.size,) * 3)
+    model = IOCostModel()
+    rows = []
+
+    writers = {
+        "NoComp": NoCompressionWriter(),
+        "AMReX": AMReXOriginalWriter(error_bound=preset.error_bound_amrex),
+        "AMRIC(SZ_L/R)": AMRICWriter(AMRICConfig(compressor="sz_lr",
+                                                 error_bound=preset.error_bound_amric)),
+        "AMRIC(SZ_Interp)": AMRICWriter(AMRICConfig(compressor="sz_interp",
+                                                    error_bound=preset.error_bound_amric)),
+    }
+
+    for step in range(args.steps):
+        hierarchy = sim.hierarchy
+        for name, writer in writers.items():
+            report = writer.write_plotfile(hierarchy)
+            workloads = scale_workloads(report, preset)
+            breakdown = model.evaluate(workloads, ndatasets=report.ndatasets or 1,
+                                       compression_enabled=name != "NoComp")
+            rows.append({
+                "step": step,
+                "method": name,
+                "CR": report.compression_ratio,
+                "PSNR": report.mean_psnr,
+                "launches/rank": sum(w.compressor_launches for w in report.rank_workloads)
+                                 / max(len(report.rank_workloads), 1),
+                "modelled write (s)": breakdown.total_seconds,
+            })
+        sim.advance()
+
+    print(format_table(rows, title=f"Nyx in situ study — preset {preset.name} "
+                                   f"(paper scale: {preset.paper_nranks} ranks, "
+                                   f"{preset.paper_data_gb} GB/step)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Rate-distortion study of AMRIC's SZ_L/R optimisations (Figures 5–9 style).
+
+Sweeps the paper's error-bound range on a Nyx-like fine level and prints the
+(compression ratio, PSNR) curves for:
+
+* LM   — linear merging of unit blocks (the unoptimised strategy),
+* SLE  — unit Shared Lossless Encoding,
+* Adp  — SLE plus the adaptive SZ block size (Equation 1),
+* 1D   — AMReX-style chunked 1D compression,
+
+plus the linear-versus-clustered arrangement comparison for SZ_Interp.
+
+    python examples/rate_distortion_study.py [--unit 8]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.rate_distortion import rate_distortion_sweep
+from repro.analysis.reporting import format_table
+from repro.apps import nyx_run
+from repro.compress import SZ1DCompressor, SZInterpCompressor, SZLRCompressor
+from repro.core.adaptive import select_sz_block_size
+from repro.core.preprocess import extract_block_data, pack_blocks_cluster, pack_blocks_linear, preprocess_level
+from repro.core.sle import compress_blocks_lm, compress_blocks_sle
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--unit", type=int, default=8, help="unit block size")
+    parser.add_argument("--size", type=int, default=32, help="coarse grid size")
+    args = parser.parse_args()
+
+    sim = nyx_run(coarse_shape=(args.size,) * 3, nranks=2, target_fine_density=0.03, seed=17)
+    hierarchy = sim.hierarchy
+    pre = preprocess_level(hierarchy, 0, unit_block_size=args.unit)
+    blocks = extract_block_data(hierarchy[0], "baryon_density", pre.unit_blocks)
+    flat = np.concatenate([b.reshape(-1) for b in blocks])
+
+    def lm(eb):
+        enc = compress_blocks_lm(blocks, SZLRCompressor(eb))
+        rec = np.concatenate([r.reshape(-1) for r in enc.reconstructions])
+        return enc.compressed_nbytes, flat, rec
+
+    def sle(eb):
+        enc = compress_blocks_sle(blocks, SZLRCompressor(eb))
+        rec = np.concatenate([r.reshape(-1) for r in enc.reconstructions])
+        return enc.compressed_nbytes, flat, rec
+
+    def adaptive(eb):
+        size = select_sz_block_size(args.unit)
+        enc = compress_blocks_sle(blocks, SZLRCompressor(eb, block_size=size))
+        rec = np.concatenate([r.reshape(-1) for r in enc.reconstructions])
+        return enc.compressed_nbytes, flat, rec
+
+    def one_d(eb):
+        buffers, rec = SZ1DCompressor(eb).compress_chunked(flat, 1024)
+        return sum(b.compressed_nbytes for b in buffers), flat, rec.reshape(-1)
+
+    points = rate_distortion_sweep(
+        {"LM": lm, "SLE": sle, f"Adp-{select_sz_block_size(args.unit)}": adaptive, "1D": one_d},
+        error_bounds=(2e-2, 1e-2, 5e-3, 1e-3))
+    print(format_table([p.as_row() for p in points],
+                       title=f"SZ_L/R strategies on Nyx coarse level (unit block {args.unit})"))
+
+    # SZ_Interp arrangement comparison (Figure 5)
+    rows = []
+    for eb in (2e-2, 1e-2, 1e-3):
+        for name, packer in (("cluster", pack_blocks_cluster), ("linear", pack_blocks_linear)):
+            packed, _ = packer(blocks)
+            comp = SZInterpCompressor(eb)
+            buf, recon = comp.compress_with_reconstruction(packed)
+            from repro.compress.metrics import psnr
+            rows.append({"arrangement": name, "error_bound": eb,
+                         "CR": packed.nbytes / buf.compressed_nbytes,
+                         "PSNR": psnr(packed, recon)})
+    print()
+    print(format_table(rows, title="SZ_Interp: clustered vs linear arrangement (Figure 5)"))
+
+
+if __name__ == "__main__":
+    main()

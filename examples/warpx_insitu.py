@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""WarpX-like in situ compression study (the smooth-data regime).
+
+Shows the paper's WarpX-side findings at laptop scale: the electromagnetic
+fields compress extremely well, SZ_Interp beats SZ_L/R on this smooth data,
+and AMRIC's chunk handling keeps the compressor-launch count equal to the
+number of ranks × fields while AMReX's 1024-element chunks need thousands.
+
+    python examples/warpx_insitu.py [--steps 2]
+"""
+
+import argparse
+
+from repro.analysis.reporting import format_table
+from repro.apps import RUN_PRESETS, build_run
+from repro.baselines import AMReXOriginalWriter, NoCompressionWriter
+from repro.core import AMRICConfig, AMRICWriter
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=2)
+    parser.add_argument("--preset", default="warpx_1",
+                        choices=[k for k in RUN_PRESETS if k.startswith("warpx")])
+    args = parser.parse_args()
+
+    preset = RUN_PRESETS[args.preset]
+    sim = build_run(preset)
+    rows = []
+    writers = {
+        "NoComp": NoCompressionWriter(),
+        "AMReX": AMReXOriginalWriter(error_bound=preset.error_bound_amrex),
+        "AMRIC(SZ_L/R)": AMRICWriter(AMRICConfig(compressor="sz_lr",
+                                                 error_bound=preset.error_bound_amric)),
+        "AMRIC(SZ_Interp)": AMRICWriter(AMRICConfig(compressor="sz_interp",
+                                                    error_bound=preset.error_bound_amric)),
+    }
+    for step in range(args.steps):
+        hierarchy = sim.hierarchy
+        pulse_boxes = len(hierarchy[1].boxarray) if hierarchy.nlevels > 1 else 0
+        for name, writer in writers.items():
+            report = writer.write_plotfile(hierarchy)
+            rows.append({
+                "step": step,
+                "fine boxes": pulse_boxes,
+                "method": name,
+                "CR": report.compression_ratio,
+                "PSNR": report.mean_psnr,
+                "launches": sum(w.compressor_launches for w in report.rank_workloads),
+            })
+        sim.advance()
+
+    print(format_table(rows, title=f"WarpX in situ study — preset {preset.name}"))
+    print("\nExpected shape (paper): CR(AMRIC) >> CR(AMReX); "
+          "SZ_Interp > SZ_L/R on this smooth data; launches(AMRIC) << launches(AMReX).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+Kept so `pip install -e .` works on machines without the `wheel` package
+(offline environments): pip falls back to `setup.py develop` when invoked with
+--no-use-pep517.  All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""repro — a reproduction of AMRIC (SC'23).
+
+AMRIC is an in situ lossy compression framework for Adaptive Mesh Refinement
+(AMR) applications.  This package re-implements, in pure Python (numpy/scipy),
+the full stack the paper depends on:
+
+* :mod:`repro.amr` — an AMReX-like patch-based AMR substrate (boxes, box
+  arrays, multi-fabs, hierarchies, regridding, distribution mappings).
+* :mod:`repro.compress` — SZ-family error-bounded lossy compressors
+  (block Lorenzo/regression ``SZ_L/R``, multi-level interpolation
+  ``SZ_Interp``, the 1D baseline codec) plus Huffman/zlib back-ends and
+  quality metrics.
+* :mod:`repro.h5lite` — a chunked, filter-enabled container file format that
+  reproduces the HDF5 chunk/filter semantics AMRIC relies on.
+* :mod:`repro.parallel` — a simulated MPI communicator and a calibrated
+  parallel-file-system / I/O cost model standing in for Summit.
+* :mod:`repro.apps` — synthetic Nyx-like and WarpX-like AMR applications.
+* :mod:`repro.core` — AMRIC itself: pre-processing, SZ optimisations
+  (unit SLE, adaptive block size), HDF5 filter modifications and the
+  end-to-end in situ write/read pipelines.
+* :mod:`repro.baselines` — AMReX's original 1D in situ compression, zMesh,
+  TAC and the no-compression writer.
+* :mod:`repro.analysis` — rate-distortion sweeps, error slices, reporting.
+
+Quick start::
+
+    from repro.apps import nyx_run
+    from repro.core import AMRICConfig, AMRICWriter
+
+    hierarchy = nyx_run(coarse_shape=(64, 64, 64), seed=7).hierarchy
+    writer = AMRICWriter(AMRICConfig(compressor="sz_lr", error_bound=1e-3))
+    report = writer.write_plotfile(hierarchy, "plotfile.h5z")
+    print(report.compression_ratio, report.psnr["baryon_density"])
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,44 @@
+"""AMReX-like patch-based AMR substrate.
+
+This subpackage provides the data structures AMRIC needs from the host AMR
+framework:
+
+* :class:`~repro.amr.box.Box` — an axis-aligned rectangle in cell-index space,
+  with the intersection/refine/coarsen algebra AMReX exposes.
+* :class:`~repro.amr.boxarray.BoxArray` — the collection of boxes that tile one
+  AMR level, plus intersection and coverage queries used for redundancy
+  removal.
+* :class:`~repro.amr.multifab.FArrayBox` / :class:`~repro.amr.multifab.MultiFab`
+  — per-box, multi-component floating point data.
+* :class:`~repro.amr.hierarchy.AmrHierarchy` — the multi-level dataset an AMR
+  application dumps at each plotfile step.
+* :mod:`~repro.amr.regrid` — cell tagging and box generation (how levels are
+  created from refinement criteria).
+* :class:`~repro.amr.distribution.DistributionMapping` — box → MPI-rank
+  assignment.
+* :mod:`~repro.amr.upsample` — conversion of a hierarchy to a single uniform
+  grid for post-analysis and PSNR evaluation.
+"""
+
+from repro.amr.box import Box
+from repro.amr.boxarray import BoxArray
+from repro.amr.multifab import FArrayBox, MultiFab
+from repro.amr.hierarchy import AmrLevel, AmrHierarchy
+from repro.amr.distribution import DistributionMapping
+from repro.amr.regrid import tag_cells, cluster_tags, make_fine_boxarray
+from repro.amr.upsample import flatten_to_uniform, covered_mask
+
+__all__ = [
+    "Box",
+    "BoxArray",
+    "FArrayBox",
+    "MultiFab",
+    "AmrLevel",
+    "AmrHierarchy",
+    "DistributionMapping",
+    "tag_cells",
+    "cluster_tags",
+    "make_fine_boxarray",
+    "flatten_to_uniform",
+    "covered_mask",
+]

@@ -1,0 +1,83 @@
+"""Absolute-error slices (the data behind Figures 6, 9, 10 and 15).
+
+The paper visualises one 2D slice of |original − reconstructed| to show where
+each method concentrates its error (block boundaries, level boundaries).  The
+helpers here extract those slices and summarise them so benchmarks can assert
+on them without plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["error_slice", "ErrorSliceComparison", "compare_error_slices",
+           "boundary_error_excess"]
+
+
+def error_slice(original: np.ndarray, reconstructed: np.ndarray, axis: int = 0,
+                index: int | None = None) -> np.ndarray:
+    """|original − reconstructed| on one slice perpendicular to ``axis``."""
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    if original.shape != reconstructed.shape:
+        raise ValueError("shape mismatch")
+    if index is None:
+        index = original.shape[axis] // 2
+    err = np.abs(original - reconstructed)
+    return np.take(err, index, axis=axis)
+
+
+@dataclass
+class ErrorSliceComparison:
+    """Summary statistics of two methods' error fields."""
+
+    mean_error_a: float
+    mean_error_b: float
+    p99_error_a: float
+    p99_error_b: float
+
+    @property
+    def a_is_cleaner(self) -> bool:
+        return self.mean_error_a <= self.mean_error_b
+
+    def as_row(self) -> Dict[str, float]:
+        return {"mean_error_a": self.mean_error_a, "mean_error_b": self.mean_error_b,
+                "p99_error_a": self.p99_error_a, "p99_error_b": self.p99_error_b}
+
+
+def compare_error_slices(original: np.ndarray, recon_a: np.ndarray,
+                         recon_b: np.ndarray) -> ErrorSliceComparison:
+    """Compare the full-field error statistics of two reconstructions."""
+    err_a = np.abs(np.asarray(original) - np.asarray(recon_a))
+    err_b = np.abs(np.asarray(original) - np.asarray(recon_b))
+    return ErrorSliceComparison(
+        mean_error_a=float(err_a.mean()), mean_error_b=float(err_b.mean()),
+        p99_error_a=float(np.percentile(err_a, 99)),
+        p99_error_b=float(np.percentile(err_b, 99)))
+
+
+def boundary_error_excess(original: np.ndarray, reconstructed: np.ndarray,
+                          block_size: int) -> float:
+    """Ratio of mean error on unit-block boundary planes to interior mean error.
+
+    The linear-merging artefacts of Figure 6 concentrate at block boundaries,
+    so this ratio is large for LM and close to 1 for unit SLE.
+    """
+    err = np.abs(np.asarray(original, dtype=np.float64)
+                 - np.asarray(reconstructed, dtype=np.float64))
+    boundary_mask = np.zeros(err.shape, dtype=bool)
+    for axis, n in enumerate(err.shape):
+        idx = np.arange(n)
+        on_boundary = (idx % block_size == 0) | (idx % block_size == block_size - 1)
+        sel = [slice(None)] * err.ndim
+        sel[axis] = on_boundary
+        boundary_mask[tuple(sel)] = True
+    interior = err[~boundary_mask]
+    boundary = err[boundary_mask]
+    if interior.size == 0 or boundary.size == 0:
+        return 1.0
+    interior_mean = interior.mean() or 1e-30
+    return float(boundary.mean() / interior_mean)

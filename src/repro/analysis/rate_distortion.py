@@ -1,0 +1,92 @@
+"""Rate-distortion sweeps (the curves of Figures 5, 7 and 16).
+
+A sweep evaluates one "method" — any callable that maps (data-or-blocks,
+error-bound) to a compressed size and a reconstruction — over a list of
+relative error bounds and records (compression ratio, PSNR) points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.compress.metrics import psnr as psnr_metric
+
+__all__ = ["RateDistortionPoint", "rate_distortion_sweep", "PAPER_ERROR_BOUNDS"]
+
+#: the relative error bounds §3.1/§3.2 use for their rate-distortion figures
+PAPER_ERROR_BOUNDS: Tuple[float, ...] = (2e-2, 1e-2, 5e-3, 2e-3, 1e-3, 5e-4, 3e-4)
+
+
+@dataclass
+class RateDistortionPoint:
+    """One (method, error bound) measurement."""
+
+    method: str
+    error_bound: float
+    compression_ratio: float
+    psnr: float
+
+    def as_row(self) -> Dict[str, float | str]:
+        return {"method": self.method, "error_bound": self.error_bound,
+                "compression_ratio": self.compression_ratio, "psnr": self.psnr}
+
+
+MethodFn = Callable[[float], Tuple[int, np.ndarray, np.ndarray]]
+"""A method takes a relative error bound and returns
+``(compressed_nbytes, original_values, reconstructed_values)``."""
+
+
+def rate_distortion_sweep(methods: Dict[str, MethodFn],
+                          error_bounds: Sequence[float] = PAPER_ERROR_BOUNDS
+                          ) -> List[RateDistortionPoint]:
+    """Evaluate every method at every error bound."""
+    points: List[RateDistortionPoint] = []
+    for name, fn in methods.items():
+        for eb in error_bounds:
+            compressed_nbytes, original, recon = fn(eb)
+            original = np.asarray(original, dtype=np.float64).reshape(-1)
+            recon = np.asarray(recon, dtype=np.float64).reshape(-1)
+            cr = original.nbytes / max(compressed_nbytes, 1)
+            points.append(RateDistortionPoint(
+                method=name, error_bound=float(eb), compression_ratio=float(cr),
+                psnr=psnr_metric(original, recon)))
+    return points
+
+
+def curve(points: Sequence[RateDistortionPoint], method: str
+          ) -> Tuple[np.ndarray, np.ndarray]:
+    """(compression_ratio, psnr) arrays for one method, sorted by ratio."""
+    pts = [(p.compression_ratio, p.psnr) for p in points if p.method == method]
+    pts.sort()
+    if not pts:
+        raise KeyError(f"no points for method {method!r}")
+    ratios, psnrs = zip(*pts)
+    return np.asarray(ratios), np.asarray(psnrs)
+
+
+def dominates(points: Sequence[RateDistortionPoint], better: str, worse: str,
+              min_fraction: float = 0.6) -> bool:
+    """True when ``better``'s PSNR at matched-or-higher CR exceeds ``worse``'s.
+
+    For each point of ``worse``, find the ``better`` point with the nearest
+    compression ratio that is at least as large; count how often its PSNR is
+    higher.  This is the loose "the curve sits above" check the benchmark
+    assertions use (exact dominance is too brittle for synthetic data).
+    """
+    b_ratio, b_psnr = curve(points, better)
+    w_ratio, w_psnr = curve(points, worse)
+    wins = 0
+    total = 0
+    for r, p in zip(w_ratio, w_psnr):
+        candidates = np.nonzero(b_ratio >= r * 0.95)[0]
+        if candidates.size == 0:
+            continue
+        total += 1
+        if b_psnr[candidates].max() >= p - 0.3:
+            wins += 1
+    if total == 0:
+        return False
+    return wins / total >= min_fraction

@@ -1,0 +1,72 @@
+"""Table formatting and paper-vs-measured comparison records.
+
+Benchmarks print their results with :func:`format_table` (so the harness
+output looks like the paper's tables) and collect
+:class:`ComparisonRecord` entries that EXPERIMENTS.md summarises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "ComparisonRecord", "comparison_record"]
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None,
+                 floatfmt: str = ".2f", title: str | None = None) -> str:
+    """Render rows of dicts as a fixed-width text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            if value != value:  # NaN
+                return "nan"
+            if value in (float("inf"), float("-inf")):
+                return "inf"
+            return format(value, floatfmt)
+        return str(value)
+
+    table = [[fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [max(len(str(c)), *(len(r[i]) for r in table)) for i, c in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in table:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ComparisonRecord:
+    """Paper value versus measured value for one reported quantity."""
+
+    experiment: str
+    quantity: str
+    paper_value: float
+    measured_value: float
+    note: str = ""
+
+    @property
+    def ratio(self) -> float:
+        if self.paper_value == 0:
+            return float("inf")
+        return self.measured_value / self.paper_value
+
+    def as_row(self) -> Dict[str, object]:
+        return {"experiment": self.experiment, "quantity": self.quantity,
+                "paper": self.paper_value, "measured": self.measured_value,
+                "measured/paper": self.ratio, "note": self.note}
+
+
+def comparison_record(experiment: str, quantity: str, paper_value: float,
+                      measured_value: float, note: str = "") -> ComparisonRecord:
+    return ComparisonRecord(experiment, quantity, float(paper_value),
+                            float(measured_value), note)

@@ -1,0 +1,63 @@
+"""Scaling measured write reports up to the paper-scale runs of Table 1.
+
+The scaled-down runs measure the quantities that transfer across scale —
+compression ratio, PSNR, compressor launches *per unit of data*, padding
+fractions — and the I/O benchmarks combine them with each preset's paper-scale
+configuration (data volume, rank count) to model Figures 17/18.  The rules:
+
+* per-rank raw bytes = (Table 1 per-step data size) / (Table 1 rank count);
+* per-rank compressed bytes = raw bytes / measured compression ratio;
+* compressor launches per rank:
+  - AMRIC: one filter call per dataset (= levels × fields), independent of scale;
+  - AMReX original: one call per 1024-element chunk of the rank's data;
+  - no compression: zero.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.driver import RunPreset
+from repro.core.pipeline import WriteReport
+from repro.h5lite.chunking import AMREX_DEFAULT_CHUNK
+from repro.parallel.iomodel import RankWorkload
+
+__all__ = ["paper_scale_workloads", "launches_per_rank"]
+
+
+def launches_per_rank(report: WriteReport, preset: RunPreset,
+                      chunk_elements: int = AMREX_DEFAULT_CHUNK) -> float:
+    """Compressor launches one paper-scale rank performs for this method."""
+    method = report.method
+    if method.startswith("amric"):
+        return float(max(report.ndatasets, 1))
+    if method.startswith("amrex"):
+        elements_per_rank = preset.paper_total_bytes / 8 / preset.paper_nranks
+        return float(max(1.0, elements_per_rank / chunk_elements))
+    return 0.0
+
+
+def paper_scale_workloads(report: WriteReport, preset: RunPreset,
+                          chunk_elements: int = AMREX_DEFAULT_CHUNK) -> List[RankWorkload]:
+    """Per-rank workloads for the paper-scale run implied by a measured report."""
+    nranks = preset.paper_nranks
+    raw_per_rank = preset.paper_total_bytes / nranks
+    cr = max(report.compression_ratio, 1e-9)
+    compressed_per_rank = raw_per_rank / cr
+    launches = launches_per_rank(report, preset, chunk_elements)
+
+    # padding fraction observed on the measured run carries over
+    measured_raw = max(report.raw_bytes, 1)
+    measured_padding = sum(w.padded_bytes for w in report.rank_workloads)
+    padding_fraction = measured_padding / measured_raw
+
+    chunks_per_rank = max(1, int(round(
+        sum(w.chunks_written for w in report.rank_workloads)
+        / max(len(report.rank_workloads), 1))))
+
+    return [RankWorkload(raw_bytes=int(raw_per_rank),
+                         compressed_bytes=int(compressed_per_rank),
+                         compressor_launches=int(round(launches)),
+                         padded_bytes=int(raw_per_rank * padding_fraction),
+                         chunks_written=chunks_per_rank)
+            for _ in range(nranks)]

@@ -1,0 +1,139 @@
+"""Synthetic field generators.
+
+Everything is seeded and pure-numpy.  The generators are shared by the Nyx and
+WarpX stand-ins and by tests/benchmarks that need "realistic" 3D scientific
+data with controllable smoothness.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "gaussian_random_field",
+    "lognormal_field",
+    "add_halos",
+    "wakefield_component",
+    "small_scale_detail",
+]
+
+
+def _radial_wavenumbers(shape: Tuple[int, ...]) -> np.ndarray:
+    """|k| on the rfftn grid for an arbitrary-dimensional shape."""
+    freqs = [np.fft.fftfreq(n) for n in shape[:-1]] + [np.fft.rfftfreq(shape[-1])]
+    grids = np.meshgrid(*freqs, indexing="ij")
+    kk = np.sqrt(sum(g * g for g in grids))
+    kk[(0,) * len(shape)] = 1.0  # avoid division by zero at the DC mode
+    return kk
+
+
+def gaussian_random_field(shape: Sequence[int], slope: float = 3.0,
+                          seed: int = 0) -> np.ndarray:
+    """A zero-mean, unit-variance Gaussian random field with power ~ |k|^-slope.
+
+    Larger ``slope`` → smoother field (more large-scale power); smaller slope →
+    rougher, harder-to-compress field.
+    """
+    shape = tuple(int(s) for s in shape)
+    if any(s < 2 for s in shape):
+        raise ValueError(f"field shape must be >= 2 per dimension, got {shape}")
+    rng = np.random.default_rng(seed)
+    white = rng.normal(size=shape)
+    spectrum = np.fft.rfftn(white)
+    kk = _radial_wavenumbers(shape)
+    spectrum *= kk ** (-slope / 2.0)
+    field = np.fft.irfftn(spectrum, s=shape, axes=tuple(range(len(shape))))
+    field -= field.mean()
+    std = field.std()
+    if std > 0:
+        field /= std
+    return field
+
+
+def lognormal_field(shape: Sequence[int], sigma: float = 1.0, slope: float = 3.0,
+                    seed: int = 0, mean: float = 1.0) -> np.ndarray:
+    """A log-normal field (``mean * exp(sigma * GRF)``), the classic density proxy."""
+    grf = gaussian_random_field(shape, slope=slope, seed=seed)
+    return mean * np.exp(sigma * grf)
+
+
+def add_halos(field: np.ndarray, n_halos: int = 20, amplitude: float = 50.0,
+              radius_cells: float = 3.0, seed: int = 0) -> np.ndarray:
+    """Superimpose compact Gaussian peaks ("halos") on a field.
+
+    The peaks make the data locally blocky/intense the way collapsed
+    structures in Nyx are, which is what stresses block-boundary prediction.
+    """
+    field = np.asarray(field, dtype=np.float64).copy()
+    rng = np.random.default_rng(seed)
+    shape = field.shape
+    coords = np.meshgrid(*[np.arange(s) for s in shape], indexing="ij")
+    for _ in range(int(n_halos)):
+        centre = [rng.uniform(0, s) for s in shape]
+        strength = amplitude * rng.lognormal(0.0, 0.5)
+        r2 = sum((c - c0) ** 2 for c, c0 in zip(coords, centre))
+        field += strength * np.exp(-r2 / (2.0 * radius_cells ** 2))
+    return field
+
+
+def small_scale_detail(shape: Sequence[int], amplitude: float, slope: float = 2.0,
+                       seed: int = 0) -> np.ndarray:
+    """Band-limited small-scale fluctuations added when refining a region.
+
+    Used to give fine-level data genuine sub-coarse-cell structure instead of
+    being a pure upsample of the coarse data.
+    """
+    detail = gaussian_random_field(shape, slope=slope, seed=seed)
+    # remove the largest scales so the detail does not fight the coarse field
+    k = _radial_wavenumbers(tuple(int(s) for s in shape))
+    spectrum = np.fft.rfftn(detail)
+    spectrum[k < 0.05] = 0.0
+    detail = np.fft.irfftn(spectrum, s=tuple(int(s) for s in shape),
+                           axes=tuple(range(len(shape))))
+    std = detail.std()
+    if std > 0:
+        detail /= std
+    return amplitude * detail
+
+
+def wakefield_component(shape: Sequence[int], component: int, pulse_centre: float = 0.5,
+                        pulse_width: float = 0.08, wavelength: float = 0.05,
+                        amplitude: float = 1.0, seed: int = 0,
+                        noise: float = 1e-4) -> np.ndarray:
+    """One electromagnetic component of a laser-wakefield-like field.
+
+    The field is a modulated pulse travelling along the last (long) axis with a
+    smooth transverse Gaussian envelope — smooth, oscillatory, highly
+    compressible, like the WarpX data in Figure 14 of the paper.
+
+    Parameters
+    ----------
+    component:
+        0..5 for (Ex, Ey, Ez, Bx, By, Bz); phases/orientations differ per
+        component so the six fields are related but not identical.
+    pulse_centre:
+        Fractional position of the pulse along the propagation axis (moves
+        with simulation time).
+    """
+    shape = tuple(int(s) for s in shape)
+    rng = np.random.default_rng(seed + 1000 * component)
+    axes = [np.linspace(0, 1, s, endpoint=False) for s in shape]
+    grids = np.meshgrid(*axes, indexing="ij")
+    z = grids[-1]
+    transverse = sum((g - 0.5) ** 2 for g in grids[:-1]) if len(grids) > 1 else 0.0
+
+    envelope = np.exp(-((z - pulse_centre) ** 2) / (2 * pulse_width ** 2))
+    envelope = envelope * np.exp(-transverse / (2 * 0.15 ** 2))
+    phase = 2 * np.pi * (z - pulse_centre) / wavelength + component * np.pi / 3
+    carrier = np.cos(phase) if component % 2 == 0 else np.sin(phase)
+
+    # a weak, smooth plasma wake trailing the pulse
+    wake = 0.2 * np.exp(-((z - pulse_centre + 2.5 * pulse_width) ** 2) / (2 * (3 * pulse_width) ** 2)) \
+        * np.sin(2 * np.pi * (z - pulse_centre) / (4 * wavelength))
+
+    field = amplitude * (envelope * carrier + wake)
+    if noise:
+        field = field + noise * amplitude * rng.normal(size=shape)
+    return field

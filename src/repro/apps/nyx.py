@@ -1,0 +1,109 @@
+"""A Nyx-like cosmology workload.
+
+Nyx couples compressible hydrodynamics with dark-matter particles and dumps
+six mesh fields per plotfile: baryon density, dark-matter density,
+temperature and the three velocity/momentum components.  For the compression
+study the relevant properties are:
+
+* densities are log-normally distributed with a large dynamic range and
+  compact high-density peaks (halos) — rough data that compresses to CRs in
+  the teens at the paper's error bounds;
+* temperature correlates with density (a polytropic relation plus scatter);
+* velocities are smoother large-scale flows;
+* refinement tags the densest ~1–3 % of the volume (Table 1's fine-level
+  densities for the Nyx runs).
+
+The fields evolve between steps (structure growth: the log-density contrast
+is amplified and phases drift) so multi-timestep runs produce distinct
+snapshots with adapting grids, as in Figure 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.apps.base import SyntheticAMRSimulation
+from repro.apps.fields import add_halos, gaussian_random_field, lognormal_field
+
+__all__ = ["NyxSimulation", "nyx_run", "NYX_FIELDS"]
+
+NYX_FIELDS = ("baryon_density", "dark_matter_density", "temperature",
+              "xmom", "ymom", "zmom")
+
+
+class NyxSimulation(SyntheticAMRSimulation):
+    """Synthetic Nyx: six fields on a two-level AMR hierarchy."""
+
+    field_names = NYX_FIELDS
+    detail_amplitude = 0.05
+
+    def __init__(self, coarse_shape: Sequence[int] = (64, 64, 64), ratio: int = 2,
+                 max_grid_size: int = 32, blocking_factor: int = 8, nranks: int = 4,
+                 target_fine_density: float = 0.02, seed: int = 0,
+                 sigma: float = 1.0, spectral_slope: float = 3.2,
+                 n_halos_per_mcell: float = 40.0):
+        super().__init__(coarse_shape, ratio=ratio, max_grid_size=max_grid_size,
+                         blocking_factor=blocking_factor, nranks=nranks,
+                         target_fine_density=target_fine_density, seed=seed)
+        self.sigma = float(sigma)
+        self.spectral_slope = float(spectral_slope)
+        self.n_halos_per_mcell = float(n_halos_per_mcell)
+
+    # ------------------------------------------------------------------
+    @property
+    def tag_field(self) -> str:
+        return "baryon_density"
+
+    def _growth(self) -> float:
+        """Structure-growth factor: density contrast grows with each step."""
+        return 1.0 + 0.08 * self.step
+
+    def coarse_fields(self) -> Dict[str, np.ndarray]:
+        shape = self.coarse_shape
+        seed = self.seed
+        growth = self._growth()
+        ncells_m = float(np.prod(shape)) / 1e6
+        n_halos = max(4, int(self.n_halos_per_mcell * ncells_m * growth))
+
+        # baryon and dark-matter density share the same large-scale structure
+        base = gaussian_random_field(shape, slope=self.spectral_slope, seed=seed)
+        drift = gaussian_random_field(shape, slope=self.spectral_slope, seed=seed + self.step + 1)
+        mixed = np.cos(0.15 * self.step) * base + np.sin(0.15 * self.step) * drift
+        std = mixed.std() or 1.0
+        mixed = mixed / std
+
+        baryon = np.exp(self.sigma * growth * mixed)
+        baryon = add_halos(baryon, n_halos=n_halos, amplitude=30.0 * growth,
+                           radius_cells=2.5, seed=seed + 3)
+
+        dm_bias = gaussian_random_field(shape, slope=self.spectral_slope, seed=seed + 11)
+        dark_matter = np.exp(self.sigma * growth * (0.9 * mixed + 0.45 * dm_bias))
+        dark_matter = add_halos(dark_matter, n_halos=n_halos, amplitude=60.0 * growth,
+                                radius_cells=2.0, seed=seed + 5)
+
+        # polytropic temperature with log-normal scatter
+        scatter = lognormal_field(shape, sigma=0.15, slope=2.5, seed=seed + 7)
+        temperature = 1.0e4 * np.power(np.clip(baryon, 1e-6, None), 0.6) * scatter
+
+        velocities = {}
+        for axis, name in enumerate(("xmom", "ymom", "zmom")):
+            vel = gaussian_random_field(shape, slope=3.2, seed=seed + 23 + axis + self.step)
+            velocities[name] = 2.0e2 * vel * np.sqrt(np.clip(baryon, 1e-6, None))
+
+        return {
+            "baryon_density": baryon,
+            "dark_matter_density": dark_matter,
+            "temperature": temperature,
+            **velocities,
+        }
+
+
+def nyx_run(coarse_shape: Sequence[int] = (64, 64, 64), nranks: int = 4,
+            target_fine_density: float = 0.02, seed: int = 0,
+            max_grid_size: int = 32, **kwargs) -> NyxSimulation:
+    """Convenience constructor used by examples and benchmarks."""
+    return NyxSimulation(coarse_shape=coarse_shape, nranks=nranks,
+                         target_fine_density=target_fine_density, seed=seed,
+                         max_grid_size=max_grid_size, **kwargs)

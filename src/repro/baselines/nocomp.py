@@ -1,0 +1,85 @@
+"""The no-compression writer (the "NoComp" configuration of Figures 17/18).
+
+Data is written box-major, uncompressed, one dataset per level.  The writer
+produces the same :class:`~repro.core.pipeline.WriteReport` the compressed
+writers do so the I/O benchmarks can treat every method uniformly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.amr.hierarchy import AmrHierarchy
+from repro.core.pipeline import LevelFieldRecord, WriteReport
+from repro.core.preprocess import extract_block_data, preprocess_level
+from repro.h5lite.file import H5LiteFile
+from repro.h5lite.filters import NoCompressionFilter
+from repro.parallel.iomodel import RankWorkload
+
+__all__ = ["NoCompressionWriter"]
+
+
+class NoCompressionWriter:
+    """Writes the full hierarchy without compression (and without redundancy removal)."""
+
+    method_name = "nocomp"
+
+    def __init__(self, chunk_elements: Optional[int] = None):
+        #: chunk size for the raw write; None = one chunk per rank
+        self.chunk_elements = chunk_elements
+
+    def write_plotfile(self, hierarchy: AmrHierarchy, path: Optional[str] = None) -> WriteReport:
+        start = time.perf_counter()
+        records: List[LevelFieldRecord] = []
+        nranks = max(lvl.multifab.distribution.nranks for lvl in hierarchy.levels)
+        rank_raw = np.zeros(nranks, dtype=np.int64)
+        rank_chunks = np.zeros(nranks, dtype=np.int64)
+        ndatasets = 0
+
+        h5file = H5LiteFile(path, "w") if path is not None else None
+        try:
+            if h5file is not None:
+                h5file.attrs["method"] = self.method_name
+                h5file.attrs["time"] = hierarchy.time
+                h5file.attrs["step"] = hierarchy.step
+
+            for level_index, level in enumerate(hierarchy.levels):
+                # no redundancy removal: AMReX dumps the whole patch-based level
+                pre = preprocess_level(hierarchy, level_index, unit_block_size=10 ** 6,
+                                       remove_redundancy=False)
+                ranks_with_data = sorted({b.rank for b in pre.unit_blocks})
+                for name in hierarchy.component_names:
+                    parts = []
+                    for rank in ranks_with_data:
+                        blocks = pre.blocks_on_rank(rank)
+                        data = extract_block_data(level, name, blocks)
+                        flat = np.concatenate([d.reshape(-1) for d in data])
+                        parts.append(flat)
+                        rank_raw[rank] += flat.nbytes
+                        rank_chunks[rank] += 1
+                    buffer = np.concatenate(parts)
+                    raw_bytes = int(buffer.nbytes)
+                    if h5file is not None:
+                        h5file.create_dataset(f"level_{level_index}/{name}", buffer,
+                                              chunk_elements=self.chunk_elements,
+                                              filter=NoCompressionFilter())
+                    ndatasets += 1
+                    records.append(LevelFieldRecord(
+                        level=level_index, field=name, raw_bytes=raw_bytes,
+                        compressed_bytes=raw_bytes, psnr=float("inf"), max_error=0.0,
+                        filter_calls=0, nblocks=len(pre.unit_blocks)))
+        finally:
+            if h5file is not None:
+                h5file.close()
+
+        workloads = [RankWorkload(raw_bytes=int(rank_raw[r]), compressed_bytes=int(rank_raw[r]),
+                                  compressor_launches=0, padded_bytes=0,
+                                  chunks_written=int(max(rank_chunks[r], 1)))
+                     for r in range(nranks)]
+        return WriteReport(method=self.method_name, path=path, records=records,
+                           rank_workloads=workloads, removed_cells=0,
+                           total_cells=hierarchy.num_cells, ndatasets=ndatasets,
+                           elapsed_seconds=time.perf_counter() - start, error_bound=0.0)

@@ -1,0 +1,73 @@
+"""zMesh-style offline compression (related work, §5 of the paper).
+
+zMesh (Luo et al., IPDPS'21) improves 1D compression of AMR data by reordering
+points from different refinement levels so physically adjacent coarse and fine
+values sit next to each other in the 1D stream before SZ compresses it.  The
+reproduction follows that recipe:
+
+* walk the coarse level in row-major order;
+* a coarse cell covered by the finer level is replaced by the (row-major)
+  fine cells that refine it — keeping neighbours in space near each other in
+  the stream;
+* an uncovered coarse cell contributes its own value;
+* the resulting 1D array is compressed with 1D SZ.
+
+As the paper notes, this is an *offline* technique: in situ it would need
+cross-rank communication to bring neighbouring coarse/fine data together,
+which is why AMRIC does not adopt it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.amr.hierarchy import AmrHierarchy
+from repro.amr.upsample import covered_mask
+from repro.compress.errorbound import ErrorBound
+from repro.compress.metrics import CompressionStats
+from repro.compress.sz1d import SZ1DCompressor
+
+__all__ = ["zmesh_reorder", "zmesh_compress"]
+
+
+def zmesh_reorder(hierarchy: AmrHierarchy, component: str) -> np.ndarray:
+    """Build the cross-level 1D ordering of one component (two-level hierarchies)."""
+    if hierarchy.nlevels == 1:
+        coarse = hierarchy[0].multifab.to_global(component, hierarchy[0].domain)
+        return coarse.reshape(-1)
+    if hierarchy.nlevels != 2:
+        raise ValueError("the zMesh baseline supports one- or two-level hierarchies")
+    ratio = hierarchy.ref_ratios[0]
+    coarse_lvl, fine_lvl = hierarchy[0], hierarchy[1]
+    coarse = coarse_lvl.multifab.to_global(component, coarse_lvl.domain)
+    fine = fine_lvl.multifab.to_global(component, fine_lvl.domain, fill_value=np.nan)
+    covered = covered_mask(hierarchy, 0)
+
+    stream = []
+    shape = coarse.shape
+    for i in range(shape[0]):
+        for j in range(shape[1]):
+            # vectorise the innermost loop: process one coarse pencil at a time
+            row_covered = covered[i, j, :]
+            row_coarse = coarse[i, j, :]
+            fine_block = fine[i * ratio:(i + 1) * ratio,
+                              j * ratio:(j + 1) * ratio, :]
+            for k in range(shape[2]):
+                if row_covered[k]:
+                    cells = fine_block[:, :, k * ratio:(k + 1) * ratio].reshape(-1)
+                    stream.append(cells)
+                else:
+                    stream.append(row_coarse[k:k + 1])
+    return np.concatenate(stream)
+
+
+def zmesh_compress(hierarchy: AmrHierarchy, component: str,
+                   error_bound: float = 1e-3) -> CompressionStats:
+    """Reorder then compress one component with 1D SZ; return the stats record."""
+    stream = zmesh_reorder(hierarchy, component)
+    comp = SZ1DCompressor(ErrorBound.relative(error_bound))
+    buffer, recon = comp.compress_with_reconstruction(stream)
+    return CompressionStats.measure("zmesh", error_bound, stream, recon,
+                                    buffer.compressed_nbytes)

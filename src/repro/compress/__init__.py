@@ -1,0 +1,55 @@
+"""SZ-family error-bounded lossy compression substrate.
+
+The paper builds on the SZ compressor in two flavours:
+
+* ``SZ_L/R`` — block-based prediction (Lorenzo and per-block linear
+  regression), error-bounded linear quantisation, Huffman coding and a
+  lossless back-end (:class:`~repro.compress.sz_lr.SZLRCompressor`);
+* ``SZ_Interp`` — global multi-level interpolation prediction
+  (:class:`~repro.compress.sz_interp.SZInterpCompressor`).
+
+plus the 1D codec AMReX's original in situ compression uses
+(:class:`~repro.compress.sz1d.SZ1DCompressor`).
+
+All compressors guarantee ``|x - x̂| <= eb`` for every element (absolute error
+bound), support value-range-relative bounds, and expose
+
+``compress(array) -> CompressedBuffer``
+``decompress(buffer) -> array``
+``compress_with_reconstruction(array) -> (CompressedBuffer, array)``
+
+The last form returns the decompressed output without paying the Huffman
+decode cost (the encoder already knows the reconstruction) and is what the
+analysis/benchmark layer uses for PSNR at scale.
+"""
+
+from repro.compress.errorbound import ErrorBound
+from repro.compress.metrics import (
+    CompressionStats,
+    compression_ratio,
+    max_abs_error,
+    mse,
+    nrmse,
+    psnr,
+)
+from repro.compress.sz_lr import SZLRCompressor
+from repro.compress.sz_interp import SZInterpCompressor
+from repro.compress.sz1d import SZ1DCompressor
+from repro.compress.zfp_like import ZFPLikeCompressor
+from repro.compress.base import CompressedBuffer, Compressor
+
+__all__ = [
+    "ErrorBound",
+    "CompressedBuffer",
+    "Compressor",
+    "SZLRCompressor",
+    "SZInterpCompressor",
+    "SZ1DCompressor",
+    "ZFPLikeCompressor",
+    "CompressionStats",
+    "compression_ratio",
+    "psnr",
+    "mse",
+    "nrmse",
+    "max_abs_error",
+]

@@ -1,0 +1,110 @@
+"""Array ↔ block partition helpers.
+
+SZ_L/R truncates its input into fixed-size cubes (6×6×6 by default) and
+predicts each cube independently; AMRIC's pre-processing likewise truncates
+AMR boxes into "unit blocks".  These helpers provide the padded
+partition / reassembly both layers share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["BlockPartition", "partition_blocks", "reassemble_blocks", "pad_to_multiple"]
+
+
+def pad_to_multiple(array: np.ndarray, block_size: int | Sequence[int],
+                    mode: str = "edge") -> Tuple[np.ndarray, Tuple[int, ...]]:
+    """Pad ``array`` so every dimension is a multiple of ``block_size``.
+
+    Returns the padded array and the original shape.  Edge padding keeps the
+    padded cells close to their neighbours so they compress well and do not
+    perturb prediction at block borders.
+    """
+    array = np.asarray(array)
+    if np.isscalar(block_size):
+        block_size = (int(block_size),) * array.ndim
+    block_size = tuple(int(b) for b in block_size)
+    if len(block_size) != array.ndim:
+        raise ValueError("block_size dimensionality mismatch")
+    if any(b < 1 for b in block_size):
+        raise ValueError("block sizes must be >= 1")
+    pads = []
+    for s, b in zip(array.shape, block_size):
+        remainder = s % b
+        pads.append((0, 0 if remainder == 0 else b - remainder))
+    if any(p[1] for p in pads):
+        array = np.pad(array, pads, mode=mode)
+    return array, tuple(int(s) for s in np.asarray(array.shape) - np.asarray([p[1] for p in pads]))
+
+
+@dataclass
+class BlockPartition:
+    """A batched view of an array cut into equal cubes.
+
+    Attributes
+    ----------
+    blocks:
+        Array of shape ``(nblocks, b0, b1, ..., b_{d-1})``.
+    grid_shape:
+        Number of blocks along each dimension of the padded array.
+    original_shape:
+        Shape before padding (used by :func:`reassemble_blocks`).
+    block_size:
+        The cube size per dimension.
+    """
+
+    blocks: np.ndarray
+    grid_shape: Tuple[int, ...]
+    original_shape: Tuple[int, ...]
+    block_size: Tuple[int, ...]
+
+    @property
+    def nblocks(self) -> int:
+        return int(self.blocks.shape[0])
+
+
+def partition_blocks(array: np.ndarray, block_size: int | Sequence[int],
+                     pad_mode: str = "edge") -> BlockPartition:
+    """Cut ``array`` into equal blocks of ``block_size`` (padding as needed)."""
+    array = np.asarray(array)
+    original_shape = array.shape
+    if np.isscalar(block_size):
+        block_size = (int(block_size),) * array.ndim
+    block_size = tuple(int(b) for b in block_size)
+    padded, _ = pad_to_multiple(array, block_size, mode=pad_mode)
+    grid_shape = tuple(s // b for s, b in zip(padded.shape, block_size))
+
+    # reshape to (g0, b0, g1, b1, ...) then move the grid axes to the front
+    interleaved_shape = tuple(v for pair in zip(grid_shape, block_size) for v in pair)
+    reshaped = padded.reshape(interleaved_shape)
+    grid_axes = tuple(range(0, 2 * array.ndim, 2))
+    block_axes = tuple(range(1, 2 * array.ndim, 2))
+    transposed = reshaped.transpose(grid_axes + block_axes)
+    blocks = transposed.reshape((-1,) + block_size)
+    return BlockPartition(blocks=np.ascontiguousarray(blocks), grid_shape=grid_shape,
+                          original_shape=original_shape, block_size=block_size)
+
+
+def reassemble_blocks(partition: BlockPartition, blocks: np.ndarray | None = None) -> np.ndarray:
+    """Invert :func:`partition_blocks`, trimming any padding."""
+    blocks = partition.blocks if blocks is None else np.asarray(blocks)
+    grid_shape = partition.grid_shape
+    block_size = partition.block_size
+    ndim = len(block_size)
+    expected = (int(np.prod(grid_shape)),) + block_size
+    if blocks.shape != expected:
+        raise ValueError(f"blocks shape {blocks.shape} != expected {expected}")
+    stacked = blocks.reshape(grid_shape + block_size)
+    # interleave grid and block axes back: (g0, g1, ..., b0, b1, ...) -> (g0, b0, g1, b1, ...)
+    order = []
+    for i in range(ndim):
+        order.extend([i, ndim + i])
+    interleaved = stacked.transpose(order)
+    padded_shape = tuple(g * b for g, b in zip(grid_shape, block_size))
+    full = interleaved.reshape(padded_shape)
+    slices = tuple(slice(0, s) for s in partition.original_shape)
+    return np.ascontiguousarray(full[slices])

@@ -1,0 +1,83 @@
+"""Error-bound specification and resolution.
+
+SZ-style compressors accept either an **absolute** error bound or a
+**value-range relative** bound (the mode the paper uses throughout: "relative
+error bound" there means ``abs_bound = rel * (max - min)`` of the field being
+compressed).  A bound object resolves itself against the data (or an explicit
+value range) into the absolute bound the quantiser needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ErrorBound"]
+
+_MODES = ("abs", "rel")
+
+
+@dataclass(frozen=True)
+class ErrorBound:
+    """An error-bound specification.
+
+    Parameters
+    ----------
+    value:
+        The bound value.  For ``mode="abs"`` this is the absolute bound; for
+        ``mode="rel"`` it is multiplied by the data's value range.
+    mode:
+        ``"abs"`` or ``"rel"`` (value-range relative).
+    """
+
+    value: float
+    mode: str = "rel"
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(f"unknown error-bound mode {self.mode!r}; expected one of {_MODES}")
+        if not np.isfinite(self.value) or self.value <= 0:
+            raise ValueError(f"error bound must be a positive finite number, got {self.value}")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def absolute(value: float) -> "ErrorBound":
+        return ErrorBound(value, "abs")
+
+    @staticmethod
+    def relative(value: float) -> "ErrorBound":
+        return ErrorBound(value, "rel")
+
+    @staticmethod
+    def coerce(value: "ErrorBound | float", mode: str = "rel") -> "ErrorBound":
+        """Accept either an ErrorBound or a bare float (interpreted with ``mode``)."""
+        if isinstance(value, ErrorBound):
+            return value
+        return ErrorBound(float(value), mode)
+
+    # ------------------------------------------------------------------
+    def resolve(self, data: np.ndarray | None = None,
+                value_range: float | None = None) -> float:
+        """Return the absolute error bound for ``data`` (or an explicit range).
+
+        A degenerate (constant) field resolves a relative bound against a
+        range of 1.0 so the bound stays positive and the compressor remains
+        well-defined.
+        """
+        if self.mode == "abs":
+            return float(self.value)
+        if value_range is None:
+            if data is None:
+                raise ValueError("relative error bound needs data or an explicit value_range")
+            data = np.asarray(data)
+            if data.size == 0:
+                value_range = 0.0
+            else:
+                value_range = float(data.max() - data.min())
+        if value_range <= 0:
+            value_range = 1.0
+        return float(self.value) * value_range
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mode}:{self.value:g}"

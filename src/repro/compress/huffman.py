@@ -1,0 +1,283 @@
+"""Canonical Huffman coding of quantisation codes.
+
+SZ encodes its quantisation codes with a custom Huffman coder; the paper's
+Shared Lossless Encoding (SLE) optimisation is entirely about *how many*
+Huffman tables are built (one shared table versus one per small block), so the
+codec here exposes exactly that choice:
+
+* :func:`encode` / :func:`decode` — one table for one code stream;
+* :class:`HuffmanCodec` — reusable table (shared across blocks for SLE);
+* :func:`encoded_size_per_block` — per-block-table encoding (the expensive
+  alternative SLE avoids), used in analyses and tests.
+
+Encoding is fully vectorised (numpy bit-fiddling + ``packbits``); decoding is
+a table-driven loop, fast enough for the data sizes correctness tests use.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["HuffmanCodec", "encode", "decode", "HuffmanEncoded"]
+
+_MAX_CODE_LEN = 32
+
+
+@dataclass
+class HuffmanEncoded:
+    """A Huffman-encoded code stream plus everything needed to decode it."""
+
+    payload: bytes               #: packed bitstream
+    nbits: int                   #: number of valid bits in the payload
+    nsymbols: int                #: number of encoded symbols
+    table_symbols: np.ndarray    #: the distinct symbol values (uint32)
+    table_lengths: np.ndarray    #: canonical code length per distinct symbol (uint8)
+
+    @property
+    def payload_nbytes(self) -> int:
+        return len(self.payload)
+
+    @property
+    def table_nbytes(self) -> int:
+        """Serialised table size: symbol values (4 B) + code lengths (1 B)."""
+        return int(self.table_symbols.size * 5)
+
+    @property
+    def total_nbytes(self) -> int:
+        return self.payload_nbytes + self.table_nbytes
+
+
+def _limit_lengths(lengths: np.ndarray, max_len: int = _MAX_CODE_LEN) -> np.ndarray:
+    """Clamp code lengths to ``max_len`` while keeping Kraft's inequality valid.
+
+    A simple heuristic (sufficient here because quantisation codes rarely need
+    more than ~20 bits): clamp, then repair by extending the shortest codes.
+    """
+    lengths = lengths.copy()
+    if lengths.size == 0 or lengths.max() <= max_len:
+        return lengths
+    lengths = np.minimum(lengths, max_len)
+    # repair Kraft sum
+    kraft = np.sum(2.0 ** (-lengths))
+    order = np.argsort(lengths)
+    i = 0
+    while kraft > 1.0 + 1e-12 and i < lengths.size:
+        idx = order[i]
+        if lengths[idx] < max_len:
+            kraft -= 2.0 ** (-lengths[idx])
+            lengths[idx] += 1
+            kraft += 2.0 ** (-lengths[idx])
+        else:
+            i += 1
+    return lengths
+
+
+def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical code values given code lengths (symbols sorted by (len, idx))."""
+    n = lengths.size
+    codes = np.zeros(n, dtype=np.uint64)
+    if n == 0:
+        return codes
+    order = np.lexsort((np.arange(n), lengths))
+    code = 0
+    prev_len = int(lengths[order[0]])
+    for rank, idx in enumerate(order):
+        cur_len = int(lengths[idx])
+        if rank > 0:
+            code = (code + 1) << (cur_len - prev_len)
+        codes[idx] = code
+        prev_len = cur_len
+    return codes
+
+
+class HuffmanCodec:
+    """A reusable canonical Huffman table built from symbol frequencies."""
+
+    def __init__(self, symbols: np.ndarray, lengths: np.ndarray):
+        self.symbols = np.asarray(symbols, dtype=np.uint32)
+        self.lengths = np.asarray(lengths, dtype=np.uint8)
+        if self.symbols.shape != self.lengths.shape:
+            raise ValueError("symbols and lengths must align")
+        self.codes = _canonical_codes(self.lengths.astype(np.int64))
+        # symbol -> position lookup
+        self._index: Dict[int, int] = {int(s): i for i, s in enumerate(self.symbols)}
+        # decode structures: symbols sorted canonically
+        order = np.lexsort((np.arange(self.symbols.size), self.lengths))
+        self._dec_lengths = self.lengths[order].astype(np.int64)
+        self._dec_symbols = self.symbols[order]
+        self._dec_codes = self.codes[order].astype(np.int64)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_data(data: np.ndarray) -> "HuffmanCodec":
+        """Build a codec from the codes that will be encoded."""
+        data = np.asarray(data).ravel()
+        if data.size == 0:
+            return HuffmanCodec(np.zeros(0, dtype=np.uint32), np.zeros(0, dtype=np.uint8))
+        symbols, counts = np.unique(data, return_counts=True)
+        freqs = np.zeros(symbols.size, dtype=np.int64)
+        freqs[:] = counts
+        lengths = _huffman_code_lengths_from_counts(counts)
+        lengths = _limit_lengths(lengths)
+        return HuffmanCodec(symbols.astype(np.uint32), lengths.astype(np.uint8))
+
+    @staticmethod
+    def from_multiple(datasets: Iterable[np.ndarray]) -> "HuffmanCodec":
+        """Build one shared codec from several code streams (the SLE table)."""
+        arrays = [np.asarray(d).ravel() for d in datasets]
+        arrays = [a for a in arrays if a.size]
+        if not arrays:
+            return HuffmanCodec(np.zeros(0, dtype=np.uint32), np.zeros(0, dtype=np.uint8))
+        return HuffmanCodec.from_data(np.concatenate(arrays))
+
+    # ------------------------------------------------------------------
+    @property
+    def nsymbols(self) -> int:
+        return int(self.symbols.size)
+
+    @property
+    def table_nbytes(self) -> int:
+        return int(self.symbols.size * 5)
+
+    def expected_bits(self, data: np.ndarray) -> int:
+        """Exact number of payload bits needed to encode ``data`` with this table."""
+        data = np.asarray(data).ravel()
+        if data.size == 0:
+            return 0
+        positions = self._positions(data)
+        return int(self.lengths.astype(np.int64)[positions].sum())
+
+    def _positions(self, data: np.ndarray) -> np.ndarray:
+        """Map each symbol in ``data`` to its index in the table (must exist)."""
+        sorter = np.argsort(self.symbols, kind="stable")
+        sorted_syms = self.symbols[sorter]
+        pos = np.searchsorted(sorted_syms, data)
+        pos = np.clip(pos, 0, sorted_syms.size - 1)
+        if not np.all(sorted_syms[pos] == data):
+            missing = np.unique(data[sorted_syms[pos] != data])[:5]
+            raise KeyError(f"symbols not in Huffman table: {missing}")
+        return sorter[pos]
+
+    # ------------------------------------------------------------------
+    def encode(self, data: np.ndarray) -> HuffmanEncoded:
+        """Encode ``data`` (flattened) into a packed bitstream."""
+        data = np.asarray(data).ravel()
+        if data.size == 0:
+            return HuffmanEncoded(b"", 0, 0, self.symbols, self.lengths)
+        positions = self._positions(data)
+        lengths = self.lengths.astype(np.int64)[positions]
+        codes = self.codes.astype(np.uint64)[positions]
+        total_bits = int(lengths.sum())
+        starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        # per output bit: which symbol it belongs to and which bit of the code
+        symbol_of_bit = np.repeat(np.arange(data.size), lengths)
+        bit_in_code = np.arange(total_bits) - np.repeat(starts, lengths)
+        shift = (np.repeat(lengths, lengths) - 1 - bit_in_code).astype(np.uint64)
+        bits = ((codes[symbol_of_bit] >> shift) & np.uint64(1)).astype(np.uint8)
+        payload = np.packbits(bits).tobytes()
+        return HuffmanEncoded(payload, total_bits, int(data.size), self.symbols, self.lengths)
+
+    def decode(self, encoded: HuffmanEncoded) -> np.ndarray:
+        """Decode a bitstream produced by :meth:`encode` (table-driven loop)."""
+        if encoded.nsymbols == 0:
+            return np.zeros(0, dtype=np.uint32)
+        bits = np.unpackbits(np.frombuffer(encoded.payload, dtype=np.uint8),
+                             count=encoded.nbits)
+        # canonical decoding: first code and symbol offset per code length
+        lengths = self._dec_lengths
+        codes = self._dec_codes
+        symbols = self._dec_symbols
+        max_len = int(lengths.max()) if lengths.size else 0
+        first_code = {}
+        first_index = {}
+        for length in np.unique(lengths):
+            mask = lengths == length
+            first_code[int(length)] = int(codes[mask][0])
+            first_index[int(length)] = int(np.nonzero(mask)[0][0])
+        counts = {int(l): int((lengths == l).sum()) for l in np.unique(lengths)}
+
+        out = np.empty(encoded.nsymbols, dtype=np.uint32)
+        bit_list = bits.tolist()
+        pos = 0
+        code = 0
+        length = 0
+        produced = 0
+        nbits = encoded.nbits
+        while produced < encoded.nsymbols:
+            if pos >= nbits:
+                raise ValueError("truncated Huffman stream")
+            code = (code << 1) | bit_list[pos]
+            pos += 1
+            length += 1
+            fc = first_code.get(length)
+            if fc is not None and fc <= code < fc + counts[length]:
+                out[produced] = symbols[first_index[length] + (code - fc)]
+                produced += 1
+                code = 0
+                length = 0
+            elif length > max_len:
+                raise ValueError("invalid Huffman stream (code length overflow)")
+        return out
+
+
+def _huffman_code_lengths_from_counts(counts: np.ndarray) -> np.ndarray:
+    """Huffman code lengths for symbols with the given positive counts."""
+    n = counts.size
+    lengths = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return lengths
+    if n == 1:
+        lengths[0] = 1
+        return lengths
+    heap: List[Tuple[int, int, int]] = [(int(c), i, i) for i, c in enumerate(counts)]
+    heapq.heapify(heap)
+    parent: Dict[int, int] = {}
+    next_id = n
+    while len(heap) > 1:
+        f1, _, a = heapq.heappop(heap)
+        f2, _, b = heapq.heappop(heap)
+        parent[a] = next_id
+        parent[b] = next_id
+        heapq.heappush(heap, (f1 + f2, next_id, next_id))
+        next_id += 1
+    for leaf in range(n):
+        depth = 0
+        node = leaf
+        while node in parent:
+            node = parent[node]
+            depth += 1
+        lengths[leaf] = depth
+    return lengths
+
+
+# ----------------------------------------------------------------------
+# convenience one-shot API
+# ----------------------------------------------------------------------
+def encode(data: np.ndarray) -> HuffmanEncoded:
+    """Build a table from ``data`` and encode it."""
+    codec = HuffmanCodec.from_data(data)
+    return codec.encode(data)
+
+
+def decode(encoded: HuffmanEncoded) -> np.ndarray:
+    """Decode using the table carried inside ``encoded``."""
+    codec = HuffmanCodec(encoded.table_symbols, encoded.table_lengths)
+    return codec.decode(encoded)
+
+
+def encoded_size_per_block(blocks: Sequence[np.ndarray]) -> int:
+    """Total bytes when each block gets its own Huffman table (no SLE).
+
+    Models the per-block encoding overhead SLE removes: every block pays for
+    its own serialised table plus its own byte-aligned payload.
+    """
+    total = 0
+    for block in blocks:
+        codec = HuffmanCodec.from_data(block)
+        bits = codec.expected_bits(np.asarray(block).ravel())
+        total += codec.table_nbytes + (bits + 7) // 8
+    return total

@@ -1,0 +1,125 @@
+"""Lossless back-end and byte-stream framing helpers.
+
+SZ finishes with a lossless pass (zstd in the C code; zlib here) over the
+Huffman payload, and every compressed buffer needs a small self-describing
+container so the decompressor can find its sections.  The framing is a simple
+length-prefixed section list — intentionally minimal, but versioned so files
+written by one version of the library are rejected cleanly by another.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "zlib_compress",
+    "zlib_decompress",
+    "pack_sections",
+    "unpack_sections",
+    "pack_array",
+    "unpack_array",
+    "pack_arrays",
+    "unpack_arrays",
+]
+
+_MAGIC = b"RPRZ"
+_VERSION = 1
+
+
+def zlib_compress(payload: bytes, level: int = 6) -> bytes:
+    """Deflate ``payload`` (the SZ lossless stage)."""
+    return zlib.compress(payload, level)
+
+
+def zlib_decompress(payload: bytes) -> bytes:
+    return zlib.decompress(payload)
+
+
+def pack_sections(sections: Dict[str, bytes]) -> bytes:
+    """Serialise named byte sections into one framed buffer."""
+    parts: List[bytes] = [_MAGIC, struct.pack("<HH", _VERSION, len(sections))]
+    for name, payload in sections.items():
+        name_b = name.encode("utf-8")
+        if len(name_b) > 255:
+            raise ValueError(f"section name too long: {name!r}")
+        parts.append(struct.pack("<B", len(name_b)))
+        parts.append(name_b)
+        parts.append(struct.pack("<Q", len(payload)))
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def unpack_sections(buffer: bytes) -> Dict[str, bytes]:
+    """Invert :func:`pack_sections`."""
+    if buffer[:4] != _MAGIC:
+        raise ValueError("not a repro compressed buffer (bad magic)")
+    version, count = struct.unpack_from("<HH", buffer, 4)
+    if version != _VERSION:
+        raise ValueError(f"unsupported container version {version}")
+    out: Dict[str, bytes] = {}
+    offset = 8
+    for _ in range(count):
+        (name_len,) = struct.unpack_from("<B", buffer, offset)
+        offset += 1
+        name = buffer[offset:offset + name_len].decode("utf-8")
+        offset += name_len
+        (size,) = struct.unpack_from("<Q", buffer, offset)
+        offset += 8
+        out[name] = buffer[offset:offset + size]
+        offset += size
+    if offset != len(buffer):
+        raise ValueError("trailing bytes in compressed buffer")
+    return out
+
+
+def pack_array(array: np.ndarray) -> bytes:
+    """Serialise a small numpy array (dtype + shape + raw bytes)."""
+    array = np.ascontiguousarray(array)
+    dtype_b = array.dtype.str.encode("ascii")
+    header = struct.pack("<B", len(dtype_b)) + dtype_b
+    header += struct.pack("<B", array.ndim)
+    header += struct.pack(f"<{array.ndim}q", *array.shape) if array.ndim else b""
+    return header + array.tobytes()
+
+
+def pack_arrays(*arrays: np.ndarray) -> bytes:
+    """Serialise several arrays into one length-prefixed blob."""
+    parts: List[bytes] = [struct.pack("<H", len(arrays))]
+    for array in arrays:
+        blob = pack_array(array)
+        parts.append(struct.pack("<Q", len(blob)))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def unpack_arrays(payload: bytes) -> List[np.ndarray]:
+    """Invert :func:`pack_arrays`."""
+    (count,) = struct.unpack_from("<H", payload, 0)
+    offset = 2
+    out: List[np.ndarray] = []
+    for _ in range(count):
+        (size,) = struct.unpack_from("<Q", payload, offset)
+        offset += 8
+        out.append(unpack_array(payload[offset:offset + size]))
+        offset += size
+    return out
+
+
+def unpack_array(payload: bytes) -> np.ndarray:
+    """Invert :func:`pack_array`."""
+    (dtype_len,) = struct.unpack_from("<B", payload, 0)
+    offset = 1
+    dtype = np.dtype(payload[offset:offset + dtype_len].decode("ascii"))
+    offset += dtype_len
+    (ndim,) = struct.unpack_from("<B", payload, offset)
+    offset += 1
+    shape: Tuple[int, ...] = ()
+    if ndim:
+        shape = struct.unpack_from(f"<{ndim}q", payload, offset)
+        offset += 8 * ndim
+    flat = np.frombuffer(payload, dtype=dtype, offset=offset)
+    return flat.reshape(shape).copy()

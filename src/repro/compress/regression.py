@@ -1,0 +1,106 @@
+"""Per-block linear-regression prediction (the "R" of SZ_L/R).
+
+SZ 2.x fits a first-order polynomial ``f(i, j, k) = b0 + b1*i + b2*j + b3*k``
+to every block (default 6×6×6) by least squares, quantises the coefficients,
+and quantises the residuals against the error bound.  Because the design
+matrix only depends on the block shape, the fit for *all* blocks of a batch is
+a single matrix multiplication — the whole predictor is vectorised over
+blocks.
+
+The residuals are computed against the prediction built from the *quantised*
+coefficients, so the reconstruction error is governed purely by the residual
+quantiser and the user's error bound holds exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["RegressionModel", "fit_blocks", "predict_blocks", "quantize_coefficients"]
+
+
+@dataclass
+class RegressionModel:
+    """Quantised regression coefficients for a batch of equal-shaped blocks."""
+
+    coefficients: np.ndarray     #: float64 (nblocks, ndim + 1) — already quantised
+    block_shape: Tuple[int, ...]
+
+    @property
+    def nblocks(self) -> int:
+        return int(self.coefficients.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Storage cost of the coefficients (stored as float32, as SZ does)."""
+        return int(self.coefficients.shape[0] * self.coefficients.shape[1] * 4)
+
+
+def _design_matrix(block_shape: Tuple[int, ...]) -> np.ndarray:
+    """Design matrix [1, i, j, k, ...] for one block, centred coordinates."""
+    coords = np.meshgrid(*[np.arange(s, dtype=np.float64) - (s - 1) / 2.0
+                           for s in block_shape], indexing="ij")
+    columns = [np.ones(int(np.prod(block_shape)))]
+    columns.extend(c.ravel() for c in coords)
+    return np.stack(columns, axis=1)  # (npoints, ndim+1)
+
+
+def fit_blocks(blocks: np.ndarray) -> np.ndarray:
+    """Least-squares plane fit for every block.
+
+    Parameters
+    ----------
+    blocks:
+        Array of shape ``(nblocks,) + block_shape``.
+
+    Returns
+    -------
+    coefficients of shape ``(nblocks, ndim + 1)`` (unquantised).
+    """
+    blocks = np.asarray(blocks, dtype=np.float64)
+    nblocks = blocks.shape[0]
+    block_shape = blocks.shape[1:]
+    design = _design_matrix(block_shape)
+    pinv = np.linalg.pinv(design)              # (ndim+1, npoints)
+    flat = blocks.reshape(nblocks, -1)          # (nblocks, npoints)
+    return flat @ pinv.T                        # (nblocks, ndim+1)
+
+
+def quantize_coefficients(coefficients: np.ndarray, eb: float,
+                          block_shape: Tuple[int, ...]) -> np.ndarray:
+    """Quantise regression coefficients the way SZ does.
+
+    The intercept is quantised with precision ``eb/2``; each slope with
+    ``eb / (2 * extent)`` so that the accumulated prediction error from
+    coefficient rounding stays within a fraction of the bound.  Coefficients
+    are then representable exactly in float32 multiples of the step, which is
+    what gets stored.
+    """
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    steps = np.empty(coefficients.shape[1], dtype=np.float64)
+    steps[0] = eb / 2.0
+    for axis, extent in enumerate(block_shape):
+        steps[axis + 1] = eb / (2.0 * max(extent, 1))
+    quantised = np.rint(coefficients / steps) * steps
+    # Coefficients are persisted as float32; round-trip through float32 here so
+    # the encoder's prediction matches the decoder's bit-for-bit.
+    return quantised.astype(np.float32).astype(np.float64)
+
+
+def predict_blocks(model: RegressionModel) -> np.ndarray:
+    """Evaluate the fitted planes: returns array of shape (nblocks,) + block_shape."""
+    design = _design_matrix(model.block_shape)   # (npoints, ndim+1)
+    flat = model.coefficients @ design.T         # (nblocks, npoints)
+    return flat.reshape((model.nblocks,) + model.block_shape)
+
+
+def fit_and_predict(blocks: np.ndarray, eb: float) -> Tuple[RegressionModel, np.ndarray]:
+    """Fit, quantise coefficients and return predictions in one call."""
+    blocks = np.asarray(blocks, dtype=np.float64)
+    coeffs = fit_blocks(blocks)
+    quantised = quantize_coefficients(coeffs, eb, blocks.shape[1:])
+    model = RegressionModel(coefficients=quantised, block_shape=blocks.shape[1:])
+    return model, predict_blocks(model)

@@ -1,0 +1,30 @@
+"""AMRIC — the paper's contribution: in situ 3D AMR compression through the filter.
+
+The pieces map one-to-one onto the paper's design sections:
+
+* :mod:`repro.core.preprocess` — §3.1 pre-processing: redundancy removal,
+  uniform truncation into unit blocks, compressor-specific reorganisation
+  (linear for SZ_L/R, clustered cube for SZ_Interp).
+* :mod:`repro.core.sle` — §3.2 Solution 1: unit Shared Lossless Encoding.
+* :mod:`repro.core.adaptive` — §3.2 Solution 2 (Equation 1): adaptive SZ
+  block size.
+* :mod:`repro.core.layout` — §3.3 Solution 1: box-major → field-major layout.
+* :mod:`repro.core.filter_mod` — §3.3 Solution 2: global chunk size with
+  per-rank actual sizes passed to the filter.
+* :mod:`repro.core.pipeline` / :mod:`repro.core.reader` — the end-to-end
+  in situ writer (:class:`AMRICWriter`) and reader (:class:`AMRICReader`).
+"""
+
+from repro.core.config import AMRICConfig
+from repro.core.pipeline import AMRICWriter, WriteReport, LevelFieldRecord
+from repro.core.reader import AMRICReader
+from repro.core.adaptive import select_sz_block_size
+
+__all__ = [
+    "AMRICConfig",
+    "AMRICWriter",
+    "AMRICReader",
+    "WriteReport",
+    "LevelFieldRecord",
+    "select_sz_block_size",
+]

@@ -1,0 +1,63 @@
+"""Adaptive SZ_L/R block-size selection (§3.2 Solution 2, Equation 1).
+
+AMReX unit blocks are typically powers of two, which a 6×6×6 SZ truncation
+does not divide evenly; the leftover "residue" blocks are thin (6×6×2, 6×2×2,
+2×2×2) and predict poorly.  Equation 1 of the paper switches the SZ block
+size to 4×4×4 exactly when those residues would appear:
+
+.. math::
+
+    \\text{SZ\\_BlkSize} = \\begin{cases}
+        4^3 & \\text{if unitBlkSize} \\bmod 6 \\le 2 \\\\
+        6^3 & \\text{if unitBlkSize} \\bmod 6 > 2 \\\\
+        6^3 & \\text{if unitBlkSize} \\ge 64
+    \\end{cases}
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+__all__ = ["select_sz_block_size", "residue_block_shapes"]
+
+
+def select_sz_block_size(unit_block_size: int, base_block_size: int = 6,
+                         small_block_size: int = 4, large_unit_threshold: int = 64) -> int:
+    """Equation 1 of the paper.
+
+    Parameters
+    ----------
+    unit_block_size:
+        Edge length of the AMR unit blocks produced by the pre-processing.
+    base_block_size / small_block_size:
+        The default (6) and fallback (4) SZ block sizes.
+    large_unit_threshold:
+        Above this unit size residues are a negligible fraction and the
+        default block size is kept regardless.
+    """
+    if unit_block_size < 1:
+        raise ValueError("unit_block_size must be >= 1")
+    if unit_block_size >= large_unit_threshold:
+        return base_block_size
+    if unit_block_size % base_block_size <= 2:
+        return small_block_size
+    return base_block_size
+
+
+def residue_block_shapes(unit_block_size: int, sz_block_size: int
+                         ) -> Tuple[Tuple[int, int, int], ...]:
+    """The sub-block shapes a cubic unit block decomposes into (Figure 8).
+
+    Returns every distinct (counted with multiplicity) sub-block shape produced
+    when a ``unit³`` cube is truncated by ``sz³`` blocks without padding.
+    """
+    if unit_block_size < 1 or sz_block_size < 1:
+        raise ValueError("sizes must be >= 1")
+    full, rem = divmod(unit_block_size, sz_block_size)
+    segments = [sz_block_size] * full + ([rem] if rem else [])
+    shapes = []
+    for a in segments:
+        for b in segments:
+            for c in segments:
+                shapes.append((a, b, c))
+    return tuple(shapes)

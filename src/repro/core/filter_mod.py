@@ -1,0 +1,210 @@
+"""HDF5 filter-side modifications (§3.3 Solution 2).
+
+Two pieces:
+
+* :func:`plan_level_chunks` — the global chunk size for a level's shared
+  dataset is the **largest per-rank contribution**; smaller ranks either pad
+  (naive) or pass their actual size to the filter (AMRIC).
+* :class:`AMRICLevelFilter` — an :class:`~repro.h5lite.filters.Filter` whose
+  ``encode`` understands AMRIC's pre-processed chunk contents: the chunk is a
+  field-major rank buffer made of 3D unit blocks, and the filter compresses it
+  with 3D SZ (SLE or clustered-interpolation) instead of treating it as a flat
+  stream.  The block structure travels inside the compressed payload so a
+  chunk is self-describing, mirroring how the real AMRIC feeds its modified
+  H5Z-SZ filter the metadata it needs.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compress.sz_lr import SZLRCompressor
+from repro.compress.sz_interp import SZInterpCompressor
+from repro.core.preprocess import (
+    PackedArrangement,
+    pack_blocks_cluster,
+    pack_blocks_linear,
+    unpack_blocks,
+)
+from repro.h5lite.filters import Filter
+from repro.parallel.collective import SharedDatasetLayout, plan_shared_dataset
+
+__all__ = ["plan_level_chunks", "ChunkPlan", "AMRICLevelFilter"]
+
+
+def plan_level_chunks(per_rank_elements: Sequence[int],
+                      modify_filter: bool = True) -> SharedDatasetLayout:
+    """Chunk layout for one level's shared dataset (one chunk per rank)."""
+    return plan_shared_dataset(per_rank_elements, pass_actual_size=modify_filter)
+
+
+@dataclass
+class ChunkPlan:
+    """Block structure of one chunk (= one rank's field data)."""
+
+    field: str
+    block_shapes: List[Tuple[int, int, int]]   #: unit-block shapes, in buffer order
+    value_range: float                          #: field value range (for the relative bound)
+    #: unit-block lower corners in the level's index space (lets the clustered
+    #: SZ_Interp arrangement keep spatial neighbours adjacent)
+    block_positions: Optional[List[Tuple[int, int, int]]] = None
+
+    @property
+    def nelements(self) -> int:
+        return int(sum(int(np.prod(s)) for s in self.block_shapes))
+
+    def to_json(self) -> dict:
+        return {"field": self.field, "block_shapes": [list(s) for s in self.block_shapes],
+                "value_range": self.value_range,
+                "block_positions": ([list(p) for p in self.block_positions]
+                                    if self.block_positions is not None else None)}
+
+    @staticmethod
+    def from_json(obj: dict) -> "ChunkPlan":
+        positions = obj.get("block_positions")
+        return ChunkPlan(field=obj["field"],
+                         block_shapes=[tuple(s) for s in obj["block_shapes"]],
+                         value_range=float(obj["value_range"]),
+                         block_positions=([tuple(p) for p in positions]
+                                          if positions is not None else None))
+
+
+class AMRICLevelFilter(Filter):
+    """The modified compression filter: 3D-aware, actual-size-aware.
+
+    The writer queues one :class:`ChunkPlan` per upcoming ``encode`` call (in
+    write order); the filter consumes them, rebuilds the 3D unit blocks from
+    the flat chunk, compresses them with the configured SZ algorithm and emits
+    a self-describing payload.  ``decode`` needs no side information.
+    """
+
+    filter_id = "amric_3d"
+
+    def __init__(self, compressor: str = "sz_lr", error_bound: float = 1e-3,
+                 use_sle: bool = True, adaptive_block_size: bool = True,
+                 sz_block_size: int = 6, interp_arrangement: str = "cluster",
+                 interp_anchor_stride: int = 16, unit_block_size: int = 16):
+        super().__init__()
+        if compressor not in ("sz_lr", "sz_interp"):
+            raise ValueError(f"unknown compressor {compressor!r}")
+        self.compressor = compressor
+        self.error_bound = float(error_bound)
+        self.use_sle = bool(use_sle)
+        self.adaptive_block_size = bool(adaptive_block_size)
+        self.sz_block_size = int(sz_block_size)
+        self.interp_arrangement = interp_arrangement
+        self.interp_anchor_stride = int(interp_anchor_stride)
+        self.unit_block_size = int(unit_block_size)
+        self._pending_plans: List[ChunkPlan] = []
+        #: reconstructions of the blocks of every encoded chunk (encode order),
+        #: kept so the writer can compute PSNR without re-reading the file
+        self.last_reconstructions: List[List[np.ndarray]] = []
+
+    # ------------------------------------------------------------------
+    def queue_plan(self, plan: ChunkPlan) -> None:
+        self._pending_plans.append(plan)
+
+    def _sz_block_size_for(self) -> int:
+        from repro.core.adaptive import select_sz_block_size
+
+        if not self.adaptive_block_size:
+            return self.sz_block_size
+        return select_sz_block_size(self.unit_block_size, base_block_size=self.sz_block_size)
+
+    # ------------------------------------------------------------------
+    def encode(self, chunk: np.ndarray, actual_elements: Optional[int] = None) -> bytes:
+        if not self._pending_plans:
+            raise RuntimeError("AMRICLevelFilter.encode called without a queued ChunkPlan")
+        plan = self._pending_plans.pop(0)
+        chunk = np.asarray(chunk, dtype=np.float64).reshape(-1)
+        nvalid = plan.nelements
+        if actual_elements is not None and actual_elements != nvalid:
+            raise ValueError(
+                f"chunk plan expects {nvalid} valid elements, writer passed {actual_elements}")
+
+        # rebuild the 3D unit blocks from the flat (field-major) chunk prefix
+        blocks: List[np.ndarray] = []
+        offset = 0
+        for shape in plan.block_shapes:
+            size = int(np.prod(shape))
+            blocks.append(chunk[offset:offset + size].reshape(shape))
+            offset += size
+
+        if self.compressor == "sz_lr":
+            comp = SZLRCompressor(self.error_bound, block_size=self._sz_block_size_for())
+            buffer, recons = comp.compress_many_with_reconstruction(
+                blocks, shared_encoding=self.use_sle, value_range=plan.value_range)
+            body = buffer.payload
+            mode = "sz_lr"
+            arrangement_json = None
+        else:
+            if self.interp_arrangement == "cluster":
+                packed, arrangement = pack_blocks_cluster(blocks, positions=plan.block_positions)
+            else:
+                packed, arrangement = pack_blocks_linear(blocks)
+            comp = SZInterpCompressor(self.error_bound * plan.value_range, mode="abs",
+                                      anchor_stride=self.interp_anchor_stride)
+            buffer, packed_recon = comp.compress_with_reconstruction(packed)
+            recons = unpack_blocks(packed_recon, arrangement)
+            body = buffer.payload
+            mode = "sz_interp"
+            arrangement_json = {
+                "mode": arrangement.mode,
+                "unit_shape": list(arrangement.unit_shape),
+                "grid_shape": list(arrangement.grid_shape),
+                "block_shapes": [list(s) for s in arrangement.block_shapes],
+                "fill_value": arrangement.fill_value,
+                "slot_of_block": list(arrangement.slot_of_block),
+            }
+
+        header = json.dumps({
+            "mode": mode,
+            "plan": plan.to_json(),
+            "chunk_elements": int(chunk.size),
+            "error_bound": self.error_bound,
+            "use_sle": self.use_sle,
+            "sz_block_size": self._sz_block_size_for(),
+            "interp_anchor_stride": self.interp_anchor_stride,
+            "arrangement": arrangement_json,
+        }).encode("utf-8")
+        payload = struct.pack("<Q", len(header)) + header + body
+
+        self.last_reconstructions.append(recons)
+        self._account(chunk, nvalid, payload)
+        return payload
+
+    # ------------------------------------------------------------------
+    def decode(self, payload: bytes, chunk_elements: int) -> np.ndarray:
+        (header_len,) = struct.unpack_from("<Q", payload, 0)
+        header = json.loads(payload[8:8 + header_len].decode("utf-8"))
+        body = payload[8 + header_len:]
+        plan = ChunkPlan.from_json(header["plan"])
+
+        if header["mode"] == "sz_lr":
+            comp = SZLRCompressor(header["error_bound"], block_size=header["sz_block_size"])
+            blocks = comp.decompress_many(body)
+        else:
+            arr = header["arrangement"]
+            arrangement = PackedArrangement(
+                mode=arr["mode"], unit_shape=tuple(arr["unit_shape"]),
+                grid_shape=tuple(arr["grid_shape"]),
+                block_shapes=[tuple(s) for s in arr["block_shapes"]],
+                fill_value=float(arr["fill_value"]),
+                slot_of_block=list(arr.get("slot_of_block", [])))
+            comp = SZInterpCompressor(header["error_bound"], mode="abs",
+                                      anchor_stride=header["interp_anchor_stride"])
+            packed = comp.decompress(body)
+            blocks = unpack_blocks(packed, arrangement)
+
+        out = np.zeros(chunk_elements, dtype=np.float64)
+        offset = 0
+        for block in blocks:
+            flat = np.asarray(block, dtype=np.float64).reshape(-1)
+            out[offset:offset + flat.size] = flat
+            offset += flat.size
+        return out

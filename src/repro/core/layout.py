@@ -1,0 +1,96 @@
+"""Per-rank buffer layouts (§3.3 Solution 1).
+
+AMReX stores a box's components contiguously (box-major): the write buffer of
+a rank is ``[box0: field0..fieldN][box1: field0..fieldN]...``, which caps the
+HDF5 chunk size at the smallest box to avoid compressing different physical
+fields together.  AMRIC changes the *loop order* when filling the buffer so
+the same field of every box is contiguous (field-major):
+``[field0: box0..boxM][field1: box0..boxM]...``, letting a chunk span a whole
+field.
+
+Both layouts are implemented here over unit blocks, together with the segment
+bookkeeping the writers and the small-chunk baseline need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.amr.hierarchy import AmrLevel
+from repro.core.preprocess import UnitBlock, extract_block_data
+
+__all__ = ["RankBuffer", "build_rank_buffer_field_major", "build_rank_buffer_box_major"]
+
+
+@dataclass
+class RankBuffer:
+    """One rank's linearised write buffer plus its segment structure."""
+
+    rank: int
+    layout: str                            #: "field_major" or "box_major"
+    data: np.ndarray                       #: the 1D buffer
+    #: per segment: (field name, block index within the rank, element count)
+    segments: List[Tuple[str, int, int]]
+    #: per field: (start, stop) element range in the buffer (field-major only)
+    field_ranges: Dict[str, Tuple[int, int]]
+
+    @property
+    def nelements(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def field_slice(self, name: str) -> np.ndarray:
+        if name not in self.field_ranges:
+            raise KeyError(f"field {name!r} has no contiguous range in a {self.layout} buffer")
+        start, stop = self.field_ranges[name]
+        return self.data[start:stop]
+
+    @property
+    def smallest_segment(self) -> int:
+        return min((n for _, _, n in self.segments), default=0)
+
+
+def build_rank_buffer_field_major(level: AmrLevel, blocks: Sequence[UnitBlock],
+                                  rank: int, components: Sequence[str]) -> RankBuffer:
+    """AMRIC's layout: all of one field's blocks, then the next field's."""
+    rank_blocks = [b for b in blocks if b.rank == rank]
+    parts: List[np.ndarray] = []
+    segments: List[Tuple[str, int, int]] = []
+    field_ranges: Dict[str, Tuple[int, int]] = {}
+    offset = 0
+    for name in components:
+        start = offset
+        data = extract_block_data(level, name, rank_blocks)
+        for i, block_data in enumerate(data):
+            flat = block_data.reshape(-1)
+            parts.append(flat)
+            segments.append((name, i, flat.size))
+            offset += flat.size
+        field_ranges[name] = (start, offset)
+    buffer = np.concatenate(parts) if parts else np.zeros(0, dtype=np.float64)
+    return RankBuffer(rank=rank, layout="field_major", data=buffer,
+                      segments=segments, field_ranges=field_ranges)
+
+
+def build_rank_buffer_box_major(level: AmrLevel, blocks: Sequence[UnitBlock],
+                                rank: int, components: Sequence[str]) -> RankBuffer:
+    """AMReX's original layout: for each block, all its fields back to back."""
+    rank_blocks = [b for b in blocks if b.rank == rank]
+    per_field_data = {name: extract_block_data(level, name, rank_blocks)
+                      for name in components}
+    parts: List[np.ndarray] = []
+    segments: List[Tuple[str, int, int]] = []
+    for i, block in enumerate(rank_blocks):
+        for name in components:
+            flat = per_field_data[name][i].reshape(-1)
+            parts.append(flat)
+            segments.append((name, i, flat.size))
+    buffer = np.concatenate(parts) if parts else np.zeros(0, dtype=np.float64)
+    return RankBuffer(rank=rank, layout="box_major", data=buffer,
+                      segments=segments, field_ranges={})

@@ -1,0 +1,249 @@
+"""The H5Lite container file: groups, attributes and chunked datasets.
+
+On disk a file is::
+
+    [8-byte superblock length][JSON superblock][chunk payload 0][chunk payload 1]...
+
+The superblock records every dataset's dtype, logical shape, chunk size,
+filter id and the (offset, nbytes, actual_elements) of each chunk.  Datasets
+are written append-only; the superblock is rewritten on close.  This mirrors
+how HDF5's chunked storage behaves for the purposes of the paper: one filter
+call per chunk, uniform chunk size per dataset, per-chunk byte ranges on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.h5lite.filters import Filter, NoCompressionFilter
+
+__all__ = ["H5LiteFile", "DatasetInfo", "ChunkRecord"]
+
+_MAGIC = b"H5LT"
+
+
+@dataclass
+class ChunkRecord:
+    """Location of one stored chunk."""
+
+    offset: int
+    nbytes: int
+    actual_elements: int
+
+
+@dataclass
+class DatasetInfo:
+    """Metadata for one dataset."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+    chunk_elements: int
+    filter_id: str
+    chunks: List[ChunkRecord] = field(default_factory=list)
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def nelements(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    @property
+    def stored_nbytes(self) -> int:
+        return sum(c.nbytes for c in self.chunks)
+
+    @property
+    def nchunks(self) -> int:
+        return len(self.chunks)
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "shape": list(self.shape),
+            "dtype": self.dtype,
+            "chunk_elements": self.chunk_elements,
+            "filter_id": self.filter_id,
+            "chunks": [[c.offset, c.nbytes, c.actual_elements] for c in self.chunks],
+            "attrs": self.attrs,
+        }
+
+    @staticmethod
+    def from_json(obj: dict) -> "DatasetInfo":
+        return DatasetInfo(
+            name=obj["name"],
+            shape=tuple(obj["shape"]),
+            dtype=obj["dtype"],
+            chunk_elements=int(obj["chunk_elements"]),
+            filter_id=obj["filter_id"],
+            chunks=[ChunkRecord(*c) for c in obj["chunks"]],
+            attrs=dict(obj.get("attrs", {})),
+        )
+
+
+class H5LiteFile:
+    """A single-file chunked container with a filter pipeline.
+
+    Usage::
+
+        with H5LiteFile(path, "w") as f:
+            f.attrs["time"] = 0.5
+            f.create_dataset("level_0/data", data=array, chunk_elements=4096,
+                             filter=my_filter)
+        with H5LiteFile(path, "r") as f:
+            back = f.read_dataset("level_0/data", filter=my_filter)
+    """
+
+    def __init__(self, path: str, mode: str = "r"):
+        if mode not in ("r", "w"):
+            raise ValueError("mode must be 'r' or 'w'")
+        self.path = str(path)
+        self.mode = mode
+        self.attrs: Dict[str, object] = {}
+        self.datasets: Dict[str, DatasetInfo] = {}
+        self._closed = False
+        if mode == "w":
+            self._fh = open(self.path, "wb")
+            # placeholder header: magic + superblock offset (patched on close)
+            self._fh.write(_MAGIC + struct.pack("<Q", 0))
+            self._data_offset = self._fh.tell()
+        else:
+            self._fh = open(self.path, "rb")
+            self._load_superblock()
+
+    # ------------------------------------------------------------------
+    # context manager / lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "H5LiteFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self.mode == "w":
+            superblock_offset = self._fh.tell()
+            superblock = json.dumps({
+                "attrs": self.attrs,
+                "datasets": [d.to_json() for d in self.datasets.values()],
+            }).encode("utf-8")
+            self._fh.write(superblock)
+            self._fh.seek(len(_MAGIC))
+            self._fh.write(struct.pack("<Q", superblock_offset))
+        self._fh.close()
+        self._closed = True
+
+    def _load_superblock(self) -> None:
+        header = self._fh.read(len(_MAGIC) + 8)
+        if header[:4] != _MAGIC:
+            raise ValueError(f"{self.path} is not an H5Lite file")
+        (superblock_offset,) = struct.unpack_from("<Q", header, 4)
+        self._fh.seek(superblock_offset)
+        superblock = json.loads(self._fh.read().decode("utf-8"))
+        self.attrs = superblock["attrs"]
+        self.datasets = {d["name"]: DatasetInfo.from_json(d) for d in superblock["datasets"]}
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def create_dataset(self, name: str, data: np.ndarray,
+                       chunk_elements: Optional[int] = None,
+                       filter: Optional[Filter] = None,
+                       actual_elements_per_chunk: Optional[Sequence[int]] = None,
+                       attrs: Optional[Dict[str, object]] = None) -> DatasetInfo:
+        """Write a dataset, chunked and filtered.
+
+        Parameters
+        ----------
+        data:
+            The array to store; it is flattened for chunking (HDF5 semantics
+            with 1D chunking over the flat element stream).
+        chunk_elements:
+            Elements per chunk; defaults to the whole array in one chunk.
+        filter:
+            The compression filter; defaults to no compression.
+        actual_elements_per_chunk:
+            For AMRIC-style writes: the number of *valid* elements in each
+            chunk (the rest is padding).  Length must equal the chunk count.
+        """
+        if self.mode != "w":
+            raise ValueError("file is open read-only")
+        if name in self.datasets:
+            raise ValueError(f"dataset {name!r} already exists")
+        data = np.asarray(data)
+        flat = data.reshape(-1)
+        if flat.size == 0:
+            raise ValueError("cannot store an empty dataset")
+        if chunk_elements is None:
+            chunk_elements = flat.size
+        chunk_elements = int(chunk_elements)
+        if chunk_elements < 1:
+            raise ValueError("chunk_elements must be >= 1")
+        filter = filter or NoCompressionFilter()
+        nchunks = (flat.size + chunk_elements - 1) // chunk_elements
+        if actual_elements_per_chunk is not None and len(actual_elements_per_chunk) != nchunks:
+            raise ValueError("actual_elements_per_chunk must have one entry per chunk")
+
+        info = DatasetInfo(name=name, shape=tuple(int(s) for s in data.shape),
+                           dtype=str(data.dtype), chunk_elements=chunk_elements,
+                           filter_id=filter.filter_id, attrs=dict(attrs or {}))
+        for i in range(nchunks):
+            start = i * chunk_elements
+            chunk = np.zeros(chunk_elements, dtype=np.float64)
+            valid = flat[start:start + chunk_elements].astype(np.float64)
+            chunk[:valid.size] = valid
+            actual = valid.size
+            if actual_elements_per_chunk is not None:
+                actual = int(actual_elements_per_chunk[i])
+            payload = filter.encode(chunk, actual_elements=actual)
+            offset = self._fh.tell()
+            self._fh.write(payload)
+            info.chunks.append(ChunkRecord(offset=offset, nbytes=len(payload),
+                                           actual_elements=actual))
+        self.datasets[name] = info
+        return info
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def read_dataset(self, name: str, filter: Optional[Filter] = None) -> np.ndarray:
+        """Read a dataset back, applying ``filter`` to decode each chunk."""
+        if name not in self.datasets:
+            raise KeyError(f"no dataset named {name!r}; have {sorted(self.datasets)}")
+        info = self.datasets[name]
+        filter = filter or NoCompressionFilter()
+        if filter.filter_id != info.filter_id:
+            raise ValueError(
+                f"dataset was written with filter {info.filter_id!r}, not {filter.filter_id!r}")
+        out = np.empty(info.nelements, dtype=np.float64)
+        pos = 0
+        for chunk in info.chunks:
+            self._fh.seek(chunk.offset)
+            payload = self._fh.read(chunk.nbytes)
+            decoded = filter.decode(payload, info.chunk_elements)
+            take = min(info.nelements - pos, info.chunk_elements)
+            out[pos:pos + take] = decoded[:take]
+            pos += take
+        return out.reshape(info.shape).astype(np.dtype(info.dtype))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self.datasets
+
+    def dataset_names(self) -> List[str]:
+        return sorted(self.datasets)
+
+    def total_stored_bytes(self) -> int:
+        return sum(d.stored_nbytes for d in self.datasets.values())
+
+    def file_nbytes(self) -> int:
+        """Actual size of the container on disk (only valid after close)."""
+        return os.path.getsize(self.path)

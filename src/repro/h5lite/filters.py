@@ -1,0 +1,211 @@
+"""Compression filters for chunked datasets (the H5Z layer).
+
+Two lossy filters are provided:
+
+* :class:`SZChunkFilter` — the classic behaviour AMReX's compression relies
+  on: every chunk buffer handed to the filter is compressed in full,
+  *including any padding* needed to fill the last (or an oversized) chunk.
+  The filter has no idea how much of the chunk is real data.
+
+* :class:`AMRICChunkFilter` — the paper's §3.3 modification: the writer passes
+  the **actual number of valid elements** for the chunk, the filter compresses
+  only those and records the count so decompression can re-pad.  This is what
+  lets AMRIC use one big chunk per rank without paying for the padding.
+
+Both keep per-call statistics (`FilterStats`) so the I/O cost model can count
+compressor launches and padded bytes — the two quantities that drive the
+paper's Figures 17/18.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.compress.base import Compressor
+from repro.compress.lossless import zlib_compress, zlib_decompress
+
+__all__ = [
+    "FilterStats",
+    "Filter",
+    "NoCompressionFilter",
+    "SZChunkFilter",
+    "AMRICChunkFilter",
+    "FilterRegistry",
+    "default_registry",
+]
+
+
+@dataclass
+class FilterStats:
+    """Cumulative statistics across filter invocations."""
+
+    calls: int = 0
+    input_elements: int = 0
+    padded_elements: int = 0
+    output_bytes: int = 0
+
+    def reset(self) -> None:
+        self.calls = 0
+        self.input_elements = 0
+        self.padded_elements = 0
+        self.output_bytes = 0
+
+
+class Filter:
+    """Base chunk filter: bytes-in / bytes-out, one call per chunk."""
+
+    filter_id = "identity"
+
+    def __init__(self) -> None:
+        self.stats = FilterStats()
+
+    # -- interface -----------------------------------------------------
+    def encode(self, chunk: np.ndarray, actual_elements: Optional[int] = None) -> bytes:
+        """Compress one chunk (a 1D float array of the dataset's chunk size)."""
+        raise NotImplementedError
+
+    def decode(self, payload: bytes, chunk_elements: int) -> np.ndarray:
+        """Invert :meth:`encode`, returning a 1D array of ``chunk_elements``."""
+        raise NotImplementedError
+
+    def _account(self, chunk: np.ndarray, actual_elements: Optional[int], out: bytes) -> None:
+        self.stats.calls += 1
+        self.stats.input_elements += int(chunk.size)
+        if actual_elements is not None:
+            self.stats.padded_elements += int(chunk.size) - int(actual_elements)
+        self.stats.output_bytes += len(out)
+
+
+class NoCompressionFilter(Filter):
+    """Pass-through (used by the no-compression writer); still counts calls."""
+
+    filter_id = "none"
+
+    def encode(self, chunk: np.ndarray, actual_elements: Optional[int] = None) -> bytes:
+        out = np.asarray(chunk, dtype=np.float64).tobytes()
+        self._account(chunk, actual_elements, out)
+        return out
+
+    def decode(self, payload: bytes, chunk_elements: int) -> np.ndarray:
+        out = np.frombuffer(payload, dtype=np.float64)
+        if out.size != chunk_elements:
+            raise ValueError("corrupt chunk: element count mismatch")
+        return out.copy()
+
+
+class SZChunkFilter(Filter):
+    """Classic compression filter: compresses the chunk buffer as handed over.
+
+    ``actual_elements`` is ignored — padding (if any) is compressed along with
+    the data, exactly like a filter that has no side channel for the real
+    size.  This is the AMReX-original behaviour.
+    """
+
+    filter_id = "sz_classic"
+
+    def __init__(self, compressor: Compressor):
+        super().__init__()
+        self.compressor = compressor
+
+    def encode(self, chunk: np.ndarray, actual_elements: Optional[int] = None) -> bytes:
+        chunk = np.asarray(chunk, dtype=np.float64).reshape(-1)
+        buffer = self.compressor.compress(chunk)
+        out = buffer.payload
+        self._account(chunk, actual_elements if actual_elements is not None else chunk.size, out)
+        return out
+
+    def decode(self, payload: bytes, chunk_elements: int) -> np.ndarray:
+        out = np.asarray(self.compressor.decompress(payload), dtype=np.float64).reshape(-1)
+        if out.size != chunk_elements:
+            raise ValueError(
+                f"decompressed chunk has {out.size} elements, expected {chunk_elements}")
+        return out
+
+
+class AMRICChunkFilter(Filter):
+    """AMRIC's modified filter: compress only the valid prefix of the chunk.
+
+    The writer passes ``actual_elements`` (the rank's real data size).  The
+    filter compresses only that prefix and stores the count in a tiny header so
+    the decoder can restore the chunk to its nominal size (the tail is padding
+    whose values are irrelevant and restored as zeros).
+    """
+
+    filter_id = "sz_amric"
+
+    def __init__(self, compressor: Compressor):
+        super().__init__()
+        self.compressor = compressor
+
+    def encode(self, chunk: np.ndarray, actual_elements: Optional[int] = None) -> bytes:
+        chunk = np.asarray(chunk, dtype=np.float64).reshape(-1)
+        if actual_elements is None:
+            actual_elements = chunk.size
+        actual_elements = int(actual_elements)
+        if not 0 < actual_elements <= chunk.size:
+            raise ValueError(
+                f"actual_elements {actual_elements} out of range for chunk of {chunk.size}")
+        buffer = self.compressor.compress(chunk[:actual_elements])
+        out = struct.pack("<QQ", actual_elements, chunk.size) + buffer.payload
+        self._account(chunk, actual_elements, out)
+        return out
+
+    def decode(self, payload: bytes, chunk_elements: int) -> np.ndarray:
+        actual_elements, nominal = struct.unpack_from("<QQ", payload, 0)
+        data = np.asarray(self.compressor.decompress(payload[16:]), dtype=np.float64).reshape(-1)
+        if data.size != actual_elements:
+            raise ValueError("corrupt AMRIC chunk: actual-element mismatch")
+        out = np.zeros(chunk_elements, dtype=np.float64)
+        out[:actual_elements] = data
+        return out
+
+
+class LosslessFilter(Filter):
+    """A zlib filter (the kind of lossless filter HDF5 ships by default)."""
+
+    filter_id = "zlib"
+
+    def encode(self, chunk: np.ndarray, actual_elements: Optional[int] = None) -> bytes:
+        out = zlib_compress(np.asarray(chunk, dtype=np.float64).tobytes())
+        self._account(chunk, actual_elements, out)
+        return out
+
+    def decode(self, payload: bytes, chunk_elements: int) -> np.ndarray:
+        out = np.frombuffer(zlib_decompress(payload), dtype=np.float64)
+        if out.size != chunk_elements:
+            raise ValueError("corrupt zlib chunk")
+        return out.copy()
+
+
+class FilterRegistry:
+    """Maps filter ids to constructors so files can name their filters."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[..., Filter]] = {}
+
+    def register(self, filter_id: str, factory: Callable[..., Filter]) -> None:
+        if filter_id in self._factories:
+            raise ValueError(f"filter {filter_id!r} already registered")
+        self._factories[filter_id] = factory
+
+    def create(self, filter_id: str, **kwargs) -> Filter:
+        if filter_id not in self._factories:
+            raise KeyError(f"unknown filter {filter_id!r}; registered: {sorted(self._factories)}")
+        return self._factories[filter_id](**kwargs)
+
+    def known(self):
+        return sorted(self._factories)
+
+
+def default_registry() -> FilterRegistry:
+    """Registry with the built-in filters."""
+    registry = FilterRegistry()
+    registry.register("none", NoCompressionFilter)
+    registry.register("zlib", LosslessFilter)
+    registry.register("sz_classic", SZChunkFilter)
+    registry.register("sz_amric", AMRICChunkFilter)
+    return registry

@@ -1,0 +1,74 @@
+"""Collective-write semantics helpers.
+
+HDF5 with compression filters requires *collective* writes: every rank
+participates in the creation and writing of every dataset.  Two layout
+strategies follow from that constraint (§3.3 of the paper):
+
+* **single shared dataset** — all ranks write disjoint chunks of one dataset;
+  one collective create, chunk size must be global (the AMRIC path);
+* **one dataset per rank** — each rank gets a private dataset sized to its own
+  data; but every create/write is still collective, so the other ranks idle
+  while each dataset is written — the writes serialise (the rejected path).
+
+These helpers compute the chunk layout for the shared-dataset strategy and
+quantify the padding a naive global chunk implies, so the writers and the I/O
+model agree on the numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["SharedDatasetLayout", "plan_shared_dataset", "padding_overhead"]
+
+
+@dataclass
+class SharedDatasetLayout:
+    """Chunk plan for a single shared dataset written by all ranks."""
+
+    chunk_elements: int            #: the global chunk size (max per-rank elements)
+    per_rank_elements: List[int]   #: valid elements each rank contributes
+    pass_actual_size: bool         #: True = AMRIC filter modification in use
+
+    @property
+    def nranks(self) -> int:
+        return len(self.per_rank_elements)
+
+    @property
+    def total_valid_elements(self) -> int:
+        return sum(self.per_rank_elements)
+
+    @property
+    def total_padded_elements(self) -> int:
+        """Padding elements that get compressed/written when the actual size
+        is *not* passed to the filter (the naive large-chunk strategy)."""
+        if self.pass_actual_size:
+            return 0
+        return sum(self.chunk_elements - n for n in self.per_rank_elements)
+
+    def padded_elements_for_rank(self, rank: int) -> int:
+        if self.pass_actual_size:
+            return 0
+        return self.chunk_elements - self.per_rank_elements[rank]
+
+
+def plan_shared_dataset(per_rank_elements: Sequence[int],
+                        pass_actual_size: bool = True) -> SharedDatasetLayout:
+    """Plan one chunk per rank with the global chunk size = max per-rank size."""
+    sizes = [int(n) for n in per_rank_elements]
+    if not sizes or all(n == 0 for n in sizes):
+        raise ValueError("no rank holds any data")
+    if any(n < 0 for n in sizes):
+        raise ValueError("per-rank element counts cannot be negative")
+    return SharedDatasetLayout(chunk_elements=max(sizes), per_rank_elements=sizes,
+                               pass_actual_size=pass_actual_size)
+
+
+def padding_overhead(per_rank_elements: Sequence[int]) -> float:
+    """Fraction of extra elements a naive global chunk adds (load-imbalance cost)."""
+    layout = plan_shared_dataset(per_rank_elements, pass_actual_size=False)
+    valid = layout.total_valid_elements
+    if valid == 0:
+        return 0.0
+    return layout.total_padded_elements / valid

@@ -1,0 +1,145 @@
+"""Tests for repro.amr.multifab and repro.amr.distribution."""
+
+import numpy as np
+import pytest
+
+from repro.amr.box import Box
+from repro.amr.boxarray import BoxArray
+from repro.amr.distribution import DistributionMapping
+from repro.amr.multifab import FArrayBox, MultiFab
+
+
+class TestFArrayBox:
+    def test_allocation_shape(self):
+        fab = FArrayBox(Box.from_shape((4, 5, 6)), ncomp=3)
+        assert fab.data.shape == (3, 4, 5, 6)
+        assert fab.nbytes == 3 * 4 * 5 * 6 * 8
+
+    def test_empty_box_rejected(self):
+        with pytest.raises(ValueError):
+            FArrayBox(Box.empty(3))
+
+    def test_bad_ncomp(self):
+        with pytest.raises(ValueError):
+            FArrayBox(Box.from_shape((2, 2, 2)), ncomp=0)
+
+    def test_component_view_is_writable(self):
+        fab = FArrayBox(Box.from_shape((2, 2, 2)), ncomp=2)
+        fab.component(1)[...] = 5.0
+        assert np.all(fab.data[1] == 5.0)
+        assert np.all(fab.data[0] == 0.0)
+
+    def test_set_component_shape_check(self):
+        fab = FArrayBox(Box.from_shape((2, 2, 2)))
+        with pytest.raises(ValueError):
+            fab.set_component(0, np.zeros((3, 3, 3)))
+
+    def test_linearize_order(self):
+        """Components are contiguous slabs (box-major AMReX layout)."""
+        fab = FArrayBox(Box.from_shape((2, 2, 2)), ncomp=2)
+        fab.set_component(0, np.full((2, 2, 2), 1.0))
+        fab.set_component(1, np.full((2, 2, 2), 2.0))
+        flat = fab.linearize()
+        assert np.all(flat[:8] == 1.0)
+        assert np.all(flat[8:] == 2.0)
+
+    def test_copy_is_deep(self):
+        fab = FArrayBox(Box.from_shape((2, 2, 2)))
+        clone = fab.copy()
+        clone.data[...] = 7.0
+        assert np.all(fab.data == 0.0)
+
+    def test_min_max(self):
+        fab = FArrayBox(Box.from_shape((2, 2, 2)), ncomp=2)
+        fab.set_component(1, np.arange(8, dtype=float).reshape(2, 2, 2))
+        assert fab.max() == 7.0
+        assert fab.min(0) == 0.0
+        assert fab.max(1) == 7.0
+
+
+class TestDistributionMapping:
+    def test_round_robin(self):
+        dm = DistributionMapping.round_robin(7, 3)
+        assert dm.counts_per_rank() == [3, 2, 2]
+        assert dm.boxes_on_rank(0) == [0, 3, 6]
+
+    def test_knapsack_balances(self):
+        sizes = [100, 1, 1, 1, 1, 100, 50, 50]
+        dm = DistributionMapping.knapsack(sizes, 2)
+        loads = dm.load_per_rank(sizes)
+        assert abs(loads[0] - loads[1]) <= 50
+        assert sum(loads) == sum(sizes)
+
+    def test_imbalance_metric(self):
+        dm = DistributionMapping([0, 1], 2)
+        assert dm.imbalance([10, 10]) == pytest.approx(1.0)
+        assert dm.imbalance([30, 10]) == pytest.approx(1.5)
+
+    def test_invalid_rank_rejected(self):
+        with pytest.raises(ValueError):
+            DistributionMapping([0, 5], 2)
+        with pytest.raises(ValueError):
+            DistributionMapping.round_robin(3, 0)
+
+    def test_boxes_on_rank_bounds(self):
+        dm = DistributionMapping.round_robin(4, 2)
+        with pytest.raises(ValueError):
+            dm.boxes_on_rank(2)
+
+
+class TestMultiFab:
+    @pytest.fixture
+    def mf(self):
+        ba = BoxArray.decompose(Box.from_shape((8, 8, 8)), 4)
+        dm = DistributionMapping.round_robin(len(ba), 2)
+        return MultiFab(ba, ["density", "temperature"], dm)
+
+    def test_structure(self, mf):
+        assert mf.ncomp == 2
+        assert mf.nboxes == 8
+        assert mf.component_index("temperature") == 1
+        with pytest.raises(KeyError):
+            mf.component_index("missing")
+
+    def test_duplicate_component_names_rejected(self):
+        ba = BoxArray.decompose(Box.from_shape((4, 4, 4)), 4)
+        with pytest.raises(ValueError):
+            MultiFab(ba, ["a", "a"])
+
+    def test_global_roundtrip(self, mf):
+        domain = Box.from_shape((8, 8, 8))
+        rng = np.random.default_rng(0)
+        field = rng.normal(size=domain.shape)
+        mf.set_from_global("density", field, domain)
+        back = mf.to_global("density", domain)
+        np.testing.assert_array_equal(back, field)
+
+    def test_fill_with_function(self, mf):
+        domain = Box.from_shape((8, 8, 8))
+        mf.fill("density", lambda i, j, k: i + 10 * j + 100 * k)
+        back = mf.to_global("density", domain)
+        i, j, k = np.meshgrid(*[np.arange(8)] * 3, indexing="ij")
+        np.testing.assert_array_equal(back, i + 10 * j + 100 * k)
+
+    def test_value_range(self, mf):
+        domain = Box.from_shape((8, 8, 8))
+        mf.set_from_global("density", np.linspace(-2, 6, 512).reshape(8, 8, 8), domain)
+        assert mf.min("density") == pytest.approx(-2)
+        assert mf.max("density") == pytest.approx(6)
+        assert mf.value_range("density") == pytest.approx(8)
+
+    def test_rank_nbytes_sums_to_total(self, mf):
+        total = sum(mf.rank_nbytes(r) for r in range(mf.distribution.nranks))
+        assert total == mf.nbytes
+
+    def test_copy_is_deep(self, mf):
+        mf.fill("density", lambda i, j, k: i)
+        clone = mf.copy()
+        clone[0].data[...] = -99.0
+        assert mf[0].data.max() >= 0
+
+    def test_distribution_length_mismatch(self):
+        ba = BoxArray.decompose(Box.from_shape((8, 8, 8)), 4)
+        dm = DistributionMapping.round_robin(3, 2)
+        with pytest.raises(ValueError):
+            MultiFab(ba, ["x"], dm)

@@ -1,0 +1,121 @@
+"""Tests for the canonical Huffman codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compress.huffman import HuffmanCodec, HuffmanEncoded, decode, encode, encoded_size_per_block
+
+
+class TestBasics:
+    def test_roundtrip_small(self):
+        data = np.array([1, 2, 2, 3, 3, 3, 3, 7], dtype=np.uint32)
+        enc = encode(data)
+        np.testing.assert_array_equal(decode(enc), data)
+
+    def test_roundtrip_single_symbol(self):
+        data = np.full(50, 42, dtype=np.uint32)
+        enc = encode(data)
+        assert enc.nbits == 50  # one bit per symbol for a single-symbol alphabet
+        np.testing.assert_array_equal(decode(enc), data)
+
+    def test_roundtrip_two_symbols(self):
+        data = np.array([0, 1, 0, 1, 1], dtype=np.uint32)
+        np.testing.assert_array_equal(decode(encode(data)), data)
+
+    def test_empty(self):
+        enc = encode(np.zeros(0, dtype=np.uint32))
+        assert enc.nbits == 0
+        assert decode(enc).size == 0
+
+    def test_skewed_distribution_compresses(self):
+        rng = np.random.default_rng(0)
+        data = np.where(rng.random(4000) < 0.95, 100, rng.integers(0, 50, 4000)).astype(np.uint32)
+        enc = encode(data)
+        # strongly skewed data should need well under 8 bits/symbol
+        assert enc.nbits < 4000 * 4
+
+    def test_compression_beats_uniform_bound(self):
+        """Average code length is within one bit of the empirical entropy."""
+        rng = np.random.default_rng(1)
+        data = rng.geometric(0.4, size=5000).astype(np.uint32)
+        enc = encode(data)
+        values, counts = np.unique(data, return_counts=True)
+        p = counts / counts.sum()
+        entropy = -(p * np.log2(p)).sum()
+        avg_len = enc.nbits / data.size
+        assert avg_len <= entropy + 1.0
+
+    def test_decode_wrong_table_or_truncated(self):
+        data = np.arange(100, dtype=np.uint32) % 7
+        enc = encode(data)
+        truncated = HuffmanEncoded(enc.payload[:2], 16, enc.nsymbols,
+                                   enc.table_symbols, enc.table_lengths)
+        with pytest.raises(ValueError):
+            decode(truncated)
+
+    def test_encode_unknown_symbol_raises(self):
+        codec = HuffmanCodec.from_data(np.array([1, 2, 3], dtype=np.uint32))
+        with pytest.raises(KeyError):
+            codec.encode(np.array([99], dtype=np.uint32))
+
+    def test_table_nbytes(self):
+        codec = HuffmanCodec.from_data(np.array([5, 6, 7, 7], dtype=np.uint32))
+        assert codec.table_nbytes == 3 * 5
+
+    def test_expected_bits_matches_encode(self):
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 20, 500).astype(np.uint32)
+        codec = HuffmanCodec.from_data(data)
+        assert codec.expected_bits(data) == codec.encode(data).nbits
+
+
+class TestSharedTable:
+    def test_from_multiple_covers_all_symbols(self):
+        a = np.array([1, 1, 2], dtype=np.uint32)
+        b = np.array([3, 3, 3, 4], dtype=np.uint32)
+        codec = HuffmanCodec.from_multiple([a, b])
+        np.testing.assert_array_equal(codec.decode(codec.encode(a)), a)
+        np.testing.assert_array_equal(codec.decode(codec.encode(b)), b)
+
+    def test_shared_table_cheaper_than_per_block_for_many_small_blocks(self):
+        """The size rationale behind SLE: one shared table beats many tables."""
+        rng = np.random.default_rng(3)
+        blocks = [rng.geometric(0.3, size=64).astype(np.uint32) for _ in range(100)]
+        shared = HuffmanCodec.from_multiple(blocks)
+        shared_total = shared.table_nbytes + sum(
+            (shared.expected_bits(b) + 7) // 8 for b in blocks)
+        per_block_total = encoded_size_per_block(blocks)
+        assert shared_total < per_block_total
+
+    def test_per_block_total_counts_tables(self):
+        blocks = [np.array([1, 2, 3], dtype=np.uint32)] * 4
+        total = encoded_size_per_block(blocks)
+        assert total >= 4 * 3 * 5  # at least the table bytes
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=400))
+    def test_roundtrip_property(self, values):
+        data = np.asarray(values, dtype=np.uint32)
+        np.testing.assert_array_equal(decode(encode(data)), data)
+
+    @given(st.lists(st.integers(0, 2**31 - 1), min_size=1, max_size=100))
+    def test_roundtrip_large_symbols(self, values):
+        data = np.asarray(values, dtype=np.uint32)
+        np.testing.assert_array_equal(decode(encode(data)), data)
+
+    @given(st.integers(1, 64), st.integers(2, 30))
+    def test_prefix_free_codes(self, nsym, seed):
+        """Canonical codes must be prefix-free."""
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, nsym, size=500).astype(np.uint32)
+        codec = HuffmanCodec.from_data(data)
+        codes = [(int(l), int(c)) for l, c in zip(codec.lengths, codec.codes)]
+        for i, (li, ci) in enumerate(codes):
+            for j, (lj, cj) in enumerate(codes):
+                if i == j:
+                    continue
+                if li <= lj:
+                    assert (cj >> (lj - li)) != ci, "code i is a prefix of code j"

@@ -1,0 +1,17 @@
+"""Shared pytest configuration.
+
+Registers a hypothesis profile suited to a numerics-heavy suite: no per-example
+deadline (numpy warm-up and O(n^2) geometric checks are fine but not
+microsecond-fast) and a bounded number of examples so the full suite stays
+quick.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile("repro")

@@ -1,0 +1,19 @@
+"""Shared fixtures for the AMRIC core tests: small two-level hierarchies."""
+
+import numpy as np
+import pytest
+
+from repro.apps import nyx_run, warpx_run
+
+
+@pytest.fixture(scope="session")
+def nyx_hierarchy():
+    """A small Nyx-like two-level hierarchy (session-scoped: it is read-only)."""
+    return nyx_run(coarse_shape=(32, 32, 32), nranks=4, target_fine_density=0.03,
+                   seed=101).hierarchy
+
+
+@pytest.fixture(scope="session")
+def warpx_hierarchy():
+    return warpx_run(coarse_shape=(16, 16, 128), nranks=4, target_fine_density=0.03,
+                     seed=202).hierarchy

@@ -1,0 +1,139 @@
+"""Tests for §3.1 pre-processing: redundancy removal, truncation, reorganisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import residue_block_shapes, select_sz_block_size
+from repro.core.preprocess import (
+    extract_block_data,
+    kept_regions_for_level,
+    pack_blocks_cluster,
+    pack_blocks_linear,
+    preprocess_level,
+    truncate_regions,
+    unpack_blocks,
+)
+
+
+class TestRedundancyRemoval:
+    def test_coarse_level_loses_covered_cells(self, nyx_hierarchy):
+        pre = preprocess_level(nyx_hierarchy, 0, unit_block_size=16, remove_redundancy=True)
+        covered = nyx_hierarchy.covered_cells(0)
+        assert pre.removed_cells == covered
+        assert pre.kept_cells == nyx_hierarchy[0].num_cells - covered
+        assert 0 < pre.removed_fraction < 1
+
+    def test_finest_level_keeps_everything(self, nyx_hierarchy):
+        pre = preprocess_level(nyx_hierarchy, 1, unit_block_size=16, remove_redundancy=True)
+        assert pre.removed_cells == 0
+        assert pre.kept_cells == nyx_hierarchy[1].num_cells
+
+    def test_removal_disabled(self, nyx_hierarchy):
+        pre = preprocess_level(nyx_hierarchy, 0, unit_block_size=16, remove_redundancy=False)
+        assert pre.removed_cells == 0
+        assert pre.kept_cells == nyx_hierarchy[0].num_cells
+
+    def test_kept_regions_disjoint_from_fine(self, nyx_hierarchy):
+        kept = kept_regions_for_level(nyx_hierarchy, 0, True)
+        fine_coarsened = nyx_hierarchy[1].boxarray.coarsen(nyx_hierarchy.ref_ratios[0])
+        for regions in kept:
+            for region in regions:
+                assert not fine_coarsened.intersects(region)
+
+    def test_unit_blocks_respect_size_and_ownership(self, nyx_hierarchy):
+        pre = preprocess_level(nyx_hierarchy, 0, unit_block_size=8)
+        dm = nyx_hierarchy[0].multifab.distribution
+        for block in pre.unit_blocks:
+            assert all(s <= 8 for s in block.box.shape)
+            assert block.rank == dm[block.box_index]
+            # the block must live inside its parent box
+            assert nyx_hierarchy[0].boxarray[block.box_index].contains(block.box)
+
+    def test_truncate_invalid_unit_size(self, nyx_hierarchy):
+        kept = kept_regions_for_level(nyx_hierarchy, 0, True)
+        with pytest.raises(ValueError):
+            truncate_regions(kept, nyx_hierarchy[0].multifab.distribution, 0)
+
+    def test_extract_block_data_matches_source(self, nyx_hierarchy):
+        pre = preprocess_level(nyx_hierarchy, 1, unit_block_size=16)
+        level = nyx_hierarchy[1]
+        data = extract_block_data(level, "baryon_density", pre.unit_blocks[:5])
+        for block, arr in zip(pre.unit_blocks[:5], data):
+            assert arr.shape == block.box.shape
+            fab = level.multifab[block.box_index]
+            comp = level.multifab.component_index("baryon_density")
+            np.testing.assert_array_equal(
+                arr, fab.component(comp)[block.box.slices(origin=fab.box.lo)])
+
+
+class TestPacking:
+    def _blocks(self, n=7, shape=(8, 8, 8), seed=0):
+        rng = np.random.default_rng(seed)
+        return [rng.normal(size=shape) for _ in range(n)]
+
+    def test_cluster_roundtrip(self):
+        blocks = self._blocks(10)
+        packed, arrangement = pack_blocks_cluster(blocks)
+        back = unpack_blocks(packed, arrangement)
+        assert len(back) == 10
+        for a, b in zip(blocks, back):
+            np.testing.assert_array_equal(a, b)
+
+    def test_linear_roundtrip_with_mixed_shapes(self):
+        rng = np.random.default_rng(1)
+        blocks = [rng.normal(size=(8, 8, 8)), rng.normal(size=(8, 8, 4)),
+                  rng.normal(size=(4, 8, 8))]
+        packed, arrangement = pack_blocks_linear(blocks)
+        back = unpack_blocks(packed, arrangement)
+        for a, b in zip(blocks, back):
+            np.testing.assert_array_equal(a, b)
+
+    def test_cluster_is_more_cubic_than_linear(self):
+        blocks = self._blocks(27)
+        cluster, arr_c = pack_blocks_cluster(blocks)
+        linear, arr_l = pack_blocks_linear(blocks)
+        def aspect(shape):
+            return max(shape) / min(shape)
+        assert aspect(cluster.shape) < aspect(linear.shape)
+        assert cluster.size >= 27 * 512
+        assert linear.shape[2] == 27 * 8
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pack_blocks_cluster([])
+        with pytest.raises(ValueError):
+            pack_blocks_linear([])
+
+
+class TestAdaptiveBlockSize:
+    def test_equation_1(self):
+        # unit mod 6 <= 2  -> 4
+        assert select_sz_block_size(8) == 4     # 8 mod 6 == 2
+        assert select_sz_block_size(12) == 4    # 12 mod 6 == 0
+        assert select_sz_block_size(32) == 4    # 32 mod 6 == 2
+        # unit mod 6 > 2   -> 6
+        assert select_sz_block_size(16) == 6    # 16 mod 6 == 4
+        assert select_sz_block_size(22) == 6    # 22 mod 6 == 4
+        # very large unit blocks -> 6 regardless
+        assert select_sz_block_size(64) == 6
+        assert select_sz_block_size(128) == 6
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            select_sz_block_size(0)
+
+    def test_residue_block_shapes_unit8_block6(self):
+        """Figure 8a: an 8³ unit block under 6³ truncation leaves thin residues."""
+        shapes = residue_block_shapes(8, 6)
+        assert (6, 6, 6) in shapes
+        assert (6, 6, 2) in shapes
+        assert (2, 2, 2) in shapes
+        assert len(shapes) == 8
+        # total volume preserved
+        assert sum(a * b * c for a, b, c in shapes) == 8 ** 3
+
+    def test_residue_block_shapes_unit8_block4(self):
+        """Figure 8b: with 4³ blocks there are no thin residues."""
+        shapes = residue_block_shapes(8, 4)
+        assert set(shapes) == {(4, 4, 4)}
+        assert len(shapes) == 8

@@ -1,0 +1,219 @@
+"""Tests for SLE strategies, layout change, chunk planning and the AMRIC filter."""
+
+import numpy as np
+import pytest
+
+from repro.compress.metrics import psnr
+from repro.compress.sz_lr import SZLRCompressor
+from repro.core.config import AMRICConfig
+from repro.core.filter_mod import AMRICLevelFilter, ChunkPlan, plan_level_chunks
+from repro.core.layout import build_rank_buffer_box_major, build_rank_buffer_field_major
+from repro.core.preprocess import preprocess_level
+from repro.core.sle import (
+    STRATEGIES,
+    compress_blocks_individual,
+    compress_blocks_lm,
+    compress_blocks_sle,
+)
+
+
+def _unit_blocks_from(hierarchy, level=1, field="baryon_density", unit=16, limit=None):
+    from repro.core.preprocess import extract_block_data
+
+    pre = preprocess_level(hierarchy, level, unit_block_size=unit)
+    blocks = pre.unit_blocks if limit is None else pre.unit_blocks[:limit]
+    return extract_block_data(hierarchy[level], field, blocks)
+
+
+class TestSLEStrategies:
+    @pytest.fixture(scope="class")
+    def blocks(self, nyx_hierarchy):
+        # many small unit blocks — the regime SLE is designed for (§3.2)
+        return _unit_blocks_from(nyx_hierarchy, level=0, unit=8)
+
+    def test_all_strategies_roundtrip_shapes(self, blocks):
+        comp = SZLRCompressor(1e-3)
+        for name, fn in STRATEGIES.items():
+            encoded = fn(blocks, comp)
+            assert encoded.strategy == name
+            assert len(encoded.reconstructions) == len(blocks)
+            for orig, rec in zip(blocks, encoded.reconstructions):
+                assert rec.shape == orig.shape
+
+    def test_sle_beats_individual_encoding_size(self, blocks):
+        """SLE's premise: a shared Huffman table removes per-block overhead."""
+        comp = SZLRCompressor(1e-3)
+        sle = compress_blocks_sle(blocks, comp)
+        individual = compress_blocks_individual(blocks, comp)
+        assert sle.compressed_nbytes < individual.compressed_nbytes
+
+    def test_sle_predicts_better_than_lm(self, blocks):
+        """Prediction confined to unit blocks (SLE) beats prediction across the
+        artificial seams of linear merging, at matched error bound."""
+        comp = SZLRCompressor(1e-3)
+        sle = compress_blocks_sle(blocks, comp)
+        lm = compress_blocks_lm(blocks, comp)
+        orig = np.concatenate([b.reshape(-1) for b in blocks])
+        rec_sle = np.concatenate([r.reshape(-1) for r in sle.reconstructions])
+        rec_lm = np.concatenate([r.reshape(-1) for r in lm.reconstructions])
+        mse_sle = float(np.mean((orig - rec_sle) ** 2))
+        mse_lm = float(np.mean((orig - rec_lm) ** 2))
+        assert mse_sle <= mse_lm * 1.05
+
+    def test_error_bound_respected_by_all(self, blocks):
+        comp = SZLRCompressor(1e-3)
+        vrange = max(float(b.max()) for b in blocks) - min(float(b.min()) for b in blocks)
+        for fn in STRATEGIES.values():
+            encoded = fn(blocks, comp)
+            for orig, rec in zip(blocks, encoded.reconstructions):
+                assert np.max(np.abs(orig - rec)) <= 1e-3 * vrange * (1 + 1e-9)
+
+    def test_empty_blocks_rejected(self):
+        comp = SZLRCompressor(1e-3)
+        for fn in STRATEGIES.values():
+            with pytest.raises(ValueError):
+                fn([], comp)
+
+
+class TestLayout:
+    def test_field_major_groups_fields(self, nyx_hierarchy):
+        pre = preprocess_level(nyx_hierarchy, 0, unit_block_size=16)
+        rank = pre.unit_blocks[0].rank
+        names = nyx_hierarchy.component_names
+        fm = build_rank_buffer_field_major(nyx_hierarchy[0], pre.unit_blocks, rank, names)
+        assert fm.layout == "field_major"
+        # field ranges are contiguous, ordered, and cover the buffer
+        stops = [fm.field_ranges[n][1] for n in names]
+        starts = [fm.field_ranges[n][0] for n in names]
+        assert starts[0] == 0 and stops[-1] == fm.nelements
+        assert all(stops[i] == starts[i + 1] for i in range(len(names) - 1))
+        # the per-field slice matches the level data
+        field0 = fm.field_slice(names[0])
+        assert field0.size == fm.nelements // len(names)
+
+    def test_box_major_interleaves_fields(self, nyx_hierarchy):
+        pre = preprocess_level(nyx_hierarchy, 0, unit_block_size=16)
+        rank = pre.unit_blocks[0].rank
+        names = nyx_hierarchy.component_names
+        bm = build_rank_buffer_box_major(nyx_hierarchy[0], pre.unit_blocks, rank, names)
+        fm = build_rank_buffer_field_major(nyx_hierarchy[0], pre.unit_blocks, rank, names)
+        assert bm.nelements == fm.nelements
+        # same multiset of values, different order
+        np.testing.assert_allclose(np.sort(bm.data), np.sort(fm.data))
+        # box-major: consecutive segments cycle through the fields
+        seg_fields = [s[0] for s in bm.segments[:len(names)]]
+        assert seg_fields == list(names)
+        # field-major has no contiguous range bookkeeping for box-major
+        with pytest.raises(KeyError):
+            bm.field_slice(names[0])
+
+    def test_box_major_smallest_segment_caps_chunk(self, nyx_hierarchy):
+        """The §3.3 constraint: the chunk cannot exceed the smallest field segment."""
+        pre = preprocess_level(nyx_hierarchy, 0, unit_block_size=16)
+        rank = pre.unit_blocks[0].rank
+        bm = build_rank_buffer_box_major(nyx_hierarchy[0], pre.unit_blocks, rank,
+                                         nyx_hierarchy.component_names)
+        fm = build_rank_buffer_field_major(nyx_hierarchy[0], pre.unit_blocks, rank,
+                                           nyx_hierarchy.component_names)
+        field_elems = fm.nelements // len(nyx_hierarchy.component_names)
+        assert bm.smallest_segment < field_elems
+
+
+class TestChunkPlanning:
+    def test_plan_level_chunks_modified(self):
+        layout = plan_level_chunks([1000, 4000, 2500], modify_filter=True)
+        assert layout.chunk_elements == 4000
+        assert layout.total_padded_elements == 0
+
+    def test_plan_level_chunks_naive(self):
+        layout = plan_level_chunks([1000, 4000, 2500], modify_filter=False)
+        assert layout.total_padded_elements == 3000 + 0 + 1500
+
+
+class TestAMRICLevelFilter:
+    def _blocks_and_chunk(self, hierarchy, field="baryon_density"):
+        from repro.core.preprocess import extract_block_data
+
+        pre = preprocess_level(hierarchy, 1, unit_block_size=16)
+        blocks = pre.blocks_on_rank(pre.unit_blocks[0].rank)
+        data = extract_block_data(hierarchy[1], field, blocks)
+        flat = np.concatenate([d.reshape(-1) for d in data])
+        vrange = float(max(d.max() for d in data) - min(d.min() for d in data))
+        plan = ChunkPlan(field=field, block_shapes=[d.shape for d in data],
+                         value_range=vrange)
+        return data, flat, plan
+
+    @pytest.mark.parametrize("compressor", ["sz_lr", "sz_interp"])
+    def test_encode_decode_roundtrip(self, nyx_hierarchy, compressor):
+        data, flat, plan = self._blocks_and_chunk(nyx_hierarchy)
+        chunk_elements = flat.size + 100  # oversized global chunk
+        chunk = np.zeros(chunk_elements)
+        chunk[:flat.size] = flat
+        filt = AMRICLevelFilter(compressor=compressor, error_bound=1e-3)
+        filt.queue_plan(plan)
+        payload = filt.encode(chunk, actual_elements=flat.size)
+        decoded = filt.decode(payload, chunk_elements)
+        # decoded valid prefix matches the recorded reconstructions
+        recons = filt.last_reconstructions[0]
+        rec_flat = np.concatenate([r.reshape(-1) for r in recons])
+        np.testing.assert_allclose(decoded[:flat.size], rec_flat, atol=0, rtol=0)
+        # error bound holds
+        assert np.max(np.abs(decoded[:flat.size] - flat)) <= 1e-3 * plan.value_range * (1 + 1e-9)
+
+    def test_encode_without_plan_raises(self):
+        filt = AMRICLevelFilter()
+        with pytest.raises(RuntimeError):
+            filt.encode(np.zeros(10))
+
+    def test_plan_size_mismatch_raises(self, nyx_hierarchy):
+        data, flat, plan = self._blocks_and_chunk(nyx_hierarchy)
+        filt = AMRICLevelFilter()
+        filt.queue_plan(plan)
+        with pytest.raises(ValueError):
+            filt.encode(np.zeros(flat.size + 10), actual_elements=flat.size + 5)
+
+    def test_filter_stats_track_padding(self, nyx_hierarchy):
+        data, flat, plan = self._blocks_and_chunk(nyx_hierarchy)
+        filt = AMRICLevelFilter()
+        filt.queue_plan(plan)
+        chunk = np.zeros(flat.size + 500)
+        chunk[:flat.size] = flat
+        filt.encode(chunk, actual_elements=flat.size)
+        assert filt.stats.calls == 1
+        assert filt.stats.padded_elements == 500
+
+    def test_invalid_compressor_name(self):
+        with pytest.raises(ValueError):
+            AMRICLevelFilter(compressor="zfp")
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = AMRICConfig()
+        assert cfg.compressor == "sz_lr"
+        assert cfg.use_sle and cfg.adaptive_block_size
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            AMRICConfig(compressor="lz4")
+        with pytest.raises(ValueError):
+            AMRICConfig(unit_block_size=1)
+        with pytest.raises(ValueError):
+            AMRICConfig(error_bound=-1.0)
+        with pytest.raises(ValueError):
+            AMRICConfig(interp_arrangement="random")
+
+    def test_with_overrides(self):
+        cfg = AMRICConfig()
+        off = cfg.with_overrides(use_sle=False, remove_redundancy=False)
+        assert not off.use_sle and not off.remove_redundancy
+        assert cfg.use_sle  # original untouched
+
+    def test_make_compressors(self):
+        cfg = AMRICConfig(error_bound=1e-4, sz_block_size=4)
+        lr = cfg.make_sz_lr()
+        assert lr.block_size == 4
+        lr8 = cfg.make_sz_lr(block_size=8)
+        assert lr8.block_size == 8
+        interp = cfg.make_sz_interp()
+        assert interp.anchor_stride == cfg.interp_anchor_stride

@@ -1,0 +1,203 @@
+"""Tests for the H5Lite container, filters and chunking policies."""
+
+import numpy as np
+import pytest
+
+from repro.compress import SZ1DCompressor, SZLRCompressor
+from repro.h5lite import (
+    AMRICChunkFilter,
+    H5LiteFile,
+    NoCompressionFilter,
+    SZChunkFilter,
+    amrex_chunk_elements,
+    amric_chunk_elements,
+    default_registry,
+)
+from repro.h5lite.filters import LosslessFilter
+
+
+@pytest.fixture
+def sample_data():
+    rng = np.random.default_rng(0)
+    return np.cumsum(rng.normal(size=5000)).reshape(50, 100)
+
+
+class TestFileBasics:
+    def test_write_read_roundtrip_no_filter(self, tmp_path, sample_data):
+        path = tmp_path / "plain.h5z"
+        with H5LiteFile(path, "w") as f:
+            f.attrs["time"] = 1.25
+            f.create_dataset("level_0/data", sample_data, chunk_elements=512)
+        with H5LiteFile(path, "r") as f:
+            assert f.attrs["time"] == 1.25
+            back = f.read_dataset("level_0/data")
+        np.testing.assert_array_equal(back, sample_data)
+
+    def test_multiple_datasets_and_names(self, tmp_path, sample_data):
+        path = tmp_path / "multi.h5z"
+        with H5LiteFile(path, "w") as f:
+            f.create_dataset("a", sample_data)
+            f.create_dataset("grp/b", sample_data * 2, attrs={"field": "density"})
+        with H5LiteFile(path, "r") as f:
+            assert f.dataset_names() == ["a", "grp/b"]
+            assert "a" in f and "missing" not in f
+            assert f.datasets["grp/b"].attrs["field"] == "density"
+            np.testing.assert_array_equal(f.read_dataset("grp/b"), sample_data * 2)
+
+    def test_duplicate_dataset_rejected(self, tmp_path, sample_data):
+        with H5LiteFile(tmp_path / "dup.h5z", "w") as f:
+            f.create_dataset("x", sample_data)
+            with pytest.raises(ValueError):
+                f.create_dataset("x", sample_data)
+
+    def test_read_missing_dataset(self, tmp_path, sample_data):
+        path = tmp_path / "m.h5z"
+        with H5LiteFile(path, "w") as f:
+            f.create_dataset("x", sample_data)
+        with H5LiteFile(path, "r") as f:
+            with pytest.raises(KeyError):
+                f.read_dataset("y")
+
+    def test_write_to_readonly_rejected(self, tmp_path, sample_data):
+        path = tmp_path / "ro.h5z"
+        with H5LiteFile(path, "w") as f:
+            f.create_dataset("x", sample_data)
+        with H5LiteFile(path, "r") as f:
+            with pytest.raises(ValueError):
+                f.create_dataset("y", sample_data)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.h5z"
+        path.write_bytes(b"not a file" * 10)
+        with pytest.raises(ValueError):
+            H5LiteFile(path, "r")
+
+    def test_empty_dataset_rejected(self, tmp_path):
+        with H5LiteFile(tmp_path / "e.h5z", "w") as f:
+            with pytest.raises(ValueError):
+                f.create_dataset("x", np.zeros(0))
+
+    def test_chunk_count(self, tmp_path, sample_data):
+        path = tmp_path / "chunks.h5z"
+        with H5LiteFile(path, "w") as f:
+            info = f.create_dataset("x", sample_data, chunk_elements=512)
+        assert info.nchunks == int(np.ceil(sample_data.size / 512))
+
+    def test_wrong_filter_on_read(self, tmp_path, sample_data):
+        path = tmp_path / "wf.h5z"
+        comp = SZ1DCompressor(1e-3)
+        with H5LiteFile(path, "w") as f:
+            f.create_dataset("x", sample_data, filter=SZChunkFilter(comp))
+        with H5LiteFile(path, "r") as f:
+            with pytest.raises(ValueError):
+                f.read_dataset("x")  # default NoCompression filter mismatches
+
+
+class TestFilters:
+    def test_sz_classic_roundtrip(self, tmp_path, sample_data):
+        path = tmp_path / "sz.h5z"
+        eb_abs = 1e-3 * (sample_data.max() - sample_data.min())
+        comp = SZ1DCompressor(eb_abs, mode="abs")
+        with H5LiteFile(path, "w") as f:
+            f.create_dataset("x", sample_data, chunk_elements=1024, filter=SZChunkFilter(comp))
+        with H5LiteFile(path, "r") as f:
+            back = f.read_dataset("x", filter=SZChunkFilter(comp))
+        assert back.shape == sample_data.shape
+        assert np.max(np.abs(back - sample_data)) <= eb_abs * (1 + 1e-9)
+
+    def test_sz_classic_counts_calls(self, sample_data, tmp_path):
+        comp = SZ1DCompressor(1e-3)
+        filt = SZChunkFilter(comp)
+        with H5LiteFile(tmp_path / "c.h5z", "w") as f:
+            f.create_dataset("x", sample_data, chunk_elements=1024, filter=filt)
+        assert filt.stats.calls == int(np.ceil(sample_data.size / 1024))
+        assert filt.stats.output_bytes > 0
+
+    def test_amric_filter_roundtrip_with_padding(self, tmp_path):
+        """AMRIC filter compresses only the valid prefix and restores padding."""
+        rng = np.random.default_rng(1)
+        valid = np.cumsum(rng.normal(size=3000))
+        chunk_elements = 4096
+        data = np.zeros(chunk_elements)
+        data[:3000] = valid
+        comp = SZLRCompressor(1e-4)
+        filt = AMRICChunkFilter(comp)
+        path = tmp_path / "amric.h5z"
+        with H5LiteFile(path, "w") as f:
+            f.create_dataset("x", data, chunk_elements=chunk_elements,
+                             filter=filt, actual_elements_per_chunk=[3000])
+        assert filt.stats.padded_elements == chunk_elements - 3000
+        with H5LiteFile(path, "r") as f:
+            back = f.read_dataset("x", filter=AMRICChunkFilter(comp))
+        abs_eb = 1e-4 * (valid.max() - valid.min())
+        assert np.max(np.abs(back[:3000] - valid)) <= abs_eb * (1 + 1e-9)
+
+    def test_amric_filter_smaller_than_classic_on_padded_chunk(self):
+        """The point of the modification: padding is not compressed/stored.
+
+        The tail of an oversized chunk is whatever happens to sit in the write
+        buffer (stale values), which the classic filter compresses along with
+        the data while the AMRIC filter skips it entirely.
+        """
+        rng = np.random.default_rng(2)
+        chunk = rng.uniform(-500, 500, size=8192)  # stale buffer contents
+        chunk[:1000] = np.cumsum(rng.normal(size=1000)) + 50.0
+        comp = SZ1DCompressor(1e-4)
+        classic = SZChunkFilter(comp).encode(chunk)
+        amric = AMRICChunkFilter(comp).encode(chunk, actual_elements=1000)
+        assert len(amric) < len(classic)
+        # and the classic filter also had to touch 8x more elements
+        assert SZChunkFilter(comp).stats.input_elements == 0  # fresh filter untouched
+
+    def test_amric_filter_validates_actual(self):
+        comp = SZ1DCompressor(1e-3)
+        filt = AMRICChunkFilter(comp)
+        with pytest.raises(ValueError):
+            filt.encode(np.zeros(10), actual_elements=20)
+        with pytest.raises(ValueError):
+            filt.encode(np.zeros(10), actual_elements=0)
+
+    def test_lossless_filter_roundtrip(self, tmp_path, sample_data):
+        path = tmp_path / "z.h5z"
+        with H5LiteFile(path, "w") as f:
+            f.create_dataset("x", sample_data, chunk_elements=2048, filter=LosslessFilter())
+        with H5LiteFile(path, "r") as f:
+            back = f.read_dataset("x", filter=LosslessFilter())
+        np.testing.assert_array_equal(back, sample_data)
+
+    def test_nocompression_stats(self):
+        filt = NoCompressionFilter()
+        filt.encode(np.zeros(100))
+        assert filt.stats.calls == 1
+        assert filt.stats.output_bytes == 800
+
+    def test_registry(self):
+        reg = default_registry()
+        assert set(reg.known()) >= {"none", "zlib", "sz_classic", "sz_amric"}
+        filt = reg.create("sz_amric", compressor=SZ1DCompressor(1e-3))
+        assert isinstance(filt, AMRICChunkFilter)
+        with pytest.raises(KeyError):
+            reg.create("bogus")
+        with pytest.raises(ValueError):
+            reg.register("none", NoCompressionFilter)
+
+
+class TestChunking:
+    def test_amrex_chunk_default(self):
+        assert amrex_chunk_elements() == 1024
+        assert amrex_chunk_elements(smallest_box_elements=500) == 500
+        assert amrex_chunk_elements(smallest_box_elements=10**6) == 1024
+
+    def test_amric_chunk_is_max_rank_size(self):
+        assert amric_chunk_elements([100, 5000, 2300]) == 5000
+        with pytest.raises(ValueError):
+            amric_chunk_elements([0, 0])
+
+    def test_file_size_reflects_compression(self, tmp_path, sample_data):
+        comp = SZ1DCompressor(1e-3)
+        p1, p2 = tmp_path / "raw.h5z", tmp_path / "comp.h5z"
+        with H5LiteFile(p1, "w") as f:
+            f.create_dataset("x", sample_data)
+        with H5LiteFile(p2, "w") as f:
+            f.create_dataset("x", sample_data, filter=SZChunkFilter(comp))
+        assert p2.stat().st_size < p1.stat().st_size
