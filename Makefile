@@ -1,0 +1,15 @@
+# Developer entry points. `make test` is the tier-1 gate; `make bench` runs the
+# tracked performance suite and refreshes BENCH_entropy.json (it degrades to a
+# plain run — the perf tests skip themselves — if pytest-benchmark is absent).
+
+PY := PYTHONPATH=src python
+
+.PHONY: test bench
+
+test:
+	$(PY) -m pytest -x -q
+
+bench:
+	@$(PY) -c "import pytest_benchmark" 2>/dev/null \
+		&& $(PY) -m pytest benchmarks/perf -q --benchmark-json=BENCH_entropy.json \
+		|| $(PY) -m pytest benchmarks/perf -q

@@ -1,0 +1,38 @@
+"""Fixtures for the tracked performance suite (``make bench``).
+
+Unlike the table/figure benchmarks (which assert paper claims), this suite
+exists to *time* the hot paths — the entropy stage, the SZ round-trips and the
+end-to-end writer — and to emit ``BENCH_entropy.json`` so regressions across
+PRs are visible.  It skips (rather than fails) when pytest-benchmark is not
+installed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.driver import build_run
+from repro.testing import make_smooth
+
+#: symbols for the entropy-stage microbenchmarks (matches the seed numbers
+#: recorded in DESIGN.md §2)
+ENTROPY_N = 1_000_000
+ENTROPY_ALPHABET = 256
+
+
+@pytest.fixture(scope="session")
+def entropy_codes() -> np.ndarray:
+    rng = np.random.default_rng(0)
+    return rng.integers(0, ENTROPY_ALPHABET, size=ENTROPY_N).astype(np.uint32)
+
+
+@pytest.fixture(scope="session")
+def smooth_cube() -> np.ndarray:
+    return make_smooth((64, 64, 64), noise=0.01)
+
+
+@pytest.fixture(scope="session")
+def midsize_hierarchy():
+    """The nyx_1 preset: a mid-size two-level hierarchy (~120k cells)."""
+    return build_run("nyx_1").hierarchy

@@ -1,0 +1,35 @@
+"""Entropy-stage microbenchmarks: Huffman table build, encode and decode."""
+
+import numpy as np
+import pytest
+
+pytest.importorskip("pytest_benchmark")
+
+from repro.compress.huffman import HuffmanCodec
+
+
+@pytest.fixture(scope="module")
+def codec(entropy_codes) -> HuffmanCodec:
+    return HuffmanCodec.from_data(entropy_codes)
+
+
+@pytest.fixture(scope="module")
+def encoded(codec, entropy_codes):
+    return codec.encode(entropy_codes)
+
+
+def test_huffman_table_build(benchmark, entropy_codes):
+    benchmark.pedantic(HuffmanCodec.from_data, args=(entropy_codes,),
+                       rounds=3, iterations=1)
+
+
+def test_huffman_encode_1m(benchmark, codec, entropy_codes):
+    result = benchmark.pedantic(codec.encode, args=(entropy_codes,),
+                                rounds=5, iterations=1)
+    assert result.nsymbols == entropy_codes.size
+
+
+def test_huffman_decode_1m(benchmark, codec, encoded, entropy_codes):
+    result = benchmark.pedantic(codec.decode, args=(encoded,),
+                                rounds=5, iterations=1)
+    np.testing.assert_array_equal(result, entropy_codes)

@@ -1,0 +1,39 @@
+"""SZ_L/R and SZ_Interp round-trip timings on a 64³ field."""
+
+import numpy as np
+import pytest
+
+pytest.importorskip("pytest_benchmark")
+
+from repro.compress import SZInterpCompressor, SZLRCompressor
+
+
+def _roundtrip(comp, data):
+    buf, recon = comp.compress_with_reconstruction(data)
+    decoded = comp.decompress(buf)
+    return recon, decoded
+
+
+@pytest.mark.parametrize("cls", [SZLRCompressor, SZInterpCompressor],
+                         ids=["sz_lr", "sz_interp"])
+def test_sz_roundtrip_64cube(benchmark, cls, smooth_cube):
+    comp = cls(1e-3)
+    recon, decoded = benchmark.pedantic(_roundtrip, args=(comp, smooth_cube),
+                                        rounds=3, iterations=1)
+    np.testing.assert_array_equal(recon, decoded)
+
+
+def test_sz_lr_unit_blocks_sle(benchmark, smooth_cube):
+    """The AMRIC shape of the entropy stage: many unit blocks, one SLE table."""
+    blocks = [smooth_cube[i:i + 16, j:j + 16, k:k + 16]
+              for i in range(0, 64, 16) for j in range(0, 64, 16)
+              for k in range(0, 64, 16)]
+    comp = SZLRCompressor(1e-3)
+    vrange = float(smooth_cube.max() - smooth_cube.min())
+
+    def run():
+        buf = comp.compress_many(blocks, shared_encoding=True, value_range=vrange)
+        return comp.decompress_many(buf)
+
+    decoded = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(decoded) == len(blocks)

@@ -1,0 +1,16 @@
+"""End-to-end writer timing: AMRICWriter.write_plotfile on the nyx_1 preset."""
+
+import pytest
+
+pytest.importorskip("pytest_benchmark")
+
+from repro.core import AMRICConfig, AMRICWriter
+
+
+@pytest.mark.parametrize("compressor", ["sz_lr", "sz_interp"])
+def test_writer_plotfile_nyx1(benchmark, midsize_hierarchy, compressor):
+    writer = AMRICWriter(AMRICConfig(compressor=compressor, error_bound=1e-3))
+    report = benchmark.pedantic(writer.write_plotfile, args=(midsize_hierarchy,),
+                                rounds=3, iterations=1)
+    assert report.compression_ratio > 1.0
+    assert report.total_cells > 0

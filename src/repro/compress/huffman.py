@@ -1,4 +1,4 @@
-"""Canonical Huffman coding of quantisation codes.
+"""Canonical Huffman coding of quantisation codes (vectorized engine).
 
 SZ encodes its quantisation codes with a custom Huffman coder; the paper's
 Shared Lossless Encoding (SLE) optimisation is entirely about *how many*
@@ -10,21 +10,48 @@ codec here exposes exactly that choice:
 * :func:`encoded_size_per_block` — per-block-table encoding (the expensive
   alternative SLE avoids), used in analyses and tests.
 
-Encoding is fully vectorised (numpy bit-fiddling + ``packbits``); decoding is
-a table-driven loop, fast enough for the data sizes correctness tests use.
+Both directions are fully vectorized (DESIGN.md §2):
+
+* **encode** packs the per-symbol codewords into 32-bit big-endian words with
+  two ``np.bincount`` scatter passes, so peak temporary memory is O(symbols),
+  not O(bits).  Alongside the bitstream it records *sync offsets* — the bit
+  position of every ``SYNC_INTERVAL``-th symbol — which cost 8 bytes per
+  ``SYNC_INTERVAL`` symbols and are what makes the decoder parallel.
+* **decode** splits the stream at the sync offsets into independent lanes and
+  advances all lanes in lockstep: peek the next ``K`` bits of every lane
+  through a sliding 24-bit byte window, look all of them up in a flat
+  canonical table ``LUT[next_k_bits] -> (symbol, code_len)``, emit, advance.
+  Code lengths are limited to ``MAX_CODE_LEN`` (16) by the Kraft repair in
+  :func:`_limit_lengths`, which keeps the LUT at most 2**16 entries.
+
+Streams without sync offsets (hand-built :class:`HuffmanEncoded` objects, or
+tables whose code lengths exceed the LUT width) fall back to an exact
+table-driven scalar loop with identical error behaviour: a ``ValueError`` on
+truncated streams and on bit patterns that match no code.
 """
 
 from __future__ import annotations
 
 import heapq
+import zlib
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["HuffmanCodec", "encode", "decode", "HuffmanEncoded"]
+__all__ = ["HuffmanCodec", "encode", "decode", "HuffmanEncoded",
+           "MAX_CODE_LEN", "SYNC_INTERVAL", "pack_sync", "unpack_sync",
+           "unpack_sync_for"]
 
-_MAX_CODE_LEN = 32
+#: default code-length limit — keeps the decode LUT at 2**16 entries
+MAX_CODE_LEN = 16
+_MAX_CODE_LEN = MAX_CODE_LEN  # backwards-compatible alias
+
+#: symbols per decoder lane; encode records one sync offset per interval
+SYNC_INTERVAL = 256
+
+#: the longest codeword the vectorized encoder can pack (two 32-bit words)
+_ENCODE_MAX_LEN = 32
 
 
 @dataclass
@@ -36,6 +63,9 @@ class HuffmanEncoded:
     nsymbols: int                #: number of encoded symbols
     table_symbols: np.ndarray    #: the distinct symbol values (uint32)
     table_lengths: np.ndarray    #: canonical code length per distinct symbol (uint8)
+    #: bit offset of every SYNC_INTERVAL-th symbol (enables parallel decode);
+    #: optional — streams without it decode through the scalar fallback
+    sync: Optional[np.ndarray] = None
 
     @property
     def payload_nbytes(self) -> int:
@@ -51,15 +81,21 @@ class HuffmanEncoded:
         return self.payload_nbytes + self.table_nbytes
 
 
-def _limit_lengths(lengths: np.ndarray, max_len: int = _MAX_CODE_LEN) -> np.ndarray:
+def _limit_lengths(lengths: np.ndarray, max_len: int = MAX_CODE_LEN) -> np.ndarray:
     """Clamp code lengths to ``max_len`` while keeping Kraft's inequality valid.
 
     A simple heuristic (sufficient here because quantisation codes rarely need
     more than ~20 bits): clamp, then repair by extending the shortest codes.
+    Alphabets larger than ``2**max_len`` get a correspondingly larger limit so
+    a prefix code always exists.
     """
     lengths = lengths.copy()
     if lengths.size == 0 or lengths.max() <= max_len:
         return lengths
+    if lengths.size > (1 << max_len):
+        max_len = int(np.ceil(np.log2(lengths.size))) + 1
+        if lengths.max() <= max_len:
+            return lengths
     lengths = np.minimum(lengths, max_len)
     # repair Kraft sum
     kraft = np.sum(2.0 ** (-lengths))
@@ -83,14 +119,13 @@ def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
     if n == 0:
         return codes
     order = np.lexsort((np.arange(n), lengths))
-    code = 0
-    prev_len = int(lengths[order[0]])
-    for rank, idx in enumerate(order):
-        cur_len = int(lengths[idx])
-        if rank > 0:
-            code = (code + 1) << (cur_len - prev_len)
-        codes[idx] = code
-        prev_len = cur_len
+    sorted_lengths = lengths[order].astype(np.int64)
+    # canonical identity: code_i * 2^-len_i == sum_{j<i} 2^-len_j; with all
+    # lengths <= base the sums are exact integers in units of 2^-base
+    base = int(sorted_lengths[-1])
+    contrib = np.int64(1) << (base - sorted_lengths)
+    prefix = np.concatenate(([0], np.cumsum(contrib[:-1])))
+    codes[order] = (prefix >> (base - sorted_lengths)).astype(np.uint64)
     return codes
 
 
@@ -102,14 +137,24 @@ class HuffmanCodec:
         self.lengths = np.asarray(lengths, dtype=np.uint8)
         if self.symbols.shape != self.lengths.shape:
             raise ValueError("symbols and lengths must align")
+        if self.lengths.size:
+            # reject corrupt tables loudly: lengths >= 64 would overflow the
+            # canonical-code shifts silently, and a Kraft-violating table is
+            # not a prefix code at all
+            if int(self.lengths.max()) >= 64 or int(self.lengths.min()) < 1:
+                raise ValueError("invalid Huffman table (code length out of range)")
+            if float(np.sum(2.0 ** (-self.lengths.astype(np.float64)))) > 1.0 + 1e-9:
+                raise ValueError("invalid Huffman table (Kraft inequality violated)")
         self.codes = _canonical_codes(self.lengths.astype(np.int64))
-        # symbol -> position lookup
-        self._index: Dict[int, int] = {int(s): i for i, s in enumerate(self.symbols)}
+        # symbol -> table-position lookup, precomputed once (encode hot path)
+        self._sorter = np.argsort(self.symbols, kind="stable")
+        self._sorted_symbols = self.symbols[self._sorter]
         # decode structures: symbols sorted canonically
         order = np.lexsort((np.arange(self.symbols.size), self.lengths))
         self._dec_lengths = self.lengths[order].astype(np.int64)
         self._dec_symbols = self.symbols[order]
         self._dec_codes = self.codes[order].astype(np.int64)
+        self._lut: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -119,8 +164,6 @@ class HuffmanCodec:
         if data.size == 0:
             return HuffmanCodec(np.zeros(0, dtype=np.uint32), np.zeros(0, dtype=np.uint8))
         symbols, counts = np.unique(data, return_counts=True)
-        freqs = np.zeros(symbols.size, dtype=np.int64)
-        freqs[:] = counts
         lengths = _huffman_code_lengths_from_counts(counts)
         lengths = _limit_lengths(lengths)
         return HuffmanCodec(symbols.astype(np.uint32), lengths.astype(np.uint8))
@@ -151,63 +194,168 @@ class HuffmanCodec:
         positions = self._positions(data)
         return int(self.lengths.astype(np.int64)[positions].sum())
 
+    def covers(self, data: np.ndarray) -> bool:
+        """Whether every symbol of ``data`` is present in this table."""
+        data = np.asarray(data).ravel()
+        if data.size == 0:
+            return True
+        if self._sorted_symbols.size == 0:
+            return False
+        pos = np.searchsorted(self._sorted_symbols, data)
+        pos = np.clip(pos, 0, self._sorted_symbols.size - 1)
+        return bool(np.all(self._sorted_symbols[pos] == data))
+
     def _positions(self, data: np.ndarray) -> np.ndarray:
         """Map each symbol in ``data`` to its index in the table (must exist)."""
-        sorter = np.argsort(self.symbols, kind="stable")
-        sorted_syms = self.symbols[sorter]
-        pos = np.searchsorted(sorted_syms, data)
-        pos = np.clip(pos, 0, sorted_syms.size - 1)
-        if not np.all(sorted_syms[pos] == data):
-            missing = np.unique(data[sorted_syms[pos] != data])[:5]
+        pos = np.searchsorted(self._sorted_symbols, data)
+        pos = np.clip(pos, 0, self._sorted_symbols.size - 1)
+        if not np.all(self._sorted_symbols[pos] == data):
+            missing = np.unique(data[self._sorted_symbols[pos] != data])[:5]
             raise KeyError(f"symbols not in Huffman table: {missing}")
-        return sorter[pos]
+        return self._sorter[pos]
 
     # ------------------------------------------------------------------
     def encode(self, data: np.ndarray) -> HuffmanEncoded:
-        """Encode ``data`` (flattened) into a packed bitstream."""
+        """Encode ``data`` (flattened) into a packed bitstream.
+
+        The codewords are scattered into 32-bit big-endian words via two
+        ``np.bincount`` accumulations (fields within a word never overlap, so
+        OR equals ADD); temporaries are O(symbols).
+        """
         data = np.asarray(data).ravel()
         if data.size == 0:
-            return HuffmanEncoded(b"", 0, 0, self.symbols, self.lengths)
+            return HuffmanEncoded(b"", 0, 0, self.symbols, self.lengths,
+                                  sync=np.zeros(0, dtype=np.int64))
         positions = self._positions(data)
         lengths = self.lengths.astype(np.int64)[positions]
-        codes = self.codes.astype(np.uint64)[positions]
-        total_bits = int(lengths.sum())
-        starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
-        # per output bit: which symbol it belongs to and which bit of the code
-        symbol_of_bit = np.repeat(np.arange(data.size), lengths)
-        bit_in_code = np.arange(total_bits) - np.repeat(starts, lengths)
-        shift = (np.repeat(lengths, lengths) - 1 - bit_in_code).astype(np.uint64)
-        bits = ((codes[symbol_of_bit] >> shift) & np.uint64(1)).astype(np.uint8)
-        payload = np.packbits(bits).tobytes()
-        return HuffmanEncoded(payload, total_bits, int(data.size), self.symbols, self.lengths)
+        if int(self.lengths.max()) > _ENCODE_MAX_LEN:
+            raise ValueError(f"codes longer than {_ENCODE_MAX_LEN} bits cannot be encoded")
+        codes = self.codes.astype(np.int64)[positions]
+        ends = np.cumsum(lengths)
+        total_bits = int(ends[-1])
+        starts = ends - lengths
+        sync = starts[::SYNC_INTERVAL].astype(np.int64)
+
+        word = (starts >> 5).astype(np.int64)
+        shift = 32 - (starts & 31) - lengths            # may be negative: spill
+        spill = shift < 0
+        hi = np.where(spill, codes >> np.maximum(-shift, 0),
+                      codes << np.maximum(shift, 0))
+        lo = np.where(spill, (codes << np.maximum(32 + shift, 0)) & 0xFFFFFFFF, 0)
+        nwords = (total_bits + 31) // 32
+        # disjoint bit fields: the per-word sums are < 2**32, exact in float64
+        acc = np.bincount(word, weights=hi.astype(np.float64), minlength=nwords)
+        acc[1:] += np.bincount(word[spill] + 1, weights=lo[spill].astype(np.float64),
+                               minlength=nwords)[1:nwords]
+        packed = acc.astype(np.int64).astype(np.uint32)
+        payload = packed.astype(">u4").tobytes()[:(total_bits + 7) // 8]
+        return HuffmanEncoded(payload, total_bits, int(data.size),
+                              self.symbols, self.lengths, sync=sync)
+
+    # ------------------------------------------------------------------
+    def _build_lut(self) -> Tuple[int, np.ndarray, np.ndarray]:
+        """Flat canonical decode table ``LUT[next_k_bits] -> (symbol, length)``.
+
+        Canonical codes occupy a contiguous prefix of the k-bit code space, so
+        the table is two ``np.repeat`` calls; unassigned slots keep length 0,
+        which the decoder reports as an invalid stream.
+        """
+        if self._lut is None:
+            k = int(self._dec_lengths.max())
+            reps = np.int64(1) << (k - self._dec_lengths)
+            filled = int(reps.sum())
+            lut_sym = np.zeros(1 << k, dtype=np.uint32)
+            lut_len = np.zeros(1 << k, dtype=np.int64)
+            lut_sym[:filled] = np.repeat(self._dec_symbols, reps)
+            lut_len[:filled] = np.repeat(self._dec_lengths, reps)
+            self._lut = (k, lut_sym, lut_len)
+        return self._lut
 
     def decode(self, encoded: HuffmanEncoded) -> np.ndarray:
-        """Decode a bitstream produced by :meth:`encode` (table-driven loop)."""
-        if encoded.nsymbols == 0:
+        """Decode a bitstream produced by :meth:`encode`.
+
+        Streams carrying sync offsets (everything this codec encodes, and
+        everything the SZ serializers round-trip) take the vectorized
+        multi-lane LUT path; anything else uses the exact scalar fallback.
+        """
+        n = int(encoded.nsymbols)
+        if n == 0:
             return np.zeros(0, dtype=np.uint32)
-        bits = np.unpackbits(np.frombuffer(encoded.payload, dtype=np.uint8),
-                             count=encoded.nbits)
-        # canonical decoding: first code and symbol offset per code length
+        nbits = int(encoded.nbits)
+        if len(encoded.payload) * 8 < nbits:
+            raise ValueError("truncated Huffman stream")
+        if self._dec_lengths.size == 0:
+            raise ValueError("invalid Huffman stream (empty table)")
+        sync = encoded.sync
+        if sync is not None:
+            sync = np.asarray(sync, dtype=np.int64).ravel()
+            nlanes = (n + SYNC_INTERVAL - 1) // SYNC_INTERVAL
+            well_formed = (
+                sync.size == nlanes and nlanes > 0 and int(sync[0]) == 0
+                and bool(np.all(np.diff(sync) >= 0)) and int(sync[-1]) <= nbits)
+            if well_formed and int(self._dec_lengths.max()) <= MAX_CODE_LEN:
+                return self._decode_lanes(encoded.payload, nbits, n, sync)
+        return self._decode_scalar(encoded.payload, nbits, n)
+
+    def _decode_lanes(self, payload: bytes, nbits: int, n: int,
+                      sync: np.ndarray) -> np.ndarray:
+        k, lut_sym, lut_len = self._build_lut()
+        mask = np.uint32((1 << k) - 1)
+        base_shift = 24 - k
+
+        # sliding 24-bit windows: window[j] holds bits 8j..8j+23 of the stream
+        b = np.frombuffer(payload, dtype=np.uint8)
+        padded = np.zeros(b.size + 4, dtype=np.uint32)
+        padded[:b.size] = b
+        window = (padded[:-2] << np.uint32(16)) | (padded[1:-1] << np.uint32(8)) \
+            | padded[2:]
+
+        nlanes = sync.size
+        tail = n - (nlanes - 1) * SYNC_INTERVAL     # symbols in the last lane
+        pos = sync.copy()
+        out = np.empty((nlanes, SYNC_INTERVAL), dtype=np.uint32)
+        for t in range(SYNC_INTERVAL):
+            m = nlanes if t < tail else nlanes - 1
+            if m == 0:
+                break
+            p = pos[:m]
+            np.minimum(p, nbits, out=p)             # keep peeks in bounds
+            peek = (window[p >> 3] >> (base_shift - (p & 7))).astype(np.uint32) & mask
+            step = lut_len[peek]
+            if not step.all():
+                raise ValueError("invalid Huffman stream (unassigned code)")
+            out[:m, t] = lut_sym[peek]
+            p += step
+        expected_end = np.empty(nlanes, dtype=np.int64)
+        expected_end[:-1] = sync[1:]
+        expected_end[-1] = nbits
+        if not np.array_equal(pos, expected_end):
+            raise ValueError("truncated or corrupt Huffman stream")
+        return out.reshape(-1)[:n]
+
+    def _decode_scalar(self, payload: bytes, nbits: int, n: int) -> np.ndarray:
+        """Exact canonical decode, one code at a time (fallback path)."""
+        bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8), count=nbits)
         lengths = self._dec_lengths
         codes = self._dec_codes
         symbols = self._dec_symbols
-        max_len = int(lengths.max()) if lengths.size else 0
-        first_code = {}
-        first_index = {}
+        max_len = int(lengths.max())
+        first_code: Dict[int, int] = {}
+        first_index: Dict[int, int] = {}
+        counts: Dict[int, int] = {}
         for length in np.unique(lengths):
-            mask = lengths == length
-            first_code[int(length)] = int(codes[mask][0])
-            first_index[int(length)] = int(np.nonzero(mask)[0][0])
-        counts = {int(l): int((lengths == l).sum()) for l in np.unique(lengths)}
+            sel = lengths == length
+            first_code[int(length)] = int(codes[sel][0])
+            first_index[int(length)] = int(np.nonzero(sel)[0][0])
+            counts[int(length)] = int(sel.sum())
 
-        out = np.empty(encoded.nsymbols, dtype=np.uint32)
+        out = np.empty(n, dtype=np.uint32)
         bit_list = bits.tolist()
         pos = 0
         code = 0
         length = 0
         produced = 0
-        nbits = encoded.nbits
-        while produced < encoded.nsymbols:
+        while produced < n:
             if pos >= nbits:
                 raise ValueError("truncated Huffman stream")
             code = (code << 1) | bit_list[pos]
@@ -225,17 +373,21 @@ class HuffmanCodec:
 
 
 def _huffman_code_lengths_from_counts(counts: np.ndarray) -> np.ndarray:
-    """Huffman code lengths for symbols with the given positive counts."""
+    """Huffman code lengths for symbols with the given positive counts.
+
+    Depths are computed in a single top-down pass over the merge tree (parents
+    are always created after their children, so iterating node ids downward
+    sees every parent's depth first) instead of walking each leaf's parent
+    chain, turning the O(n·depth) per-leaf walk into O(n).
+    """
     n = counts.size
-    lengths = np.zeros(n, dtype=np.int64)
     if n == 0:
-        return lengths
+        return np.zeros(0, dtype=np.int64)
     if n == 1:
-        lengths[0] = 1
-        return lengths
+        return np.ones(1, dtype=np.int64)
     heap: List[Tuple[int, int, int]] = [(int(c), i, i) for i, c in enumerate(counts)]
     heapq.heapify(heap)
-    parent: Dict[int, int] = {}
+    parent = np.zeros(2 * n - 1, dtype=np.int64)
     next_id = n
     while len(heap) > 1:
         f1, _, a = heapq.heappop(heap)
@@ -244,14 +396,62 @@ def _huffman_code_lengths_from_counts(counts: np.ndarray) -> np.ndarray:
         parent[b] = next_id
         heapq.heappush(heap, (f1 + f2, next_id, next_id))
         next_id += 1
-    for leaf in range(n):
-        depth = 0
-        node = leaf
-        while node in parent:
-            node = parent[node]
-            depth += 1
-        lengths[leaf] = depth
-    return lengths
+    depth = np.zeros(2 * n - 1, dtype=np.int64)
+    for node in range(2 * n - 3, -1, -1):
+        depth[node] = depth[parent[node]] + 1
+    return depth[:n]
+
+
+# ----------------------------------------------------------------------
+# compact sync-offset serialization
+# ----------------------------------------------------------------------
+def pack_sync(syncs: Sequence[Optional[np.ndarray]]) -> bytes:
+    """Serialise sync offsets of one or more streams compactly.
+
+    Absolute offsets grow with the stream, but per-lane *deltas* are bounded
+    by ``SYNC_INTERVAL * _ENCODE_MAX_LEN`` bits (8192 < 2**16) and nearly
+    uniform, so uint16 deltas + deflate cost a tiny fraction of raw int64
+    offsets (sync offsets are an acceleration structure — they must not eat
+    into the compression ratio they exist to speed up).
+    """
+    parts: List[np.ndarray] = []
+    for sync in syncs:
+        arr = np.zeros(0, dtype=np.int64) if sync is None \
+            else np.asarray(sync, dtype=np.int64).ravel()
+        parts.append(np.diff(arr, prepend=np.int64(0)).astype(np.uint16))
+    cat = np.concatenate(parts) if parts else np.zeros(0, dtype=np.uint16)
+    return zlib.compress(cat.tobytes(), 6)
+
+
+def unpack_sync(blob: bytes, lane_counts: Sequence[int]) -> List[Optional[np.ndarray]]:
+    """Invert :func:`pack_sync`; ``lane_counts`` gives lanes per stream.
+
+    Returns ``None`` entries (→ scalar decode fallback) if the blob does not
+    hold exactly the expected number of deltas.
+    """
+    deltas = np.frombuffer(zlib.decompress(blob), dtype=np.uint16).astype(np.int64)
+    if deltas.size != int(sum(lane_counts)):
+        return [None] * len(lane_counts)
+    out: List[Optional[np.ndarray]] = []
+    pos = 0
+    for count in lane_counts:
+        out.append(np.cumsum(deltas[pos:pos + count]))
+        pos += count
+    return out
+
+
+def unpack_sync_for(blob: Optional[bytes], interval: int,
+                    ncodes: Sequence[int]) -> List[Optional[np.ndarray]]:
+    """Sync offsets per stream from a serialized section, or ``None`` entries.
+
+    ``interval`` is the writer's recorded ``sync_interval``; a missing section
+    or an interval other than the current :data:`SYNC_INTERVAL` disables the
+    fast path (the scalar decoder stays authoritative) instead of guessing.
+    """
+    if blob is None or int(interval) != SYNC_INTERVAL:
+        return [None] * len(ncodes)
+    lanes = [(int(n) + SYNC_INTERVAL - 1) // SYNC_INTERVAL for n in ncodes]
+    return unpack_sync(blob, lanes)
 
 
 # ----------------------------------------------------------------------

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.compress.base import CompressedBuffer, Compressor
 from repro.compress.errorbound import ErrorBound
+from repro.compress import huffman
 from repro.compress.huffman import HuffmanCodec, HuffmanEncoded
 from repro.compress.lossless import (
     pack_array,
@@ -77,11 +78,13 @@ class SZ1DCompressor(Compressor):
             "nbits": stream.nbits,
             "ncodes": int(codes.size),
             "anchor": anchor,
+            "sync_interval": huffman.SYNC_INTERVAL,
         }
         payload = pack_sections({
             "meta": json.dumps(meta).encode("utf-8"),
             "huff_table": pack_arrays(stream.table_symbols, stream.table_lengths),
             "huff_payload": zlib_compress(stream.payload, self.lossless_level),
+            "huff_sync": huffman.pack_sync([stream.sync]),
             "outliers": zlib_compress(pack_array(outliers), self.lossless_level),
         })
         buffer = CompressedBuffer(
@@ -102,8 +105,11 @@ class SZ1DCompressor(Compressor):
 
         symbols, lengths = unpack_arrays(sections["huff_table"])
         codec = HuffmanCodec(symbols, lengths)
+        sync = huffman.unpack_sync_for(sections.get("huff_sync"),
+                                       meta.get("sync_interval", 0),
+                                       [int(meta["ncodes"])])[0]
         stream = HuffmanEncoded(zlib_decompress(sections["huff_payload"]), int(meta["nbits"]),
-                                int(meta["ncodes"]), symbols, lengths)
+                                int(meta["ncodes"]), symbols, lengths, sync=sync)
         codes = codec.decode(stream).astype(np.int64)
         outliers = unpack_array(zlib_decompress(sections["outliers"])).astype(np.int64)
 

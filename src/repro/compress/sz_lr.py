@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.compress.base import CompressedBuffer, Compressor
 from repro.compress.errorbound import ErrorBound
+from repro.compress import huffman
 from repro.compress.huffman import HuffmanCodec, HuffmanEncoded
 from repro.compress.lossless import (
     pack_array,
@@ -172,6 +173,8 @@ class SZLRCompressor(Compressor):
         if self.radius < 2:
             raise ValueError("radius must be >= 2")
         self.lossless_level = int(lossless_level)
+        #: the shared Huffman table used by the most recent compress_many call
+        self.last_shared_codec: HuffmanCodec | None = None
 
     # ------------------------------------------------------------------
     # helpers
@@ -355,7 +358,8 @@ class SZLRCompressor(Compressor):
     # serialisation
     # ------------------------------------------------------------------
     def _serialize(self, encoded: Sequence[_EncodedArray], abs_eb: float,
-                   shared_encoding: bool, dtype: str) -> bytes:
+                   shared_encoding: bool, dtype: str,
+                   codec: HuffmanCodec | None = None) -> Tuple[bytes, HuffmanCodec | None]:
         meta = {
             "codec": self.name,
             "abs_eb": abs_eb,
@@ -364,19 +368,33 @@ class SZLRCompressor(Compressor):
             "shared": bool(shared_encoding),
             "dtype": dtype,
             "shapes": [list(e.shape) for e in encoded],
+            "sync_interval": huffman.SYNC_INTERVAL,
         }
         sections = {"meta": json.dumps(meta).encode("utf-8")}
 
         if shared_encoding:
-            codec = HuffmanCodec.from_multiple([e.codes for e in encoded])
-            streams = [codec.encode(e.codes) for e in encoded]
+            # reuse a caller-provided codec (one SLE table across chunks) when
+            # it covers this chunk's symbols; otherwise build one from scratch.
+            # encode() itself detects missing symbols (KeyError), so coverage
+            # costs no extra lookup pass on the hot path.
+            streams = None
+            if codec is not None:
+                try:
+                    streams = [codec.encode(e.codes) for e in encoded]
+                except KeyError:
+                    streams = None
+            if streams is None:
+                codec = HuffmanCodec.from_multiple([e.codes for e in encoded])
+                streams = [codec.encode(e.codes) for e in encoded]
             sections["huff_table"] = pack_arrays(codec.symbols, codec.lengths)
             payload = b"".join(s.payload for s in streams)
             sections["huff_payload"] = zlib_compress(payload, self.lossless_level)
             sections["huff_nbits"] = np.asarray(
                 [s.nbits for s in streams], dtype=np.int64).tobytes()
+            sections["huff_sync"] = huffman.pack_sync([s.sync for s in streams])
         else:
             # one table + payload per array (the costly non-SLE alternative)
+            codec = None
             blobs: List[bytes] = []
             for e in encoded:
                 stream = HuffmanCodec.from_data(e.codes).encode(e.codes)
@@ -385,6 +403,7 @@ class SZLRCompressor(Compressor):
                     "lengths": pack_array(stream.table_lengths),
                     "payload": stream.payload,
                     "nbits": struct.pack("<q", stream.nbits),
+                    "sync": huffman.pack_sync([stream.sync]),
                 })
                 blobs.append(blob)
             framed = b"".join(struct.pack("<Q", len(b)) + b for b in blobs)
@@ -411,7 +430,7 @@ class SZLRCompressor(Compressor):
               e.regression_outliers.size, e.regression_coeffs.shape[0], e.codes.size]
              for e in encoded], dtype=np.int64)
         sections["counts"] = counts.tobytes()
-        return pack_sections(sections)
+        return pack_sections(sections), codec
 
     def _deserialize(self, payload: bytes):
         sections = unpack_sections(payload)
@@ -429,16 +448,19 @@ class SZLRCompressor(Compressor):
 
         # decode Huffman streams back to per-array code arrays
         codes_per_array: List[np.ndarray] = []
+        interval = int(meta.get("sync_interval", 0))
         if meta["shared"]:
             symbols, lengths = unpack_arrays(sections["huff_table"])
             codec = HuffmanCodec(symbols, lengths)
             payload_bits = zlib_decompress(sections["huff_payload"])
             nbits = np.frombuffer(sections["huff_nbits"], dtype=np.int64)
+            syncs = huffman.unpack_sync_for(sections.get("huff_sync"), interval,
+                                            [int(c) for c in counts[:, 5]])
             offset = 0
             for i in range(narrays):
                 nbytes = (int(nbits[i]) + 7) // 8
                 stream = HuffmanEncoded(payload_bits[offset:offset + nbytes], int(nbits[i]),
-                                        int(counts[i, 5]), symbols, lengths)
+                                        int(counts[i, 5]), symbols, lengths, sync=syncs[i])
                 codes_per_array.append(codec.decode(stream))
                 offset += nbytes
         else:
@@ -452,8 +474,10 @@ class SZLRCompressor(Compressor):
                 symbols = unpack_array(blob["symbols"])
                 lengths = unpack_array(blob["lengths"])
                 (nbits,) = struct.unpack("<q", blob["nbits"])
+                sync = huffman.unpack_sync_for(blob.get("sync"), interval,
+                                               [int(counts[i, 5])])[0]
                 stream = HuffmanEncoded(blob["payload"], nbits, int(counts[i, 5]),
-                                        symbols, lengths)
+                                        symbols, lengths, sync=sync)
                 codes_per_array.append(HuffmanCodec(symbols, lengths).decode(stream))
 
         return meta, counts, codes_per_array, selection_all, anchors_all, \
@@ -467,15 +491,23 @@ class SZLRCompressor(Compressor):
         return buffer, recons[0]
 
     def compress_many(self, arrays: Sequence[np.ndarray], shared_encoding: bool = True,
-                      value_range: float | None = None) -> CompressedBuffer:
+                      value_range: float | None = None,
+                      codec: HuffmanCodec | None = None) -> CompressedBuffer:
         buffer, _ = self.compress_many_with_reconstruction(
-            arrays, shared_encoding=shared_encoding, value_range=value_range)
+            arrays, shared_encoding=shared_encoding, value_range=value_range, codec=codec)
         return buffer
 
     def compress_many_with_reconstruction(
             self, arrays: Sequence[np.ndarray], shared_encoding: bool = True,
-            value_range: float | None = None) -> Tuple[CompressedBuffer, List[np.ndarray]]:
-        """Compress several arrays into one buffer (AMRIC unit-block API)."""
+            value_range: float | None = None,
+            codec: HuffmanCodec | None = None) -> Tuple[CompressedBuffer, List[np.ndarray]]:
+        """Compress several arrays into one buffer (AMRIC unit-block API).
+
+        ``codec`` optionally supplies a pre-built shared Huffman table (SLE
+        across *chunks*); it is used only when it covers every symbol of this
+        call, and the table actually used is exposed as
+        :attr:`last_shared_codec` so callers can carry it to the next chunk.
+        """
         if not len(arrays):
             raise ValueError("need at least one array")
         input_dtype = str(np.asarray(arrays[0]).dtype)
@@ -486,7 +518,9 @@ class SZLRCompressor(Compressor):
             value_range = gmax - gmin
         abs_eb = self.error_bound.resolve(value_range=value_range)
         encoded = [self._encode_array(a, abs_eb) for a in arrays]
-        payload = self._serialize(encoded, abs_eb, shared_encoding, input_dtype)
+        payload, used_codec = self._serialize(encoded, abs_eb, shared_encoding,
+                                              input_dtype, codec=codec)
+        self.last_shared_codec = used_codec
         original_nbytes = sum(
             a.size * np.dtype(input_dtype).itemsize for a in arrays)
         buffer = CompressedBuffer(

@@ -88,7 +88,8 @@ class AMRICLevelFilter(Filter):
     def __init__(self, compressor: str = "sz_lr", error_bound: float = 1e-3,
                  use_sle: bool = True, adaptive_block_size: bool = True,
                  sz_block_size: int = 6, interp_arrangement: str = "cluster",
-                 interp_anchor_stride: int = 16, unit_block_size: int = 16):
+                 interp_anchor_stride: int = 16, unit_block_size: int = 16,
+                 reuse_codec: bool = True):
         super().__init__()
         if compressor not in ("sz_lr", "sz_interp"):
             raise ValueError(f"unknown compressor {compressor!r}")
@@ -100,6 +101,15 @@ class AMRICLevelFilter(Filter):
         self.interp_arrangement = interp_arrangement
         self.interp_anchor_stride = int(interp_anchor_stride)
         self.unit_block_size = int(unit_block_size)
+        #: carry one shared Huffman table across the chunks (= ranks) of the
+        #: same SLE plan instead of rebuilding it per chunk; a chunk whose
+        #: symbols the table misses transparently rebuilds and re-caches it
+        self.reuse_codec = bool(reuse_codec)
+        self._shared_codec = None
+        self._codec_scope = None      # (field, value_range) the cached table belongs to
+        self._sz_lr: Optional[SZLRCompressor] = None
+        self._sz_interp: Optional[SZInterpCompressor] = None
+        self._sz_interp_eb: Optional[float] = None
         self._pending_plans: List[ChunkPlan] = []
         #: reconstructions of the blocks of every encoded chunk (encode order),
         #: kept so the writer can compute PSNR without re-reading the file
@@ -136,9 +146,22 @@ class AMRICLevelFilter(Filter):
             offset += size
 
         if self.compressor == "sz_lr":
-            comp = SZLRCompressor(self.error_bound, block_size=self._sz_block_size_for())
+            if self._sz_lr is None:
+                self._sz_lr = SZLRCompressor(self.error_bound,
+                                             block_size=self._sz_block_size_for())
+            comp = self._sz_lr
+            # the cached table is only valid within one SLE plan — chunks of
+            # the same field with the same quantisation grid; a different
+            # field (or bound) has a different symbol distribution
+            scope = (plan.field, plan.value_range)
+            if self.reuse_codec and self._codec_scope != scope:
+                self._shared_codec = None
+                self._codec_scope = scope
             buffer, recons = comp.compress_many_with_reconstruction(
-                blocks, shared_encoding=self.use_sle, value_range=plan.value_range)
+                blocks, shared_encoding=self.use_sle, value_range=plan.value_range,
+                codec=self._shared_codec if self.reuse_codec else None)
+            if self.reuse_codec:
+                self._shared_codec = comp.last_shared_codec
             body = buffer.payload
             mode = "sz_lr"
             arrangement_json = None
@@ -147,8 +170,12 @@ class AMRICLevelFilter(Filter):
                 packed, arrangement = pack_blocks_cluster(blocks, positions=plan.block_positions)
             else:
                 packed, arrangement = pack_blocks_linear(blocks)
-            comp = SZInterpCompressor(self.error_bound * plan.value_range, mode="abs",
-                                      anchor_stride=self.interp_anchor_stride)
+            abs_eb = self.error_bound * plan.value_range
+            if self._sz_interp is None or self._sz_interp_eb != abs_eb:
+                self._sz_interp = SZInterpCompressor(abs_eb, mode="abs",
+                                                     anchor_stride=self.interp_anchor_stride)
+                self._sz_interp_eb = abs_eb
+            comp = self._sz_interp
             buffer, packed_recon = comp.compress_with_reconstruction(packed)
             recons = unpack_blocks(packed_recon, arrangement)
             body = buffer.payload

@@ -193,37 +193,42 @@ class AMRICWriter:
                                                modify_filter=cfg.modify_filter)
                     chunk_elements = layout.chunk_elements
 
-                    flat_parts: List[np.ndarray] = []
+                    # one preallocated buffer for the whole dataset; each rank's
+                    # blocks are copied straight into its chunk slice (no
+                    # per-rank concatenate + zero-filled double buffer)
+                    dataset_data = np.empty(
+                        len(ranks_with_data) * chunk_elements, dtype=np.float64)
                     actual_sizes: List[int] = []
                     originals: List[List[np.ndarray]] = []
                     for i, rank in enumerate(ranks_with_data):
                         blocks = per_rank_blocks[rank]
-                        data = extract_block_data(level, name, [b for b in blocks])
+                        data = extract_block_data(level, name, blocks)
                         originals.append(data)
-                        buf = np.zeros(chunk_elements, dtype=np.float64)
-                        flat = np.concatenate([d.reshape(-1) for d in data])
-                        buf[:flat.size] = flat
+                        buf = dataset_data[i * chunk_elements:(i + 1) * chunk_elements]
+                        offset = 0
+                        for d in data:
+                            buf[offset:offset + d.size].reshape(d.shape)[...] = d
+                            offset += d.size
+                        buf[offset:] = 0.0          # padding tail
+                        valid_size = offset
                         plan_positions = [tuple(b.box.lo) for b in blocks]
                         if not cfg.modify_filter:
                             # naive large chunk: the padding tail is real work
                             actual = chunk_elements
                             plan_shapes = [tuple(b.box.shape) for b in blocks]
                             # represent the padding as one extra pseudo block
-                            pad = chunk_elements - flat.size
+                            pad = chunk_elements - valid_size
                             if pad > 0:
                                 plan_shapes = plan_shapes + [(1, 1, pad)]
                                 plan_positions = None
                         else:
-                            actual = flat.size
+                            actual = valid_size
                             plan_shapes = [tuple(b.box.shape) for b in blocks]
                         level_filter.queue_plan(ChunkPlan(field=name,
                                                           block_shapes=plan_shapes,
                                                           value_range=value_range,
                                                           block_positions=plan_positions))
-                        flat_parts.append(buf)
                         actual_sizes.append(actual)
-
-                    dataset_data = np.concatenate(flat_parts)
                     dataset_name = f"level_{level_index}/{name}"
                     if h5file is not None:
                         info = h5file.create_dataset(

@@ -132,13 +132,16 @@ def preprocess_level(hierarchy: AmrHierarchy, level: int, unit_block_size: int,
 
 def extract_block_data(level: AmrLevel, component: str,
                        blocks: Sequence[UnitBlock]) -> List[np.ndarray]:
-    """Pull the field data of each unit block out of the level's fabs."""
+    """Pull the field data of each unit block out of the level's fabs.
+
+    Returns views into the fab storage (no gather copy); consumers that need
+    contiguous memory copy at their own boundary, and none of them write.
+    """
     comp = level.multifab.component_index(component)
     out: List[np.ndarray] = []
     for block in blocks:
         fab = level.multifab[block.box_index]
-        out.append(np.ascontiguousarray(
-            fab.component(comp)[block.box.slices(origin=fab.box.lo)]))
+        out.append(fab.component(comp)[block.box.slices(origin=fab.box.lo)])
     return out
 
 

@@ -195,10 +195,13 @@ class H5LiteFile:
                            filter_id=filter.filter_id, attrs=dict(attrs or {}))
         for i in range(nchunks):
             start = i * chunk_elements
-            chunk = np.zeros(chunk_elements, dtype=np.float64)
-            valid = flat[start:start + chunk_elements].astype(np.float64)
-            chunk[:valid.size] = valid
-            actual = valid.size
+            piece = flat[start:start + chunk_elements]
+            if piece.size == chunk_elements and piece.dtype == np.float64:
+                chunk = piece                     # full chunk: no staging copy
+            else:
+                chunk = np.zeros(chunk_elements, dtype=np.float64)
+                chunk[:piece.size] = piece
+            actual = piece.size
             if actual_elements_per_chunk is not None:
                 actual = int(actual_elements_per_chunk[i])
             payload = filter.encode(chunk, actual_elements=actual)

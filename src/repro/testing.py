@@ -1,0 +1,39 @@
+"""Synthetic test fields shared by the test suite and the perf benchmarks.
+
+Lives inside the package (rather than in a test conftest) so it is importable
+absolutely from any test or benchmark module — relative imports between test
+files break ``pytest`` collection when the test tree has no packages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_smooth", "make_rough"]
+
+
+def make_smooth(shape=(20, 20, 20), seed=0, noise=0.0):
+    """A smooth trigonometric field with optional additive noise."""
+    rng = np.random.default_rng(seed)
+    axes = [np.linspace(0, 3, s) for s in shape]
+    grids = np.meshgrid(*axes, indexing="ij")
+    out = np.sin(grids[0])
+    if len(grids) > 1:
+        out = out * np.cos(grids[1])
+    if len(grids) > 2:
+        out = out + 0.5 * np.sin(2 * grids[2])
+    if noise:
+        out = out + noise * rng.normal(size=shape)
+    return out
+
+
+def make_rough(shape=(20, 20, 20), seed=1):
+    """A correlated but rough field (smoothed noise, exponentiated)."""
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=shape)
+    # cheap smoothing: average with rolled copies along each axis
+    sm = base.copy()
+    for axis in range(len(shape)):
+        sm = 0.5 * sm + 0.25 * (np.roll(sm, 1, axis) + np.roll(sm, -1, axis))
+    sm = (sm - sm.mean()) / sm.std()
+    return np.exp(1.2 * sm)

@@ -13,8 +13,7 @@ from repro.compress import (
     psnr,
 )
 from repro.compress.errorbound import ErrorBound
-
-from .conftest import make_rough, make_smooth
+from repro.testing import make_rough, make_smooth
 
 ALL_COMPRESSORS = [SZLRCompressor, SZInterpCompressor, SZ1DCompressor, ZFPLikeCompressor]
 

@@ -5,7 +5,20 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.compress.huffman import HuffmanCodec, HuffmanEncoded, decode, encode, encoded_size_per_block
+from repro.compress.huffman import (
+    MAX_CODE_LEN,
+    SYNC_INTERVAL,
+    HuffmanCodec,
+    HuffmanEncoded,
+    _huffman_code_lengths_from_counts,
+    _limit_lengths,
+    decode,
+    encode,
+    encoded_size_per_block,
+    pack_sync,
+    unpack_sync,
+)
+from repro.compress.lossless import pack_arrays, unpack_arrays
 
 
 class TestBasics:
@@ -93,6 +106,151 @@ class TestSharedTable:
         blocks = [np.array([1, 2, 3], dtype=np.uint32)] * 4
         total = encoded_size_per_block(blocks)
         assert total >= 4 * 3 * 5  # at least the table bytes
+
+
+class TestAdversarial:
+    """Edge cases for the vectorized LUT decode path."""
+
+    def test_single_symbol_alphabet_large(self):
+        data = np.full(3 * SYNC_INTERVAL + 17, 9, dtype=np.uint32)
+        enc = encode(data)
+        assert enc.nbits == data.size
+        np.testing.assert_array_equal(decode(enc), data)
+
+    def test_empty_input(self):
+        enc = encode(np.zeros(0, dtype=np.uint32))
+        assert enc.nbits == 0 and enc.nsymbols == 0
+        assert decode(enc).size == 0
+
+    def test_kraft_repair_triggered_roundtrip(self):
+        """Fibonacci-skewed counts force depths past the limit; the repaired
+        length-limited code must still round-trip exactly."""
+        fib = [1, 1]
+        while len(fib) < 30:
+            fib.append(fib[-1] + fib[-2])
+        raw_lengths = _huffman_code_lengths_from_counts(np.asarray(fib))
+        assert raw_lengths.max() > MAX_CODE_LEN  # the repair has work to do
+        data = np.concatenate([np.full(c, s, np.uint32) for s, c in enumerate(fib)])
+        np.random.default_rng(0).shuffle(data)
+        codec = HuffmanCodec.from_data(data)
+        assert int(codec.lengths.max()) <= MAX_CODE_LEN
+        enc = codec.encode(data)
+        np.testing.assert_array_equal(codec.decode(enc), data)
+
+    def test_limit_lengths_huge_alphabet_widens_limit(self):
+        n = (1 << MAX_CODE_LEN) + 10
+        lengths = np.full(n, MAX_CODE_LEN + 8, dtype=np.int64)
+        limited = _limit_lengths(lengths)
+        assert np.sum(2.0 ** (-limited.astype(np.float64))) <= 1.0 + 1e-9
+
+    def test_million_symbol_roundtrip(self):
+        rng = np.random.default_rng(7)
+        data = rng.integers(0, 256, size=1_000_000).astype(np.uint32)
+        enc = encode(data)
+        np.testing.assert_array_equal(decode(enc), data)
+
+    def test_serialized_table_roundtrip(self):
+        """Tables shipped through lossless.pack_arrays rebuild an equivalent codec."""
+        rng = np.random.default_rng(8)
+        data = rng.geometric(0.25, size=10_000).astype(np.uint32)
+        codec = HuffmanCodec.from_data(data)
+        enc = codec.encode(data)
+        symbols, lengths = unpack_arrays(pack_arrays(enc.table_symbols, enc.table_lengths))
+        rebuilt = HuffmanCodec(symbols, lengths)
+        np.testing.assert_array_equal(rebuilt.codes, codec.codes)
+        np.testing.assert_array_equal(rebuilt.decode(enc), data)
+
+    def test_pack_sync_roundtrip_and_compact(self):
+        rng = np.random.default_rng(11)
+        streams = [encode(rng.integers(0, 99, size=n).astype(np.uint32))
+                   for n in (1, 300, 100_000)]
+        blob = pack_sync([s.sync for s in streams])
+        lanes = [np.asarray(s.sync).size for s in streams]
+        back = unpack_sync(blob, lanes)
+        for s, b in zip(streams, back):
+            np.testing.assert_array_equal(np.asarray(s.sync), b)
+        # the acceleration structure must stay a small fraction of the payload
+        assert len(blob) < 0.05 * sum(len(s.payload) for s in streams)
+        # a blob of the wrong size degrades to None (scalar fallback), not garbage
+        assert unpack_sync(blob, [lanes[0]]) == [None]
+
+    def test_scalar_fallback_matches_lut_path(self):
+        """A stream stripped of its sync offsets decodes identically (slow path)."""
+        rng = np.random.default_rng(9)
+        data = rng.integers(0, 50, size=5_000).astype(np.uint32)
+        enc = encode(data)
+        assert enc.sync is not None
+        stripped = HuffmanEncoded(enc.payload, enc.nbits, enc.nsymbols,
+                                  enc.table_symbols, enc.table_lengths)
+        np.testing.assert_array_equal(decode(stripped), decode(enc))
+
+
+class TestCorruptStreams:
+    """Truncated and invalid streams raise ValueError on both decode paths."""
+
+    @staticmethod
+    def _stream(n=2000):
+        data = (np.arange(n, dtype=np.uint32) % 17)
+        return data, encode(data)
+
+    def test_truncated_payload_lut_path(self):
+        _, enc = self._stream()
+        bad = HuffmanEncoded(enc.payload[:len(enc.payload) // 2], enc.nbits,
+                             enc.nsymbols, enc.table_symbols, enc.table_lengths,
+                             sync=enc.sync)
+        with pytest.raises(ValueError):
+            decode(bad)
+
+    def test_truncated_payload_scalar_path(self):
+        _, enc = self._stream()
+        bad = HuffmanEncoded(enc.payload[:2], 16, enc.nsymbols,
+                             enc.table_symbols, enc.table_lengths)
+        with pytest.raises(ValueError):
+            decode(bad)
+
+    def test_truncated_nbits_lut_path(self):
+        """nbits lies low: lanes cannot land on their sync boundaries."""
+        _, enc = self._stream()
+        bad = HuffmanEncoded(enc.payload, enc.nbits - 3, enc.nsymbols,
+                             enc.table_symbols, enc.table_lengths, sync=enc.sync)
+        with pytest.raises(ValueError):
+            decode(bad)
+
+    def test_invalid_code_lut_path(self):
+        """A Kraft-deficient table leaves unassigned LUT slots; hitting one raises."""
+        one = encode(np.full(10, 7, dtype=np.uint32))   # single symbol, code '0'
+        bad = HuffmanEncoded(b"\xff\xff", 10, 10, one.table_symbols,
+                             one.table_lengths, sync=one.sync)
+        with pytest.raises(ValueError):
+            decode(bad)
+
+    def test_invalid_code_scalar_path(self):
+        one = encode(np.full(10, 7, dtype=np.uint32))
+        bad = HuffmanEncoded(b"\xff\xff", 10, 10, one.table_symbols, one.table_lengths)
+        with pytest.raises(ValueError):
+            decode(bad)
+
+    def test_corrupt_table_rejected_at_construction(self):
+        """Deserialized tables with absurd lengths or a Kraft violation must
+        raise, never silently build garbage canonical codes."""
+        syms = np.array([1, 2, 3], dtype=np.uint32)
+        for lengths in ([1, 200, 200],   # shift overflow territory
+                        [0, 1, 1],       # zero-length code
+                        [1, 1, 1]):      # Kraft sum 1.5 > 1
+            with pytest.raises(ValueError):
+                HuffmanCodec(syms, np.asarray(lengths, dtype=np.uint8))
+
+    def test_corrupt_sync_offsets_fall_back_or_raise(self):
+        """Malformed sync metadata must never return silently-wrong data."""
+        data, enc = self._stream()
+        shifted = HuffmanEncoded(enc.payload, enc.nbits, enc.nsymbols,
+                                 enc.table_symbols, enc.table_lengths,
+                                 sync=np.asarray(enc.sync) + 1)
+        try:
+            out = decode(shifted)
+            np.testing.assert_array_equal(out, data)  # fell back to scalar path
+        except ValueError:
+            pass
 
 
 class TestProperties:
