@@ -1,15 +1,31 @@
-# Developer entry points. `make test` is the tier-1 gate; `make bench` runs the
-# tracked performance suite and refreshes BENCH_entropy.json (it degrades to a
-# plain run — the perf tests skip themselves — if pytest-benchmark is absent).
+# Developer entry points. `make test` is the tier-1 gate; `make lint` runs ruff
+# (skipping with a notice when it is not installed); `make bench` runs the
+# tracked performance suite and refreshes BENCH_entropy.json + BENCH_writer.json
+# (it degrades to a plain run — the perf tests skip themselves — if
+# pytest-benchmark is absent).
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench
+.PHONY: test lint bench
 
 test:
 	$(PY) -m pytest -x -q
 
+lint:
+	@if $(PY) -c "import ruff" 2>/dev/null; then \
+		$(PY) -m ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping lint"; \
+	fi
+
 bench:
 	@$(PY) -c "import pytest_benchmark" 2>/dev/null \
-		&& $(PY) -m pytest benchmarks/perf -q --benchmark-json=BENCH_entropy.json \
-		|| $(PY) -m pytest benchmarks/perf -q
+		&& $(PY) -m pytest benchmarks/perf -q \
+			--ignore=benchmarks/perf/test_perf_writer.py \
+			--benchmark-json=BENCH_entropy.json \
+		|| $(PY) -m pytest benchmarks/perf -q \
+			--ignore=benchmarks/perf/test_perf_writer.py
+	@$(PY) -c "import pytest_benchmark" 2>/dev/null \
+		&& $(PY) -m pytest benchmarks/perf/test_perf_writer.py -q \
+			--benchmark-json=BENCH_writer.json \
+		|| $(PY) -m pytest benchmarks/perf/test_perf_writer.py -q

@@ -1,10 +1,16 @@
-"""End-to-end writer timing: AMRICWriter.write_plotfile on the nyx_1 preset."""
+"""End-to-end writer timing on the nyx_1 preset: serial and parallel paths.
+
+``make bench`` runs this file separately into ``BENCH_writer.json`` so the
+write-path numbers (staged serial pipeline, thread-pooled backend) are
+tracked per PR next to the entropy-stage numbers in ``BENCH_entropy.json``.
+"""
 
 import pytest
 
 pytest.importorskip("pytest_benchmark")
 
 from repro.core import AMRICConfig, AMRICWriter
+from repro.parallel.backend import ParallelBackend
 
 
 @pytest.mark.parametrize("compressor", ["sz_lr", "sz_interp"])
@@ -14,3 +20,29 @@ def test_writer_plotfile_nyx1(benchmark, midsize_hierarchy, compressor):
                                 rounds=3, iterations=1)
     assert report.compression_ratio > 1.0
     assert report.total_cells > 0
+
+
+@pytest.mark.parametrize("compressor", ["sz_lr", "sz_interp"])
+def test_writer_plotfile_nyx1_thread_backend(benchmark, midsize_hierarchy, compressor):
+    """The pooled write path: per-dataset encode jobs on a thread pool."""
+    with ParallelBackend("thread", max_workers=4) as backend:
+        writer = AMRICWriter(AMRICConfig(compressor=compressor, error_bound=1e-3),
+                             backend=backend)
+        report = benchmark.pedantic(writer.write_plotfile, args=(midsize_hierarchy,),
+                                    rounds=3, iterations=1)
+    assert report.backend == "parallel"
+    assert report.compression_ratio > 1.0
+
+
+def test_writer_stage_split_nyx1(benchmark, midsize_hierarchy):
+    """Plan+pack only (no encode): how much of the write is not compression."""
+    from repro.core.stages import pack_dataset, plan_write
+
+    cfg = AMRICConfig(error_bound=1e-3)
+
+    def plan_and_pack():
+        plan = plan_write(midsize_hierarchy, cfg)
+        return [pack_dataset(midsize_hierarchy[d.level], d) for d in plan.datasets]
+
+    packed = benchmark.pedantic(plan_and_pack, rounds=3, iterations=1)
+    assert len(packed) > 0

@@ -23,13 +23,14 @@ import numpy as np
 
 from repro.amr.hierarchy import AmrHierarchy
 from repro.compress.errorbound import ErrorBound
-from repro.compress.sz1d import SZ1DCompressor
+from repro.compress.registry import create_codec
 from repro.core.pipeline import LevelFieldRecord, WriteReport
 from repro.core.layout import build_rank_buffer_box_major
 from repro.core.preprocess import UnitBlock, preprocess_level
 from repro.h5lite.chunking import AMREX_DEFAULT_CHUNK, amrex_chunk_elements
 from repro.h5lite.file import H5LiteFile
 from repro.h5lite.filters import SZChunkFilter
+from repro.parallel.backend import apportion
 from repro.parallel.iomodel import RankWorkload
 
 __all__ = ["AMReXOriginalWriter", "RecordingSZChunkFilter"]
@@ -105,7 +106,8 @@ class AMReXOriginalWriter:
                     rank_buffers.append((rank, rb))
 
                 level_data = np.concatenate([rb.data for _, rb in rank_buffers])
-                filt = RecordingSZChunkFilter(SZ1DCompressor(ErrorBound.relative(self.error_bound)))
+                filt = RecordingSZChunkFilter(
+                    create_codec("sz_1d", ErrorBound.relative(self.error_bound)))
                 if h5file is not None:
                     info = h5file.create_dataset(f"level_{level_index}/cell_data", level_data,
                                                  chunk_elements=chunk_elements, filter=filt)
@@ -122,15 +124,18 @@ class AMReXOriginalWriter:
 
                 # reassemble the reconstruction to measure per-field quality
                 recon_flat = np.concatenate(filt.reconstructions)[:level_data.size]
+                # split the level's compressed bytes between the ranks
+                # proportionally to raw size, conserving the total exactly
+                rank_shares = apportion(level_compressed,
+                                        [rb.nelements for _, rb in rank_buffers])
                 offset = 0
-                for rank, rb in rank_buffers:
+                for (rank, rb), share in zip(rank_buffers, rank_shares):
                     rank_raw[rank] += rb.nbytes
                     rank_elems = rb.nelements
                     rank_nchunks = int(np.ceil(rank_elems / chunk_elements))
                     rank_launches[rank] += rank_nchunks
                     rank_chunks[rank] += rank_nchunks
-                    rank_compressed[rank] += int(round(
-                        level_compressed * rank_elems / max(level_data.size, 1)))
+                    rank_compressed[rank] += share
                     recon_rank = recon_flat[offset:offset + rank_elems]
                     seg_offset = 0
                     for name, _, count in rb.segments:
@@ -146,19 +151,23 @@ class AMReXOriginalWriter:
                         seg_offset += count
                     offset += rank_elems
 
-                for name, (sq, mx, n, lo, hi) in per_field_error.items():
-                    if n == 0:
-                        continue
+                # per-field compressed bytes: conserving split of the level total
+                field_items = [(name, acc) for name, acc in per_field_error.items()
+                               if acc[2] > 0]
+                field_shares = apportion(level_compressed,
+                                         [acc[2] for _, acc in field_items])
+                for (name, (sq, mx, n, lo, hi)), share in zip(field_items, field_shares):
                     mse = sq / n
                     vrange = (hi - lo) if hi > lo else 1.0
                     psnr = float("inf") if mse == 0 else \
                         20.0 * np.log10(vrange) - 10.0 * np.log10(mse)
                     records.append(LevelFieldRecord(
                         level=level_index, field=name, raw_bytes=n * 8,
-                        compressed_bytes=int(round(level_compressed * n * 8 / max(level_data.nbytes, 1))),
+                        compressed_bytes=share,
                         psnr=psnr, max_error=mx,
                         filter_calls=int(round(level_calls / hierarchy.ncomp)),
-                        nblocks=len(pre.unit_blocks)))
+                        nblocks=len(pre.unit_blocks),
+                        sq_error=sq, n_elements=n, value_min=lo, value_max=hi))
         finally:
             if h5file is not None:
                 h5file.close()

@@ -70,7 +70,9 @@ class NoCompressionWriter:
                     records.append(LevelFieldRecord(
                         level=level_index, field=name, raw_bytes=raw_bytes,
                         compressed_bytes=raw_bytes, psnr=float("inf"), max_error=0.0,
-                        filter_calls=0, nblocks=len(pre.unit_blocks)))
+                        filter_calls=0, nblocks=len(pre.unit_blocks),
+                        sq_error=0.0, n_elements=buffer.size,
+                        value_min=float(buffer.min()), value_max=float(buffer.max())))
         finally:
             if h5file is not None:
                 h5file.close()

@@ -22,7 +22,7 @@ import numpy as np
 from repro.amr.hierarchy import AmrHierarchy
 from repro.compress.errorbound import ErrorBound
 from repro.compress.metrics import CompressionStats
-from repro.compress.sz_lr import SZLRCompressor
+from repro.compress.registry import create_codec
 from repro.core.preprocess import extract_block_data, preprocess_level
 
 __all__ = ["tac_compress"]
@@ -43,7 +43,7 @@ def tac_compress(hierarchy: AmrHierarchy, component: str, error_bound: float = 1
     levels = range(hierarchy.nlevels) if level is None else [level]
     # TAC applies one global (dataset-range-relative) bound, not per-partition bounds
     abs_eb = ErrorBound.relative(error_bound).resolve(value_range=hierarchy.value_range(component))
-    comp = SZLRCompressor(ErrorBound.absolute(abs_eb), block_size=6)
+    comp = create_codec("sz_lr", ErrorBound.absolute(abs_eb), block_size=6)
 
     originals: List[np.ndarray] = []
     recons: List[np.ndarray] = []

@@ -27,7 +27,7 @@ from repro.amr.hierarchy import AmrHierarchy
 from repro.amr.upsample import covered_mask
 from repro.compress.errorbound import ErrorBound
 from repro.compress.metrics import CompressionStats
-from repro.compress.sz1d import SZ1DCompressor
+from repro.compress.registry import create_codec
 
 __all__ = ["zmesh_reorder", "zmesh_compress"]
 
@@ -67,7 +67,7 @@ def zmesh_compress(hierarchy: AmrHierarchy, component: str,
                    error_bound: float = 1e-3) -> CompressionStats:
     """Reorder then compress one component with 1D SZ; return the stats record."""
     stream = zmesh_reorder(hierarchy, component)
-    comp = SZ1DCompressor(ErrorBound.relative(error_bound))
+    comp = create_codec("sz_1d", ErrorBound.relative(error_bound))
     buffer, recon = comp.compress_with_reconstruction(stream)
     return CompressionStats.measure("zmesh", error_bound, stream, recon,
                                     buffer.compressed_nbytes)

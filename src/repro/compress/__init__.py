@@ -21,6 +21,10 @@ bound), support value-range-relative bounds, and expose
 The last form returns the decompressed output without paying the Huffman
 decode cost (the encoder already knows the reconstruction) and is what the
 analysis/benchmark layer uses for PSNR at scale.
+
+The codec registry (:mod:`repro.compress.registry`) resolves codecs by name
+and the unified container (:mod:`repro.compress.container`) is the one
+serializer every codec's byte stream goes through.
 """
 
 from repro.compress.errorbound import ErrorBound
@@ -37,8 +41,20 @@ from repro.compress.sz_interp import SZInterpCompressor
 from repro.compress.sz1d import SZ1DCompressor
 from repro.compress.zfp_like import ZFPLikeCompressor
 from repro.compress.base import CompressedBuffer, Compressor
+from repro.compress.registry import (
+    CodecSpec,
+    available_codecs,
+    create_codec,
+    register_codec,
+    resolve_codec,
+)
 
 __all__ = [
+    "CodecSpec",
+    "available_codecs",
+    "create_codec",
+    "register_codec",
+    "resolve_codec",
     "ErrorBound",
     "CompressedBuffer",
     "Compressor",

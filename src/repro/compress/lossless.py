@@ -54,7 +54,15 @@ def pack_sections(sections: Dict[str, bytes]) -> bytes:
 
 
 def unpack_sections(buffer: bytes) -> Dict[str, bytes]:
-    """Invert :func:`pack_sections`."""
+    """Invert :func:`pack_sections`.
+
+    Raises :class:`ValueError` on a bad magic, an unsupported version, a
+    truncated buffer (any section header or payload running past the end) and
+    trailing garbage, so corrupt streams fail loudly instead of decoding into
+    nonsense.
+    """
+    if len(buffer) < 8:
+        raise ValueError("truncated compressed buffer (no header)")
     if buffer[:4] != _MAGIC:
         raise ValueError("not a repro compressed buffer (bad magic)")
     version, count = struct.unpack_from("<HH", buffer, 4)
@@ -62,15 +70,20 @@ def unpack_sections(buffer: bytes) -> Dict[str, bytes]:
         raise ValueError(f"unsupported container version {version}")
     out: Dict[str, bytes] = {}
     offset = 8
-    for _ in range(count):
-        (name_len,) = struct.unpack_from("<B", buffer, offset)
-        offset += 1
-        name = buffer[offset:offset + name_len].decode("utf-8")
-        offset += name_len
-        (size,) = struct.unpack_from("<Q", buffer, offset)
-        offset += 8
-        out[name] = buffer[offset:offset + size]
-        offset += size
+    try:
+        for _ in range(count):
+            (name_len,) = struct.unpack_from("<B", buffer, offset)
+            offset += 1
+            name = buffer[offset:offset + name_len].decode("utf-8")
+            offset += name_len
+            (size,) = struct.unpack_from("<Q", buffer, offset)
+            offset += 8
+            if offset + size > len(buffer):
+                raise ValueError("truncated compressed buffer (section payload cut short)")
+            out[name] = buffer[offset:offset + size]
+            offset += size
+    except struct.error as exc:
+        raise ValueError(f"truncated compressed buffer: {exc}") from exc
     if offset != len(buffer):
         raise ValueError("trailing bytes in compressed buffer")
     return out

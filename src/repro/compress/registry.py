@@ -1,0 +1,119 @@
+"""The codec registry: compressors resolved by name, not by if/elif chains.
+
+``AMRICConfig.compressor``, :class:`~repro.core.filter_mod.AMRICLevelFilter`
+and the baseline writers all used to hard-code which class a codec name maps
+to; adding a codec meant editing every one of them.  The registry is the one
+place that knows the mapping:
+
+* :func:`register_codec` — declare a codec (name, factory, capabilities);
+* :func:`resolve_codec` — name → :class:`CodecSpec`, with a helpful
+  :class:`ValueError` listing the registered names on a miss;
+* :func:`create_codec` — name → constructed :class:`Compressor`, forwarding
+  only the keyword options the codec declares it accepts (so callers can
+  offer a superset of options without caring which codec consumes which).
+
+The four built-in codecs are registered at import time; external code can
+register more (the registry is deliberately process-global, mirroring HDF5's
+filter registry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.compress.base import Compressor
+from repro.compress.errorbound import ErrorBound
+from repro.compress.sz_lr import SZLRCompressor
+from repro.compress.sz_interp import SZInterpCompressor
+from repro.compress.sz1d import SZ1DCompressor
+from repro.compress.zfp_like import ZFPLikeCompressor
+
+__all__ = [
+    "CodecSpec",
+    "register_codec",
+    "resolve_codec",
+    "create_codec",
+    "available_codecs",
+    "is_registered",
+]
+
+
+@dataclass(frozen=True)
+class CodecSpec:
+    """Everything the rest of the system needs to know about one codec."""
+
+    name: str
+    factory: Callable[..., Compressor]
+    #: keyword options the factory accepts beyond (error_bound, mode)
+    options: Tuple[str, ...] = ()
+    #: True when the codec offers the multi-array (unit-block) API
+    #: ``compress_many_with_reconstruction`` that unit SLE relies on
+    supports_many: bool = False
+    description: str = ""
+
+    def create(self, error_bound: ErrorBound | float, mode: str = "rel",
+               **options) -> Compressor:
+        """Build the codec, keeping only the options this codec accepts."""
+        kwargs = {k: v for k, v in options.items() if k in self.options}
+        return self.factory(error_bound, mode=mode, **kwargs)
+
+
+_REGISTRY: Dict[str, CodecSpec] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_codec(spec: CodecSpec, aliases: Tuple[str, ...] = ()) -> None:
+    """Add a codec to the registry (name and aliases must be unused)."""
+    for name in (spec.name, *aliases):
+        if name in _REGISTRY or name in _ALIASES:
+            raise ValueError(f"codec name {name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    for alias in aliases:
+        _ALIASES[alias] = spec.name
+
+
+def is_registered(name: str) -> bool:
+    return name in _REGISTRY or name in _ALIASES
+
+
+def resolve_codec(name: str) -> CodecSpec:
+    """Name (or alias) → spec; ValueError listing known codecs on a miss."""
+    canonical = _ALIASES.get(name, name)
+    if canonical not in _REGISTRY:
+        raise ValueError(
+            f"unknown codec {name!r}; registered codecs: {available_codecs()}")
+    return _REGISTRY[canonical]
+
+
+def create_codec(name: str, error_bound: ErrorBound | float, mode: str = "rel",
+                 **options) -> Compressor:
+    """Construct a codec by name (see :meth:`CodecSpec.create`)."""
+    return resolve_codec(name).create(error_bound, mode=mode, **options)
+
+
+def available_codecs() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+# ----------------------------------------------------------------------
+# built-in codecs
+# ----------------------------------------------------------------------
+register_codec(CodecSpec(
+    name="sz_lr", factory=SZLRCompressor,
+    options=("block_size", "radius", "lossless_level"),
+    supports_many=True,
+    description="SZ 2.x-style Lorenzo + per-block linear regression"))
+register_codec(CodecSpec(
+    name="sz_interp", factory=SZInterpCompressor,
+    options=("anchor_stride", "radius", "lossless_level", "cubic"),
+    description="SZ3-style multi-level interpolation prediction"))
+register_codec(CodecSpec(
+    name="sz_1d", factory=SZ1DCompressor,
+    options=("radius", "lossless_level"),
+    description="1D Lorenzo codec behind AMReX's original in situ compression"),
+    aliases=("sz1d",))
+register_codec(CodecSpec(
+    name="zfp_like", factory=ZFPLikeCompressor,
+    options=("block_size", "radius", "lossless_level"),
+    description="fixed-block orthogonal-transform comparator"))

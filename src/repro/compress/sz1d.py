@@ -11,25 +11,15 @@ imposed by the filter layer, not by this codec — see
 
 from __future__ import annotations
 
-import json
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
+from repro.compress import container as ctn
 from repro.compress.base import CompressedBuffer, Compressor
 from repro.compress.errorbound import ErrorBound
 from repro.compress import huffman
-from repro.compress.huffman import HuffmanCodec, HuffmanEncoded
-from repro.compress.lossless import (
-    pack_array,
-    pack_arrays,
-    pack_sections,
-    unpack_array,
-    unpack_arrays,
-    unpack_sections,
-    zlib_compress,
-    zlib_decompress,
-)
+from repro.compress.huffman import HuffmanCodec
 from repro.compress.quantizer import DEFAULT_RADIUS
 
 __all__ = ["SZ1DCompressor"]
@@ -70,23 +60,16 @@ class SZ1DCompressor(Compressor):
         codec = HuffmanCodec.from_data(codes)
         stream = codec.encode(codes)
         meta = {
-            "codec": self.name,
             "abs_eb": abs_eb,
             "radius": self.radius,
             "shape": list(original_shape),
             "dtype": input_dtype,
-            "nbits": stream.nbits,
-            "ncodes": int(codes.size),
             "anchor": anchor,
             "sync_interval": huffman.SYNC_INTERVAL,
         }
-        payload = pack_sections({
-            "meta": json.dumps(meta).encode("utf-8"),
-            "huff_table": pack_arrays(stream.table_symbols, stream.table_lengths),
-            "huff_payload": zlib_compress(stream.payload, self.lossless_level),
-            "huff_sync": huffman.pack_sync([stream.sync]),
-            "outliers": zlib_compress(pack_array(outliers), self.lossless_level),
-        })
+        sections = ctn.pack_huffman([stream], self.lossless_level)
+        sections["outliers"] = ctn.pack_zarray(outliers, self.lossless_level)
+        payload = ctn.pack_container(self.name, meta, sections)
         buffer = CompressedBuffer(
             payload=payload,
             original_shape=original_shape,
@@ -98,20 +81,18 @@ class SZ1DCompressor(Compressor):
         return buffer, recon
 
     def decompress(self, buffer: CompressedBuffer | bytes) -> np.ndarray:
-        sections = unpack_sections(self._payload_of(buffer))
-        meta = json.loads(sections["meta"].decode("utf-8"))
+        cont = ctn.unpack_container(self._payload_of(buffer), expect_codec=self.name)
+        meta, sections = cont.meta, cont.sections
         abs_eb = float(meta["abs_eb"])
         radius = int(meta["radius"])
 
-        symbols, lengths = unpack_arrays(sections["huff_table"])
-        codec = HuffmanCodec(symbols, lengths)
-        sync = huffman.unpack_sync_for(sections.get("huff_sync"),
-                                       meta.get("sync_interval", 0),
-                                       [int(meta["ncodes"])])[0]
-        stream = HuffmanEncoded(zlib_decompress(sections["huff_payload"]), int(meta["nbits"]),
-                                int(meta["ncodes"]), symbols, lengths, sync=sync)
-        codes = codec.decode(stream).astype(np.int64)
-        outliers = unpack_array(zlib_decompress(sections["outliers"])).astype(np.int64)
+        # streams from before the unified container kept nbits/ncodes in meta
+        codes = ctn.unpack_huffman(
+            sections, sync_interval=int(meta.get("sync_interval", 0)),
+            fallback_nbits=[int(meta["nbits"])] if "nbits" in meta else None,
+            fallback_ncodes=[int(meta["ncodes"])] if "ncodes" in meta else None,
+        )[0].astype(np.int64)
+        outliers = ctn.unpack_zarray(sections["outliers"]).astype(np.int64)
 
         deltas = codes - radius
         outlier_mask = codes == 0

@@ -20,25 +20,15 @@ cube of §3.1) — which is precisely the effect Figure 5 of the paper measures.
 
 from __future__ import annotations
 
-import json
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
+from repro.compress import container as ctn
 from repro.compress.base import CompressedBuffer, Compressor
 from repro.compress.errorbound import ErrorBound
 from repro.compress import huffman
-from repro.compress.huffman import HuffmanCodec, HuffmanEncoded
-from repro.compress.lossless import (
-    pack_array,
-    pack_arrays,
-    pack_sections,
-    unpack_array,
-    unpack_arrays,
-    unpack_sections,
-    zlib_compress,
-    zlib_decompress,
-)
+from repro.compress.huffman import HuffmanCodec
 from repro.compress.quantizer import DEFAULT_RADIUS
 
 __all__ = ["SZInterpCompressor"]
@@ -189,26 +179,18 @@ class SZInterpCompressor(Compressor):
             HuffmanCodec(np.zeros(0, np.uint32), np.zeros(0, np.uint8))
         stream = codec.encode(codes)
         meta = {
-            "codec": self.name,
             "abs_eb": abs_eb,
             "radius": self.radius,
             "anchor_stride": self.anchor_stride,
             "cubic": self.cubic,
             "shape": list(shape),
             "dtype": input_dtype,
-            "nbits": stream.nbits,
-            "ncodes": int(codes.size),
             "sync_interval": huffman.SYNC_INTERVAL,
         }
-        sections = {
-            "meta": json.dumps(meta).encode("utf-8"),
-            "huff_table": pack_arrays(stream.table_symbols, stream.table_lengths),
-            "huff_payload": zlib_compress(stream.payload, self.lossless_level),
-            "huff_sync": huffman.pack_sync([stream.sync]),
-            "anchors": zlib_compress(pack_array(anchors), self.lossless_level),
-            "outliers": zlib_compress(pack_array(outliers), self.lossless_level),
-        }
-        payload = pack_sections(sections)
+        sections = ctn.pack_huffman([stream], self.lossless_level)
+        sections["anchors"] = ctn.pack_zarray(anchors, self.lossless_level)
+        sections["outliers"] = ctn.pack_zarray(outliers, self.lossless_level)
+        payload = ctn.pack_container(self.name, meta, sections)
         buffer = CompressedBuffer(
             payload=payload,
             original_shape=shape,
@@ -220,8 +202,8 @@ class SZInterpCompressor(Compressor):
         return buffer, recon
 
     def decompress(self, buffer: CompressedBuffer | bytes) -> np.ndarray:
-        sections = unpack_sections(self._payload_of(buffer))
-        meta = json.loads(sections["meta"].decode("utf-8"))
+        cont = ctn.unpack_container(self._payload_of(buffer), expect_codec=self.name)
+        meta, sections = cont.meta, cont.sections
         shape = tuple(meta["shape"])
         abs_eb = float(meta["abs_eb"])
         if meta["radius"] != self.radius or meta["anchor_stride"] != self.anchor_stride:
@@ -230,16 +212,13 @@ class SZInterpCompressor(Compressor):
                                          radius=meta["radius"], cubic=meta["cubic"])
             return decoder.decompress(buffer)
 
-        symbols, lengths = unpack_arrays(sections["huff_table"])
-        codec = HuffmanCodec(symbols, lengths)
-        sync = huffman.unpack_sync_for(sections.get("huff_sync"),
-                                       meta.get("sync_interval", 0),
-                                       [int(meta["ncodes"])])[0]
-        stream = HuffmanEncoded(zlib_decompress(sections["huff_payload"]), int(meta["nbits"]),
-                                int(meta["ncodes"]), symbols, lengths, sync=sync)
-        codes = codec.decode(stream) if meta["ncodes"] else np.zeros(0, dtype=np.uint32)
-        anchors = unpack_array(zlib_decompress(sections["anchors"]))
-        outliers = unpack_array(zlib_decompress(sections["outliers"]))
+        # streams from before the unified container kept nbits/ncodes in meta
+        codes = ctn.unpack_huffman(
+            sections, sync_interval=int(meta.get("sync_interval", 0)),
+            fallback_nbits=[int(meta["nbits"])] if "nbits" in meta else None,
+            fallback_ncodes=[int(meta["ncodes"])] if "ncodes" in meta else None)[0]
+        anchors = ctn.unpack_zarray(sections["anchors"])
+        outliers = ctn.unpack_zarray(sections["outliers"])
 
         recon = np.zeros(shape, dtype=np.float64)
         anchor_sel = tuple(slice(None, None, self.anchor_stride) for _ in shape)

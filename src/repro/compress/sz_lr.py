@@ -29,27 +29,16 @@ Public entry points
 from __future__ import annotations
 
 import itertools
-import json
-import struct
 from dataclasses import dataclass, field
 from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.compress import container as ctn
 from repro.compress.base import CompressedBuffer, Compressor
 from repro.compress.errorbound import ErrorBound
 from repro.compress import huffman
-from repro.compress.huffman import HuffmanCodec, HuffmanEncoded
-from repro.compress.lossless import (
-    pack_array,
-    pack_arrays,
-    pack_sections,
-    unpack_array,
-    unpack_arrays,
-    unpack_sections,
-    zlib_compress,
-    zlib_decompress,
-)
+from repro.compress.huffman import HuffmanCodec
 from repro.compress.quantizer import DEFAULT_RADIUS
 from repro.compress import regression
 
@@ -361,7 +350,6 @@ class SZLRCompressor(Compressor):
                    shared_encoding: bool, dtype: str,
                    codec: HuffmanCodec | None = None) -> Tuple[bytes, HuffmanCodec | None]:
         meta = {
-            "codec": self.name,
             "abs_eb": abs_eb,
             "radius": self.radius,
             "block_size": list(self._block_size_for(len(encoded[0].shape))),
@@ -370,7 +358,7 @@ class SZLRCompressor(Compressor):
             "shapes": [list(e.shape) for e in encoded],
             "sync_interval": huffman.SYNC_INTERVAL,
         }
-        sections = {"meta": json.dumps(meta).encode("utf-8")}
+        sections: dict = {}
 
         if shared_encoding:
             # reuse a caller-provided codec (one SLE table across chunks) when
@@ -386,99 +374,57 @@ class SZLRCompressor(Compressor):
             if streams is None:
                 codec = HuffmanCodec.from_multiple([e.codes for e in encoded])
                 streams = [codec.encode(e.codes) for e in encoded]
-            sections["huff_table"] = pack_arrays(codec.symbols, codec.lengths)
-            payload = b"".join(s.payload for s in streams)
-            sections["huff_payload"] = zlib_compress(payload, self.lossless_level)
-            sections["huff_nbits"] = np.asarray(
-                [s.nbits for s in streams], dtype=np.int64).tobytes()
-            sections["huff_sync"] = huffman.pack_sync([s.sync for s in streams])
+            sections.update(ctn.pack_huffman(streams, self.lossless_level))
         else:
             # one table + payload per array (the costly non-SLE alternative)
             codec = None
-            blobs: List[bytes] = []
-            for e in encoded:
-                stream = HuffmanCodec.from_data(e.codes).encode(e.codes)
-                blob = pack_sections({
-                    "symbols": pack_array(stream.table_symbols),
-                    "lengths": pack_array(stream.table_lengths),
-                    "payload": stream.payload,
-                    "nbits": struct.pack("<q", stream.nbits),
-                    "sync": huffman.pack_sync([stream.sync]),
-                })
-                blobs.append(blob)
-            framed = b"".join(struct.pack("<Q", len(b)) + b for b in blobs)
-            sections["huff_individual"] = zlib_compress(framed, self.lossless_level)
+            streams = [HuffmanCodec.from_data(e.codes).encode(e.codes) for e in encoded]
+            sections["huff_individual"] = ctn.pack_huffman_individual(
+                streams, self.lossless_level)
 
-        sections["selection"] = zlib_compress(
+        sections["selection"] = ctn.pack_zbytes(
             np.packbits(np.concatenate([e.selection for e in encoded])).tobytes(),
             self.lossless_level)
-        sections["anchors"] = zlib_compress(
-            pack_array(np.concatenate([e.anchors for e in encoded])), self.lossless_level)
-        sections["lorenzo_outliers"] = zlib_compress(
-            pack_array(np.concatenate([e.lorenzo_outliers for e in encoded])),
-            self.lossless_level)
-        sections["regression_outliers"] = zlib_compress(
-            pack_array(np.concatenate([e.regression_outliers for e in encoded])),
-            self.lossless_level)
+        sections["anchors"] = ctn.pack_zarray(
+            np.concatenate([e.anchors for e in encoded]), self.lossless_level)
+        sections["lorenzo_outliers"] = ctn.pack_zarray(
+            np.concatenate([e.lorenzo_outliers for e in encoded]), self.lossless_level)
+        sections["regression_outliers"] = ctn.pack_zarray(
+            np.concatenate([e.regression_outliers for e in encoded]), self.lossless_level)
         coeffs = np.concatenate([e.regression_coeffs for e in encoded], axis=0) \
             if encoded else np.zeros((0, 1))
-        sections["regression_coeffs"] = zlib_compress(
-            pack_array(coeffs.astype(np.float32)), self.lossless_level)
+        sections["regression_coeffs"] = ctn.pack_zarray(
+            coeffs.astype(np.float32), self.lossless_level)
         # per-array counts so the decoder can split the concatenated side arrays
         counts = np.asarray(
             [[e.selection.size, e.anchors.size, e.lorenzo_outliers.size,
               e.regression_outliers.size, e.regression_coeffs.shape[0], e.codes.size]
              for e in encoded], dtype=np.int64)
         sections["counts"] = counts.tobytes()
-        return pack_sections(sections), codec
+        return ctn.pack_container(self.name, meta, sections), codec
 
     def _deserialize(self, payload: bytes):
-        sections = unpack_sections(payload)
-        meta = json.loads(sections["meta"].decode("utf-8"))
+        cont = ctn.unpack_container(payload, expect_codec=self.name)
+        meta, sections = cont.meta, cont.sections
         counts = np.frombuffer(sections["counts"], dtype=np.int64).reshape(-1, 6)
-        narrays = counts.shape[0]
 
         selection_all = np.unpackbits(
-            np.frombuffer(zlib_decompress(sections["selection"]), dtype=np.uint8),
+            np.frombuffer(ctn.unpack_zbytes(sections["selection"]), dtype=np.uint8),
             count=int(counts[:, 0].sum())).astype(np.uint8)
-        anchors_all = unpack_array(zlib_decompress(sections["anchors"])).astype(np.int64)
-        lor_out_all = unpack_array(zlib_decompress(sections["lorenzo_outliers"])).astype(np.int64)
-        reg_out_all = unpack_array(zlib_decompress(sections["regression_outliers"])).astype(np.float64)
-        coeffs_all = unpack_array(zlib_decompress(sections["regression_coeffs"])).astype(np.float64)
+        anchors_all = ctn.unpack_zarray(sections["anchors"]).astype(np.int64)
+        lor_out_all = ctn.unpack_zarray(sections["lorenzo_outliers"]).astype(np.int64)
+        reg_out_all = ctn.unpack_zarray(sections["regression_outliers"]).astype(np.float64)
+        coeffs_all = ctn.unpack_zarray(sections["regression_coeffs"]).astype(np.float64)
 
         # decode Huffman streams back to per-array code arrays
-        codes_per_array: List[np.ndarray] = []
         interval = int(meta.get("sync_interval", 0))
+        ncodes = [int(c) for c in counts[:, 5]]
         if meta["shared"]:
-            symbols, lengths = unpack_arrays(sections["huff_table"])
-            codec = HuffmanCodec(symbols, lengths)
-            payload_bits = zlib_decompress(sections["huff_payload"])
-            nbits = np.frombuffer(sections["huff_nbits"], dtype=np.int64)
-            syncs = huffman.unpack_sync_for(sections.get("huff_sync"), interval,
-                                            [int(c) for c in counts[:, 5]])
-            offset = 0
-            for i in range(narrays):
-                nbytes = (int(nbits[i]) + 7) // 8
-                stream = HuffmanEncoded(payload_bits[offset:offset + nbytes], int(nbits[i]),
-                                        int(counts[i, 5]), symbols, lengths, sync=syncs[i])
-                codes_per_array.append(codec.decode(stream))
-                offset += nbytes
+            codes_per_array = ctn.unpack_huffman(
+                sections, sync_interval=interval, fallback_ncodes=ncodes)
         else:
-            framed = zlib_decompress(sections["huff_individual"])
-            offset = 0
-            for i in range(narrays):
-                (blob_len,) = struct.unpack_from("<Q", framed, offset)
-                offset += 8
-                blob = unpack_sections(framed[offset:offset + blob_len])
-                offset += blob_len
-                symbols = unpack_array(blob["symbols"])
-                lengths = unpack_array(blob["lengths"])
-                (nbits,) = struct.unpack("<q", blob["nbits"])
-                sync = huffman.unpack_sync_for(blob.get("sync"), interval,
-                                               [int(counts[i, 5])])[0]
-                stream = HuffmanEncoded(blob["payload"], nbits, int(counts[i, 5]),
-                                        symbols, lengths, sync=sync)
-                codes_per_array.append(HuffmanCodec(symbols, lengths).decode(stream))
+            codes_per_array = ctn.unpack_huffman_individual(
+                sections["huff_individual"], ncodes, interval)
 
         return meta, counts, codes_per_array, selection_all, anchors_all, \
             lor_out_all, reg_out_all, coeffs_all

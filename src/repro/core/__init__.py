@@ -19,6 +19,16 @@ from repro.core.config import AMRICConfig
 from repro.core.pipeline import AMRICWriter, WriteReport, LevelFieldRecord
 from repro.core.reader import AMRICReader
 from repro.core.adaptive import select_sz_block_size
+from repro.core.stages import (
+    DatasetPlan,
+    EncodeJob,
+    EncodeResult,
+    FilterSpec,
+    WritePlan,
+    encode_job,
+    pack_dataset,
+    plan_write,
+)
 
 __all__ = [
     "AMRICConfig",
@@ -27,4 +37,12 @@ __all__ = [
     "WriteReport",
     "LevelFieldRecord",
     "select_sz_block_size",
+    "WritePlan",
+    "DatasetPlan",
+    "FilterSpec",
+    "EncodeJob",
+    "EncodeResult",
+    "plan_write",
+    "pack_dataset",
+    "encode_job",
 ]

@@ -5,6 +5,11 @@ benchmarks can run the ablations DESIGN.md lists (SLE on/off, adaptive block
 size on/off, layout change on/off, filter modification on/off, redundancy
 removal on/off) and so the AMReX-original behaviour can be expressed in the
 same vocabulary.
+
+The compressor is any name in the codec registry
+(:mod:`repro.compress.registry`) — the config never touches codec classes —
+and ``backend`` picks the execution backend the writer submits its encode
+jobs to (:mod:`repro.parallel.backend`).
 """
 
 from __future__ import annotations
@@ -13,12 +18,13 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.compress.errorbound import ErrorBound
+from repro.compress.registry import create_codec, is_registered, available_codecs
 from repro.compress.sz_lr import SZLRCompressor
 from repro.compress.sz_interp import SZInterpCompressor
 
 __all__ = ["AMRICConfig"]
 
-_COMPRESSORS = ("sz_lr", "sz_interp")
+_BACKENDS = ("serial", "thread", "process")
 
 
 @dataclass(frozen=True)
@@ -53,9 +59,18 @@ class AMRICConfig:
     #: SZ_Interp anchor stride
     interp_anchor_stride: int = 16
 
+    #: execution backend for the per-rank encode jobs ("serial", "thread",
+    #: "process") and the pool size (None = the executor's default)
+    backend: str = "serial"
+    backend_workers: Optional[int] = None
+
     def __post_init__(self) -> None:
-        if self.compressor not in _COMPRESSORS:
-            raise ValueError(f"compressor must be one of {_COMPRESSORS}, got {self.compressor!r}")
+        if not is_registered(self.compressor):
+            raise ValueError(
+                f"compressor must be a registered codec {available_codecs()}, "
+                f"got {self.compressor!r}")
+        if self.backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {self.backend!r}")
         if self.unit_block_size < 2:
             raise ValueError("unit_block_size must be >= 2")
         if self.sz_block_size < 2:
@@ -74,11 +89,13 @@ class AMRICConfig:
         """A copy with some fields replaced (used heavily by the ablations)."""
         return replace(self, **kwargs)
 
+    def make_codec(self, name: Optional[str] = None, **options):
+        """Build any registered codec honouring this configuration's bound."""
+        return create_codec(name or self.compressor, self.error_bound_obj, **options)
+
     def make_sz_lr(self, block_size: Optional[int] = None) -> SZLRCompressor:
         """An SZ_L/R compressor honouring the configuration (and a block size)."""
-        return SZLRCompressor(self.error_bound_obj,
-                              block_size=block_size or self.sz_block_size)
+        return self.make_codec("sz_lr", block_size=block_size or self.sz_block_size)
 
     def make_sz_interp(self) -> SZInterpCompressor:
-        return SZInterpCompressor(self.error_bound_obj,
-                                  anchor_stride=self.interp_anchor_stride)
+        return self.make_codec("sz_interp", anchor_stride=self.interp_anchor_stride)

@@ -23,8 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.compress.sz_lr import SZLRCompressor
-from repro.compress.sz_interp import SZInterpCompressor
+from repro.compress.registry import create_codec, resolve_codec
 from repro.core.preprocess import (
     PackedArrangement,
     pack_blocks_cluster,
@@ -91,8 +90,7 @@ class AMRICLevelFilter(Filter):
                  interp_anchor_stride: int = 16, unit_block_size: int = 16,
                  reuse_codec: bool = True):
         super().__init__()
-        if compressor not in ("sz_lr", "sz_interp"):
-            raise ValueError(f"unknown compressor {compressor!r}")
+        resolve_codec(compressor)        # unknown names fail fast with ValueError
         self.compressor = compressor
         self.error_bound = float(error_bound)
         self.use_sle = bool(use_sle)
@@ -107,9 +105,9 @@ class AMRICLevelFilter(Filter):
         self.reuse_codec = bool(reuse_codec)
         self._shared_codec = None
         self._codec_scope = None      # (field, value_range) the cached table belongs to
-        self._sz_lr: Optional[SZLRCompressor] = None
-        self._sz_interp: Optional[SZInterpCompressor] = None
-        self._sz_interp_eb: Optional[float] = None
+        self._many_codec = None       # cached multi-array codec (relative bound)
+        self._packed_codec = None     # cached single-array codec (absolute bound)
+        self._packed_codec_eb: Optional[float] = None
         self._pending_plans: List[ChunkPlan] = []
         #: reconstructions of the blocks of every encoded chunk (encode order),
         #: kept so the writer can compute PSNR without re-reading the file
@@ -145,11 +143,14 @@ class AMRICLevelFilter(Filter):
             blocks.append(chunk[offset:offset + size].reshape(shape))
             offset += size
 
-        if self.compressor == "sz_lr":
-            if self._sz_lr is None:
-                self._sz_lr = SZLRCompressor(self.error_bound,
-                                             block_size=self._sz_block_size_for())
-            comp = self._sz_lr
+        spec = resolve_codec(self.compressor)
+        if spec.supports_many:
+            # multi-array (unit-block) codecs compress the blocks directly,
+            # which is what unit SLE (§3.2 Solution 1) relies on
+            if self._many_codec is None:
+                self._many_codec = spec.create(
+                    self.error_bound, block_size=self._sz_block_size_for())
+            comp = self._many_codec
             # the cached table is only valid within one SLE plan — chunks of
             # the same field with the same quantisation grid; a different
             # field (or bound) has a different symbol distribution
@@ -163,23 +164,24 @@ class AMRICLevelFilter(Filter):
             if self.reuse_codec:
                 self._shared_codec = comp.last_shared_codec
             body = buffer.payload
-            mode = "sz_lr"
+            mode = spec.name
             arrangement_json = None
         else:
+            # single-array codecs see one packed 3D arrangement of the blocks
             if self.interp_arrangement == "cluster":
                 packed, arrangement = pack_blocks_cluster(blocks, positions=plan.block_positions)
             else:
                 packed, arrangement = pack_blocks_linear(blocks)
             abs_eb = self.error_bound * plan.value_range
-            if self._sz_interp is None or self._sz_interp_eb != abs_eb:
-                self._sz_interp = SZInterpCompressor(abs_eb, mode="abs",
-                                                     anchor_stride=self.interp_anchor_stride)
-                self._sz_interp_eb = abs_eb
-            comp = self._sz_interp
+            if self._packed_codec is None or self._packed_codec_eb != abs_eb:
+                self._packed_codec = spec.create(
+                    abs_eb, mode="abs", anchor_stride=self.interp_anchor_stride)
+                self._packed_codec_eb = abs_eb
+            comp = self._packed_codec
             buffer, packed_recon = comp.compress_with_reconstruction(packed)
             recons = unpack_blocks(packed_recon, arrangement)
             body = buffer.payload
-            mode = "sz_interp"
+            mode = spec.name
             arrangement_json = {
                 "mode": arrangement.mode,
                 "unit_shape": list(arrangement.unit_shape),
@@ -212,8 +214,9 @@ class AMRICLevelFilter(Filter):
         body = payload[8 + header_len:]
         plan = ChunkPlan.from_json(header["plan"])
 
-        if header["mode"] == "sz_lr":
-            comp = SZLRCompressor(header["error_bound"], block_size=header["sz_block_size"])
+        spec = resolve_codec(header["mode"])
+        if spec.supports_many:
+            comp = spec.create(header["error_bound"], block_size=header["sz_block_size"])
             blocks = comp.decompress_many(body)
         else:
             arr = header["arrangement"]
@@ -223,8 +226,8 @@ class AMRICLevelFilter(Filter):
                 block_shapes=[tuple(s) for s in arr["block_shapes"]],
                 fill_value=float(arr["fill_value"]),
                 slot_of_block=list(arr.get("slot_of_block", [])))
-            comp = SZInterpCompressor(header["error_bound"], mode="abs",
-                                      anchor_stride=header["interp_anchor_stride"])
+            comp = spec.create(header["error_bound"], mode="abs",
+                               anchor_stride=header["interp_anchor_stride"])
             packed = comp.decompress(body)
             blocks = unpack_blocks(packed, arrangement)
 

@@ -1,40 +1,54 @@
 """The end-to-end AMRIC in situ writer.
 
-For every level of a hierarchy and every field, the writer
+The write is four explicit stages (:mod:`repro.core.stages`), mirroring how
+the paper's pipeline separates concerns:
 
-1. removes redundant coarse data and truncates the survivors into unit blocks
-   (§3.1, :mod:`repro.core.preprocess`);
-2. builds each rank's field-major write buffer (§3.3 Solution 1,
-   :mod:`repro.core.layout`);
-3. plans one chunk per rank per field with the global chunk size equal to the
-   largest rank contribution, passing actual sizes to the filter
-   (§3.3 Solution 2, :mod:`repro.core.filter_mod`);
-4. pushes the chunks through the 3D-aware AMRIC filter (SZ_L/R with unit SLE
-   and the adaptive block size, or SZ_Interp over the clustered arrangement)
-   into one shared :class:`~repro.h5lite.file.H5LiteFile` dataset per
-   level/field.
+1. **plan** — remove redundant coarse data, truncate into unit blocks
+   (§3.1, :mod:`repro.core.preprocess`) and lay out one chunk per rank per
+   field with the global chunk size from the collective max (§3.3,
+   :mod:`repro.core.filter_mod`);
+2. **pack** — build each dataset's field-major write buffer, one chunk slice
+   per rank (§3.3 Solution 1, :mod:`repro.core.layout`);
+3. **encode** — push every dataset's chunk sequence through the 3D-aware
+   AMRIC filter.  Each dataset is an independent work item submitted through
+   :class:`~repro.parallel.mpi_sim.SimComm` to an execution backend
+   (:mod:`repro.parallel.backend`): the serial backend reproduces the
+   single-process behaviour bit-for-bit, the pooled backends encode datasets
+   concurrently and still produce byte-identical plotfiles;
+4. **commit** — append the encoded chunks to one shared
+   :class:`~repro.h5lite.file.H5LiteFile` dataset per level/field (a
+   collective write per dataset) and aggregate the report.
 
 The writer returns a :class:`WriteReport` carrying, per level and field, the
 raw/compressed sizes, the reconstruction quality (PSNR over the kept data),
-the filter-call counts and the per-rank workloads the I/O cost model consumes.
+the filter-call counts and the per-rank workloads the I/O cost model consumes
+(tallied by :class:`~repro.parallel.backend.WorkloadTally` with an exactly
+conserving largest-remainder byte split).
 """
 
 from __future__ import annotations
 
-import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.amr.hierarchy import AmrHierarchy
-from repro.compress.metrics import psnr as psnr_metric
 from repro.core.config import AMRICConfig
-from repro.core.filter_mod import AMRICLevelFilter, ChunkPlan, plan_level_chunks
-from repro.core.preprocess import PreprocessedLevel, extract_block_data, preprocess_level
+from repro.core.stages import (
+    FilterSpec,
+    commit_dataset,
+    dataset_record,
+    encode_job,
+    make_encode_job,
+    pack_dataset,
+    plan_write,
+)
 from repro.h5lite.file import H5LiteFile
+from repro.parallel.backend import ExecutionBackend, WorkloadTally, make_backend
 from repro.parallel.iomodel import RankWorkload
+from repro.parallel.mpi_sim import SimComm
 
 __all__ = ["AMRICWriter", "WriteReport", "LevelFieldRecord"]
 
@@ -51,10 +65,21 @@ class LevelFieldRecord:
     max_error: float
     filter_calls: int
     nblocks: int
+    #: error-accumulation terms for cell-count-weighted aggregation across
+    #: levels (older call sites may leave them at the neutral defaults, which
+    #: makes the field's aggregate fall back to the per-level minimum)
+    sq_error: float = 0.0
+    n_elements: int = 0
+    value_min: float = np.inf
+    value_max: float = -np.inf
 
     @property
     def compression_ratio(self) -> float:
         return self.raw_bytes / max(self.compressed_bytes, 1)
+
+    @property
+    def mse(self) -> float:
+        return self.sq_error / max(self.n_elements, 1)
 
 
 @dataclass
@@ -70,6 +95,10 @@ class WriteReport:
     ndatasets: int
     elapsed_seconds: float
     error_bound: float
+    #: which execution backend encoded the chunks
+    backend: str = "serial"
+    #: collective-operation counts (barriers/reductions/gathers/writes)
+    collectives: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -84,17 +113,42 @@ class WriteReport:
     def compression_ratio(self) -> float:
         return self.raw_bytes / max(self.compressed_bytes, 1)
 
-    @property
-    def psnr(self) -> Dict[str, float]:
-        """Per-field PSNR aggregated over levels (MSE-weighted by cell count)."""
+    def _records_by_field(self) -> Dict[str, List[LevelFieldRecord]]:
         fields: Dict[str, List[LevelFieldRecord]] = {}
         for rec in self.records:
             fields.setdefault(rec.field, []).append(rec)
+        return fields
+
+    @property
+    def psnr(self) -> Dict[str, float]:
+        """Per-field PSNR aggregated over levels, MSE-weighted by cell count.
+
+        The per-level squared errors are pooled (``sum(sq_err) / sum(n)``)
+        and referenced to the field's value range across all levels — the
+        PSNR of the whole field as one dataset.  A field with any record
+        written without the accumulation terms falls back to the
+        conservative per-level minimum (see :attr:`worst_psnr`) — pooling
+        only part of a field would silently drop the legacy levels.
+        """
         out: Dict[str, float] = {}
-        for name, recs in fields.items():
-            # aggregate by the worst level (conservative and monotone)
-            out[name] = min(r.psnr for r in recs)
+        for name, recs in self._records_by_field().items():
+            if any(r.n_elements == 0 for r in recs):
+                out[name] = min(r.psnr for r in recs)
+                continue
+            n = sum(r.n_elements for r in recs)
+            mse = sum(r.sq_error for r in recs) / n
+            vmin = min(r.value_min for r in recs)
+            vmax = max(r.value_max for r in recs)
+            vrange = (vmax - vmin) if vmax > vmin else 1.0
+            out[name] = float("inf") if mse == 0 else \
+                float(20.0 * np.log10(vrange) - 10.0 * np.log10(mse))
         return out
+
+    @property
+    def worst_psnr(self) -> Dict[str, float]:
+        """Per-field PSNR of the worst level (conservative and monotone)."""
+        return {name: min(r.psnr for r in recs)
+                for name, recs in self._records_by_field().items()}
 
     @property
     def mean_psnr(self) -> float:
@@ -122,21 +176,31 @@ class AMRICWriter:
 
     method_name = "amric"
 
-    def __init__(self, config: AMRICConfig | None = None, **overrides):
+    def __init__(self, config: AMRICConfig | None = None,
+                 backend: "ExecutionBackend | str | None" = None,
+                 comm: Optional[SimComm] = None, **overrides):
         config = config or AMRICConfig()
         if overrides:
             config = config.with_overrides(**overrides)
         self.config = config
+        # a backend the writer built from config it also owns (and closes);
+        # a caller-supplied ExecutionBackend stays the caller's to manage
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self.backend = make_backend(backend if backend is not None else config.backend,
+                                    config.backend_workers)
+        self.comm = comm
 
     # ------------------------------------------------------------------
-    def _make_filter(self) -> AMRICLevelFilter:
-        cfg = self.config
-        return AMRICLevelFilter(
-            compressor=cfg.compressor, error_bound=cfg.error_bound,
-            use_sle=cfg.use_sle, adaptive_block_size=cfg.adaptive_block_size,
-            sz_block_size=cfg.sz_block_size, interp_arrangement=cfg.interp_arrangement,
-            interp_anchor_stride=cfg.interp_anchor_stride,
-            unit_block_size=cfg.unit_block_size)
+    def close(self) -> None:
+        """Release the writer-owned backend pool (idempotent)."""
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "AMRICWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def write_plotfile(self, hierarchy: AmrHierarchy, path: Optional[str] = None) -> WriteReport:
@@ -147,18 +211,25 @@ class AMRICWriter:
         """
         cfg = self.config
         start = time.perf_counter()
-        records: List[LevelFieldRecord] = []
-        removed_cells = 0
-        total_cells = 0
-        ndatasets = 0
 
+        # ---- plan: preprocess + chunk layout (collective maxes) ----------
         nranks = max(lvl.multifab.distribution.nranks for lvl in hierarchy.levels)
-        rank_raw = np.zeros(nranks, dtype=np.int64)
-        rank_compressed = np.zeros(nranks, dtype=np.int64)
-        rank_launches = np.zeros(nranks, dtype=np.int64)
-        rank_padded = np.zeros(nranks, dtype=np.int64)
-        rank_chunks = np.zeros(nranks, dtype=np.int64)
+        if self.comm is not None and self.comm.size != nranks:
+            raise ValueError(
+                f"communicator has {self.comm.size} ranks but the hierarchy "
+                f"is distributed over {nranks}")
+        comm = self.comm if self.comm is not None else SimComm(nranks)
+        plan = plan_write(hierarchy, cfg, comm)
 
+        # ---- pack / encode / commit, one level at a time -----------------
+        # Levels batch the pipeline: a level's datasets pack together, encode
+        # concurrently on the backend (one barrier per level) and commit in
+        # plan order, so peak memory is one level's buffers — not the whole
+        # hierarchy's — matching the in situ write pattern of the real code.
+        filter_spec = FilterSpec.from_config(cfg)
+        records: List[LevelFieldRecord] = []
+        tally = WorkloadTally(nranks)
+        ndatasets = 0
         h5file = H5LiteFile(path, "w") if path is not None else None
         try:
             if h5file is not None:
@@ -170,135 +241,39 @@ class AMRICWriter:
                 h5file.attrs["nlevels"] = hierarchy.nlevels
                 h5file.attrs["ref_ratios"] = list(hierarchy.ref_ratios)
                 h5file.attrs["components"] = list(hierarchy.component_names)
-
-            for level_index, level in enumerate(hierarchy.levels):
-                pre = preprocess_level(hierarchy, level_index, cfg.unit_block_size,
-                                       remove_redundancy=cfg.remove_redundancy)
-                removed_cells += pre.removed_cells
-                total_cells += pre.total_cells
-                if not pre.unit_blocks:
+            for level_plan in plan.levels:
+                if not level_plan.datasets:
                     continue
-                ranks_with_data = sorted({b.rank for b in pre.unit_blocks})
-
-                for name in hierarchy.component_names:
-                    value_range = max(level.multifab.value_range(name), 0.0)
-                    level_filter = self._make_filter()
-
-                    # one chunk per rank that owns data; the global chunk size
-                    # is the largest rank contribution (filter modification)
-                    per_rank_blocks = {r: pre.blocks_on_rank(r) for r in ranks_with_data}
-                    per_rank_elements = [sum(b.size for b in per_rank_blocks[r])
-                                         for r in ranks_with_data]
-                    layout = plan_level_chunks(per_rank_elements,
-                                               modify_filter=cfg.modify_filter)
-                    chunk_elements = layout.chunk_elements
-
-                    # one preallocated buffer for the whole dataset; each rank's
-                    # blocks are copied straight into its chunk slice (no
-                    # per-rank concatenate + zero-filled double buffer)
-                    dataset_data = np.empty(
-                        len(ranks_with_data) * chunk_elements, dtype=np.float64)
-                    actual_sizes: List[int] = []
-                    originals: List[List[np.ndarray]] = []
-                    for i, rank in enumerate(ranks_with_data):
-                        blocks = per_rank_blocks[rank]
-                        data = extract_block_data(level, name, blocks)
-                        originals.append(data)
-                        buf = dataset_data[i * chunk_elements:(i + 1) * chunk_elements]
-                        offset = 0
-                        for d in data:
-                            buf[offset:offset + d.size].reshape(d.shape)[...] = d
-                            offset += d.size
-                        buf[offset:] = 0.0          # padding tail
-                        valid_size = offset
-                        plan_positions = [tuple(b.box.lo) for b in blocks]
-                        if not cfg.modify_filter:
-                            # naive large chunk: the padding tail is real work
-                            actual = chunk_elements
-                            plan_shapes = [tuple(b.box.shape) for b in blocks]
-                            # represent the padding as one extra pseudo block
-                            pad = chunk_elements - valid_size
-                            if pad > 0:
-                                plan_shapes = plan_shapes + [(1, 1, pad)]
-                                plan_positions = None
-                        else:
-                            actual = valid_size
-                            plan_shapes = [tuple(b.box.shape) for b in blocks]
-                        level_filter.queue_plan(ChunkPlan(field=name,
-                                                          block_shapes=plan_shapes,
-                                                          value_range=value_range,
-                                                          block_positions=plan_positions))
-                        actual_sizes.append(actual)
-                    dataset_name = f"level_{level_index}/{name}"
-                    if h5file is not None:
-                        info = h5file.create_dataset(
-                            dataset_name, dataset_data, chunk_elements=chunk_elements,
-                            filter=level_filter, actual_elements_per_chunk=actual_sizes,
-                            attrs={"level": level_index, "field": name,
-                                   "value_range": value_range})
-                        compressed_bytes = info.stored_nbytes
-                    else:
-                        # in-memory path: run the filter directly, chunk by chunk
-                        compressed_bytes = 0
-                        for i in range(len(ranks_with_data)):
-                            payload = level_filter.encode(
-                                dataset_data[i * chunk_elements:(i + 1) * chunk_elements],
-                                actual_elements=actual_sizes[i])
-                            compressed_bytes += len(payload)
+                level = hierarchy[level_plan.level]
+                packed = [pack_dataset(level, d) for d in level_plan.datasets]
+                jobs = [make_encode_job(p, filter_spec) for p in packed]
+                results = comm.run_jobs(self.backend, encode_job, jobs)
+                for dplan, pack, result in zip(level_plan.datasets, packed, results):
+                    commit_dataset(h5file, dplan, result)
+                    comm.record_collective_write()
                     ndatasets += 1
-
-                    # quality over the kept (non-redundant) data
-                    sq_err = 0.0
-                    max_err = 0.0
-                    n_elems = 0
-                    gmin, gmax = np.inf, -np.inf
-                    for data, recons in zip(originals, level_filter.last_reconstructions):
-                        for orig, rec in zip(data, recons):
-                            diff = orig - rec
-                            sq_err += float(np.sum(diff * diff))
-                            max_err = max(max_err, float(np.max(np.abs(diff))))
-                            n_elems += orig.size
-                            gmin = min(gmin, float(orig.min()))
-                            gmax = max(gmax, float(orig.max()))
-                    raw_bytes = n_elems * 8
-                    mse = sq_err / max(n_elems, 1)
-                    vrange = (gmax - gmin) if gmax > gmin else 1.0
-                    field_psnr = float("inf") if mse == 0 else \
-                        20.0 * np.log10(vrange) - 10.0 * np.log10(mse)
-
-                    records.append(LevelFieldRecord(
-                        level=level_index, field=name, raw_bytes=raw_bytes,
-                        compressed_bytes=compressed_bytes, psnr=field_psnr,
-                        max_error=max_err, filter_calls=level_filter.stats.calls,
-                        nblocks=len(pre.unit_blocks)))
-
-                    # per-rank workload bookkeeping for the I/O cost model
-                    offset = 0
-                    for i, rank in enumerate(ranks_with_data):
-                        valid = sum(b.size for b in per_rank_blocks[rank])
-                        rank_raw[rank] += valid * 8
-                        rank_launches[rank] += 1
-                        rank_chunks[rank] += 1
-                        if not cfg.modify_filter:
-                            rank_padded[rank] += (chunk_elements - valid) * 8
-                    # split compressed bytes between ranks proportionally to raw size
-                    total_valid = sum(per_rank_elements)
-                    for i, rank in enumerate(ranks_with_data):
-                        share = per_rank_elements[i] / max(total_valid, 1)
-                        rank_compressed[rank] += int(round(compressed_bytes * share))
+                    records.append(dataset_record(dplan, pack.originals, result))
+                    tally.add_dataset(
+                        ranks=dplan.ranks,
+                        per_rank_elements=dplan.per_rank_elements,
+                        chunk_elements=dplan.chunk_elements,
+                        compressed_bytes=result.compressed_bytes,
+                        count_padding=not cfg.modify_filter)
         finally:
             if h5file is not None:
                 h5file.close()
+        assert tally.total_compressed == sum(r.compressed_bytes for r in records), \
+            "per-rank compressed-byte apportionment must conserve the total"
 
-        workloads = [RankWorkload(raw_bytes=int(rank_raw[r]),
-                                  compressed_bytes=int(rank_compressed[r]),
-                                  compressor_launches=int(rank_launches[r]),
-                                  padded_bytes=int(rank_padded[r]),
-                                  chunks_written=int(max(rank_chunks[r], 1)))
-                     for r in range(nranks)]
         return WriteReport(
-            method=f"{self.method_name}({self.config.compressor})",
-            path=path, records=records, rank_workloads=workloads,
-            removed_cells=removed_cells, total_cells=total_cells,
-            ndatasets=ndatasets, elapsed_seconds=time.perf_counter() - start,
-            error_bound=self.config.error_bound)
+            method=f"{self.method_name}({cfg.compressor})",
+            path=path, records=records, rank_workloads=tally.workloads(),
+            removed_cells=plan.removed_cells, total_cells=plan.total_cells,
+            ndatasets=ndatasets,
+            elapsed_seconds=time.perf_counter() - start,
+            error_bound=cfg.error_bound,
+            backend=self.backend.name,
+            collectives={"barriers": comm.counters.barriers,
+                         "reductions": comm.counters.reductions,
+                         "gathers": comm.counters.gathers,
+                         "collective_writes": comm.counters.collective_writes})

@@ -1,0 +1,368 @@
+"""The staged write pipeline: plan → pack → encode → commit.
+
+``AMRICWriter.write_plotfile`` used to be one serial loop doing everything —
+preprocessing, buffer fills, filter calls, file writes and per-rank
+bookkeeping — which left the rank parallelism of the in situ design
+unexpressed.  This module decomposes the write into four explicit stages,
+each a pure function over a small dataclass:
+
+``plan`` (:func:`plan_write`)
+    Preprocess every level (§3.1) and lay out one chunk per rank per field
+    with the global chunk size from the collective max (§3.3); produces a
+    :class:`WritePlan` of :class:`DatasetPlan` entries.
+``pack`` (:func:`pack_dataset`)
+    Fill one dataset's write buffer (field-major, per-rank chunk slices) from
+    the AMR level; produces a :class:`PackedDataset`.
+``encode`` (:func:`encode_job`)
+    Run the AMRIC filter over one dataset's chunk sequence.  This is the
+    independent work item the writer submits to an execution backend
+    (:mod:`repro.parallel.backend`): datasets encode in parallel, while the
+    chunks *within* a dataset stay ordered so the shared-Huffman-table reuse
+    across a level's ranks (unit SLE) produces byte-identical payloads on
+    every backend.
+``commit`` (:func:`commit_dataset` / :func:`dataset_record`)
+    Append the encoded chunks to the H5Lite file and distil the quality /
+    size record the :class:`~repro.core.pipeline.WriteReport` aggregates.
+
+Everything that crosses a backend boundary (:class:`EncodeJob`,
+:class:`EncodeResult`) is a plain picklable dataclass, so process pools work
+as well as threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.amr.hierarchy import AmrHierarchy, AmrLevel
+from repro.core.config import AMRICConfig
+from repro.core.filter_mod import AMRICLevelFilter, ChunkPlan, plan_level_chunks
+from repro.core.preprocess import UnitBlock, extract_block_data, preprocess_level
+from repro.h5lite.file import DatasetInfo, H5LiteFile
+
+__all__ = [
+    "RankChunkSpec",
+    "DatasetPlan",
+    "LevelPlan",
+    "WritePlan",
+    "plan_write",
+    "PackedDataset",
+    "pack_dataset",
+    "FilterSpec",
+    "EncodeJob",
+    "EncodeResult",
+    "make_encode_job",
+    "encode_job",
+    "commit_dataset",
+    "dataset_record",
+]
+
+
+# ----------------------------------------------------------------------
+# plan
+# ----------------------------------------------------------------------
+@dataclass
+class RankChunkSpec:
+    """One rank's chunk of one dataset: which blocks fill it and how full it is."""
+
+    rank: int
+    blocks: List[UnitBlock]
+    valid_elements: int               #: elements the rank actually owns
+    actual_elements: int              #: what the filter is told (== chunk size when naive)
+    plan: ChunkPlan
+
+
+@dataclass
+class DatasetPlan:
+    """The write layout of one ``level_<l>/<field>`` dataset."""
+
+    level: int
+    field: str
+    name: str
+    value_range: float
+    chunk_elements: int
+    rank_specs: List[RankChunkSpec]
+    nblocks: int                      #: unit blocks on the level (for the record)
+
+    @property
+    def ranks(self) -> List[int]:
+        return [spec.rank for spec in self.rank_specs]
+
+    @property
+    def per_rank_elements(self) -> List[int]:
+        return [spec.valid_elements for spec in self.rank_specs]
+
+    @property
+    def total_elements(self) -> int:
+        return len(self.rank_specs) * self.chunk_elements
+
+
+@dataclass
+class LevelPlan:
+    """Preprocessing outcome + dataset layouts for one AMR level."""
+
+    level: int
+    removed_cells: int
+    total_cells: int
+    datasets: List[DatasetPlan] = field(default_factory=list)
+
+
+@dataclass
+class WritePlan:
+    """Everything the pack/encode/commit stages need, decided up front."""
+
+    levels: List[LevelPlan]
+    nranks: int
+
+    @property
+    def datasets(self) -> List[DatasetPlan]:
+        return [d for lvl in self.levels for d in lvl.datasets]
+
+    @property
+    def removed_cells(self) -> int:
+        return sum(lvl.removed_cells for lvl in self.levels)
+
+    @property
+    def total_cells(self) -> int:
+        return sum(lvl.total_cells for lvl in self.levels)
+
+
+def plan_write(hierarchy: AmrHierarchy, config: AMRICConfig,
+               comm=None) -> WritePlan:
+    """Stage 1: preprocess every level and lay out every dataset's chunks.
+
+    ``comm`` (a :class:`~repro.parallel.mpi_sim.SimComm`) is charged one
+    allreduce per level/field for the global chunk size — the collective the
+    real writer performs so all ranks agree on the shared dataset's chunking.
+    """
+    nranks = max(lvl.multifab.distribution.nranks for lvl in hierarchy.levels)
+    levels: List[LevelPlan] = []
+    for level_index, level in enumerate(hierarchy.levels):
+        pre = preprocess_level(hierarchy, level_index, config.unit_block_size,
+                               remove_redundancy=config.remove_redundancy)
+        level_plan = LevelPlan(level=level_index, removed_cells=pre.removed_cells,
+                               total_cells=pre.total_cells)
+        levels.append(level_plan)
+        if not pre.unit_blocks:
+            continue
+        ranks_with_data = sorted({b.rank for b in pre.unit_blocks})
+        per_rank_blocks = {r: pre.blocks_on_rank(r) for r in ranks_with_data}
+        per_rank_elements = [sum(b.size for b in per_rank_blocks[r])
+                             for r in ranks_with_data]
+
+        for name in hierarchy.component_names:
+            value_range = max(level.multifab.value_range(name), 0.0)
+            # the global chunk size is the collective max of the per-rank
+            # contributions (one allreduce per shared dataset)
+            if comm is not None:
+                sizes = [0] * comm.size
+                for rank, nelem in zip(ranks_with_data, per_rank_elements):
+                    sizes[rank] = nelem
+                comm.allreduce(sizes, op=max)
+            layout = plan_level_chunks(per_rank_elements,
+                                       modify_filter=config.modify_filter)
+            chunk_elements = layout.chunk_elements
+
+            specs: List[RankChunkSpec] = []
+            for rank in ranks_with_data:
+                blocks = per_rank_blocks[rank]
+                valid = sum(b.size for b in blocks)
+                plan_positions = [tuple(b.box.lo) for b in blocks]
+                plan_shapes = [tuple(b.box.shape) for b in blocks]
+                if not config.modify_filter:
+                    # naive large chunk: the padding tail is real work,
+                    # represented as one extra pseudo block
+                    actual = chunk_elements
+                    pad = chunk_elements - valid
+                    if pad > 0:
+                        plan_shapes = plan_shapes + [(1, 1, pad)]
+                        plan_positions = None
+                else:
+                    actual = valid
+                specs.append(RankChunkSpec(
+                    rank=rank, blocks=blocks, valid_elements=valid,
+                    actual_elements=actual,
+                    plan=ChunkPlan(field=name, block_shapes=plan_shapes,
+                                   value_range=value_range,
+                                   block_positions=plan_positions)))
+            level_plan.datasets.append(DatasetPlan(
+                level=level_index, field=name,
+                name=f"level_{level_index}/{name}",
+                value_range=value_range, chunk_elements=chunk_elements,
+                rank_specs=specs, nblocks=len(pre.unit_blocks)))
+    return WritePlan(levels=levels, nranks=nranks)
+
+
+# ----------------------------------------------------------------------
+# pack
+# ----------------------------------------------------------------------
+@dataclass
+class PackedDataset:
+    """One dataset's filled write buffer plus the originals for quality checks."""
+
+    plan: DatasetPlan
+    data: np.ndarray                       #: the whole dataset, chunk per rank
+    originals: List[List[np.ndarray]]      #: per rank, per block (for PSNR)
+
+
+def pack_dataset(level: AmrLevel, dplan: DatasetPlan) -> PackedDataset:
+    """Stage 2: copy each rank's blocks into its chunk slice of one buffer."""
+    chunk_elements = dplan.chunk_elements
+    data = np.empty(len(dplan.rank_specs) * chunk_elements, dtype=np.float64)
+    originals: List[List[np.ndarray]] = []
+    for i, spec in enumerate(dplan.rank_specs):
+        blocks_data = extract_block_data(level, dplan.field, spec.blocks)
+        originals.append(blocks_data)
+        buf = data[i * chunk_elements:(i + 1) * chunk_elements]
+        offset = 0
+        for d in blocks_data:
+            buf[offset:offset + d.size].reshape(d.shape)[...] = d
+            offset += d.size
+        buf[offset:] = 0.0                  # padding tail
+    return PackedDataset(plan=dplan, data=data, originals=originals)
+
+
+# ----------------------------------------------------------------------
+# encode
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FilterSpec:
+    """The :class:`AMRICLevelFilter` construction recipe (picklable)."""
+
+    compressor: str = "sz_lr"
+    error_bound: float = 1e-3
+    use_sle: bool = True
+    adaptive_block_size: bool = True
+    sz_block_size: int = 6
+    interp_arrangement: str = "cluster"
+    interp_anchor_stride: int = 16
+    unit_block_size: int = 16
+
+    @staticmethod
+    def from_config(config: AMRICConfig) -> "FilterSpec":
+        return FilterSpec(
+            compressor=config.compressor, error_bound=config.error_bound,
+            use_sle=config.use_sle, adaptive_block_size=config.adaptive_block_size,
+            sz_block_size=config.sz_block_size,
+            interp_arrangement=config.interp_arrangement,
+            interp_anchor_stride=config.interp_anchor_stride,
+            unit_block_size=config.unit_block_size)
+
+    def make_filter(self) -> AMRICLevelFilter:
+        return AMRICLevelFilter(
+            compressor=self.compressor, error_bound=self.error_bound,
+            use_sle=self.use_sle, adaptive_block_size=self.adaptive_block_size,
+            sz_block_size=self.sz_block_size,
+            interp_arrangement=self.interp_arrangement,
+            interp_anchor_stride=self.interp_anchor_stride,
+            unit_block_size=self.unit_block_size)
+
+
+@dataclass
+class EncodeJob:
+    """One dataset's encode work: its chunk sequence, in write order.
+
+    The job is the unit of backend parallelism.  Chunks within a job are
+    encoded sequentially because unit SLE carries one shared Huffman table
+    across a level's ranks — splitting them would change the bytes.
+    """
+
+    key: str                               #: dataset name (stable identifier)
+    data: np.ndarray                       #: the packed dataset buffer
+    chunk_elements: int
+    actual_sizes: List[int]
+    plans: List[ChunkPlan]
+    filter_spec: FilterSpec
+
+
+@dataclass
+class EncodeResult:
+    """What one encode job produced (travels back across the backend)."""
+
+    key: str
+    payloads: List[bytes]
+    reconstructions: List[List[np.ndarray]]
+    filter_calls: int
+
+    @property
+    def compressed_bytes(self) -> int:
+        return sum(len(p) for p in self.payloads)
+
+
+def make_encode_job(packed: PackedDataset, filter_spec: FilterSpec) -> EncodeJob:
+    return EncodeJob(
+        key=packed.plan.name, data=packed.data,
+        chunk_elements=packed.plan.chunk_elements,
+        actual_sizes=[spec.actual_elements for spec in packed.plan.rank_specs],
+        plans=[spec.plan for spec in packed.plan.rank_specs],
+        filter_spec=filter_spec)
+
+
+def encode_job(job: EncodeJob) -> EncodeResult:
+    """Stage 3: run the AMRIC filter over one dataset's chunks.
+
+    A module-level pure function over picklable inputs, so every execution
+    backend (inline, thread pool, process pool) runs the identical code and
+    produces identical bytes.
+    """
+    level_filter = job.filter_spec.make_filter()
+    for plan in job.plans:
+        level_filter.queue_plan(plan)
+    ce = job.chunk_elements
+    payloads = [
+        level_filter.encode(job.data[i * ce:(i + 1) * ce],
+                            actual_elements=job.actual_sizes[i])
+        for i in range(len(job.actual_sizes))
+    ]
+    return EncodeResult(key=job.key, payloads=payloads,
+                        reconstructions=level_filter.last_reconstructions,
+                        filter_calls=level_filter.stats.calls)
+
+
+# ----------------------------------------------------------------------
+# commit
+# ----------------------------------------------------------------------
+def commit_dataset(h5file: Optional[H5LiteFile], dplan: DatasetPlan,
+                   result: EncodeResult) -> Optional[DatasetInfo]:
+    """Stage 4a: append one dataset's encoded chunks to the container file."""
+    if h5file is None:
+        return None
+    return h5file.create_dataset_from_chunks(
+        dplan.name, result.payloads,
+        shape=(dplan.total_elements,), dtype="float64",
+        chunk_elements=dplan.chunk_elements,
+        filter_id=AMRICLevelFilter.filter_id,
+        actual_elements_per_chunk=[spec.actual_elements for spec in dplan.rank_specs],
+        attrs={"level": dplan.level, "field": dplan.field,
+               "value_range": dplan.value_range})
+
+
+def dataset_record(dplan: DatasetPlan, originals: Sequence[Sequence[np.ndarray]],
+                   result: EncodeResult):
+    """Stage 4b: distil one dataset's quality/size record from the encode output."""
+    from repro.core.pipeline import LevelFieldRecord
+
+    sq_err = 0.0
+    max_err = 0.0
+    n_elems = 0
+    gmin, gmax = np.inf, -np.inf
+    for data, recons in zip(originals, result.reconstructions):
+        for orig, rec in zip(data, recons):
+            diff = orig - rec
+            sq_err += float(np.sum(diff * diff))
+            max_err = max(max_err, float(np.max(np.abs(diff))))
+            n_elems += orig.size
+            gmin = min(gmin, float(orig.min()))
+            gmax = max(gmax, float(orig.max()))
+    mse = sq_err / max(n_elems, 1)
+    vrange = (gmax - gmin) if gmax > gmin else 1.0
+    field_psnr = float("inf") if mse == 0 else \
+        20.0 * np.log10(vrange) - 10.0 * np.log10(mse)
+    return LevelFieldRecord(
+        level=dplan.level, field=dplan.field, raw_bytes=n_elems * 8,
+        compressed_bytes=result.compressed_bytes, psnr=field_psnr,
+        max_error=max_err, filter_calls=result.filter_calls,
+        nblocks=dplan.nblocks, sq_error=sq_err, n_elements=n_elems,
+        value_min=gmin, value_max=gmax)

@@ -212,6 +212,42 @@ class H5LiteFile:
         self.datasets[name] = info
         return info
 
+    def create_dataset_from_chunks(self, name: str, payloads: Sequence[bytes], *,
+                                   shape: Tuple[int, ...], dtype: str,
+                                   chunk_elements: int, filter_id: str,
+                                   actual_elements_per_chunk: Sequence[int],
+                                   attrs: Optional[Dict[str, object]] = None) -> DatasetInfo:
+        """Write a dataset whose chunks were already encoded elsewhere.
+
+        This is the commit half of the staged write pipeline: the filter ran
+        earlier (possibly on another worker — see
+        :mod:`repro.parallel.backend`), and this method only appends the
+        pre-encoded chunk payloads and records their byte ranges.  Byte
+        layout is identical to :meth:`create_dataset` encoding the same
+        chunks inline.
+        """
+        if self.mode != "w":
+            raise ValueError("file is open read-only")
+        if name in self.datasets:
+            raise ValueError(f"dataset {name!r} already exists")
+        if not payloads:
+            raise ValueError("cannot store a dataset with no chunks")
+        if len(actual_elements_per_chunk) != len(payloads):
+            raise ValueError("actual_elements_per_chunk must have one entry per chunk")
+        chunk_elements = int(chunk_elements)
+        if chunk_elements < 1:
+            raise ValueError("chunk_elements must be >= 1")
+        info = DatasetInfo(name=name, shape=tuple(int(s) for s in shape),
+                           dtype=str(dtype), chunk_elements=chunk_elements,
+                           filter_id=filter_id, attrs=dict(attrs or {}))
+        for payload, actual in zip(payloads, actual_elements_per_chunk):
+            offset = self._fh.tell()
+            self._fh.write(payload)
+            info.chunks.append(ChunkRecord(offset=offset, nbytes=len(payload),
+                                           actual_elements=int(actual)))
+        self.datasets[name] = info
+        return info
+
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------

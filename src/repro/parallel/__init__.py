@@ -23,6 +23,14 @@ produce the write-time breakdowns the benchmarks report.
 from repro.parallel.mpi_sim import SimComm
 from repro.parallel.filesystem import ParallelFileSystem
 from repro.parallel.iomodel import IOCostModel, WriteTimeBreakdown, RankWorkload
+from repro.parallel.backend import (
+    ExecutionBackend,
+    ParallelBackend,
+    SerialBackend,
+    WorkloadTally,
+    apportion,
+    make_backend,
+)
 
 __all__ = [
     "SimComm",
@@ -30,4 +38,10 @@ __all__ = [
     "IOCostModel",
     "WriteTimeBreakdown",
     "RankWorkload",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ParallelBackend",
+    "make_backend",
+    "apportion",
+    "WorkloadTally",
 ]

@@ -1,0 +1,223 @@
+"""Execution backends: where the per-rank encode work actually runs.
+
+The writer pipeline produces independent work items (one per dataset, each a
+sequence of per-rank chunk encodes — see :mod:`repro.core.stages`).  An
+:class:`ExecutionBackend` decides how those items execute:
+
+* :class:`SerialBackend` — in-process, in submission order; reproduces the
+  pre-backend writer behaviour bit-for-bit and is the default;
+* :class:`ParallelBackend` — a ``concurrent.futures`` pool (threads or
+  processes).  Work functions are module-level pure functions over picklable
+  dataclasses, so both pool kinds work; results come back in submission
+  order, which is what makes the parallel write byte-identical to the serial
+  one.
+
+The module also owns the per-rank accounting that used to be hand-tallied in
+the writer loop:
+
+* :func:`apportion` — largest-remainder split of an integer total across
+  weights; unlike per-share rounding it conserves the total exactly;
+* :class:`WorkloadTally` — accumulates per-rank raw/compressed/padded bytes
+  and launch counts across datasets and emits the
+  :class:`~repro.parallel.iomodel.RankWorkload` list the I/O cost model
+  consumes.
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from repro.parallel.iomodel import RankWorkload
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ParallelBackend",
+    "make_backend",
+    "apportion",
+    "WorkloadTally",
+]
+
+
+class ExecutionBackend(abc.ABC):
+    """Strategy for running a batch of independent work items."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Run ``fn`` over ``items``, returning results in submission order."""
+
+    def close(self) -> None:
+        """Release any pooled resources (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutionBackend):
+    """Run everything inline, in order — today's single-process behaviour."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+
+class ParallelBackend(ExecutionBackend):
+    """A ``concurrent.futures`` pool over threads or processes.
+
+    ``kind='thread'`` shares memory with the caller (cheap, useful when the
+    work releases the GIL or for testing the submission plumbing);
+    ``kind='process'`` runs workers in separate interpreters and requires the
+    work function and items to be picklable — which the encode-job dataclasses
+    of :mod:`repro.core.stages` are.
+    """
+
+    name = "parallel"
+
+    def __init__(self, kind: str = "thread", max_workers: Optional[int] = None):
+        if kind not in ("thread", "process"):
+            raise ValueError(f"kind must be 'thread' or 'process', got {kind!r}")
+        self.kind = kind
+        self.max_workers = max_workers
+        self._executor = None
+
+    def _ensure_executor(self):
+        if self._executor is None:
+            if self.kind == "thread":
+                self._executor = ThreadPoolExecutor(max_workers=self.max_workers)
+            else:
+                self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        if not items:
+            return []
+        executor = self._ensure_executor()
+        # executor.map preserves submission order regardless of completion order
+        return list(executor.map(fn, items))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ParallelBackend(kind={self.kind!r}, max_workers={self.max_workers})"
+
+
+def make_backend(spec: "str | ExecutionBackend | None",
+                 max_workers: Optional[int] = None) -> ExecutionBackend:
+    """Build a backend from a name ('serial', 'thread', 'process') or pass one through."""
+    if spec is None:
+        return SerialBackend()
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec == "serial":
+        return SerialBackend()
+    if spec in ("thread", "threads"):
+        return ParallelBackend("thread", max_workers)
+    if spec in ("process", "processes"):
+        return ParallelBackend("process", max_workers)
+    raise ValueError(
+        f"unknown backend {spec!r}; expected 'serial', 'thread' or 'process'")
+
+
+# ----------------------------------------------------------------------
+# per-rank accounting
+# ----------------------------------------------------------------------
+def apportion(total: int, weights: Sequence[int | float]) -> List[int]:
+    """Split an integer ``total`` across ``weights`` by largest remainder.
+
+    Unlike independent ``round(total * share)`` per entry, the result always
+    sums to ``total`` exactly.  Zero/degenerate weights split evenly.  Ties in
+    the fractional remainders are broken by lower index (deterministic).
+    """
+    total = int(total)
+    if total < 0:
+        raise ValueError("cannot apportion a negative total")
+    n = len(weights)
+    if n == 0:
+        raise ValueError("need at least one weight")
+    w = np.asarray(weights, dtype=np.float64)
+    if np.any(w < 0):
+        raise ValueError("weights cannot be negative")
+    wsum = float(w.sum())
+    if wsum <= 0:
+        w = np.ones(n, dtype=np.float64)
+        wsum = float(n)
+    quotas = total * w / wsum
+    base = np.floor(quotas).astype(np.int64)
+    remainder = int(total - int(base.sum()))
+    if remainder:
+        # stable argsort on negated fractions → largest remainder, lowest index first
+        order = np.argsort(-(quotas - base), kind="stable")[:remainder]
+        base[order] += 1
+    out = [int(b) for b in base]
+    assert sum(out) == total, "largest-remainder apportionment must conserve the total"
+    return out
+
+
+class WorkloadTally:
+    """Accumulates per-rank workload counters across a plotfile write."""
+
+    def __init__(self, nranks: int):
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        self.nranks = int(nranks)
+        self.raw = np.zeros(self.nranks, dtype=np.int64)
+        self.compressed = np.zeros(self.nranks, dtype=np.int64)
+        self.launches = np.zeros(self.nranks, dtype=np.int64)
+        self.padded = np.zeros(self.nranks, dtype=np.int64)
+        self.chunks = np.zeros(self.nranks, dtype=np.int64)
+
+    def add_dataset(self, ranks: Sequence[int], per_rank_elements: Sequence[int],
+                    chunk_elements: int, compressed_bytes: int,
+                    count_padding: bool = False,
+                    launches_per_rank: int = 1) -> None:
+        """Charge one dataset's write to the ranks that participated.
+
+        Compressed bytes are split between the ranks proportionally to their
+        raw contribution with exact conservation
+        (``sum(per-rank compressed) == compressed_bytes``).
+        """
+        if len(ranks) != len(per_rank_elements):
+            raise ValueError("ranks and per_rank_elements must align")
+        shares = apportion(compressed_bytes, per_rank_elements)
+        for rank, elements, share in zip(ranks, per_rank_elements, shares):
+            self.raw[rank] += int(elements) * 8
+            self.compressed[rank] += share
+            self.launches[rank] += int(launches_per_rank)
+            self.chunks[rank] += 1
+            if count_padding:
+                self.padded[rank] += (int(chunk_elements) - int(elements)) * 8
+
+    @property
+    def total_compressed(self) -> int:
+        return int(self.compressed.sum())
+
+    @property
+    def total_raw(self) -> int:
+        return int(self.raw.sum())
+
+    def workloads(self) -> List[RankWorkload]:
+        return [RankWorkload(raw_bytes=int(self.raw[r]),
+                             compressed_bytes=int(self.compressed[r]),
+                             compressor_launches=int(self.launches[r]),
+                             padded_bytes=int(self.padded[r]),
+                             chunks_written=int(max(self.chunks[r], 1)))
+                for r in range(self.nranks)]

@@ -68,6 +68,20 @@ class SimComm:
         self.counters.collective_writes += int(count)
 
     # ------------------------------------------------------------------
+    def run_jobs(self, backend, fn: Callable, jobs: Sequence) -> List:
+        """Execute independent work items through an execution backend.
+
+        This is how the writer submits its per-rank encode jobs: the
+        communicator hands the batch to the backend (serial or pooled) and
+        charges one barrier — every rank must finish encoding before the
+        collective dataset writes can start.  Results come back in submission
+        order.
+        """
+        results = backend.map(fn, jobs)
+        self.counters.barriers += 1
+        return results
+
+    # ------------------------------------------------------------------
     def scatter_boxes(self, nboxes: int) -> Dict[int, List[int]]:
         """Round-robin box ownership map (rank -> box indices)."""
         out: Dict[int, List[int]] = {r: [] for r in self.ranks()}

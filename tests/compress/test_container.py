@@ -1,0 +1,173 @@
+"""The unified codec container and the codec registry."""
+
+import numpy as np
+import pytest
+
+from repro.compress import container as ctn
+from repro.compress import registry
+from repro.compress.errorbound import ErrorBound
+from repro.compress.huffman import HuffmanCodec
+from repro.testing import make_smooth
+
+ALL_CODECS = ["sz_lr", "sz_interp", "sz_1d", "zfp_like"]
+
+
+def _codec(name):
+    return registry.create_codec(name, ErrorBound.relative(1e-3))
+
+
+class TestContainerFraming:
+    def test_pack_unpack_roundtrip(self):
+        payload = ctn.pack_container("demo", {"alpha": 1.5},
+                                     {"body": b"abc", "side": b""})
+        cont = ctn.unpack_container(payload)
+        assert cont.codec == "demo"
+        assert cont.meta["alpha"] == 1.5
+        assert cont.sections == {"body": b"abc", "side": b""}
+
+    def test_meta_is_reserved(self):
+        with pytest.raises(ValueError):
+            ctn.pack_container("demo", {}, {"meta": b"x"})
+
+    def test_wrong_codec_rejected(self):
+        payload = ctn.pack_container("demo", {}, {"body": b"abc"})
+        with pytest.raises(ValueError, match="codec"):
+            ctn.unpack_container(payload, expect_codec="other")
+
+    def test_bad_magic_rejected(self):
+        payload = ctn.pack_container("demo", {}, {"body": b"abc"})
+        with pytest.raises(ValueError, match="magic"):
+            ctn.unpack_container(b"XXXX" + payload[4:])
+
+    @pytest.mark.parametrize("cut", [0, 3, 7, -11, -1])
+    def test_truncation_rejected(self, cut):
+        payload = ctn.pack_container("demo", {}, {"body": b"a" * 64})
+        with pytest.raises(ValueError):
+            ctn.unpack_container(payload[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        payload = ctn.pack_container("demo", {}, {"body": b"abc"})
+        with pytest.raises(ValueError, match="trailing"):
+            ctn.unpack_container(payload + b"zz")
+
+    def test_corrupt_meta_rejected(self):
+        from repro.compress.lossless import pack_sections
+        with pytest.raises(ValueError, match="meta"):
+            ctn.unpack_container(pack_sections({"meta": b"{not json"}))
+        with pytest.raises(ValueError, match="meta"):
+            ctn.unpack_container(pack_sections({"body": b"no meta here"}))
+
+
+class TestHuffmanSections:
+    def test_multi_stream_roundtrip(self):
+        rng = np.random.default_rng(3)
+        arrays = [rng.integers(0, 50, size=n).astype(np.uint32)
+                  for n in (1000, 1, 700)]
+        codec = HuffmanCodec.from_multiple(arrays)
+        sections = ctn.pack_huffman([codec.encode(a) for a in arrays])
+        from repro.compress.huffman import SYNC_INTERVAL
+        back = ctn.unpack_huffman(sections, sync_interval=SYNC_INTERVAL)
+        assert len(back) == len(arrays)
+        for a, b in zip(arrays, back):
+            np.testing.assert_array_equal(a, b)
+
+    def test_fallback_counts_for_old_streams(self):
+        codes = np.arange(100, dtype=np.uint32) % 7
+        stream = HuffmanCodec.from_data(codes).encode(codes)
+        sections = ctn.pack_huffman([stream])
+        # simulate an old stream: counts lived in codec metadata, not sections
+        del sections["huff_nbits"], sections["huff_ncodes"]
+        back = ctn.unpack_huffman(sections, fallback_nbits=[stream.nbits],
+                                  fallback_ncodes=[codes.size])
+        np.testing.assert_array_equal(back[0], codes)
+        with pytest.raises(ValueError):
+            ctn.unpack_huffman(sections)
+
+    def test_individual_roundtrip(self):
+        rng = np.random.default_rng(4)
+        arrays = [rng.integers(0, 9, size=n).astype(np.uint32) for n in (300, 17)]
+        streams = [HuffmanCodec.from_data(a).encode(a) for a in arrays]
+        blob = ctn.pack_huffman_individual(streams)
+        from repro.compress.huffman import SYNC_INTERVAL
+        back = ctn.unpack_huffman_individual(blob, [a.size for a in arrays],
+                                             SYNC_INTERVAL)
+        for a, b in zip(arrays, back):
+            np.testing.assert_array_equal(a, b)
+
+    def test_zarray_roundtrip(self):
+        arr = np.linspace(0, 1, 37).reshape(1, 37)
+        np.testing.assert_array_equal(ctn.unpack_zarray(ctn.pack_zarray(arr)), arr)
+
+
+class TestCodecsThroughContainer:
+    """Every codec serializes through the one shared container."""
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    def test_roundtrip_and_bound(self, name):
+        data = make_smooth((20, 18, 16), noise=0.05, seed=9)
+        comp = _codec(name)
+        buffer, recon = comp.compress_with_reconstruction(data)
+        back = comp.decompress(buffer)
+        np.testing.assert_array_equal(back, recon)
+        eb = 1e-3 * (data.max() - data.min())
+        assert np.max(np.abs(back - data)) <= eb * (1 + 1e-9)
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    def test_stream_is_tagged_with_codec(self, name):
+        data = make_smooth((12, 12, 12), seed=5)
+        buffer = _codec(name).compress(data)
+        assert ctn.unpack_container(buffer.payload).codec == name
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    def test_wrong_decompressor_rejected(self, name):
+        data = make_smooth((12, 12, 12), seed=6)
+        buffer = _codec(name).compress(data)
+        other = "sz_lr" if name != "sz_lr" else "sz_interp"
+        with pytest.raises(ValueError, match="codec"):
+            _codec(other).decompress(buffer.payload)
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    @pytest.mark.parametrize("cut", [5, 40, -7])
+    def test_truncated_stream_rejected(self, name, cut):
+        data = make_smooth((12, 12, 12), seed=7)
+        buffer = _codec(name).compress(data)
+        with pytest.raises(ValueError):
+            _codec(name).decompress(buffer.payload[:cut])
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    def test_bad_magic_stream_rejected(self, name):
+        data = make_smooth((12, 12, 12), seed=8)
+        buffer = _codec(name).compress(data)
+        with pytest.raises(ValueError):
+            _codec(name).decompress(b"JUNK" + buffer.payload[4:])
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        for name in ALL_CODECS:
+            assert registry.is_registered(name)
+        assert registry.is_registered("sz1d")          # alias
+        assert set(ALL_CODECS) <= set(registry.available_codecs())
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="sz_lr"):
+            registry.resolve_codec("lz4")
+
+    def test_alias_resolves_to_canonical(self):
+        assert registry.resolve_codec("sz1d").name == "sz_1d"
+        comp = registry.create_codec("sz1d", 1e-3)
+        assert comp.name == "sz_1d"
+
+    def test_create_filters_unknown_options(self):
+        # option meant for another codec is silently dropped, not an error
+        comp = registry.create_codec("sz_1d", 1e-3, anchor_stride=8, radius=64)
+        assert comp.radius == 64
+
+    def test_duplicate_registration_rejected(self):
+        spec = registry.resolve_codec("sz_lr")
+        with pytest.raises(ValueError):
+            registry.register_codec(spec)
+
+    def test_supports_many_capability(self):
+        assert registry.resolve_codec("sz_lr").supports_many
+        assert not registry.resolve_codec("sz_interp").supports_many

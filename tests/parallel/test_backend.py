@@ -1,0 +1,134 @@
+"""Execution backends, byte apportionment and the workload tally."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel import RankWorkload, SimComm
+from repro.parallel.backend import (
+    ParallelBackend,
+    SerialBackend,
+    WorkloadTally,
+    apportion,
+    make_backend,
+)
+
+
+def _square(x):
+    return x * x
+
+
+class TestBackends:
+    def test_serial_preserves_order(self):
+        assert SerialBackend().map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_thread_matches_serial(self):
+        items = list(range(20))
+        with ParallelBackend("thread", max_workers=4) as backend:
+            assert backend.map(_square, items) == SerialBackend().map(_square, items)
+
+    def test_process_matches_serial(self):
+        with ParallelBackend("process", max_workers=2) as backend:
+            assert backend.map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_empty_batch(self):
+        with ParallelBackend("thread") as backend:
+            assert backend.map(_square, []) == []
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            ParallelBackend("gpu")
+
+    def test_make_backend_specs(self):
+        assert isinstance(make_backend(None), SerialBackend)
+        assert isinstance(make_backend("serial"), SerialBackend)
+        assert make_backend("thread").kind == "thread"
+        assert make_backend("process").kind == "process"
+        backend = SerialBackend()
+        assert make_backend(backend) is backend
+        with pytest.raises(ValueError):
+            make_backend("quantum")
+
+    def test_close_is_idempotent(self):
+        backend = ParallelBackend("thread", max_workers=1)
+        backend.map(_square, [1])
+        backend.close()
+        backend.close()
+        # a closed backend can be reused: the pool is rebuilt lazily
+        assert backend.map(_square, [5]) == [25]
+
+    def test_simcomm_run_jobs_counts_barrier(self):
+        comm = SimComm(4)
+        out = comm.run_jobs(SerialBackend(), _square, [1, 2, 3])
+        assert out == [1, 4, 9]
+        assert comm.counters.barriers == 1
+
+
+class TestApportion:
+    def test_conserves_simple(self):
+        shares = apportion(10, [1, 1, 1])
+        assert sum(shares) == 10
+        assert shares == [4, 3, 3]      # tie broken toward the lower index
+
+    def test_rounding_case_that_broke_round(self):
+        # independent round() gives 3 × round(33.5) = 3 × 34 = 102 ≠ 100
+        shares = apportion(100, [1, 1, 1])
+        assert sum(shares) == 100
+
+    def test_zero_weights_split_evenly(self):
+        assert sum(apportion(7, [0, 0])) == 7
+
+    def test_proportionality(self):
+        shares = apportion(1000, [3, 1])
+        assert shares == [750, 250]
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            apportion(-1, [1])
+        with pytest.raises(ValueError):
+            apportion(5, [])
+        with pytest.raises(ValueError):
+            apportion(5, [1, -2])
+
+    @given(total=st.integers(0, 10 ** 9),
+           weights=st.lists(st.integers(0, 10 ** 6), min_size=1, max_size=32))
+    def test_conservation_property(self, total, weights):
+        shares = apportion(total, weights)
+        assert sum(shares) == total
+        assert all(s >= 0 for s in shares)
+        # no share exceeds its ceiling quota
+        wsum = sum(weights) or len(weights)
+        w = weights if sum(weights) else [1] * len(weights)
+        for share, weight in zip(shares, w):
+            assert share <= total * weight / wsum + 1
+
+
+class TestWorkloadTally:
+    def test_conserves_compressed_bytes(self):
+        tally = WorkloadTally(4)
+        tally.add_dataset(ranks=[0, 2, 3], per_rank_elements=[100, 50, 49],
+                          chunk_elements=100, compressed_bytes=1001)
+        tally.add_dataset(ranks=[1, 2], per_rank_elements=[10, 30],
+                          chunk_elements=30, compressed_bytes=333)
+        assert tally.total_compressed == 1001 + 333
+        workloads = tally.workloads()
+        assert sum(w.compressed_bytes for w in workloads) == 1001 + 333
+        assert workloads[0].raw_bytes == 100 * 8
+        assert workloads[1].compressor_launches == 1
+        assert all(isinstance(w, RankWorkload) for w in workloads)
+
+    def test_padding_accounting(self):
+        tally = WorkloadTally(2)
+        tally.add_dataset(ranks=[0, 1], per_rank_elements=[100, 60],
+                          chunk_elements=100, compressed_bytes=10,
+                          count_padding=True)
+        workloads = tally.workloads()
+        assert workloads[0].padded_bytes == 0
+        assert workloads[1].padded_bytes == 40 * 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadTally(0)
+        with pytest.raises(ValueError):
+            WorkloadTally(2).add_dataset(ranks=[0], per_rank_elements=[1, 2],
+                                         chunk_elements=2, compressed_bytes=1)
