@@ -1,12 +1,13 @@
 # Developer entry points. `make test` is the tier-1 gate; `make lint` runs ruff
 # (skipping with a notice when it is not installed); `make bench` runs the
-# tracked performance suite and refreshes BENCH_entropy.json + BENCH_writer.json
-# (it degrades to a plain run — the perf tests skip themselves — if
-# pytest-benchmark is absent).
+# tracked performance suite and refreshes BENCH_entropy.json +
+# BENCH_writer.json + BENCH_reader.json (it degrades to a plain run — the
+# perf tests skip themselves — if pytest-benchmark is absent); `make smoke`
+# exercises the `python -m repro` CLI end to end.
 
 PY := PYTHONPATH=src python
 
-.PHONY: test lint bench
+.PHONY: test lint bench smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -22,10 +23,25 @@ bench:
 	@$(PY) -c "import pytest_benchmark" 2>/dev/null \
 		&& $(PY) -m pytest benchmarks/perf -q \
 			--ignore=benchmarks/perf/test_perf_writer.py \
+			--ignore=benchmarks/perf/test_perf_reader.py \
 			--benchmark-json=BENCH_entropy.json \
 		|| $(PY) -m pytest benchmarks/perf -q \
-			--ignore=benchmarks/perf/test_perf_writer.py
+			--ignore=benchmarks/perf/test_perf_writer.py \
+			--ignore=benchmarks/perf/test_perf_reader.py
 	@$(PY) -c "import pytest_benchmark" 2>/dev/null \
 		&& $(PY) -m pytest benchmarks/perf/test_perf_writer.py -q \
 			--benchmark-json=BENCH_writer.json \
 		|| $(PY) -m pytest benchmarks/perf/test_perf_writer.py -q
+	@$(PY) -c "import pytest_benchmark" 2>/dev/null \
+		&& $(PY) -m pytest benchmarks/perf/test_perf_reader.py -q \
+			--benchmark-json=BENCH_reader.json \
+		|| $(PY) -m pytest benchmarks/perf/test_perf_reader.py -q
+
+smoke:
+	@rm -rf .smoke && mkdir -p .smoke
+	$(PY) -m repro compress --preset nyx_1 .smoke/plt.h5z
+	$(PY) -m repro info .smoke/plt.h5z
+	$(PY) -m repro verify .smoke/plt.h5z
+	$(PY) -m repro decompress .smoke/plt.h5z .smoke/raw.h5z
+	$(PY) -m repro verify .smoke/plt.h5z --against .smoke/raw.h5z
+	@rm -rf .smoke

@@ -1,0 +1,73 @@
+"""Read-path timing on the nyx_1 preset: staged full reads and random access.
+
+``make bench`` runs this file separately into ``BENCH_reader.json`` so the
+read-side numbers are tracked per PR next to the writer's
+(``BENCH_writer.json``): the serial staged decode, the thread-pooled decode,
+and single-field box-bounded random access (which must only pay for the
+intersecting chunks).
+"""
+
+import pytest
+
+pytest.importorskip("pytest_benchmark")
+
+import repro
+from repro.parallel.backend import ParallelBackend
+
+
+@pytest.fixture(scope="module")
+def plotfile(midsize_hierarchy, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("perf_reader") / "plt.h5z")
+    repro.write(midsize_hierarchy, path, compressor="sz_lr", error_bound=1e-3)
+    return path
+
+
+def test_reader_full_serial(benchmark, plotfile):
+    def full_read():
+        with repro.open(plotfile) as handle:
+            return handle.read()
+
+    hierarchy = benchmark.pedantic(full_read, rounds=3, iterations=1)
+    assert hierarchy.nlevels >= 1
+
+
+def test_reader_full_thread_backend(benchmark, plotfile):
+    """The pooled read path: per-dataset decode jobs on a thread pool."""
+    with ParallelBackend("thread", max_workers=4) as backend:
+        def full_read():
+            with repro.open(plotfile) as handle:
+                return handle.read(backend=backend)
+
+        hierarchy = benchmark.pedantic(full_read, rounds=3, iterations=1)
+    assert hierarchy.nlevels >= 1
+
+
+def test_reader_single_field_random_access(benchmark, plotfile, midsize_hierarchy):
+    """Box-bounded read of one field: decodes only the intersecting chunks."""
+    box = midsize_hierarchy[0].boxarray.boxes[0]
+
+    def window_read():
+        # a fresh handle per round: the chunk cache must not hide decode cost
+        with repro.open(plotfile) as handle:
+            data = handle.read_field("baryon_density", level=0, box=box,
+                                     refill=False)
+            return data, handle.stats.chunks_decoded
+
+    data, chunks_decoded = benchmark.pedantic(window_read, rounds=3, iterations=1)
+    assert data.shape == box.shape
+    with repro.open(plotfile) as handle:
+        total = handle.dataset_info("level_0/baryon_density").nchunks
+    assert chunks_decoded <= total
+
+
+def test_reader_scan_only(benchmark, plotfile):
+    """Plan reconstruction without any decoding (the scan stage alone)."""
+    from repro.core.reader import scan_plotfile
+    from repro.h5lite.file import H5LiteFile
+
+    def scan():
+        with H5LiteFile(plotfile, "r") as f:
+            return scan_plotfile(f)
+
+    plan = benchmark.pedantic(scan, rounds=3, iterations=1)
+    assert plan.datasets

@@ -12,10 +12,9 @@ paper-scale (Table 1) configuration.
 
 import argparse
 
+import repro
 from repro.analysis.reporting import format_table
 from repro.apps import RUN_PRESETS, build_run
-from repro.baselines import AMReXOriginalWriter, NoCompressionWriter
-from repro.core import AMRICConfig, AMRICWriter
 from repro.parallel import IOCostModel
 from repro.parallel.iomodel import RankWorkload
 
@@ -46,19 +45,20 @@ def main() -> None:
     model = IOCostModel()
     rows = []
 
+    # every method goes through the one repro.write facade entry point
     writers = {
-        "NoComp": NoCompressionWriter(),
-        "AMReX": AMReXOriginalWriter(error_bound=preset.error_bound_amrex),
-        "AMRIC(SZ_L/R)": AMRICWriter(AMRICConfig(compressor="sz_lr",
-                                                 error_bound=preset.error_bound_amric)),
-        "AMRIC(SZ_Interp)": AMRICWriter(AMRICConfig(compressor="sz_interp",
-                                                    error_bound=preset.error_bound_amric)),
+        "NoComp": dict(method="nocomp"),
+        "AMReX": dict(method="amrex_1d", error_bound=preset.error_bound_amrex),
+        "AMRIC(SZ_L/R)": dict(compressor="sz_lr",
+                              error_bound=preset.error_bound_amric),
+        "AMRIC(SZ_Interp)": dict(compressor="sz_interp",
+                                 error_bound=preset.error_bound_amric),
     }
 
     for step in range(args.steps):
         hierarchy = sim.hierarchy
-        for name, writer in writers.items():
-            report = writer.write_plotfile(hierarchy)
+        for name, write_kwargs in writers.items():
+            report = repro.write(hierarchy, None, **write_kwargs)
             workloads = scale_workloads(report, preset)
             breakdown = model.evaluate(workloads, ndatasets=report.ndatasets or 1,
                                        compression_enabled=name != "NoComp")

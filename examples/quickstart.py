@@ -1,7 +1,9 @@
 #!/usr/bin/env python
 """Quickstart: compress one AMR snapshot with AMRIC and read it back.
 
-Runs in a few seconds on a laptop::
+Uses the two-verb facade — ``repro.write`` to produce a self-describing
+plotfile and ``repro.open`` to read it back *without the producing hierarchy*
+(no structural template needed).  Runs in a few seconds on a laptop::
 
     python examples/quickstart.py
 """
@@ -11,9 +13,8 @@ import tempfile
 
 import numpy as np
 
+import repro
 from repro.apps import nyx_run
-from repro.baselines import AMReXOriginalWriter, NoCompressionWriter
-from repro.core import AMRICConfig, AMRICReader, AMRICWriter
 
 
 def main() -> None:
@@ -26,10 +27,8 @@ def main() -> None:
 
     with tempfile.TemporaryDirectory() as tmp:
         # 2. write it in situ with AMRIC (SZ_L/R, 1e-3 relative error bound)
-        config = AMRICConfig(compressor="sz_lr", error_bound=1e-3)
-        writer = AMRICWriter(config)
         path = os.path.join(tmp, "plotfile_amric.h5z")
-        report = writer.write_plotfile(hierarchy, path)
+        report = repro.write(hierarchy, path, compressor="sz_lr", error_bound=1e-3)
         print("\nAMRIC (SZ_L/R):")
         print(f"  compression ratio: {report.compression_ratio:6.1f}x")
         print(f"  mean PSNR:         {report.mean_psnr:6.1f} dB")
@@ -38,25 +37,38 @@ def main() -> None:
         print(f"  file size on disk: {os.path.getsize(path) / 1e6:.2f} MB")
 
         # 3. compare against AMReX's original 1D compression and no compression
-        amrex = AMReXOriginalWriter(error_bound=1e-2).write_plotfile(
-            hierarchy, os.path.join(tmp, "plotfile_amrex.h5z"))
-        nocomp = NoCompressionWriter().write_plotfile(
-            hierarchy, os.path.join(tmp, "plotfile_raw.h5z"))
+        amrex = repro.write(hierarchy, os.path.join(tmp, "plotfile_amrex.h5z"),
+                            method="amrex_1d", error_bound=1e-2)
+        nocomp = repro.write(hierarchy, os.path.join(tmp, "plotfile_raw.h5z"),
+                             method="nocomp")
         print("\nComparison (same snapshot):")
         for rep in (report, amrex, nocomp):
             print(f"  {rep.method:16s} CR={rep.compression_ratio:7.1f}  "
                   f"PSNR={rep.mean_psnr if np.isfinite(rep.mean_psnr) else float('inf'):7.1f}  "
                   f"compressor launches={sum(w.compressor_launches for w in rep.rank_workloads)}")
 
-        # 4. read the AMRIC plotfile back and check the error bound
-        reader = AMRICReader(config)
-        restored = reader.read_plotfile(path, hierarchy)
-        name = "baryon_density"
+        # 4. open the AMRIC plotfile from the file alone: the self-describing
+        #    header replaces the old structural-template requirement
+        with repro.open(path) as plotfile:
+            print(f"\nOpened {os.path.basename(path)}: fields={plotfile.fields}, "
+                  f"levels={plotfile.levels}, codec={plotfile.codec}")
+
+            # lazy random access: decode only the chunks under one fine box
+            name = "baryon_density"
+            box = hierarchy[1].boxarray.boxes[0]
+            patch = plotfile.read_field(name, level=1, box=box)
+            print(f"  read_field({name!r}, level=1, box={box}) decoded "
+                  f"{plotfile.stats.chunks_decoded} chunk(s) -> {patch.shape}")
+
+            # full staged read (scan -> decode -> place -> refill)
+            restored = plotfile.read()
+
+        # 5. check the error bound end to end
         orig = hierarchy[1].multifab.to_global(name, hierarchy[1].domain)
         back = restored[1].multifab.to_global(name, restored[1].domain)
         mask = hierarchy[1].boxarray.coverage_mask(hierarchy[1].domain)
         max_err = np.max(np.abs(orig[mask] - back[mask]))
-        bound = config.error_bound * hierarchy[1].multifab.value_range(name)
+        bound = report.error_bound * hierarchy[1].multifab.value_range(name)
         print(f"\nRead-back check on '{name}': max error {max_err:.3e} <= bound {bound:.3e}: "
               f"{max_err <= bound * (1 + 1e-9)}")
 

@@ -79,6 +79,24 @@ def main() -> None:
     print()
     print(format_table(rows, title="SZ_Interp: clustered vs linear arrangement (Figure 5)"))
 
+    # end-to-end sanity: the same data through the repro.write/repro.open
+    # facade — the plotfile is self-describing, so the read needs no template
+    import os
+    import tempfile
+
+    import repro
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "rd_best.h5z")
+        report = repro.write(hierarchy, path, compressor="sz_lr",
+                             error_bound=1e-3, unit_block_size=args.unit)
+        with repro.open(path) as plotfile:
+            stored = plotfile.describe()
+        print(f"\nfacade round trip: wrote {path} at eb=1e-3 "
+              f"(CR {report.compression_ratio:.1f}x in situ, "
+              f"{stored['compression_ratio']:.1f}x on disk, "
+              f"codec {stored['codec']}, format v{stored['format_version']})")
+
 
 if __name__ == "__main__":
     main()

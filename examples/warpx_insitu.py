@@ -11,10 +11,9 @@ number of ranks × fields while AMReX's 1024-element chunks need thousands.
 
 import argparse
 
+import repro
 from repro.analysis.reporting import format_table
 from repro.apps import RUN_PRESETS, build_run
-from repro.baselines import AMReXOriginalWriter, NoCompressionWriter
-from repro.core import AMRICConfig, AMRICWriter
 
 
 def main() -> None:
@@ -27,19 +26,20 @@ def main() -> None:
     preset = RUN_PRESETS[args.preset]
     sim = build_run(preset)
     rows = []
+    # every method goes through the one repro.write facade entry point
     writers = {
-        "NoComp": NoCompressionWriter(),
-        "AMReX": AMReXOriginalWriter(error_bound=preset.error_bound_amrex),
-        "AMRIC(SZ_L/R)": AMRICWriter(AMRICConfig(compressor="sz_lr",
-                                                 error_bound=preset.error_bound_amric)),
-        "AMRIC(SZ_Interp)": AMRICWriter(AMRICConfig(compressor="sz_interp",
-                                                    error_bound=preset.error_bound_amric)),
+        "NoComp": dict(method="nocomp"),
+        "AMReX": dict(method="amrex_1d", error_bound=preset.error_bound_amrex),
+        "AMRIC(SZ_L/R)": dict(compressor="sz_lr",
+                              error_bound=preset.error_bound_amric),
+        "AMRIC(SZ_Interp)": dict(compressor="sz_interp",
+                                 error_bound=preset.error_bound_amric),
     }
     for step in range(args.steps):
         hierarchy = sim.hierarchy
         pulse_boxes = len(hierarchy[1].boxarray) if hierarchy.nlevels > 1 else 0
-        for name, writer in writers.items():
-            report = writer.write_plotfile(hierarchy)
+        for name, write_kwargs in writers.items():
+            report = repro.write(hierarchy, None, **write_kwargs)
             rows.append({
                 "step": step,
                 "fine boxes": pulse_boxes,

@@ -22,17 +22,31 @@ the full stack the paper depends on:
   TAC and the no-compression writer.
 * :mod:`repro.analysis` — rate-distortion sweeps, error slices, reporting.
 
-Quick start::
+Quick start (the :mod:`repro.facade` two-verb API)::
 
+    import repro
     from repro.apps import nyx_run
-    from repro.core import AMRICConfig, AMRICWriter
 
     hierarchy = nyx_run(coarse_shape=(64, 64, 64), seed=7).hierarchy
-    writer = AMRICWriter(AMRICConfig(compressor="sz_lr", error_bound=1e-3))
-    report = writer.write_plotfile(hierarchy, "plotfile.h5z")
+    report = repro.write(hierarchy, "plotfile.h5z",
+                         compressor="sz_lr", error_bound=1e-3)
     print(report.compression_ratio, report.psnr["baryon_density"])
+
+    with repro.open("plotfile.h5z") as plotfile:       # no template needed
+        density = plotfile.read_field("baryon_density", level=1)
+        restored = plotfile.read()
+
+The same verbs drive the ``python -m repro`` CLI (``info``, ``compress``,
+``decompress``, ``verify``).
 """
 
 from repro._version import __version__
+from repro.facade import open_plotfile, write_plotfile
 
-__all__ = ["__version__"]
+#: the public two-verb facade: ``repro.open(path)`` / ``repro.write(h, path)``
+open = open_plotfile  # noqa: A001 - deliberate facade verb
+write = write_plotfile
+
+#: ``open`` is deliberately NOT in __all__: ``from repro import *`` must not
+#: shadow the builtin in the importing module (repro.open still works)
+__all__ = ["__version__", "write", "open_plotfile", "write_plotfile"]

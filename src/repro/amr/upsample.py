@@ -18,7 +18,8 @@ import numpy as np
 from repro.amr.box import Box
 from repro.amr.hierarchy import AmrHierarchy
 
-__all__ = ["upsample_array", "flatten_to_uniform", "covered_mask"]
+__all__ = ["upsample_array", "average_down", "fill_covered_from_finer",
+           "flatten_to_uniform", "covered_mask"]
 
 
 def upsample_array(array: np.ndarray, ratio: int) -> np.ndarray:
@@ -29,6 +30,55 @@ def upsample_array(array: np.ndarray, ratio: int) -> np.ndarray:
     for axis in range(array.ndim):
         out = np.repeat(out, ratio, axis=axis)
     return out
+
+
+def average_down(array: np.ndarray, ratio: int) -> np.ndarray:
+    """Conservative (block-mean) coarsening by an integer ratio on every axis.
+
+    The inverse of :func:`upsample_array` in the conservative sense: each
+    coarse cell is the mean of its ``ratio**ndim`` fine children — exactly the
+    value a post-analysis average-down would produce (Figure 3 of the paper).
+    This is the one canonical stencil; the write and read paths both use it so
+    a future stencil change cannot silently diverge between them.
+    """
+    if ratio < 1:
+        raise ValueError("ratio must be >= 1")
+    array = np.asarray(array)
+    if ratio == 1:
+        return array.copy()
+    if any(s % ratio for s in array.shape):
+        raise ValueError(
+            f"array shape {array.shape} is not divisible by ratio {ratio}")
+    split_shape = []
+    for s in array.shape:
+        split_shape.extend((s // ratio, ratio))
+    mean_axes = tuple(range(1, 2 * array.ndim, 2))
+    return array.reshape(split_shape).mean(axis=mean_axes)
+
+
+def fill_covered_from_finer(hierarchy: AmrHierarchy) -> None:
+    """Refill covered coarse cells by averaging the next finer level down.
+
+    Walks the hierarchy fine → coarse so values cascade through intermediate
+    levels; each fine fab is conservatively averaged (:func:`average_down`)
+    and written into every coarse fab it overlaps.  This is the read-side
+    counterpart of the pre-compression redundancy removal (§3.1): the dropped
+    coarse cells are restored to the values post-analysis would use anyway.
+    """
+    for level_index in range(hierarchy.nlevels - 2, -1, -1):
+        coarse = hierarchy[level_index]
+        fine = hierarchy[level_index + 1]
+        ratio = hierarchy.ref_ratios[level_index]
+        for comp in range(hierarchy.ncomp):
+            for fine_fab in fine.multifab:
+                coarse_box = fine_fab.box.coarsen(ratio)
+                averaged = average_down(fine_fab.component(comp), ratio)
+                for coarse_fab in coarse.multifab:
+                    overlap = coarse_fab.box.intersection(coarse_box)
+                    if overlap.is_empty():
+                        continue
+                    coarse_fab.component(comp)[overlap.slices(origin=coarse_fab.box.lo)] = \
+                        averaged[overlap.slices(origin=coarse_box.lo)]
 
 
 def covered_mask(hierarchy: AmrHierarchy, level: int) -> np.ndarray:

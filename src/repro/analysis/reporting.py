@@ -1,8 +1,10 @@
-"""Table formatting and paper-vs-measured comparison records.
+"""Table formatting, comparison records and plotfile summaries.
 
 Benchmarks print their results with :func:`format_table` (so the harness
 output looks like the paper's tables) and collect
 :class:`ComparisonRecord` entries that EXPERIMENTS.md summarises.
+:func:`summarize_plotfile` reads a plotfile's metadata through the
+:func:`repro.open` facade — it is what ``python -m repro info`` renders.
 """
 
 from __future__ import annotations
@@ -10,7 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Sequence
 
-__all__ = ["format_table", "ComparisonRecord", "comparison_record"]
+__all__ = ["format_table", "ComparisonRecord", "comparison_record",
+           "summarize_plotfile", "plotfile_dataset_rows"]
 
 
 def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None,
@@ -70,3 +73,54 @@ def comparison_record(experiment: str, quantity: str, paper_value: float,
                       measured_value: float, note: str = "") -> ComparisonRecord:
     return ComparisonRecord(experiment, quantity, float(paper_value),
                             float(measured_value), note)
+
+
+# ----------------------------------------------------------------------
+# plotfile summaries (via the repro.open facade)
+# ----------------------------------------------------------------------
+def summarize_plotfile(path) -> Dict[str, object]:
+    """Flat metadata summary of one plotfile — no chunk is decoded.
+
+    ``path`` may also be an already-open
+    :class:`~repro.core.reader.PlotfileHandle` (avoids a reopen when the
+    caller, like the CLI, needs several summaries of the same file).
+    """
+    from repro.core.reader import PlotfileHandle
+    from repro.facade import open_plotfile
+
+    if isinstance(path, PlotfileHandle):
+        return path.describe()
+    with open_plotfile(path) as handle:
+        return handle.describe()
+
+
+def plotfile_dataset_rows(path) -> List[Dict[str, object]]:
+    """Per-dataset size/compression rows for :func:`format_table`.
+
+    ``path`` may also be an already-open handle, like
+    :func:`summarize_plotfile`.
+    """
+    import numpy as np
+
+    from repro.core.reader import PlotfileHandle
+    from repro.facade import open_plotfile
+
+    def rows_of(handle) -> List[Dict[str, object]]:
+        rows: List[Dict[str, object]] = []
+        for name in handle.dataset_names():
+            info = handle.dataset_info(name)
+            raw = info.nelements * np.dtype(info.dtype).itemsize
+            rows.append({
+                "dataset": name,
+                "chunks": info.nchunks,
+                "elements": info.nelements,
+                "stored_bytes": info.stored_nbytes,
+                "CR": raw / max(info.stored_nbytes, 1),
+                "filter": info.filter_id,
+            })
+        return rows
+
+    if isinstance(path, PlotfileHandle):
+        return rows_of(path)
+    with open_plotfile(path) as handle:
+        return rows_of(handle)

@@ -130,28 +130,52 @@ class StepRecord:
 
 
 class SimulationDriver:
-    """Step / regrid / dump loop tying an application to an in situ writer."""
+    """Step / regrid / dump loop tying an application to the in situ facade.
+
+    Plotfile dumps go through :func:`repro.write`, so the driver accepts any
+    combination the facade does: a pre-built ``writer`` object, a ``method``
+    name ("amric", "amrex_1d", "nocomp"), an AMRIC ``config`` and/or keyword
+    ``overrides`` — and dumps to disk are self-describing (readable back via
+    :func:`repro.open` with no template).
+    """
 
     def __init__(self, simulation: SyntheticAMRSimulation, writer=None,
-                 output_dir: Optional[str] = None, plot_interval: int = 1):
+                 output_dir: Optional[str] = None, plot_interval: int = 1,
+                 method: Optional[str] = None, config=None, **overrides):
+        if writer is not None and (config is not None or overrides):
+            # write_plotfile would reject this at the first dump; fail at
+            # construction instead of mid-run
+            raise ValueError(
+                "writer= already carries its configuration; do not also pass "
+                "config=/writer overrides to SimulationDriver")
         self.simulation = simulation
         self.writer = writer
+        self.method = method
+        self.config = config
+        self.overrides = overrides
         self.output_dir = output_dir
         self.plot_interval = max(1, int(plot_interval))
         self.records: list[StepRecord] = []
+        #: dump only when I/O was configured (a writer, method, config or overrides)
+        self._dumps = (writer is not None or method is not None
+                       or config is not None or bool(overrides))
 
     def run(self, nsteps: int, dt: float = 1.0) -> list[StepRecord]:
         """Advance ``nsteps`` steps, dumping a plotfile every ``plot_interval`` steps."""
         import os
 
+        from repro.facade import write_plotfile
+
         for step in range(nsteps):
             hierarchy = self.simulation.hierarchy
-            if step % self.plot_interval == 0 and self.writer is not None:
+            if step % self.plot_interval == 0 and self._dumps:
                 path = None
                 if self.output_dir is not None:
                     os.makedirs(self.output_dir, exist_ok=True)
                     path = os.path.join(self.output_dir, f"plt{self.simulation.step:05d}.h5z")
-                report = self.writer.write_plotfile(hierarchy, path)
+                report = write_plotfile(hierarchy, path, writer=self.writer,
+                                        method=self.method or "amric",
+                                        config=self.config, **self.overrides)
                 self.records.append(StepRecord(step=self.simulation.step,
                                                time=self.simulation.time,
                                                report=report, path=path))

@@ -24,6 +24,7 @@ import numpy as np
 from repro.amr.hierarchy import AmrHierarchy
 from repro.compress.errorbound import ErrorBound
 from repro.compress.registry import create_codec
+from repro.core.header import CHUNK_ALIGNMENT_BOX_MAJOR, build_header
 from repro.core.pipeline import LevelFieldRecord, WriteReport
 from repro.core.layout import build_rank_buffer_box_major
 from repro.core.preprocess import UnitBlock, preprocess_level
@@ -83,6 +84,14 @@ class AMReXOriginalWriter:
             if h5file is not None:
                 h5file.attrs["method"] = self.method_name
                 h5file.attrs["error_bound"] = self.error_bound
+                # self-describing metadata; the box-major interleaved layout
+                # is declared so the staged reader refuses cleanly instead of
+                # misplacing data (`repro info` still works from the header)
+                h5file.header = build_header(
+                    hierarchy, method=self.method_name, codec="sz_1d",
+                    error_bound=self.error_bound, unit_block_size=10 ** 6,
+                    remove_redundancy=False,
+                    chunk_alignment=CHUNK_ALIGNMENT_BOX_MAJOR).to_json()
 
             for level_index, level in enumerate(hierarchy.levels):
                 # whole boxes, no redundancy removal, box-major (field-interleaved)

@@ -13,6 +13,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.amr.hierarchy import AmrHierarchy
+from repro.core.header import CHUNK_ALIGNMENT_STREAM, build_header
 from repro.core.pipeline import LevelFieldRecord, WriteReport
 from repro.core.preprocess import extract_block_data, preprocess_level
 from repro.h5lite.file import H5LiteFile
@@ -45,6 +46,14 @@ class NoCompressionWriter:
                 h5file.attrs["method"] = self.method_name
                 h5file.attrs["time"] = hierarchy.time
                 h5file.attrs["step"] = hierarchy.step
+                # raw plotfiles are self-describing too: repro.open reads
+                # them back without the producing hierarchy (rank data is
+                # packed back-to-back, so chunking is decoupled from ranks)
+                h5file.header = build_header(
+                    hierarchy, method=self.method_name, codec="none",
+                    error_bound=0.0, unit_block_size=10 ** 6,
+                    remove_redundancy=False,
+                    chunk_alignment=CHUNK_ALIGNMENT_STREAM).to_json()
 
             for level_index, level in enumerate(hierarchy.levels):
                 # no redundancy removal: AMReX dumps the whole patch-based level

@@ -1,0 +1,224 @@
+"""The ``python -m repro`` command line: plotfile tooling over the facade.
+
+Four subcommands, all thin shells over :func:`repro.open` / :func:`repro.write`:
+
+``info PATH``
+    Print the self-describing header summary and per-dataset storage table —
+    nothing is decoded.
+``compress OUT``
+    Produce a compressed plotfile, either from a synthetic run preset
+    (``--preset nyx_1``) or by recompressing an existing plotfile
+    (``--input other.h5z``).
+``decompress IN OUT``
+    Fully reconstruct a plotfile and rewrite it uncompressed (method
+    "nocomp"), itself self-describing and re-openable.
+``verify PATH``
+    Scan + decode every chunk of a plotfile and check the reconstruction is
+    structurally sound; with ``--against RAW`` also check the decoded data
+    stays within the header's error bound of the reference copy.
+
+Every command exits 0 on success and 1 on failure, with errors reported as
+one-line messages (corrupt files surface the underlying ``ValueError``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="AMRIC plotfile tooling (self-describing format v1)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="print plotfile metadata (no decoding)")
+    p_info.add_argument("path")
+    p_info.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the summary as JSON")
+
+    p_comp = sub.add_parser("compress", help="write a compressed plotfile")
+    p_comp.add_argument("out", help="output plotfile path")
+    src = p_comp.add_mutually_exclusive_group()
+    src.add_argument("--preset", default="nyx_1",
+                     help="synthetic run preset to compress (default nyx_1)")
+    src.add_argument("--input", default=None,
+                     help="recompress an existing (self-describing) plotfile")
+    p_comp.add_argument("--codec", default="sz_lr",
+                        help="codec registry name (default sz_lr)")
+    p_comp.add_argument("--error-bound", type=float, default=1e-3)
+    p_comp.add_argument("--backend", default="serial",
+                        choices=("serial", "thread", "process"))
+    p_comp.add_argument("--method", default="amric",
+                        help="writer method: amric (default), amrex_1d, nocomp")
+
+    p_dec = sub.add_parser("decompress",
+                           help="reconstruct a plotfile and store it raw")
+    p_dec.add_argument("input")
+    p_dec.add_argument("out")
+    p_dec.add_argument("--backend", default="serial",
+                       choices=("serial", "thread", "process"))
+
+    p_ver = sub.add_parser("verify", help="decode everything and check integrity")
+    p_ver.add_argument("path")
+    p_ver.add_argument("--against", default=None,
+                       help="reference plotfile (e.g. the nocomp copy) to "
+                            "check the error bound against")
+    p_ver.add_argument("--backend", default="serial",
+                       choices=("serial", "thread", "process"))
+    return parser
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def _cmd_info(args) -> int:
+    import repro
+    from repro.analysis.reporting import format_table, plotfile_dataset_rows, \
+        summarize_plotfile
+
+    with repro.open(args.path) as handle:
+        summary = summarize_plotfile(handle)
+        rows = plotfile_dataset_rows(handle)
+    if args.as_json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"plotfile {summary['path']}")
+    for key in ("self_describing", "format_version", "method", "codec",
+                "error_bound", "time", "step", "unit_block_size",
+                "remove_redundancy"):
+        if key in summary and summary[key] is not None:
+            print(f"  {key:18s} {summary[key]}")
+    print(f"  {'fields':18s} {', '.join(summary['fields'])}")
+    print(f"  {'levels':18s} {summary['levels']}"
+          + (f" (boxes {summary['boxes_per_level']})"
+             if "boxes_per_level" in summary else ""))
+    print(f"  {'stored':18s} {summary['stored_bytes']} bytes "
+          f"({summary['compression_ratio']:.1f}x over {summary['logical_bytes']})")
+    print()
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_compress(args) -> int:
+    import repro
+
+    if args.input is not None:
+        with repro.open(args.input) as handle:
+            hierarchy = handle.read(backend=args.backend)
+        source = args.input
+    else:
+        from repro.apps.driver import build_run
+
+        hierarchy = build_run(args.preset).hierarchy
+        source = f"preset {args.preset}"
+    if args.method == "amric":
+        report = repro.write(hierarchy, args.out, backend=args.backend,
+                             compressor=args.codec, error_bound=args.error_bound)
+    else:
+        # flags the baseline writers cannot honour are refused, not dropped
+        if args.codec != "sz_lr":
+            raise ValueError(
+                f"--codec only applies to --method amric, not {args.method!r}")
+        if args.backend != "serial":
+            raise ValueError(
+                f"--backend only applies to --method amric, not {args.method!r}")
+        kwargs = {}
+        if args.method in ("amrex", "amrex_1d"):
+            kwargs["error_bound"] = args.error_bound
+        elif args.error_bound != 1e-3:
+            raise ValueError(
+                f"--error-bound does not apply to --method {args.method!r}")
+        report = repro.write(hierarchy, args.out, method=args.method, **kwargs)
+    print(f"compressed {source} -> {args.out}: method={report.method} "
+          f"CR={report.compression_ratio:.1f}x "
+          f"mean_psnr={report.mean_psnr:.1f}dB "
+          f"datasets={report.ndatasets} backend={report.backend}")
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    import repro
+
+    with repro.open(args.input) as handle:
+        hierarchy = handle.read(backend=args.backend)
+    report = repro.write(hierarchy, args.out, method="nocomp")
+    print(f"decompressed {args.input} -> {args.out}: "
+          f"{report.raw_bytes} bytes over {report.ndatasets} datasets")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    import repro
+
+    with repro.open(args.path) as handle:
+        if not handle.is_self_describing:
+            raise ValueError(
+                f"{args.path} has no self-describing header; verify needs "
+                "format v1 plotfiles")
+        hierarchy = handle.read(backend=args.backend)
+        chunks = handle.stats.chunks_decoded
+        checks = [
+            ("levels", hierarchy.nlevels == handle.nlevels),
+            ("fields", tuple(hierarchy.component_names) == handle.fields),
+            ("finite", all(np.isfinite(fab.data).all()
+                           for lvl in hierarchy.levels for fab in lvl.multifab)),
+        ]
+        bound_check: Optional[str] = None
+        if args.against:
+            with repro.open(args.against) as ref_handle:
+                reference = ref_handle.read(backend=args.backend)
+            eb = handle.error_bound or 0.0
+            eb_mode = (handle.header.error_bound_mode
+                       if handle.header is not None else "rel")
+            worst = 0.0
+            for level in range(hierarchy.nlevels):
+                for name in hierarchy.component_names:
+                    ref = reference[level].multifab.to_global(
+                        name, reference[level].domain)
+                    rec = hierarchy[level].multifab.to_global(
+                        name, hierarchy[level].domain)
+                    mask = reference[level].boxarray.coverage_mask(
+                        reference[level].domain)
+                    # the writer resolves the relative bound against the whole
+                    # level's range (covered cells included) — use the same
+                    # range here or a correctly-bounded file can FAIL
+                    vrange = max(float(ref[mask].max() - ref[mask].min()), 1e-30)
+                    covered = reference.covered_cells(level)
+                    if covered and level < hierarchy.nlevels - 1:
+                        # refilled coarse cells are averaged, not bounded;
+                        # restrict the bound check to the kept cells
+                        from repro.amr.upsample import covered_mask
+
+                        mask = mask & ~covered_mask(reference, level)
+                    err = float(np.max(np.abs(ref[mask] - rec[mask])))
+                    worst = max(worst, err if eb_mode == "abs" else err / vrange)
+            ok = worst <= eb * (1 + 1e-6)
+            checks.append(("error_bound", ok))
+            kind = "absolute" if eb_mode == "abs" else "relative"
+            bound_check = (f"worst {kind} error {worst:.3e} "
+                           f"{'<=' if ok else '>'} bound {eb:.3e}")
+    passed = all(ok for _, ok in checks)
+    status = "PASS" if passed else "FAIL"
+    detail = ", ".join(f"{name}={'ok' if ok else 'FAIL'}" for name, ok in checks)
+    print(f"verify {args.path}: {status} ({detail}; {chunks} chunks decoded)"
+          + (f"\n  {bound_check}" if bound_check else ""))
+    return 0 if passed else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"info": _cmd_info, "compress": _cmd_compress,
+                "decompress": _cmd_decompress, "verify": _cmd_verify}
+    try:
+        return handlers[args.command](args)
+    except (ValueError, KeyError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -12,12 +12,26 @@ The pieces map one-to-one onto the paper's design sections:
 * :mod:`repro.core.filter_mod` — §3.3 Solution 2: global chunk size with
   per-rank actual sizes passed to the filter.
 * :mod:`repro.core.pipeline` / :mod:`repro.core.reader` — the end-to-end
-  in situ writer (:class:`AMRICWriter`) and reader (:class:`AMRICReader`).
+  in situ writer (:class:`AMRICWriter`) and the staged reader
+  (:class:`AMRICReader`, :class:`PlotfileHandle`).
+* :mod:`repro.core.header` — the versioned self-describing plotfile header
+  that lets the reader rebuild the structural template from the file alone.
 """
 
 from repro.core.config import AMRICConfig
 from repro.core.pipeline import AMRICWriter, WriteReport, LevelFieldRecord
-from repro.core.reader import AMRICReader
+from repro.core.reader import (
+    AMRICReader,
+    DecodeJob,
+    DecodeResult,
+    PlotfileHandle,
+    ReadPlan,
+    ReadStats,
+    decode_job,
+    execute_read,
+    scan_plotfile,
+)
+from repro.core.header import PlotfileHeader, build_header, template_from_header
 from repro.core.adaptive import select_sz_block_size
 from repro.core.stages import (
     DatasetPlan,
@@ -34,6 +48,10 @@ __all__ = [
     "AMRICConfig",
     "AMRICWriter",
     "AMRICReader",
+    "PlotfileHandle",
+    "PlotfileHeader",
+    "build_header",
+    "template_from_header",
     "WriteReport",
     "LevelFieldRecord",
     "select_sz_block_size",
@@ -45,4 +63,11 @@ __all__ = [
     "plan_write",
     "pack_dataset",
     "encode_job",
+    "ReadPlan",
+    "ReadStats",
+    "DecodeJob",
+    "DecodeResult",
+    "decode_job",
+    "scan_plotfile",
+    "execute_read",
 ]

@@ -14,13 +14,12 @@ jobs to (:mod:`repro.parallel.backend`).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.compress.errorbound import ErrorBound
 from repro.compress.registry import create_codec, is_registered, available_codecs
-from repro.compress.sz_lr import SZLRCompressor
-from repro.compress.sz_interp import SZInterpCompressor
 
 __all__ = ["AMRICConfig"]
 
@@ -93,9 +92,18 @@ class AMRICConfig:
         """Build any registered codec honouring this configuration's bound."""
         return create_codec(name or self.compressor, self.error_bound_obj, **options)
 
-    def make_sz_lr(self, block_size: Optional[int] = None) -> SZLRCompressor:
-        """An SZ_L/R compressor honouring the configuration (and a block size)."""
+    def make_sz_lr(self, block_size: Optional[int] = None):
+        """Deprecated: use ``make_codec("sz_lr", ...)`` / the codec registry."""
+        warnings.warn(
+            "AMRICConfig.make_sz_lr is deprecated; use "
+            "make_codec('sz_lr', block_size=...) instead",
+            DeprecationWarning, stacklevel=2)
         return self.make_codec("sz_lr", block_size=block_size or self.sz_block_size)
 
-    def make_sz_interp(self) -> SZInterpCompressor:
+    def make_sz_interp(self):
+        """Deprecated: use ``make_codec("sz_interp", ...)`` / the codec registry."""
+        warnings.warn(
+            "AMRICConfig.make_sz_interp is deprecated; use "
+            "make_codec('sz_interp', anchor_stride=...) instead",
+            DeprecationWarning, stacklevel=2)
         return self.make_codec("sz_interp", anchor_stride=self.interp_anchor_stride)

@@ -1,0 +1,341 @@
+"""Self-describing plotfile headers (the format layer of the read redesign).
+
+A plotfile used to be readable only with the producing hierarchy in memory:
+:class:`~repro.core.reader.AMRICReader` demanded a structural *template* to
+know which boxes, ranks and unit blocks each stored chunk corresponds to.
+This module serialises exactly that structure — boxes, refinement ratios,
+distribution mapping, field names, preprocessing parameters, codec name and
+options — into a versioned JSON header that travels inside the H5Lite
+superblock (:attr:`~repro.h5lite.file.H5LiteFile.header`).  With the header
+present, any consumer can rebuild the structural template from the file alone
+(:func:`template_from_header`) and decode lazily or in full; without it the
+old template-requiring read keeps working as an explicit fallback.
+
+Versioning and compatibility rules (DESIGN.md §5):
+
+* ``format`` must equal :data:`FORMAT_NAME` and ``version`` must be an
+  integer ``<=`` :data:`FORMAT_VERSION`; a newer version raises
+  :class:`ValueError` (never a silently garbled hierarchy).
+* Unknown *extra* keys are ignored, so older readers tolerate additive
+  evolution within a major version.
+* Every structural field is validated on parse; a corrupt or truncated
+  header raises :class:`ValueError` with a message naming the bad field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.amr.box import Box
+from repro.amr.boxarray import BoxArray
+from repro.amr.distribution import DistributionMapping
+from repro.amr.hierarchy import AmrHierarchy, AmrLevel
+from repro.amr.multifab import MultiFab
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "CHUNK_ALIGNMENT_RANK",
+    "CHUNK_ALIGNMENT_STREAM",
+    "CHUNK_ALIGNMENT_BOX_MAJOR",
+    "LevelStructure",
+    "PlotfileHeader",
+    "build_header",
+    "template_from_header",
+]
+
+FORMAT_NAME = "amric-plotfile"
+FORMAT_VERSION = 1
+
+#: one padded chunk per participating rank (the AMRIC field-major layout)
+CHUNK_ALIGNMENT_RANK = "rank"
+#: chunking decoupled from ranks; rank data concatenated back-to-back
+CHUNK_ALIGNMENT_STREAM = "stream"
+#: box-major field-interleaved level datasets (the AMReX-original baseline)
+CHUNK_ALIGNMENT_BOX_MAJOR = "box_major"
+
+_ALIGNMENTS = (CHUNK_ALIGNMENT_RANK, CHUNK_ALIGNMENT_STREAM,
+               CHUNK_ALIGNMENT_BOX_MAJOR)
+
+
+class _HeaderError(ValueError):
+    """Raised for any malformed header (a ValueError so callers need one except)."""
+
+
+def _require(obj: dict, key: str, kind, context: str):
+    if key not in obj:
+        raise _HeaderError(f"malformed plotfile header: {context} is missing {key!r}")
+    value = obj[key]
+    if kind is float:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise _HeaderError(
+                f"malformed plotfile header: {context}[{key!r}] must be a number, "
+                f"got {type(value).__name__}")
+        return float(value)
+    if kind is int:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise _HeaderError(
+                f"malformed plotfile header: {context}[{key!r}] must be an int, "
+                f"got {type(value).__name__}")
+        return int(value)
+    if not isinstance(value, kind):
+        raise _HeaderError(
+            f"malformed plotfile header: {context}[{key!r}] must be "
+            f"{getattr(kind, '__name__', kind)}, got {type(value).__name__}")
+    return value
+
+
+def _intvect(value, context: str) -> Tuple[int, ...]:
+    if not isinstance(value, (list, tuple)) or not value or \
+            not all(isinstance(v, int) and not isinstance(v, bool) for v in value):
+        raise _HeaderError(
+            f"malformed plotfile header: {context} must be a non-empty list of ints")
+    return tuple(int(v) for v in value)
+
+
+@dataclass(frozen=True)
+class LevelStructure:
+    """The stored structure of one AMR level: domain, boxes, distribution."""
+
+    level: int
+    domain_lo: Tuple[int, ...]
+    domain_hi: Tuple[int, ...]
+    box_los: Tuple[Tuple[int, ...], ...]
+    box_his: Tuple[Tuple[int, ...], ...]
+    rank_of_box: Tuple[int, ...]
+    nranks: int
+
+    @property
+    def nboxes(self) -> int:
+        return len(self.box_los)
+
+    def domain(self) -> Box:
+        return Box(self.domain_lo, self.domain_hi)
+
+    def boxes(self) -> List[Box]:
+        return [Box(lo, hi) for lo, hi in zip(self.box_los, self.box_his)]
+
+    def to_json(self) -> dict:
+        return {
+            "level": self.level,
+            "domain": [list(self.domain_lo), list(self.domain_hi)],
+            "boxes": [[list(lo), list(hi)]
+                      for lo, hi in zip(self.box_los, self.box_his)],
+            "rank_of_box": list(self.rank_of_box),
+            "nranks": self.nranks,
+        }
+
+    @staticmethod
+    def from_json(obj: dict, index: int) -> "LevelStructure":
+        ctx = f"levels[{index}]"
+        if not isinstance(obj, dict):
+            raise _HeaderError(f"malformed plotfile header: {ctx} must be an object")
+        level = _require(obj, "level", int, ctx)
+        domain = _require(obj, "domain", (list, tuple), ctx)
+        if len(domain) != 2:
+            raise _HeaderError(f"malformed plotfile header: {ctx}['domain'] must be [lo, hi]")
+        boxes = _require(obj, "boxes", (list, tuple), ctx)
+        if not boxes:
+            raise _HeaderError(f"malformed plotfile header: {ctx} has no boxes")
+        box_los, box_his = [], []
+        for b, entry in enumerate(boxes):
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                raise _HeaderError(
+                    f"malformed plotfile header: {ctx}['boxes'][{b}] must be [lo, hi]")
+            box_los.append(_intvect(entry[0], f"{ctx}.boxes[{b}].lo"))
+            box_his.append(_intvect(entry[1], f"{ctx}.boxes[{b}].hi"))
+        rank_of_box = _intvect(_require(obj, "rank_of_box", (list, tuple), ctx),
+                               f"{ctx}.rank_of_box")
+        nranks = _require(obj, "nranks", int, ctx)
+        if len(rank_of_box) != len(box_los):
+            raise _HeaderError(
+                f"malformed plotfile header: {ctx} has {len(box_los)} boxes but "
+                f"{len(rank_of_box)} rank assignments")
+        if nranks < 1 or any(r < 0 or r >= nranks for r in rank_of_box):
+            raise _HeaderError(
+                f"malformed plotfile header: {ctx} rank assignments escape [0, {nranks})")
+        return LevelStructure(
+            level=level,
+            domain_lo=_intvect(domain[0], f"{ctx}.domain.lo"),
+            domain_hi=_intvect(domain[1], f"{ctx}.domain.hi"),
+            box_los=tuple(box_los), box_his=tuple(box_his),
+            rank_of_box=rank_of_box, nranks=nranks)
+
+
+@dataclass(frozen=True)
+class PlotfileHeader:
+    """Everything needed to open a plotfile without the producing simulation."""
+
+    version: int
+    method: str                               #: producing writer ("amric", "nocomp", ...)
+    codec: str                                #: codec registry name ("none" when raw)
+    error_bound: float
+    error_bound_mode: str
+    unit_block_size: int
+    remove_redundancy: bool
+    chunk_alignment: str                      #: one of the CHUNK_ALIGNMENT_* constants
+    components: Tuple[str, ...]
+    ref_ratios: Tuple[int, ...]
+    time: float
+    step: int
+    levels: Tuple[LevelStructure, ...]
+    codec_options: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def nlevels(self) -> int:
+        return len(self.levels)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "format": FORMAT_NAME,
+            "version": self.version,
+            "method": self.method,
+            "codec": self.codec,
+            "error_bound": self.error_bound,
+            "error_bound_mode": self.error_bound_mode,
+            "unit_block_size": self.unit_block_size,
+            "remove_redundancy": self.remove_redundancy,
+            "chunk_alignment": self.chunk_alignment,
+            "components": list(self.components),
+            "ref_ratios": list(self.ref_ratios),
+            "time": self.time,
+            "step": self.step,
+            "levels": [lvl.to_json() for lvl in self.levels],
+            "codec_options": dict(self.codec_options),
+        }
+
+    @staticmethod
+    def from_json(obj) -> "PlotfileHeader":
+        if not isinstance(obj, dict):
+            raise _HeaderError(
+                f"malformed plotfile header: expected an object, got {type(obj).__name__}")
+        fmt = obj.get("format")
+        if fmt != FORMAT_NAME:
+            raise _HeaderError(
+                f"malformed plotfile header: format is {fmt!r}, expected {FORMAT_NAME!r}")
+        version = _require(obj, "version", int, "header")
+        if version < 1 or version > FORMAT_VERSION:
+            raise _HeaderError(
+                f"plotfile header version {version} is not supported by this reader "
+                f"(supports 1..{FORMAT_VERSION}); upgrade repro to read this file")
+        components = _require(obj, "components", (list, tuple), "header")
+        if not components or not all(isinstance(c, str) for c in components):
+            raise _HeaderError(
+                "malformed plotfile header: components must be a non-empty list of names")
+        levels_json = _require(obj, "levels", (list, tuple), "header")
+        if not levels_json:
+            raise _HeaderError("malformed plotfile header: no levels recorded")
+        levels = tuple(LevelStructure.from_json(lvl, i)
+                       for i, lvl in enumerate(levels_json))
+        ref_ratios_json = _require(obj, "ref_ratios", (list, tuple), "header")
+        ref_ratios = tuple(int(r) for r in ref_ratios_json) if ref_ratios_json else ()
+        if len(ref_ratios) != len(levels) - 1:
+            raise _HeaderError(
+                f"malformed plotfile header: {len(levels)} levels need "
+                f"{len(levels) - 1} ref_ratios, got {len(ref_ratios)}")
+        chunk_alignment = _require(obj, "chunk_alignment", str, "header")
+        if chunk_alignment not in _ALIGNMENTS:
+            raise _HeaderError(
+                f"malformed plotfile header: unknown chunk_alignment "
+                f"{chunk_alignment!r}; expected one of {_ALIGNMENTS}")
+        unit_block_size = _require(obj, "unit_block_size", int, "header")
+        if unit_block_size < 1:
+            raise _HeaderError("malformed plotfile header: unit_block_size must be >= 1")
+        codec_options = obj.get("codec_options", {})
+        if not isinstance(codec_options, dict):
+            raise _HeaderError("malformed plotfile header: codec_options must be an object")
+        return PlotfileHeader(
+            version=version,
+            method=_require(obj, "method", str, "header"),
+            codec=_require(obj, "codec", str, "header"),
+            error_bound=_require(obj, "error_bound", float, "header"),
+            error_bound_mode=_require(obj, "error_bound_mode", str, "header"),
+            unit_block_size=unit_block_size,
+            remove_redundancy=bool(_require(obj, "remove_redundancy", bool, "header")),
+            chunk_alignment=chunk_alignment,
+            components=tuple(components),
+            ref_ratios=ref_ratios,
+            time=_require(obj, "time", float, "header"),
+            step=_require(obj, "step", int, "header"),
+            levels=levels,
+            codec_options=dict(codec_options))
+
+
+# ----------------------------------------------------------------------
+# building / reconstructing
+# ----------------------------------------------------------------------
+def _level_structure(level: AmrLevel) -> LevelStructure:
+    dm = level.multifab.distribution
+    return LevelStructure(
+        level=int(level.level),
+        domain_lo=tuple(int(v) for v in level.domain.lo),
+        domain_hi=tuple(int(v) for v in level.domain.hi),
+        box_los=tuple(tuple(int(v) for v in b.lo) for b in level.boxarray),
+        box_his=tuple(tuple(int(v) for v in b.hi) for b in level.boxarray),
+        rank_of_box=tuple(int(r) for r in dm.rank_of_box),
+        nranks=int(dm.nranks))
+
+
+def build_header(hierarchy: AmrHierarchy, *, method: str, codec: str,
+                 error_bound: float, error_bound_mode: str = "rel",
+                 unit_block_size: int = 1, remove_redundancy: bool = False,
+                 chunk_alignment: str = CHUNK_ALIGNMENT_RANK,
+                 codec_options: Optional[Dict[str, object]] = None) -> PlotfileHeader:
+    """Serialise one hierarchy's structure + codec configuration into a header."""
+    if chunk_alignment not in _ALIGNMENTS:
+        raise ValueError(
+            f"chunk_alignment must be one of {_ALIGNMENTS}, got {chunk_alignment!r}")
+    return PlotfileHeader(
+        version=FORMAT_VERSION,
+        method=str(method), codec=str(codec),
+        error_bound=float(error_bound), error_bound_mode=str(error_bound_mode),
+        unit_block_size=int(unit_block_size),
+        remove_redundancy=bool(remove_redundancy),
+        chunk_alignment=chunk_alignment,
+        components=tuple(hierarchy.component_names),
+        ref_ratios=tuple(hierarchy.ref_ratios),
+        time=float(hierarchy.time), step=int(hierarchy.step),
+        levels=tuple(_level_structure(lvl) for lvl in hierarchy.levels),
+        codec_options=dict(codec_options or {}))
+
+
+def header_from_config(hierarchy: AmrHierarchy, config, method: str = "amric"
+                       ) -> PlotfileHeader:
+    """The AMRIC writer's header: structure + the config fields decode depends on."""
+    return build_header(
+        hierarchy, method=method, codec=config.compressor,
+        error_bound=config.error_bound, error_bound_mode=config.error_bound_mode,
+        unit_block_size=config.unit_block_size,
+        remove_redundancy=config.remove_redundancy,
+        chunk_alignment=CHUNK_ALIGNMENT_RANK,
+        codec_options={
+            "use_sle": config.use_sle,
+            "adaptive_block_size": config.adaptive_block_size,
+            "sz_block_size": config.sz_block_size,
+            "interp_arrangement": config.interp_arrangement,
+            "interp_anchor_stride": config.interp_anchor_stride,
+            "modify_filter": config.modify_filter,
+        })
+
+
+def template_from_header(header: PlotfileHeader) -> AmrHierarchy:
+    """Rebuild a zero-filled hierarchy with the stored structure.
+
+    The result is what :class:`~repro.core.reader.AMRICReader` used to demand
+    as its ``template`` argument — same boxes, same distribution, same
+    refinement ratios — reconstructed from the file alone.  Structural
+    inconsistencies (boxes escaping domains, broken nesting chains) surface as
+    :class:`ValueError` from the AMR constructors, never as a silently wrong
+    hierarchy.
+    """
+    levels: List[AmrLevel] = []
+    for lvl in header.levels:
+        ba = BoxArray(lvl.boxes())
+        dm = DistributionMapping(list(lvl.rank_of_box), lvl.nranks)
+        mf = MultiFab(ba, header.components, dm)
+        levels.append(AmrLevel(level=lvl.level, domain=lvl.domain(),
+                               boxarray=ba, multifab=mf))
+    return AmrHierarchy(levels, header.ref_ratios,
+                        time=header.time, step=header.step)

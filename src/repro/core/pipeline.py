@@ -39,6 +39,7 @@ from repro.core.config import AMRICConfig
 from repro.core.stages import (
     FilterSpec,
     commit_dataset,
+    commit_header,
     dataset_record,
     encode_job,
     make_encode_job,
@@ -241,6 +242,9 @@ class AMRICWriter:
                 h5file.attrs["nlevels"] = hierarchy.nlevels
                 h5file.attrs["ref_ratios"] = list(hierarchy.ref_ratios)
                 h5file.attrs["components"] = list(hierarchy.component_names)
+                # the self-describing header: structure + codec, so the file
+                # can be opened without the producing hierarchy in memory
+                commit_header(h5file, hierarchy, cfg, method=self.method_name)
             for level_plan in plan.levels:
                 if not level_plan.datasets:
                     continue

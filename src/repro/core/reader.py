@@ -1,16 +1,38 @@
-"""Reading AMRIC plotfiles back into AMR hierarchies.
+"""The staged read pipeline: scan → decode → place → refill.
 
-Decompression walks the same filter pipeline in reverse: every chunk of every
-``level_<l>/<field>`` dataset is decoded by the 3D-aware filter, the unit
-blocks are placed back into their boxes, and the redundant coarse regions that
-were dropped before compression are refilled by conservative averaging of the
-reconstructed finer level (the values post-analysis would use anyway —
-Figure 3 of the paper).
+The read side mirrors the writer's staged decomposition
+(:mod:`repro.core.stages`) instead of the old serial monolith:
+
+``scan`` (:func:`scan_plotfile`)
+    Rebuild the structural read plan — which unit blocks live at which
+    element offsets of which ``level_<l>/<field>`` dataset — either from the
+    plotfile's self-describing header (:mod:`repro.core.header`) or, for
+    pre-header files, from a caller-supplied template hierarchy (the explicit
+    legacy fallback).  Produces a :class:`ReadPlan` of
+    :class:`DatasetReadPlan` entries.
+``decode`` (:func:`decode_job`)
+    Decode one dataset's chunk payloads.  A :class:`DecodeJob` is a plain
+    picklable dataclass (raw bytes + filter recipe), so per-dataset decode
+    jobs run through any :class:`~repro.parallel.backend.ExecutionBackend`
+    (serial, thread, process) with bit-identical results.
+``place`` (:func:`place_dataset`)
+    Scatter the decoded elements back into the hierarchy's fabs by the
+    planned block offsets.
+``refill`` (:func:`~repro.amr.upsample.fill_covered_from_finer`)
+    Restore the redundant coarse cells dropped before compression by
+    conservatively averaging the reconstructed finer level down — the shared
+    stencil in :mod:`repro.amr.upsample`, not a private copy.
+
+On top of the staged full read, :class:`PlotfileHandle` (returned by
+:func:`repro.open`) offers lazy random access: ``read_field(name, level=...,
+box=...)`` decodes only the chunks whose unit blocks intersect the request,
+with a per-chunk cache and decode-call statistics.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,93 +41,721 @@ from repro.amr.boxarray import BoxArray
 from repro.amr.distribution import DistributionMapping
 from repro.amr.hierarchy import AmrHierarchy, AmrLevel
 from repro.amr.multifab import MultiFab
+from repro.amr.upsample import average_down, fill_covered_from_finer
+from repro.compress.errorbound import ErrorBound
+from repro.compress.registry import create_codec
 from repro.core.config import AMRICConfig
 from repro.core.filter_mod import AMRICLevelFilter
-from repro.core.preprocess import preprocess_level
+from repro.core.header import (
+    CHUNK_ALIGNMENT_BOX_MAJOR,
+    CHUNK_ALIGNMENT_RANK,
+    PlotfileHeader,
+    template_from_header,
+)
+from repro.core.preprocess import UnitBlock, preprocess_level
 from repro.h5lite.file import H5LiteFile
+from repro.h5lite.filters import (
+    AMRICChunkFilter,
+    Filter,
+    LosslessFilter,
+    NoCompressionFilter,
+    SZChunkFilter,
+)
+from repro.parallel.backend import ExecutionBackend, make_backend
+from repro.parallel.mpi_sim import SimComm
 
-__all__ = ["AMRICReader"]
+__all__ = [
+    "AMRICReader",
+    "PlotfileHandle",
+    "ReadStats",
+    "BlockSlot",
+    "DatasetReadPlan",
+    "ReadPlan",
+    "scan_plotfile",
+    "parse_plotfile_header",
+    "DecodeJob",
+    "DecodeResult",
+    "make_decode_job",
+    "decode_job",
+    "place_dataset",
+    "execute_read",
+]
 
 
+# ----------------------------------------------------------------------
+# scan
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BlockSlot:
+    """One unit block's home: its box/fab and its element offset in the dataset.
+
+    The offset addresses the dataset's *chunked element stream*, in which
+    chunk ``j`` occupies ``[j * chunk_elements, (j + 1) * chunk_elements)``
+    (rank-aligned datasets pad each chunk's tail; stream-aligned datasets
+    pack blocks back-to-back and a block may span a chunk boundary).
+    """
+
+    block: UnitBlock
+    offset: int
+
+    @property
+    def size(self) -> int:
+        return self.block.size
+
+
+@dataclass
+class DatasetReadPlan:
+    """The decode/placement layout of one ``level_<l>/<field>`` dataset."""
+
+    level: int
+    field: str
+    name: str
+    chunk_elements: int
+    nchunks: int
+    filter_id: str
+    slots: List[BlockSlot]
+
+    def chunks_for(self, slots: Sequence[BlockSlot]) -> List[int]:
+        """Which chunk indices the given slots touch (sorted, deduplicated)."""
+        ce = self.chunk_elements
+        needed = set()
+        for slot in slots:
+            first = slot.offset // ce
+            last = (slot.offset + slot.size - 1) // ce
+            needed.update(range(first, last + 1))
+        return sorted(needed)
+
+    @property
+    def all_chunks(self) -> List[int]:
+        return list(range(self.nchunks))
+
+
+@dataclass
+class ReadPlan:
+    """Everything the decode/place/refill stages need, decided up front."""
+
+    structure: AmrHierarchy                   #: zero-filled output hierarchy
+    datasets: List[DatasetReadPlan]
+    remove_redundancy: bool
+    header: Optional[PlotfileHeader] = None
+    #: codec recipe for filters that need a compressor instance (sz_classic)
+    codec: str = "sz_lr"
+    error_bound: float = 1e-3
+    error_bound_mode: str = "rel"
+
+    @property
+    def nranks(self) -> int:
+        return max(lvl.multifab.distribution.nranks for lvl in self.structure.levels)
+
+    def dataset(self, level: int, fieldname: str) -> Optional[DatasetReadPlan]:
+        for d in self.datasets:
+            if d.level == level and d.field == fieldname:
+                return d
+        return None
+
+
+def parse_plotfile_header(f: H5LiteFile) -> Optional[PlotfileHeader]:
+    """The file's validated self-description, or None for pre-header files."""
+    if f.header is None:
+        return None
+    return PlotfileHeader.from_json(f.header)
+
+
+def _empty_like(template: AmrHierarchy) -> AmrHierarchy:
+    """A zero-filled hierarchy sharing the template's structure (not its data)."""
+    levels: List[AmrLevel] = []
+    for lvl in template.levels:
+        ba = BoxArray(list(lvl.boxarray.boxes))
+        dm = DistributionMapping(list(lvl.multifab.distribution.rank_of_box),
+                                 lvl.multifab.distribution.nranks)
+        mf = MultiFab(ba, template.component_names, dm)
+        levels.append(AmrLevel(lvl.level, lvl.domain, ba, mf))
+    return AmrHierarchy(levels, template.ref_ratios,
+                        time=template.time, step=template.step)
+
+
+def scan_plotfile(f: H5LiteFile, template: Optional[AmrHierarchy] = None,
+                  config: Optional[AMRICConfig] = None) -> ReadPlan:
+    """Stage 1: rebuild the structural read plan for one plotfile.
+
+    With ``template`` given, the plan is built from the template's structure
+    and the reader ``config`` (the explicit legacy path for pre-header
+    plotfiles, also usable to override a header).  Otherwise the plotfile
+    must be self-describing; a missing header raises :class:`ValueError`
+    telling the caller to supply a template.
+    """
+    header: Optional[PlotfileHeader] = None
+    if template is not None:
+        cfg = config or AMRICConfig()
+        structure = _empty_like(template)
+        unit_block_size = cfg.unit_block_size
+        remove_redundancy = cfg.remove_redundancy
+        rank_aligned = True
+        strict_actual = cfg.modify_filter
+        codec, error_bound, eb_mode = cfg.compressor, cfg.error_bound, cfg.error_bound_mode
+    else:
+        header = parse_plotfile_header(f)
+        if header is None:
+            raise ValueError(
+                f"{f.path} has no self-describing header (written before the "
+                "plotfile format v1); pass the original hierarchy as the "
+                "structural template to read it")
+        if header.chunk_alignment == CHUNK_ALIGNMENT_BOX_MAJOR:
+            raise ValueError(
+                f"{f.path} stores box-major interleaved level data "
+                f"(method {header.method!r}); the staged reader only "
+                "reconstructs field-major plotfiles — use `repro info` for "
+                "its metadata")
+        structure = template_from_header(header)
+        unit_block_size = header.unit_block_size
+        remove_redundancy = header.remove_redundancy
+        rank_aligned = header.chunk_alignment == CHUNK_ALIGNMENT_RANK
+        strict_actual = bool(header.codec_options.get("modify_filter", True))
+        codec, error_bound, eb_mode = (header.codec, header.error_bound,
+                                       header.error_bound_mode)
+
+    datasets: List[DatasetReadPlan] = []
+    for level_index in range(structure.nlevels):
+        pre = preprocess_level(structure, level_index, unit_block_size,
+                               remove_redundancy=remove_redundancy)
+        if not pre.unit_blocks:
+            continue
+        ranks = sorted({b.rank for b in pre.unit_blocks})
+        per_rank = {r: pre.blocks_on_rank(r) for r in ranks}
+        for name in structure.component_names:
+            dsname = f"level_{level_index}/{name}"
+            if dsname not in f:
+                continue
+            info = f.datasets[dsname]
+            slots: List[BlockSlot] = []
+            if rank_aligned:
+                if info.nchunks != len(ranks):
+                    raise ValueError(
+                        f"{f.path}: dataset {dsname!r} stores {info.nchunks} "
+                        f"chunks but the structure implies {len(ranks)} "
+                        "participating ranks — header/template does not match "
+                        "this file")
+                ce = info.chunk_elements
+                for i, rank in enumerate(ranks):
+                    offset = i * ce
+                    for block in per_rank[rank]:
+                        slots.append(BlockSlot(block=block, offset=offset))
+                        offset += block.size
+                    if offset > (i + 1) * ce:
+                        raise ValueError(
+                            f"{f.path}: rank {rank}'s blocks overflow its "
+                            f"chunk of {ce} elements in {dsname!r} — "
+                            "header/template does not match this file")
+                    valid = offset - i * ce
+                    stored = info.chunks[i].actual_elements
+                    # with the modified filter each chunk records the rank's
+                    # real element count; a disagreement means the structure
+                    # does not describe this file (naive mode records the
+                    # padded chunk size instead, which carries no signal)
+                    if strict_actual and stored != ce and stored != valid:
+                        raise ValueError(
+                            f"{f.path}: chunk {i} of {dsname!r} stores "
+                            f"{stored} valid elements but the structure "
+                            f"implies {valid} — header/template does not "
+                            "match this file")
+            else:
+                offset = 0
+                for rank in ranks:
+                    for block in per_rank[rank]:
+                        slots.append(BlockSlot(block=block, offset=offset))
+                        offset += block.size
+                if offset != info.nelements:
+                    raise ValueError(
+                        f"{f.path}: dataset {dsname!r} stores {info.nelements} "
+                        f"elements but the structure implies {offset} — "
+                        "header/template does not match this file")
+            datasets.append(DatasetReadPlan(
+                level=level_index, field=name, name=dsname,
+                chunk_elements=info.chunk_elements, nchunks=info.nchunks,
+                filter_id=info.filter_id, slots=slots))
+    return ReadPlan(structure=structure, datasets=datasets,
+                    remove_redundancy=remove_redundancy, header=header,
+                    codec=codec, error_bound=error_bound,
+                    error_bound_mode=eb_mode)
+
+
+# ----------------------------------------------------------------------
+# decode
+# ----------------------------------------------------------------------
+@dataclass
+class DecodeJob:
+    """One dataset's decode work: raw chunk payloads + the filter recipe.
+
+    Everything is picklable (bytes, ints, strings), so the job crosses
+    process-pool boundaries; decoding is deterministic, so every backend
+    produces identical arrays.
+    """
+
+    key: str                               #: dataset name (stable identifier)
+    payloads: List[bytes]
+    chunk_indices: List[int]
+    chunk_elements: int
+    filter_id: str
+    codec: str = "sz_lr"
+    error_bound: float = 1e-3
+    error_bound_mode: str = "rel"
+
+
+@dataclass
+class DecodeResult:
+    """What one decode job produced (travels back across the backend)."""
+
+    key: str
+    chunk_indices: List[int]
+    chunks: List[np.ndarray]
+
+    @property
+    def decode_calls(self) -> int:
+        return len(self.chunks)
+
+
+def _decode_filter(filter_id: str, codec: str, error_bound: float,
+                   error_bound_mode: str) -> Filter:
+    """Filter instance for one stored ``filter_id`` (decode direction only)."""
+    if filter_id == AMRICLevelFilter.filter_id:
+        # AMRIC payloads are fully self-describing; the constructor arguments
+        # only matter for encode
+        return AMRICLevelFilter()
+    if filter_id == NoCompressionFilter.filter_id:
+        return NoCompressionFilter()
+    if filter_id == LosslessFilter.filter_id:
+        return LosslessFilter()
+    if filter_id in (SZChunkFilter.filter_id, AMRICChunkFilter.filter_id):
+        compressor = create_codec(codec, ErrorBound(error_bound, error_bound_mode))
+        cls = SZChunkFilter if filter_id == SZChunkFilter.filter_id else AMRICChunkFilter
+        return cls(compressor)
+    raise ValueError(f"cannot decode chunks written with unknown filter {filter_id!r}")
+
+
+def make_decode_job(f: H5LiteFile, dplan: DatasetReadPlan,
+                    chunk_indices: Optional[Sequence[int]] = None,
+                    plan: Optional[ReadPlan] = None) -> DecodeJob:
+    """Pull the (selected) raw chunk payloads of one dataset into a job."""
+    indices = list(chunk_indices) if chunk_indices is not None else dplan.all_chunks
+    payloads = [f.read_chunk_payload(dplan.name, i) for i in indices]
+    codec = plan.codec if plan is not None else "sz_lr"
+    eb = plan.error_bound if plan is not None else 1e-3
+    mode = plan.error_bound_mode if plan is not None else "rel"
+    return DecodeJob(key=dplan.name, payloads=payloads, chunk_indices=indices,
+                     chunk_elements=dplan.chunk_elements,
+                     filter_id=dplan.filter_id, codec=codec,
+                     error_bound=eb, error_bound_mode=mode)
+
+
+def decode_job(job: DecodeJob) -> DecodeResult:
+    """Stage 2: decode one dataset's chunks.
+
+    A module-level pure function over picklable inputs — the read-side mirror
+    of :func:`repro.core.stages.encode_job` — so serial, thread and process
+    backends run identical code on identical bytes.
+    """
+    filt = _decode_filter(job.filter_id, job.codec, job.error_bound,
+                          job.error_bound_mode)
+    chunks = [np.asarray(filt.decode(payload, job.chunk_elements),
+                         dtype=np.float64).reshape(-1)
+              for payload in job.payloads]
+    return DecodeResult(key=job.key, chunk_indices=list(job.chunk_indices),
+                        chunks=chunks)
+
+
+# ----------------------------------------------------------------------
+# place
+# ----------------------------------------------------------------------
+def _gather_slot(slot: BlockSlot, chunks: Dict[int, np.ndarray],
+                 chunk_elements: int) -> np.ndarray:
+    """Extract one block's elements from the decoded chunks (may span chunks)."""
+    start, stop = slot.offset, slot.offset + slot.size
+    first = start // chunk_elements
+    last = (stop - 1) // chunk_elements
+    if first == last:
+        local = start - first * chunk_elements
+        return chunks[first][local:local + slot.size]
+    pieces: List[np.ndarray] = []
+    for index in range(first, last + 1):
+        base = index * chunk_elements
+        local_lo = max(start, base) - base
+        local_hi = min(stop, base + chunk_elements) - base
+        pieces.append(chunks[index][local_lo:local_hi])
+    return np.concatenate(pieces)
+
+
+def place_dataset(structure: AmrHierarchy, dplan: DatasetReadPlan,
+                  chunks: Dict[int, np.ndarray]) -> None:
+    """Stage 3: scatter one dataset's decoded elements into the hierarchy."""
+    level = structure[dplan.level]
+    comp = level.multifab.component_index(dplan.field)
+    for slot in dplan.slots:
+        data = _gather_slot(slot, chunks, dplan.chunk_elements)
+        fab = level.multifab[slot.block.box_index]
+        fab.component(comp)[slot.block.box.slices(origin=fab.box.lo)] = \
+            data.reshape(slot.block.box.shape)
+
+
+# ----------------------------------------------------------------------
+# the full staged read
+# ----------------------------------------------------------------------
+@dataclass
+class ReadStats:
+    """Decode accounting for one handle / reader (drives the lazy-read tests)."""
+
+    chunks_decoded: int = 0
+    cache_hits: int = 0
+    datasets_decoded: int = 0
+
+    def reset(self) -> None:
+        self.chunks_decoded = 0
+        self.cache_hits = 0
+        self.datasets_decoded = 0
+
+
+def execute_read(f: H5LiteFile, plan: ReadPlan, backend: ExecutionBackend,
+                 comm: Optional[SimComm] = None,
+                 stats: Optional[ReadStats] = None,
+                 cache: Optional[Dict[Tuple[str, int], np.ndarray]] = None
+                 ) -> AmrHierarchy:
+    """Run decode → place → refill for a scanned plan; returns the hierarchy.
+
+    Per-dataset decode jobs are submitted through ``comm``
+    (:meth:`~repro.parallel.mpi_sim.SimComm.run_jobs`) to the execution
+    backend — one barrier for the batch, mirroring the writer's encode stage —
+    and the results are placed in plan order, which is what makes every
+    backend produce an element-wise identical hierarchy.  ``cache`` (a
+    ``(dataset, chunk index) → decoded chunk`` map, e.g. a handle's
+    random-access cache) lets already-decoded chunks skip their decode job.
+    """
+    if comm is not None and plan.structure.levels and comm.size != plan.nranks:
+        raise ValueError(
+            f"communicator has {comm.size} ranks but the plotfile is "
+            f"distributed over {plan.nranks}")
+    comm = comm if comm is not None else SimComm(plan.nranks)
+    jobs: List[DecodeJob] = []
+    hits: List[Dict[int, np.ndarray]] = []
+    for dplan in plan.datasets:
+        hit: Dict[int, np.ndarray] = {}
+        if cache:
+            for index in range(dplan.nchunks):
+                chunk = cache.get((dplan.name, index))
+                if chunk is not None:
+                    hit[index] = chunk
+        hits.append(hit)
+        missing = [i for i in range(dplan.nchunks) if i not in hit]
+        jobs.append(make_decode_job(f, dplan, missing, plan=plan))
+    results = comm.run_jobs(backend, decode_job, jobs)
+    for dplan, hit, result in zip(plan.datasets, hits, results):
+        chunks = dict(hit)
+        chunks.update(zip(result.chunk_indices, result.chunks))
+        place_dataset(plan.structure, dplan, chunks)
+        if stats is not None:
+            stats.chunks_decoded += result.decode_calls
+            stats.cache_hits += len(hit)
+            stats.datasets_decoded += 1
+    if plan.remove_redundancy:
+        fill_covered_from_finer(plan.structure)
+    return plan.structure
+
+
+# ----------------------------------------------------------------------
+# the lazy handle behind repro.open
+# ----------------------------------------------------------------------
+class PlotfileHandle:
+    """An open plotfile: inspect cheaply, decode lazily, read fully.
+
+    The handle parses the self-describing header (when present) but decodes
+    nothing until asked:
+
+    * :attr:`fields`, :attr:`levels`, :attr:`codec`, :meth:`describe` —
+      metadata only, no chunk is touched;
+    * :meth:`read_field` — decodes exactly the chunks whose unit blocks
+      intersect the requested box (cached per chunk; see :attr:`stats`);
+    * :meth:`read` — the full staged scan/decode/place/refill pipeline,
+      optionally over a pooled execution backend.
+
+    Pre-header plotfiles still open; they report ``is_self_describing ==
+    False`` and require a template for :meth:`read` (the legacy fallback).
+    """
+
+    def __init__(self, path: str, config: Optional[AMRICConfig] = None,
+                 backend: "ExecutionBackend | str | None" = None):
+        self._file = H5LiteFile(path, "r")
+        try:
+            self.header = parse_plotfile_header(self._file)
+        except ValueError:
+            self._file.close()
+            raise
+        self.config = config or AMRICConfig()
+        self._backend_spec = backend
+        self._plan: Optional[ReadPlan] = None
+        self._cache: Dict[Tuple[str, int], np.ndarray] = {}
+        self.stats = ReadStats()
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        if not self._closed:
+            self._file.close()
+            self._closed = True
+
+    def __enter__(self) -> "PlotfileHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        describing = "self-describing" if self.is_self_describing else "legacy"
+        return f"PlotfileHandle({self.path!r}, {describing})"
+
+    # -- metadata (no decoding) ----------------------------------------
+    @property
+    def path(self) -> str:
+        return self._file.path
+
+    @property
+    def attrs(self) -> Dict[str, object]:
+        return self._file.attrs
+
+    @property
+    def is_self_describing(self) -> bool:
+        return self.header is not None
+
+    @property
+    def fields(self) -> Tuple[str, ...]:
+        """Component names stored in the plotfile."""
+        if self.header is not None:
+            return tuple(self.header.components)
+        components = self.attrs.get("components")
+        if components:
+            return tuple(components)
+        names = {n.split("/", 1)[1] for n in self._file.dataset_names() if "/" in n}
+        return tuple(sorted(names))
+
+    @property
+    def levels(self) -> Tuple[int, ...]:
+        """Level indices present in the plotfile (coarse → fine)."""
+        if self.header is not None:
+            return tuple(lvl.level for lvl in self.header.levels)
+        nlevels = self.attrs.get("nlevels")
+        if nlevels:
+            return tuple(range(int(nlevels)))
+        indices = {int(n.split("/", 1)[0].removeprefix("level_"))
+                   for n in self._file.dataset_names() if n.startswith("level_")}
+        return tuple(sorted(indices))
+
+    @property
+    def nlevels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def codec(self) -> Optional[str]:
+        if self.header is not None:
+            return self.header.codec
+        value = self.attrs.get("compressor")
+        return str(value) if value is not None else None
+
+    @property
+    def error_bound(self) -> Optional[float]:
+        if self.header is not None:
+            return self.header.error_bound
+        value = self.attrs.get("error_bound")
+        return float(value) if value is not None else None
+
+    def dataset_names(self) -> List[str]:
+        return self._file.dataset_names()
+
+    def dataset_info(self, name: str):
+        """The stored :class:`~repro.h5lite.file.DatasetInfo` for one dataset."""
+        if name not in self._file.datasets:
+            raise KeyError(
+                f"no dataset named {name!r}; have {self.dataset_names()}")
+        return self._file.datasets[name]
+
+    def describe(self) -> Dict[str, object]:
+        """A flat metadata summary (what ``python -m repro info`` prints)."""
+        stored = self._file.total_stored_bytes()
+        logical = sum(d.nelements * np.dtype(d.dtype).itemsize
+                      for d in self._file.datasets.values())
+        out: Dict[str, object] = {
+            "path": self.path,
+            "self_describing": self.is_self_describing,
+            "format_version": self.header.version if self.header else None,
+            "method": (self.header.method if self.header
+                       else self.attrs.get("method")),
+            "codec": self.codec,
+            "error_bound": self.error_bound,
+            "fields": list(self.fields),
+            "levels": list(self.levels),
+            "datasets": len(self._file.datasets),
+            "stored_bytes": stored,
+            "logical_bytes": logical,
+            "compression_ratio": logical / max(stored, 1),
+        }
+        if self.header is not None:
+            out["time"] = self.header.time
+            out["step"] = self.header.step
+            out["unit_block_size"] = self.header.unit_block_size
+            out["remove_redundancy"] = self.header.remove_redundancy
+            out["boxes_per_level"] = [lvl.nboxes for lvl in self.header.levels]
+        return out
+
+    # -- scanning -------------------------------------------------------
+    def _scan(self) -> ReadPlan:
+        """The header-based read plan (cached; used by lazy random access)."""
+        if self._plan is None:
+            self._plan = scan_plotfile(self._file, template=None,
+                                       config=self.config)
+        return self._plan
+
+    # -- lazy random access --------------------------------------------
+    def _decode_chunks(self, plan: ReadPlan, dplan: DatasetReadPlan,
+                       indices: Sequence[int]) -> Dict[int, np.ndarray]:
+        out: Dict[int, np.ndarray] = {}
+        missing: List[int] = []
+        for index in indices:
+            cached = self._cache.get((dplan.name, index))
+            if cached is not None:
+                out[index] = cached
+                self.stats.cache_hits += 1
+            else:
+                missing.append(index)
+        if missing:
+            result = decode_job(make_decode_job(self._file, dplan, missing,
+                                                plan=plan))
+            for index, chunk in zip(result.chunk_indices, result.chunks):
+                self._cache[(dplan.name, index)] = chunk
+                out[index] = chunk
+            self.stats.chunks_decoded += len(missing)
+        return out
+
+    def read_field(self, name: str, level: int = 0, box: Optional[Box] = None,
+                   refill: bool = True, fill_value: float = 0.0) -> np.ndarray:
+        """Decode one field over one region, touching only intersecting chunks.
+
+        Returns a dense array covering ``box`` (default: the level's whole
+        domain).  Cells no stored block covers keep ``fill_value``; with
+        ``refill`` (the default) coarse cells covered by the next finer level
+        are restored by conservatively averaging the finer data down — which
+        itself decodes only the intersecting fine chunks.
+        """
+        plan = self._scan()
+        structure = plan.structure
+        if not 0 <= level < structure.nlevels:
+            raise ValueError(
+                f"level {level} out of range; plotfile has levels "
+                f"0..{structure.nlevels - 1}")
+        if name not in structure.component_names:
+            raise KeyError(
+                f"unknown field {name!r}; plotfile has {structure.component_names}")
+        lvl = structure[level]
+        query = lvl.domain if box is None else box
+        if query.is_empty():
+            return np.full(query.shape, fill_value, dtype=np.float64)
+        out = np.full(query.shape, fill_value, dtype=np.float64)
+
+        dplan = plan.dataset(level, name)
+        if dplan is not None:
+            hit = [slot for slot in dplan.slots if slot.block.box.intersects(query)]
+            if hit:
+                chunks = self._decode_chunks(plan, dplan, dplan.chunks_for(hit))
+                for slot in hit:
+                    data = _gather_slot(slot, chunks, dplan.chunk_elements) \
+                        .reshape(slot.block.box.shape)
+                    overlap = slot.block.box.intersection(query)
+                    out[overlap.slices(origin=query.lo)] = \
+                        data[overlap.slices(origin=slot.block.box.lo)]
+
+        if refill and plan.remove_redundancy and level < structure.nlevels - 1:
+            ratio = structure.ref_ratios[level]
+            for fine_box in structure[level + 1].boxarray:
+                overlap = fine_box.coarsen(ratio).intersection(query)
+                if overlap.is_empty():
+                    continue
+                fine = self.read_field(name, level=level + 1,
+                                       box=overlap.refine(ratio), refill=refill,
+                                       fill_value=fill_value)
+                out[overlap.slices(origin=query.lo)] = average_down(fine, ratio)
+        return out
+
+    # -- the full staged read ------------------------------------------
+    def read(self, template: Optional[AmrHierarchy] = None,
+             backend: "ExecutionBackend | str | None" = None,
+             comm: Optional[SimComm] = None) -> AmrHierarchy:
+        """Reconstruct the whole hierarchy (scan → decode → place → refill).
+
+        ``template`` forces the legacy template-based scan (required for
+        pre-header files, available as an override everywhere); without it
+        the plan comes from the self-describing header.  ``backend`` follows
+        the writer's convention: a name builds a backend owned (and closed)
+        by this call, an :class:`ExecutionBackend` instance stays the
+        caller's to manage.
+        """
+        plan = scan_plotfile(self._file, template=template, config=self.config)
+        spec = backend if backend is not None else self._backend_spec
+        owns = not isinstance(spec, ExecutionBackend)
+        resolved = make_backend(spec if spec is not None else self.config.backend,
+                                self.config.backend_workers)
+        try:
+            # chunks read_field already decoded (header-path cache) are
+            # reused; a template scan may imply a different layout, so it
+            # cannot trust them
+            cache = self._cache if template is None else None
+            return execute_read(self._file, plan, resolved, comm=comm,
+                                stats=self.stats, cache=cache)
+        finally:
+            if owns:
+                resolved.close()
+
+
+# ----------------------------------------------------------------------
+# the reader facade (kept API, staged internals)
+# ----------------------------------------------------------------------
 class AMRICReader:
     """Reads plotfiles written by :class:`~repro.core.pipeline.AMRICWriter`.
 
-    Reconstruction needs the hierarchy's *structure* (boxes, ratios,
-    distribution) — exactly what AMReX stores in its plotfile headers.  This
-    reproduction keeps the structure in memory: pass the original hierarchy
-    (or one with identical structure) as the template.
+    Self-describing plotfiles (format v1, PR 3) need nothing but the path::
+
+        back = AMRICReader().read_plotfile("plotfile.h5z")
+
+    Pre-header plotfiles still read through the explicit template fallback —
+    pass the original hierarchy (or one with identical structure) as
+    ``template``, exactly like before.  Decode jobs run on an execution
+    backend (serial / thread / process), mirroring the writer.
     """
 
-    def __init__(self, config: AMRICConfig | None = None):
+    def __init__(self, config: Optional[AMRICConfig] = None,
+                 backend: "ExecutionBackend | str | None" = None,
+                 comm: Optional[SimComm] = None):
         self.config = config or AMRICConfig()
+        # same ownership convention as the writer: named backends are ours
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self.backend = make_backend(
+            backend if backend is not None else self.config.backend,
+            self.config.backend_workers)
+        self.comm = comm
+
+    def close(self) -> None:
+        """Release the reader-owned backend pool (idempotent)."""
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "AMRICReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
-    def read_plotfile(self, path: str, template: AmrHierarchy) -> AmrHierarchy:
-        """Decode ``path`` into a hierarchy with the template's structure."""
-        cfg = self.config
-        out = self._empty_like(template)
+    def open(self, path: str) -> PlotfileHandle:
+        """A lazy handle on ``path`` sharing this reader's config/backend."""
+        return PlotfileHandle(path, config=self.config, backend=self.backend)
+
+    def read_plotfile(self, path: str,
+                      template: Optional[AmrHierarchy] = None) -> AmrHierarchy:
+        """Decode ``path`` into a hierarchy; ``template`` only for legacy files."""
         with H5LiteFile(path, "r") as f:
-            for level_index, level in enumerate(out.levels):
-                pre = preprocess_level(template, level_index, cfg.unit_block_size,
-                                       remove_redundancy=cfg.remove_redundancy)
-                if not pre.unit_blocks:
-                    continue
-                ranks_with_data = sorted({b.rank for b in pre.unit_blocks})
-                per_rank_blocks = {r: pre.blocks_on_rank(r) for r in ranks_with_data}
-                for name in template.component_names:
-                    dataset = f"level_{level_index}/{name}"
-                    if dataset not in f:
-                        continue
-                    filt = AMRICLevelFilter(compressor=cfg.compressor,
-                                            error_bound=cfg.error_bound,
-                                            unit_block_size=cfg.unit_block_size)
-                    flat = f.read_dataset(dataset, filter=filt).reshape(-1)
-                    info = f.datasets[dataset]
-                    chunk_elements = info.chunk_elements
-                    comp_index = level.multifab.component_index(name)
-                    for i, rank in enumerate(ranks_with_data):
-                        chunk = flat[i * chunk_elements:(i + 1) * chunk_elements]
-                        offset = 0
-                        for block in per_rank_blocks[rank]:
-                            size = block.size
-                            data = chunk[offset:offset + size].reshape(block.box.shape)
-                            offset += size
-                            fab = level.multifab[block.box_index]
-                            fab.component(comp_index)[
-                                block.box.slices(origin=fab.box.lo)] = data
-        self._fill_covered_regions(out)
-        return out
-
-    # ------------------------------------------------------------------
-    def _empty_like(self, template: AmrHierarchy) -> AmrHierarchy:
-        levels: List[AmrLevel] = []
-        for lvl in template.levels:
-            ba = BoxArray(list(lvl.boxarray.boxes))
-            dm = DistributionMapping(list(lvl.multifab.distribution.rank_of_box),
-                                     lvl.multifab.distribution.nranks)
-            mf = MultiFab(ba, template.component_names, dm)
-            levels.append(AmrLevel(lvl.level, lvl.domain, ba, mf))
-        return AmrHierarchy(levels, template.ref_ratios,
-                            time=template.time, step=template.step)
-
-    def _fill_covered_regions(self, hierarchy: AmrHierarchy) -> None:
-        """Refill removed (covered) coarse cells by averaging the finer level down."""
-        if not self.config.remove_redundancy:
-            return
-        for level_index in range(hierarchy.nlevels - 2, -1, -1):
-            coarse = hierarchy[level_index]
-            fine = hierarchy[level_index + 1]
-            ratio = hierarchy.ref_ratios[level_index]
-            for comp in range(hierarchy.ncomp):
-                for fine_fab in fine.multifab:
-                    coarse_box = fine_fab.box.coarsen(ratio)
-                    fine_data = fine_fab.component(comp)
-                    shape = coarse_box.shape
-                    averaged = fine_data.reshape(
-                        shape[0], ratio, shape[1], ratio, shape[2], ratio).mean(axis=(1, 3, 5))
-                    for coarse_fab in coarse.multifab:
-                        overlap = coarse_fab.box.intersection(coarse_box)
-                        if overlap.is_empty():
-                            continue
-                        coarse_fab.component(comp)[overlap.slices(origin=coarse_fab.box.lo)] = \
-                            averaged[overlap.slices(origin=coarse_box.lo)]
+            plan = scan_plotfile(f, template=template, config=self.config)
+            return execute_read(f, plan, self.backend, comm=self.comm)

@@ -39,6 +39,7 @@ import numpy as np
 from repro.amr.hierarchy import AmrHierarchy, AmrLevel
 from repro.core.config import AMRICConfig
 from repro.core.filter_mod import AMRICLevelFilter, ChunkPlan, plan_level_chunks
+from repro.core.header import header_from_config
 from repro.core.preprocess import UnitBlock, extract_block_data, preprocess_level
 from repro.h5lite.file import DatasetInfo, H5LiteFile
 
@@ -55,6 +56,7 @@ __all__ = [
     "EncodeResult",
     "make_encode_job",
     "encode_job",
+    "commit_header",
     "commit_dataset",
     "dataset_record",
 ]
@@ -324,6 +326,20 @@ def encode_job(job: EncodeJob) -> EncodeResult:
 # ----------------------------------------------------------------------
 # commit
 # ----------------------------------------------------------------------
+def commit_header(h5file: Optional[H5LiteFile], hierarchy: AmrHierarchy,
+                  config: AMRICConfig, method: str = "amric") -> None:
+    """Stage 4 preamble: make the plotfile self-describing.
+
+    Serialises the hierarchy structure (boxes, ratios, distribution, fields)
+    plus the codec name/options into the container's versioned header section
+    so :func:`repro.open` can reconstruct the read plan from the file alone
+    (:mod:`repro.core.header`).  A no-op for in-memory writes.
+    """
+    if h5file is None:
+        return
+    h5file.header = header_from_config(hierarchy, config, method=method).to_json()
+
+
 def commit_dataset(h5file: Optional[H5LiteFile], dplan: DatasetPlan,
                    result: EncodeResult) -> Optional[DatasetInfo]:
     """Stage 4a: append one dataset's encoded chunks to the container file."""

@@ -1,0 +1,110 @@
+"""The two-verb public facade: :func:`repro.open` and :func:`repro.write`.
+
+Everything a consumer needs for plotfile I/O, without importing writer and
+reader classes from three packages::
+
+    import repro
+
+    report = repro.write(hierarchy, "plotfile.h5z", error_bound=1e-3)
+    with repro.open("plotfile.h5z") as plotfile:
+        density = plotfile.read_field("baryon_density", level=1)
+        restored = plotfile.read()
+
+``write`` dispatches on ``method`` to the AMRIC writer (default) or the
+baseline writers, so studies comparing methods drive every writer through one
+call; ``open`` returns a lazy :class:`~repro.core.reader.PlotfileHandle` that
+decodes only what is asked for.  The ``python -m repro`` CLI
+(:mod:`repro.cli`) is a thin shell over these two functions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.amr.hierarchy import AmrHierarchy
+from repro.core.config import AMRICConfig
+from repro.core.pipeline import AMRICWriter, WriteReport
+from repro.core.reader import PlotfileHandle
+
+__all__ = ["open_plotfile", "write_plotfile", "WRITE_METHODS"]
+
+#: method name (and aliases) → how :func:`write_plotfile` builds the writer
+WRITE_METHODS = {
+    "amric": ("amric",),
+    "amrex_1d": ("amrex_1d", "amrex"),
+    "nocomp": ("nocomp", "none", "raw"),
+}
+
+
+def _canonical_method(method: str) -> str:
+    for canonical, aliases in WRITE_METHODS.items():
+        if method in aliases:
+            return canonical
+    known = sorted(alias for aliases in WRITE_METHODS.values() for alias in aliases)
+    raise ValueError(f"unknown write method {method!r}; expected one of {known}")
+
+
+def open_plotfile(path: str, config: Optional[AMRICConfig] = None,
+                  backend=None) -> PlotfileHandle:
+    """Open a plotfile for lazy reading (exported as :func:`repro.open`).
+
+    Self-describing plotfiles (format v1) need nothing else; pre-header files
+    open for inspection and read through the template fallback
+    (``handle.read(template=...)``).  ``config`` and ``backend`` only matter
+    for decoding: ``config`` supplies the legacy-fallback parameters, and
+    ``backend`` ("serial", "thread", "process" or an
+    :class:`~repro.parallel.backend.ExecutionBackend`) runs the full-read
+    decode jobs.
+    """
+    return PlotfileHandle(path, config=config, backend=backend)
+
+
+def write_plotfile(hierarchy: AmrHierarchy, path: Optional[str] = None, *,
+                   config: Optional[AMRICConfig] = None, method: str = "amric",
+                   writer=None, backend=None, **overrides) -> WriteReport:
+    """Write one plotfile (exported as :func:`repro.write`); returns the report.
+
+    Parameters
+    ----------
+    path:
+        Target file; None runs the compression in memory (identical report,
+        no file).
+    config, **overrides:
+        The AMRIC configuration (``method="amric"`` only); keyword overrides
+        are applied on top, e.g. ``repro.write(h, p, error_bound=1e-4)``.
+    method:
+        "amric" (default), "amrex_1d"/"amrex" (the original 1D baseline,
+        honouring an ``error_bound``/``chunk_elements`` override) or
+        "nocomp"/"none"/"raw".
+    writer:
+        An already-configured writer object (anything with
+        ``write_plotfile``); ``method`` is then ignored, and combining it
+        with ``config``/overrides raises (they could not take effect).
+    backend:
+        Execution backend for the AMRIC encode jobs (name or instance).
+    """
+    if writer is not None:
+        if config is not None or overrides:
+            conflicting = ["config"] if config is not None else []
+            conflicting += sorted(overrides)
+            raise ValueError(
+                f"writer= already carries its configuration; "
+                f"{', '.join(conflicting)} would be silently ignored")
+        return writer.write_plotfile(hierarchy, path)
+    canonical = _canonical_method(method)
+    if canonical == "amric":
+        cfg = config or AMRICConfig()
+        if overrides:
+            cfg = cfg.with_overrides(**overrides)
+        with AMRICWriter(cfg, backend=backend) as amric:
+            return amric.write_plotfile(hierarchy, path)
+    if config is not None or backend is not None:
+        raise ValueError(
+            f"method {canonical!r} accepts neither an AMRIC config nor a backend")
+    if canonical == "amrex_1d":
+        from repro.baselines.amrex_1d import AMReXOriginalWriter
+
+        return AMReXOriginalWriter(**overrides).write_plotfile(hierarchy, path)
+    from repro.baselines.nocomp import NoCompressionWriter
+
+    return NoCompressionWriter(**overrides).write_plotfile(hierarchy, path)

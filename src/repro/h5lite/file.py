@@ -2,13 +2,21 @@
 
 On disk a file is::
 
-    [8-byte superblock length][JSON superblock][chunk payload 0][chunk payload 1]...
+    [4-byte magic][8-byte superblock offset][chunk payload 0][chunk payload 1]...
+    ...[JSON superblock]
 
 The superblock records every dataset's dtype, logical shape, chunk size,
 filter id and the (offset, nbytes, actual_elements) of each chunk.  Datasets
 are written append-only; the superblock is rewritten on close.  This mirrors
 how HDF5's chunked storage behaves for the purposes of the paper: one filter
 call per chunk, uniform chunk size per dataset, per-chunk byte ranges on disk.
+
+Besides free-form ``attrs``, the superblock carries an optional first-class
+**header section** (:attr:`H5LiteFile.header`): an arbitrary JSON object a
+writer can attach to make the file self-describing (the AMRIC plotfile header
+of :mod:`repro.core.header` lives there).  Files written before the header
+section existed load with ``header = None`` — the explicit signal for
+template-based fallback reads.
 """
 
 from __future__ import annotations
@@ -104,6 +112,9 @@ class H5LiteFile:
         self.path = str(path)
         self.mode = mode
         self.attrs: Dict[str, object] = {}
+        #: optional self-description written into the superblock (JSON object);
+        #: None for files written before the header section existed
+        self.header: Optional[Dict[str, object]] = None
         self.datasets: Dict[str, DatasetInfo] = {}
         self._closed = False
         if mode == "w":
@@ -131,6 +142,7 @@ class H5LiteFile:
             superblock_offset = self._fh.tell()
             superblock = json.dumps({
                 "attrs": self.attrs,
+                "header": self.header,
                 "datasets": [d.to_json() for d in self.datasets.values()],
             }).encode("utf-8")
             self._fh.write(superblock)
@@ -140,14 +152,27 @@ class H5LiteFile:
         self._closed = True
 
     def _load_superblock(self) -> None:
-        header = self._fh.read(len(_MAGIC) + 8)
-        if header[:4] != _MAGIC:
+        preamble = self._fh.read(len(_MAGIC) + 8)
+        if preamble[:4] != _MAGIC:
             raise ValueError(f"{self.path} is not an H5Lite file")
-        (superblock_offset,) = struct.unpack_from("<Q", header, 4)
+        if len(preamble) < len(_MAGIC) + 8:
+            raise ValueError(f"{self.path} is truncated: no superblock offset")
+        (superblock_offset,) = struct.unpack_from("<Q", preamble, 4)
         self._fh.seek(superblock_offset)
-        superblock = json.loads(self._fh.read().decode("utf-8"))
-        self.attrs = superblock["attrs"]
-        self.datasets = {d["name"]: DatasetInfo.from_json(d) for d in superblock["datasets"]}
+        raw = self._fh.read()
+        try:
+            superblock = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(
+                f"{self.path} has a corrupt or truncated superblock: {exc}") from exc
+        try:
+            self.attrs = superblock["attrs"]
+            self.header = superblock.get("header")
+            self.datasets = {d["name"]: DatasetInfo.from_json(d)
+                             for d in superblock["datasets"]}
+        except (KeyError, TypeError, IndexError) as exc:
+            raise ValueError(
+                f"{self.path} has a malformed superblock: {exc!r}") from exc
 
     # ------------------------------------------------------------------
     # writing
@@ -251,6 +276,29 @@ class H5LiteFile:
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------
+    def read_chunk_payload(self, name: str, index: int) -> bytes:
+        """Raw stored bytes of one chunk (no decoding).
+
+        This is what lets consumers decode *selectively*: the staged reader
+        (:mod:`repro.core.reader`) pulls only the payloads whose chunks
+        intersect a request and ships them to decode workers as plain bytes.
+        """
+        if name not in self.datasets:
+            raise KeyError(f"no dataset named {name!r}; have {sorted(self.datasets)}")
+        info = self.datasets[name]
+        if not 0 <= index < len(info.chunks):
+            raise IndexError(
+                f"chunk {index} out of range for dataset {name!r} "
+                f"({len(info.chunks)} chunks)")
+        chunk = info.chunks[index]
+        self._fh.seek(chunk.offset)
+        payload = self._fh.read(chunk.nbytes)
+        if len(payload) != chunk.nbytes:
+            raise ValueError(
+                f"{self.path} is truncated: chunk {index} of {name!r} has "
+                f"{len(payload)} of {chunk.nbytes} bytes")
+        return payload
+
     def read_dataset(self, name: str, filter: Optional[Filter] = None) -> np.ndarray:
         """Read a dataset back, applying ``filter`` to decode each chunk."""
         if name not in self.datasets:
@@ -262,9 +310,8 @@ class H5LiteFile:
                 f"dataset was written with filter {info.filter_id!r}, not {filter.filter_id!r}")
         out = np.empty(info.nelements, dtype=np.float64)
         pos = 0
-        for chunk in info.chunks:
-            self._fh.seek(chunk.offset)
-            payload = self._fh.read(chunk.nbytes)
+        for i in range(len(info.chunks)):
+            payload = self.read_chunk_payload(name, i)
             decoded = filter.decode(payload, info.chunk_elements)
             take = min(info.nelements - pos, info.chunk_elements)
             out[pos:pos + take] = decoded[:take]

@@ -1,0 +1,404 @@
+"""The staged read pipeline: self-describing headers, lazy access, fallbacks.
+
+Covers the PR-3 acceptance criteria:
+
+* ``repro.open(path)`` reconstructs a hierarchy from the plotfile alone that
+  is element-wise identical to the template-based read, for every registered
+  codec and every execution backend;
+* ``read_field`` with a box decodes only the intersecting chunks (asserted by
+  decode-call counting);
+* pre-header plotfiles still read via the explicit template fallback;
+* corrupt / truncated / version-skewed headers raise :class:`ValueError`,
+  never a garbage hierarchy.
+"""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+import repro
+from repro.amr.box import Box
+from repro.compress.registry import available_codecs
+from repro.core import AMRICConfig, AMRICReader, AMRICWriter
+from repro.core.header import FORMAT_VERSION, PlotfileHeader
+from repro.core.reader import scan_plotfile
+from repro.core import stages
+from repro.h5lite.file import H5LiteFile
+from repro.parallel.backend import ParallelBackend
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def _to_globals(hierarchy):
+    return {(lvl, name): hierarchy[lvl].multifab.to_global(name, hierarchy[lvl].domain)
+            for lvl in range(hierarchy.nlevels)
+            for name in hierarchy.component_names}
+
+
+def _write(hierarchy, path, **cfg_kwargs):
+    cfg = AMRICConfig(**cfg_kwargs)
+    report = repro.write(hierarchy, str(path), config=cfg)
+    return cfg, report
+
+
+def _rewrite_superblock(path, mutate):
+    """Load the trailing JSON superblock, mutate it, rewrite the file."""
+    data = path.read_bytes()
+    (offset,) = struct.unpack_from("<Q", data, 4)
+    superblock = json.loads(data[offset:].decode("utf-8"))
+    mutate(superblock)
+    path.write_bytes(data[:offset] + json.dumps(superblock).encode("utf-8"))
+
+
+@pytest.fixture(scope="module")
+def multirank_hierarchy():
+    """Several coarse boxes across 4 ranks → multi-chunk level-0 datasets."""
+    from repro.apps import nyx_run
+
+    return nyx_run(coarse_shape=(32, 32, 32), nranks=4, max_grid_size=16,
+                   target_fine_density=0.03, seed=303).hierarchy
+
+
+@pytest.fixture(scope="module")
+def legacy_plotfile(nyx_hierarchy, tmp_path_factory):
+    """A pre-header plotfile (what PR-2 writers produced)."""
+    path = tmp_path_factory.mktemp("legacy") / "plt_legacy.h5z"
+    cfg, _ = _write(nyx_hierarchy, path, error_bound=1e-3)
+    _rewrite_superblock(path, lambda sb: sb.__setitem__("header", None))
+    return str(path), cfg
+
+
+class TestSelfDescribingRoundTrip:
+    @pytest.mark.parametrize("codec", sorted(available_codecs()))
+    def test_no_template_matches_template_read_all_codecs(
+            self, nyx_hierarchy, tmp_path, codec):
+        path = tmp_path / f"plt_{codec}.h5z"
+        cfg, _ = _write(nyx_hierarchy, path, compressor=codec, error_bound=1e-3)
+        reader = AMRICReader(cfg)
+        with_template = _to_globals(reader.read_plotfile(str(path), nyx_hierarchy))
+        no_template = _to_globals(reader.read_plotfile(str(path)))
+        assert set(with_template) == set(no_template)
+        for key, expected in with_template.items():
+            np.testing.assert_array_equal(no_template[key], expected, err_msg=str(key))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backends_bit_identical(self, nyx_hierarchy, tmp_path, backend):
+        path = tmp_path / "plt.h5z"
+        _write(nyx_hierarchy, path, error_bound=1e-3)
+        serial = _to_globals(AMRICReader().read_plotfile(str(path)))
+        with AMRICReader(backend=backend) as reader:
+            other = _to_globals(reader.read_plotfile(str(path)))
+        for key, expected in serial.items():
+            np.testing.assert_array_equal(other[key], expected, err_msg=str(key))
+
+    def test_caller_supplied_backend_not_closed(self, nyx_hierarchy, tmp_path):
+        path = tmp_path / "plt.h5z"
+        _write(nyx_hierarchy, path, error_bound=1e-3)
+        with ParallelBackend("thread", max_workers=2) as backend:
+            reader = AMRICReader(backend=backend)
+            reader.read_plotfile(str(path))
+            reader.close()                       # must not shut the pool down
+            again = reader = AMRICReader(backend=backend)
+            again.read_plotfile(str(path))       # pool still usable
+
+    def test_header_round_trips_structure_and_metadata(self, nyx_hierarchy, tmp_path):
+        path = tmp_path / "plt.h5z"
+        _write(nyx_hierarchy, path, error_bound=1e-3)
+        with repro.open(str(path)) as handle:
+            assert handle.is_self_describing
+            header = handle.header
+            assert header.version == FORMAT_VERSION
+            assert header.components == tuple(nyx_hierarchy.component_names)
+            assert header.ref_ratios == tuple(nyx_hierarchy.ref_ratios)
+            assert [lvl.nboxes for lvl in header.levels] == \
+                [len(l.boxarray) for l in nyx_hierarchy.levels]
+            back = handle.read()
+        assert back.time == nyx_hierarchy.time
+        assert back.step == nyx_hierarchy.step
+        for lvl in range(nyx_hierarchy.nlevels):
+            assert list(back[lvl].boxarray.boxes) == \
+                list(nyx_hierarchy[lvl].boxarray.boxes)
+            assert back[lvl].multifab.distribution == \
+                nyx_hierarchy[lvl].multifab.distribution
+
+    def test_template_read_of_headered_file_ignores_header(self, nyx_hierarchy, tmp_path):
+        """The template fallback is a genuinely independent path."""
+        path = tmp_path / "plt.h5z"
+        _write(nyx_hierarchy, path, error_bound=1e-3)
+        # poison the header: the template read must not even parse it
+        _rewrite_superblock(path, lambda sb: sb.__setitem__(
+            "header", {"format": "amric-plotfile", "version": FORMAT_VERSION + 7}))
+        back = AMRICReader().read_plotfile(str(path), nyx_hierarchy)
+        assert np.isfinite(back[0].multifab.to_global(
+            "baryon_density", back[0].domain)).all()
+
+    def test_nocomp_plotfile_opens_without_template(self, nyx_hierarchy, tmp_path):
+        path = tmp_path / "raw.h5z"
+        repro.write(nyx_hierarchy, str(path), method="nocomp")
+        with repro.open(str(path)) as handle:
+            assert handle.codec == "none"
+            back = handle.read()
+        for (lvl, name), original in _to_globals(nyx_hierarchy).items():
+            restored = back[lvl].multifab.to_global(name, back[lvl].domain)
+            np.testing.assert_array_equal(restored, original)
+
+    def test_amrex_plotfile_info_but_no_staged_read(self, nyx_hierarchy, tmp_path):
+        path = tmp_path / "amrex.h5z"
+        repro.write(nyx_hierarchy, str(path), method="amrex_1d", error_bound=1e-2)
+        with repro.open(str(path)) as handle:
+            assert handle.header.method == "amrex_1d"
+            assert handle.describe()["codec"] == "sz_1d"
+            with pytest.raises(ValueError, match="box-major"):
+                handle.read()
+
+
+class TestLazyRandomAccess:
+    def test_read_field_decodes_only_intersecting_chunks(self, multirank_hierarchy, tmp_path):
+        path = tmp_path / "plt.h5z"
+        _write(multirank_hierarchy, path, error_bound=1e-3)
+        with repro.open(str(path)) as full_handle:
+            info = full_handle.dataset_info("level_0/baryon_density")
+            assert info.nchunks > 1, "need a multi-chunk dataset for the test"
+            full_handle.read_field("baryon_density", level=0, refill=False)
+            full_chunks = full_handle.stats.chunks_decoded
+            assert full_chunks >= info.nchunks
+
+        with repro.open(str(path)) as handle:
+            # one unit block of one rank: strictly fewer chunks than the dataset
+            plan = handle._scan()
+            slot = plan.dataset(0, "baryon_density").slots[0]
+            handle.read_field("baryon_density", level=0, box=slot.block.box,
+                              refill=False)
+            assert handle.stats.chunks_decoded == 1
+            assert handle.stats.chunks_decoded < info.nchunks
+
+    def test_full_read_reuses_random_access_cache(self, multirank_hierarchy, tmp_path):
+        path = tmp_path / "plt.h5z"
+        _write(multirank_hierarchy, path, error_bound=1e-3)
+        with repro.open(str(path)) as fresh:
+            fresh.read()
+            total = fresh.stats.chunks_decoded
+        with repro.open(str(path)) as handle:
+            plan = handle._scan()
+            slot = plan.dataset(0, "baryon_density").slots[0]
+            handle.read_field("baryon_density", level=0, box=slot.block.box,
+                              refill=False)
+            warmed = handle.stats.chunks_decoded
+            assert warmed >= 1
+            back = handle.read()
+            # the full read decoded everything except the cached chunks
+            assert handle.stats.chunks_decoded == total
+            assert handle.stats.cache_hits >= warmed
+        expected = _to_globals(multirank_hierarchy)
+        for (lvl, name), orig in expected.items():
+            assert back[lvl].multifab.to_global(name, back[lvl].domain).shape \
+                == orig.shape
+
+    def test_read_field_cache_hits_on_repeat(self, nyx_hierarchy, tmp_path):
+        path = tmp_path / "plt.h5z"
+        _write(nyx_hierarchy, path, error_bound=1e-3)
+        with repro.open(str(path)) as handle:
+            box = Box.from_shape((8, 8, 8))
+            handle.read_field("temperature", level=0, box=box, refill=False)
+            first = handle.stats.chunks_decoded
+            handle.read_field("temperature", level=0, box=box, refill=False)
+            assert handle.stats.chunks_decoded == first
+            assert handle.stats.cache_hits > 0
+
+    def test_read_field_matches_full_read(self, nyx_hierarchy, tmp_path):
+        path = tmp_path / "plt.h5z"
+        _write(nyx_hierarchy, path, error_bound=1e-3)
+        with repro.open(str(path)) as handle:
+            back = handle.read()
+            for level in range(back.nlevels):
+                expected = back[level].multifab.to_global(
+                    "baryon_density", back[level].domain)
+                dense = handle.read_field("baryon_density", level=level)
+                mask = back[level].boxarray.coverage_mask(back[level].domain)
+                np.testing.assert_array_equal(dense[mask], expected[mask])
+
+    def test_read_field_box_subset_matches_dense(self, nyx_hierarchy, tmp_path):
+        path = tmp_path / "plt.h5z"
+        _write(nyx_hierarchy, path, error_bound=1e-3)
+        with repro.open(str(path)) as handle:
+            dense = handle.read_field("xmom", level=0)
+            box = Box((5, 3, 7), (20, 17, 30))
+            window = handle.read_field("xmom", level=0, box=box)
+            domain = handle._scan().structure[0].domain
+            np.testing.assert_array_equal(
+                window, dense[box.slices(origin=domain.lo)])
+
+    def test_read_field_refill_uses_conservative_average(self, nyx_hierarchy, tmp_path):
+        from repro.amr.upsample import average_down, covered_mask
+
+        path = tmp_path / "plt.h5z"
+        _write(nyx_hierarchy, path, error_bound=1e-3)
+        with repro.open(str(path)) as handle:
+            back = handle.read()
+            coarse = handle.read_field("baryon_density", level=0, refill=True)
+        mask = covered_mask(nyx_hierarchy, 0)
+        assert mask.any()
+        # the refilled region equals the average-down of the reconstruction
+        fine = back[1].multifab.to_global("baryon_density", back[1].domain)
+        expected = average_down(fine, nyx_hierarchy.ref_ratios[0])
+        np.testing.assert_allclose(coarse[mask], expected[mask], rtol=0, atol=1e-12)
+
+    def test_read_field_validates_level_and_field(self, nyx_hierarchy, tmp_path):
+        path = tmp_path / "plt.h5z"
+        _write(nyx_hierarchy, path, error_bound=1e-3)
+        with repro.open(str(path)) as handle:
+            with pytest.raises(ValueError, match="level 9"):
+                handle.read_field("baryon_density", level=9)
+            with pytest.raises(KeyError, match="no_such_field"):
+                handle.read_field("no_such_field")
+
+
+class TestLegacyFallback:
+    def test_headerless_requires_template(self, legacy_plotfile):
+        path, _ = legacy_plotfile
+        with pytest.raises(ValueError, match="no self-describing header"):
+            AMRICReader().read_plotfile(path)
+
+    def test_headerless_reads_with_template(self, legacy_plotfile, nyx_hierarchy):
+        path, cfg = legacy_plotfile
+        back = AMRICReader(cfg).read_plotfile(path, nyx_hierarchy)
+        for name in nyx_hierarchy.component_names:
+            vrange = nyx_hierarchy[1].multifab.value_range(name)
+            orig = nyx_hierarchy[1].multifab.to_global(name, nyx_hierarchy[1].domain)
+            rec = back[1].multifab.to_global(name, back[1].domain)
+            mask = nyx_hierarchy[1].boxarray.coverage_mask(nyx_hierarchy[1].domain)
+            assert np.max(np.abs(orig[mask] - rec[mask])) <= \
+                1e-3 * max(vrange, 1e-30) * (1 + 1e-6)
+
+    def test_headerless_handle_still_inspects(self, legacy_plotfile, nyx_hierarchy):
+        path, _ = legacy_plotfile
+        with repro.open(path) as handle:
+            assert not handle.is_self_describing
+            assert handle.fields == tuple(nyx_hierarchy.component_names)
+            assert handle.levels == (0, 1)
+            back = handle.read(template=nyx_hierarchy)
+        assert back.nlevels == nyx_hierarchy.nlevels
+
+
+class TestCorruptHeaders:
+    def _written(self, nyx_hierarchy, tmp_path):
+        path = tmp_path / "plt.h5z"
+        _write(nyx_hierarchy, path, error_bound=1e-3)
+        return path
+
+    def test_version_skew_raises(self, nyx_hierarchy, tmp_path):
+        path = self._written(nyx_hierarchy, tmp_path)
+
+        def skew(sb):
+            sb["header"]["version"] = FORMAT_VERSION + 1
+
+        _rewrite_superblock(path, skew)
+        with pytest.raises(ValueError, match="not supported"):
+            repro.open(str(path))
+
+    def test_wrong_format_tag_raises(self, nyx_hierarchy, tmp_path):
+        path = self._written(nyx_hierarchy, tmp_path)
+        _rewrite_superblock(path, lambda sb: sb["header"].__setitem__(
+            "format", "not-a-plotfile"))
+        with pytest.raises(ValueError, match="format"):
+            repro.open(str(path))
+
+    @pytest.mark.parametrize("key", ["levels", "components", "ref_ratios",
+                                     "codec", "unit_block_size"])
+    def test_missing_required_key_raises(self, nyx_hierarchy, tmp_path, key):
+        path = self._written(nyx_hierarchy, tmp_path)
+        _rewrite_superblock(path, lambda sb: sb["header"].pop(key))
+        with pytest.raises(ValueError, match="malformed plotfile header"):
+            repro.open(str(path))
+
+    def test_garbled_structure_raises_not_garbage(self, nyx_hierarchy, tmp_path):
+        path = self._written(nyx_hierarchy, tmp_path)
+
+        def garble(sb):
+            # a box whose hi < lo - 1 cannot construct a Box
+            sb["header"]["levels"][0]["boxes"][0] = [[0, 0, 0], [-5, -5, -5]]
+
+        _rewrite_superblock(path, garble)
+        with pytest.raises(ValueError):
+            repro.open(str(path)).read()
+
+    def test_rank_out_of_range_raises(self, nyx_hierarchy, tmp_path):
+        path = self._written(nyx_hierarchy, tmp_path)
+
+        def garble(sb):
+            sb["header"]["levels"][0]["rank_of_box"][0] = 999
+
+        _rewrite_superblock(path, garble)
+        with pytest.raises(ValueError, match="rank assignments"):
+            repro.open(str(path))
+
+    def test_structure_mismatching_file_raises(self, multirank_hierarchy, tmp_path):
+        """A valid header for a *different* hierarchy must not place garbage."""
+        path = self._written(multirank_hierarchy, tmp_path)
+
+        def shrink(sb):
+            lvl0 = sb["header"]["levels"][0]
+            keep = max(1, len(lvl0["boxes"]) - 1)
+            lvl0["boxes"] = lvl0["boxes"][:keep]
+            lvl0["rank_of_box"] = lvl0["rank_of_box"][:keep]
+
+        _rewrite_superblock(path, shrink)
+        with pytest.raises(ValueError, match="does not match this file"):
+            repro.open(str(path)).read()
+
+    def test_truncated_file_raises(self, nyx_hierarchy, tmp_path):
+        path = self._written(nyx_hierarchy, tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) // 2])
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            repro.open(str(path))
+
+    def test_truncated_preamble_raises(self, nyx_hierarchy, tmp_path):
+        path = self._written(nyx_hierarchy, tmp_path)
+        path.write_bytes(path.read_bytes()[:6])
+        with pytest.raises(ValueError, match="truncated"):
+            repro.open(str(path))
+
+    def test_non_object_header_raises(self, nyx_hierarchy, tmp_path):
+        path = self._written(nyx_hierarchy, tmp_path)
+        _rewrite_superblock(path, lambda sb: sb.__setitem__("header", [1, 2, 3]))
+        with pytest.raises(ValueError, match="expected an object"):
+            repro.open(str(path))
+
+
+class TestStagedPipelinePieces:
+    def test_scan_plan_covers_every_dataset(self, nyx_hierarchy, tmp_path):
+        path = tmp_path / "plt.h5z"
+        _write(nyx_hierarchy, path, error_bound=1e-3)
+        with H5LiteFile(str(path), "r") as f:
+            plan = scan_plotfile(f)
+            assert {d.name for d in plan.datasets} == set(f.dataset_names())
+            for dplan in plan.datasets:
+                info = f.datasets[dplan.name]
+                assert dplan.nchunks == info.nchunks
+                assert sum(s.size for s in dplan.slots) <= info.nelements
+                # rank-aligned plotfiles: every slot stays inside its chunk
+                for slot in dplan.slots:
+                    chunk = slot.offset // dplan.chunk_elements
+                    assert (slot.offset + slot.size - 1) // dplan.chunk_elements == chunk
+
+    def test_in_memory_write_has_no_header_to_scan(self, nyx_hierarchy):
+        # commit_header is a no-op without a file; nothing to assert beyond
+        # "doesn't explode" and the report still being complete
+        report = AMRICWriter(AMRICConfig(error_bound=1e-3)).write_plotfile(
+            nyx_hierarchy, None)
+        assert report.path is None
+        assert report.ndatasets > 0
+
+    def test_commit_header_writes_parseable_json(self, nyx_hierarchy, tmp_path):
+        path = tmp_path / "hdr.h5z"
+        cfg = AMRICConfig(error_bound=1e-3)
+        with H5LiteFile(str(path), "w") as f:
+            stages.commit_header(f, nyx_hierarchy, cfg)
+            f.create_dataset("x", np.arange(8.0))
+        with H5LiteFile(str(path), "r") as f:
+            header = PlotfileHeader.from_json(f.header)
+        assert header.codec == cfg.compressor
+        assert header.unit_block_size == cfg.unit_block_size

@@ -209,11 +209,20 @@ class TestConfig:
         assert not off.use_sle and not off.remove_redundancy
         assert cfg.use_sle  # original untouched
 
-    def test_make_compressors(self):
+    def test_make_compressors_via_registry(self):
         cfg = AMRICConfig(error_bound=1e-4, sz_block_size=4)
-        lr = cfg.make_sz_lr()
+        lr = cfg.make_codec("sz_lr", block_size=cfg.sz_block_size)
         assert lr.block_size == 4
-        lr8 = cfg.make_sz_lr(block_size=8)
+        lr8 = cfg.make_codec("sz_lr", block_size=8)
         assert lr8.block_size == 8
-        interp = cfg.make_sz_interp()
+        interp = cfg.make_codec("sz_interp", anchor_stride=cfg.interp_anchor_stride)
+        assert interp.anchor_stride == cfg.interp_anchor_stride
+
+    def test_legacy_make_helpers_deprecated_but_equivalent(self):
+        cfg = AMRICConfig(error_bound=1e-4, sz_block_size=4)
+        with pytest.warns(DeprecationWarning, match="make_sz_lr is deprecated"):
+            lr = cfg.make_sz_lr(block_size=8)
+        assert lr.block_size == 8
+        with pytest.warns(DeprecationWarning, match="make_sz_interp is deprecated"):
+            interp = cfg.make_sz_interp()
         assert interp.anchor_stride == cfg.interp_anchor_stride

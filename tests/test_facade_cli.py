@@ -1,0 +1,201 @@
+"""The public facade (repro.open / repro.write) and the python -m repro CLI."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cli import main as cli_main
+from repro.core import AMRICConfig
+from repro.core.pipeline import WriteReport
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    from repro.apps import nyx_run
+
+    return nyx_run(coarse_shape=(32, 32, 32), nranks=4, target_fine_density=0.03,
+                   seed=101).hierarchy
+
+
+class TestWriteFacade:
+    def test_default_method_is_amric(self, hierarchy, tmp_path):
+        report = repro.write(hierarchy, str(tmp_path / "a.h5z"), error_bound=1e-3)
+        assert isinstance(report, WriteReport)
+        assert report.method.startswith("amric")
+        assert report.compression_ratio > 2
+
+    def test_in_memory_write(self, hierarchy):
+        report = repro.write(hierarchy, None, error_bound=1e-2)
+        assert report.path is None
+
+    def test_method_dispatch(self, hierarchy, tmp_path):
+        amrex = repro.write(hierarchy, str(tmp_path / "x.h5z"),
+                            method="amrex", error_bound=1e-2)
+        assert amrex.method == "amrex_1d"
+        raw = repro.write(hierarchy, str(tmp_path / "r.h5z"), method="raw")
+        assert raw.method == "nocomp"
+        assert raw.compression_ratio == pytest.approx(1.0)
+
+    def test_unknown_method_raises(self, hierarchy):
+        with pytest.raises(ValueError, match="unknown write method"):
+            repro.write(hierarchy, None, method="gzip")
+
+    def test_baseline_methods_reject_amric_config(self, hierarchy):
+        with pytest.raises(ValueError, match="neither an AMRIC config"):
+            repro.write(hierarchy, None, method="nocomp",
+                        config=AMRICConfig())
+
+    def test_explicit_writer_object_wins(self, hierarchy, tmp_path):
+        from repro.baselines import NoCompressionWriter
+
+        report = repro.write(hierarchy, str(tmp_path / "w.h5z"),
+                             writer=NoCompressionWriter())
+        assert report.method == "nocomp"
+
+    def test_writer_with_conflicting_config_raises(self, hierarchy):
+        from repro.baselines import NoCompressionWriter
+
+        with pytest.raises(ValueError, match="silently ignored"):
+            repro.write(hierarchy, None, writer=NoCompressionWriter(),
+                        error_bound=1e-4)
+        with pytest.raises(ValueError, match="silently ignored"):
+            repro.write(hierarchy, None, writer=NoCompressionWriter(),
+                        config=AMRICConfig())
+
+    def test_write_then_open_round_trip(self, hierarchy, tmp_path):
+        path = str(tmp_path / "rt.h5z")
+        repro.write(hierarchy, path, error_bound=1e-3)
+        with repro.open(path) as handle:
+            back = handle.read()
+        for name in hierarchy.component_names:
+            vrange = hierarchy[1].multifab.value_range(name)
+            orig = hierarchy[1].multifab.to_global(name, hierarchy[1].domain)
+            rec = back[1].multifab.to_global(name, back[1].domain)
+            mask = hierarchy[1].boxarray.coverage_mask(hierarchy[1].domain)
+            assert np.max(np.abs(orig[mask] - rec[mask])) <= \
+                1e-3 * max(vrange, 1e-30) * (1 + 1e-6)
+
+
+class TestDriverOnFacade:
+    def test_driver_method_dispatch_writes_self_describing(self, tmp_path):
+        from repro.apps import SimulationDriver, nyx_run
+
+        sim = nyx_run(coarse_shape=(16, 16, 16), nranks=2,
+                      target_fine_density=0.05, seed=5)
+        driver = SimulationDriver(sim, output_dir=str(tmp_path),
+                                  method="amric", error_bound=1e-2)
+        records = driver.run(1)
+        assert len(records) == 1
+        with repro.open(records[0].path) as handle:
+            assert handle.is_self_describing
+            assert handle.read().nlevels >= 1
+
+    def test_driver_without_io_config_writes_nothing(self):
+        from repro.apps import SimulationDriver, nyx_run
+
+        sim = nyx_run(coarse_shape=(16, 16, 16), nranks=2,
+                      target_fine_density=0.05, seed=5)
+        assert SimulationDriver(sim).run(1) == []
+
+    def test_driver_rejects_writer_plus_config_at_construction(self):
+        from repro.apps import SimulationDriver, nyx_run
+        from repro.baselines import NoCompressionWriter
+
+        sim = nyx_run(coarse_shape=(16, 16, 16), nranks=2,
+                      target_fine_density=0.05, seed=5)
+        with pytest.raises(ValueError, match="already carries"):
+            SimulationDriver(sim, writer=NoCompressionWriter(),
+                             error_bound=1e-4)
+
+
+class TestReportingOnFacade:
+    def test_summarize_and_dataset_rows(self, hierarchy, tmp_path):
+        from repro.analysis.reporting import plotfile_dataset_rows, summarize_plotfile
+
+        path = str(tmp_path / "s.h5z")
+        repro.write(hierarchy, path, error_bound=1e-3)
+        summary = summarize_plotfile(path)
+        assert summary["self_describing"] is True
+        assert summary["codec"] == "sz_lr"
+        assert summary["compression_ratio"] > 1
+        rows = plotfile_dataset_rows(path)
+        assert len(rows) == summary["datasets"]
+        assert all(row["filter"] == "amric_3d" for row in rows)
+
+
+class TestCLI:
+    def _compress(self, path, extra=()):
+        return cli_main(["compress", "--preset", "nyx_1", str(path), *extra])
+
+    @pytest.fixture(scope="class")
+    def plotfile(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "plt.h5z"
+        assert cli_main(["compress", "--preset", "nyx_1", str(path)]) == 0
+        return path
+
+    def test_info(self, plotfile, capsys):
+        assert cli_main(["info", str(plotfile)]) == 0
+        out = capsys.readouterr().out
+        assert "self_describing    True" in out
+        assert "level_0/baryon_density" in out
+
+    def test_info_json(self, plotfile, capsys):
+        import json
+
+        assert cli_main(["info", str(plotfile), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["format_version"] == 1
+        assert summary["method"] == "amric"
+
+    def test_verify_pass(self, plotfile, capsys):
+        assert cli_main(["verify", str(plotfile)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_decompress_then_verify_against(self, plotfile, tmp_path, capsys):
+        raw = tmp_path / "raw.h5z"
+        assert cli_main(["decompress", str(plotfile), str(raw)]) == 0
+        assert cli_main(["verify", str(plotfile), "--against", str(raw)]) == 0
+        out = capsys.readouterr().out
+        assert "error_bound=ok" in out
+
+    def test_recompress_input(self, plotfile, tmp_path, capsys):
+        out_path = tmp_path / "re.h5z"
+        assert cli_main(["compress", "--input", str(plotfile), str(out_path),
+                         "--codec", "sz_interp", "--error-bound", "1e-2"]) == 0
+        with repro.open(str(out_path)) as handle:
+            assert handle.codec == "sz_interp"
+            assert handle.error_bound == pytest.approx(1e-2)
+
+    def test_compress_forwards_error_bound_to_amrex(self, tmp_path, capsys):
+        out_path = tmp_path / "ax.h5z"
+        assert cli_main(["compress", "--preset", "nyx_1", str(out_path),
+                         "--method", "amrex_1d", "--error-bound", "5e-2"]) == 0
+        with repro.open(str(out_path)) as handle:
+            assert handle.header.method == "amrex_1d"
+            assert handle.error_bound == pytest.approx(5e-2)
+
+    def test_compress_rejects_codec_for_non_amric(self, tmp_path, capsys):
+        assert cli_main(["compress", "--preset", "nyx_1",
+                         str(tmp_path / "x.h5z"), "--method", "nocomp",
+                         "--codec", "sz_interp"]) == 1
+        assert "--codec only applies" in capsys.readouterr().err
+
+    def test_compress_rejects_inapplicable_flags(self, tmp_path, capsys):
+        assert cli_main(["compress", "--preset", "nyx_1",
+                         str(tmp_path / "x.h5z"), "--method", "nocomp",
+                         "--error-bound", "1e-6"]) == 1
+        assert "--error-bound does not apply" in capsys.readouterr().err
+        assert cli_main(["compress", "--preset", "nyx_1",
+                         str(tmp_path / "y.h5z"), "--method", "amrex_1d",
+                         "--backend", "thread"]) == 1
+        assert "--backend only applies" in capsys.readouterr().err
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert cli_main(["info", str(tmp_path / "nope.h5z")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_file_fails_cleanly(self, plotfile, tmp_path, capsys):
+        bad = tmp_path / "bad.h5z"
+        bad.write_bytes(plotfile.read_bytes()[: plotfile.stat().st_size // 2])
+        assert cli_main(["verify", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
