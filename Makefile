@@ -1,13 +1,15 @@
 # Developer entry points. `make test` is the tier-1 gate; `make lint` runs ruff
 # (skipping with a notice when it is not installed); `make bench` runs the
-# tracked performance suite and refreshes BENCH_entropy.json +
-# BENCH_writer.json + BENCH_reader.json (it degrades to a plain run — the
+# tracked performance suite and refreshes BENCH_entropy.json + BENCH_writer.json
+# + BENCH_reader.json + BENCH_series.json (it degrades to a plain run — the
 # perf tests skip themselves — if pytest-benchmark is absent); `make smoke`
-# exercises the `python -m repro` CLI end to end.
+# exercises the `python -m repro` CLI end to end and `make smoke-series` does
+# the same for the series subsystem (write N steps -> series-verify ->
+# time_slice).
 
 PY := PYTHONPATH=src python
 
-.PHONY: test lint bench smoke
+.PHONY: test lint bench smoke smoke-series
 
 test:
 	$(PY) -m pytest -x -q
@@ -24,10 +26,12 @@ bench:
 		&& $(PY) -m pytest benchmarks/perf -q \
 			--ignore=benchmarks/perf/test_perf_writer.py \
 			--ignore=benchmarks/perf/test_perf_reader.py \
+			--ignore=benchmarks/perf/test_perf_series.py \
 			--benchmark-json=BENCH_entropy.json \
 		|| $(PY) -m pytest benchmarks/perf -q \
 			--ignore=benchmarks/perf/test_perf_writer.py \
-			--ignore=benchmarks/perf/test_perf_reader.py
+			--ignore=benchmarks/perf/test_perf_reader.py \
+			--ignore=benchmarks/perf/test_perf_series.py
 	@$(PY) -c "import pytest_benchmark" 2>/dev/null \
 		&& $(PY) -m pytest benchmarks/perf/test_perf_writer.py -q \
 			--benchmark-json=BENCH_writer.json \
@@ -36,6 +40,10 @@ bench:
 		&& $(PY) -m pytest benchmarks/perf/test_perf_reader.py -q \
 			--benchmark-json=BENCH_reader.json \
 		|| $(PY) -m pytest benchmarks/perf/test_perf_reader.py -q
+	@$(PY) -c "import pytest_benchmark" 2>/dev/null \
+		&& $(PY) -m pytest benchmarks/perf/test_perf_series.py -q \
+			--benchmark-json=BENCH_series.json \
+		|| $(PY) -m pytest benchmarks/perf/test_perf_series.py -q
 
 smoke:
 	@rm -rf .smoke && mkdir -p .smoke
@@ -45,3 +53,21 @@ smoke:
 	$(PY) -m repro decompress .smoke/plt.h5z .smoke/raw.h5z
 	$(PY) -m repro verify .smoke/plt.h5z --against .smoke/raw.h5z
 	@rm -rf .smoke
+
+smoke-series:
+	@rm -rf .smoke-series && mkdir -p .smoke-series
+	$(PY) -c "import repro; from repro.apps.nyx import NyxSimulation; \
+		sim = NyxSimulation(coarse_shape=(24, 24, 24), nranks=2, \
+		target_fine_density=0.03, max_grid_size=12, seed=7, \
+		drift_rate=0.05, growth_rate=0.02, regrid_interval=4); \
+		repro.write_series(sim.run(5), '.smoke-series/run', \
+		keyframe_interval=4, error_bound=1e-3)"
+	$(PY) -m repro series-info .smoke-series/run
+	$(PY) -m repro series-verify .smoke-series/run
+	$(PY) -c "import numpy as np; import repro; from repro.amr.box import Box; \
+		s = repro.open_series('.smoke-series/run'); \
+		t, v = s.time_slice('baryon_density', box=Box((0, 0, 0), (3, 3, 3)), refill=False); \
+		assert v.shape[0] == 5 and np.isfinite(v).all(); \
+		print('time_slice ok:', v.shape, f'{s.stats.chunks_decoded} chunks decoded'); \
+		s.close()"
+	@rm -rf .smoke-series

@@ -41,12 +41,14 @@ The same verbs drive the ``python -m repro`` CLI (``info``, ``compress``,
 """
 
 from repro._version import __version__
-from repro.facade import open_plotfile, write_plotfile
+from repro.facade import open_plotfile, open_series, write_plotfile, write_series
 
-#: the public two-verb facade: ``repro.open(path)`` / ``repro.write(h, path)``
+#: the public two-verb facade: ``repro.open(path)`` / ``repro.write(h, path)``,
+#: plus the series verbs ``repro.open_series(dir)`` / ``repro.write_series(...)``
 open = open_plotfile  # noqa: A001 - deliberate facade verb
 write = write_plotfile
 
 #: ``open`` is deliberately NOT in __all__: ``from repro import *`` must not
 #: shadow the builtin in the importing module (repro.open still works)
-__all__ = ["__version__", "write", "open_plotfile", "write_plotfile"]
+__all__ = ["__version__", "write", "open_plotfile", "write_plotfile",
+           "open_series", "write_series"]

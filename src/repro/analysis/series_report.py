@@ -1,0 +1,96 @@
+"""Temporal rate-distortion reporting for plotfile series.
+
+The per-step counterpart of the single-file summaries in
+:mod:`repro.analysis.reporting`: one row per step with its compression ratio,
+PSNR and how many bytes the temporal delta saved over the keyframe encoding
+of the same step (both candidate sizes are recorded in the series manifest,
+so the comparison costs no decoding).  ``python -m repro series-info`` renders
+these rows; studies aggregate them via :func:`series_summary`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["series_step_rows", "series_dataset_rows", "series_summary"]
+
+
+def _index_of(series) -> "object":
+    """Accept a SeriesHandle, a SeriesIndex, or a series directory path."""
+    from repro.series.index import SeriesIndex
+    from repro.series.reader import SeriesHandle
+
+    if isinstance(series, SeriesHandle):
+        return series.index
+    if isinstance(series, SeriesIndex):
+        return series
+    return SeriesIndex.load(str(series))
+
+
+def series_step_rows(series) -> List[Dict[str, object]]:
+    """Per-step rate/distortion/savings rows for :func:`~repro.analysis.reporting.format_table`."""
+    index = _index_of(series)
+    rows: List[Dict[str, object]] = []
+    for step in index.steps:
+        psnrs = [d.psnr for d in step.datasets if np.isfinite(d.psnr)]
+        ndelta = sum(1 for d in step.datasets if d.mode == "delta")
+        rows.append({
+            "step": step.step,
+            "time": step.time,
+            "kind": step.kind,
+            "delta_datasets": f"{ndelta}/{len(step.datasets)}",
+            "stored_bytes": step.stored_bytes,
+            "CR": step.compression_ratio,
+            "psnr_db": float(np.mean(psnrs)) if psnrs else float("inf"),
+            "worst_psnr_db": float(min(psnrs)) if psnrs else float("inf"),
+            "key_bytes": step.key_bytes,
+            "delta_saved": step.delta_saved_bytes,
+        })
+    return rows
+
+
+def series_dataset_rows(series, step: int = -1) -> List[Dict[str, object]]:
+    """Per-dataset rows of one step (mode, sizes, both candidates, PSNR)."""
+    index = _index_of(series)
+    record = index.steps[step]
+    rows: List[Dict[str, object]] = []
+    for d in record.datasets:
+        rows.append({
+            "dataset": d.name,
+            "mode": d.mode,
+            "ref": "-" if d.ref is None else d.ref,
+            "stored_bytes": d.stored_bytes,
+            "CR": d.raw_bytes / max(d.stored_bytes, 1),
+            "key_bytes": d.key_bytes,
+            "delta_bytes": "-" if d.delta_bytes is None else d.delta_bytes,
+            "psnr_db": d.psnr,
+        })
+    return rows
+
+
+def series_summary(series) -> Dict[str, object]:
+    """Whole-series totals: ratio, PSNR range and delta-vs-keyframe savings.
+
+    ``keyframe_only_bytes`` is what the identical series would cost with
+    every step stored self-contained (the sum of the recorded keyframe
+    candidates); ``delta_savings_factor`` is the headline
+    keyframe-only / actual ratio the benchmarks track.
+    """
+    index = _index_of(series)
+    psnrs = [d.psnr for s in index.steps for d in s.datasets if np.isfinite(d.psnr)]
+    stored = index.stored_bytes
+    return {
+        "nsteps": index.nsteps,
+        "keyframes": sum(1 for s in index.steps if s.kind == "key"),
+        "delta_steps": sum(1 for s in index.steps if s.kind == "delta"),
+        "raw_bytes": index.raw_bytes,
+        "stored_bytes": stored,
+        "compression_ratio": index.compression_ratio,
+        "keyframe_only_bytes": index.key_bytes,
+        "delta_saved_bytes": index.delta_saved_bytes,
+        "delta_savings_factor": index.key_bytes / max(stored, 1),
+        "mean_psnr_db": float(np.mean(psnrs)) if psnrs else float("inf"),
+        "worst_psnr_db": float(min(psnrs)) if psnrs else float("inf"),
+    }

@@ -18,7 +18,7 @@ data underneath the fine level.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -45,7 +45,8 @@ def build_two_level_hierarchy(
         detail_amplitude: float = 0.05,
         seed: int = 0,
         time: float = 0.0,
-        step: int = 0) -> AmrHierarchy:
+        step: int = 0,
+        fine_boxarray: "BoxArray | None" = None) -> AmrHierarchy:
     """Assemble a two-level patch-based hierarchy from dense coarse fields.
 
     Parameters
@@ -61,6 +62,10 @@ def build_two_level_hierarchy(
     detail_amplitude:
         Relative amplitude of the small-scale detail added to the fine level
         (relative to the coarse field's standard deviation).
+    fine_boxarray:
+        Reuse this fine-level :class:`~repro.amr.boxarray.BoxArray` (fine
+        index space) instead of tagging and clustering — how a simulation
+        keeps its grids fixed between regrid steps (AMReX's ``regrid_int``).
     """
     names = tuple(coarse_fields)
     if not names:
@@ -88,29 +93,33 @@ def build_two_level_hierarchy(
     # The field is smoothed first so tags form contiguous blobs (as gradient /
     # density criteria do in practice) instead of isolated cells that the
     # clustering would massively over-cover.
-    from scipy.ndimage import uniform_filter
-
-    tag_values = uniform_filter(
-        np.abs(np.asarray(coarse_fields[tag_field], dtype=np.float64)), size=3)
     fine_levels = []
-    coarse_fine_ba = None
-    # choose the tagging quantile iteratively so the *covered* fraction (after
-    # box clustering, which always over-covers) lands near the density target
-    tagged_fraction = target_fine_density
-    for _ in range(6):
-        threshold = float(np.quantile(tag_values, 1.0 - tagged_fraction))
-        tags = tag_values > threshold
-        if not tags.any():
-            break
-        candidate = cluster_tags(tags, origin=coarse_domain.lo,
-                                 max_grid_size=max_grid_size,
-                                 blocking_factor=blocking_factor,
-                                 min_efficiency=0.7)
-        coarse_fine_ba = candidate
-        covered = candidate.covered_fraction(coarse_domain)
-        if covered <= 1.6 * target_fine_density or tagged_fraction < 1e-4:
-            break
-        tagged_fraction *= max(0.25, 0.8 * target_fine_density / covered)
+    if fine_boxarray is not None:
+        coarse_fine_ba = fine_boxarray.coarsen(ratio) if len(fine_boxarray) else None
+    else:
+        from scipy.ndimage import uniform_filter
+
+        tag_values = uniform_filter(
+            np.abs(np.asarray(coarse_fields[tag_field], dtype=np.float64)), size=3)
+        coarse_fine_ba = None
+        # choose the tagging quantile iteratively so the *covered* fraction
+        # (after box clustering, which always over-covers) lands near the
+        # density target
+        tagged_fraction = target_fine_density
+        for _ in range(6):
+            threshold = float(np.quantile(tag_values, 1.0 - tagged_fraction))
+            tags = tag_values > threshold
+            if not tags.any():
+                break
+            candidate = cluster_tags(tags, origin=coarse_domain.lo,
+                                     max_grid_size=max_grid_size,
+                                     blocking_factor=blocking_factor,
+                                     min_efficiency=0.7)
+            coarse_fine_ba = candidate
+            covered = candidate.covered_fraction(coarse_domain)
+            if covered <= 1.6 * target_fine_density or tagged_fraction < 1e-4:
+                break
+            tagged_fraction *= max(0.25, 0.8 * target_fine_density / covered)
     if coarse_fine_ba is not None and len(coarse_fine_ba):
         fine_ba = coarse_fine_ba.refine(ratio)
         fine_dm = DistributionMapping.knapsack([b.size for b in fine_ba], nranks)
@@ -146,7 +155,8 @@ class SyntheticAMRSimulation:
 
     def __init__(self, coarse_shape: Sequence[int], ratio: int = 2,
                  max_grid_size: int = 32, blocking_factor: int = 8, nranks: int = 4,
-                 target_fine_density: float = 0.02, seed: int = 0):
+                 target_fine_density: float = 0.02, seed: int = 0,
+                 regrid_interval: int = 1):
         self.coarse_shape = tuple(int(s) for s in coarse_shape)
         self.ratio = int(ratio)
         self.max_grid_size = int(max_grid_size)
@@ -154,9 +164,14 @@ class SyntheticAMRSimulation:
         self.nranks = int(nranks)
         self.target_fine_density = float(target_fine_density)
         self.seed = int(seed)
+        #: re-tag and re-cluster the fine level only every this many steps
+        #: (AMReX's ``regrid_int``); between regrids the grids stay fixed and
+        #: only the data evolves
+        self.regrid_interval = max(1, int(regrid_interval))
         self.step = 0
         self.time = 0.0
         self._hierarchy: AmrHierarchy | None = None
+        self._fine_boxarray = None                 #: grids kept between regrids
 
     # -- to be provided by subclasses -----------------------------------
     def coarse_fields(self) -> Dict[str, np.ndarray]:
@@ -172,12 +187,17 @@ class SyntheticAMRSimulation:
     def hierarchy(self) -> AmrHierarchy:
         """The current plotfile hierarchy (built lazily, rebuilt after advance)."""
         if self._hierarchy is None:
+            regrid = self.step % self.regrid_interval == 0 \
+                or self._fine_boxarray is None
             self._hierarchy = build_two_level_hierarchy(
                 self.coarse_fields(), self.tag_field, self.target_fine_density,
                 ratio=self.ratio, max_grid_size=self.max_grid_size,
                 blocking_factor=self.blocking_factor, nranks=self.nranks,
                 detail_amplitude=self.detail_amplitude, seed=self.seed + self.step,
-                time=self.time, step=self.step)
+                time=self.time, step=self.step,
+                fine_boxarray=None if regrid else self._fine_boxarray)
+            self._fine_boxarray = (self._hierarchy[1].boxarray
+                                   if self._hierarchy.nlevels > 1 else None)
         return self._hierarchy
 
     #: relative amplitude of fine-level sub-grid detail

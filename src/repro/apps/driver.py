@@ -11,8 +11,8 @@ data sizes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -137,28 +137,46 @@ class SimulationDriver:
     name ("amric", "amrex_1d", "nocomp"), an AMRIC ``config`` and/or keyword
     ``overrides`` — and dumps to disk are self-describing (readable back via
     :func:`repro.open` with no template).
+
+    With ``series=True`` the dumps instead accumulate into one plotfile
+    series under ``output_dir`` (:mod:`repro.series`): consecutive dumps
+    delta-compress against each other through the ``temporal_delta`` codec,
+    every ``keyframe_interval``-th dump stays self-contained, and the run is
+    read back time-indexed via :func:`repro.open_series`.
     """
 
     def __init__(self, simulation: SyntheticAMRSimulation, writer=None,
                  output_dir: Optional[str] = None, plot_interval: int = 1,
-                 method: Optional[str] = None, config=None, **overrides):
+                 method: Optional[str] = None, config=None,
+                 series: bool = False, keyframe_interval: int = 8,
+                 **overrides):
         if writer is not None and (config is not None or overrides):
             # write_plotfile would reject this at the first dump; fail at
             # construction instead of mid-run
             raise ValueError(
                 "writer= already carries its configuration; do not also pass "
                 "config=/writer overrides to SimulationDriver")
+        if series:
+            if output_dir is None:
+                raise ValueError("series=True needs an output_dir to accumulate into")
+            if writer is not None or method is not None:
+                raise ValueError(
+                    "series=True always writes through the series writer; "
+                    "writer=/method= cannot apply")
         self.simulation = simulation
         self.writer = writer
         self.method = method
         self.config = config
+        self.series = bool(series)
+        self.keyframe_interval = int(keyframe_interval)
         self.overrides = overrides
         self.output_dir = output_dir
         self.plot_interval = max(1, int(plot_interval))
         self.records: list[StepRecord] = []
-        #: dump only when I/O was configured (a writer, method, config or overrides)
+        #: dump only when I/O was configured (a writer, method, config,
+        #: overrides — or the series mode, which is always a dump request)
         self._dumps = (writer is not None or method is not None
-                       or config is not None or bool(overrides))
+                       or config is not None or bool(overrides) or self.series)
 
     def run(self, nsteps: int, dt: float = 1.0) -> list[StepRecord]:
         """Advance ``nsteps`` steps, dumping a plotfile every ``plot_interval`` steps."""
@@ -166,18 +184,34 @@ class SimulationDriver:
 
         from repro.facade import write_plotfile
 
-        for step in range(nsteps):
-            hierarchy = self.simulation.hierarchy
-            if step % self.plot_interval == 0 and self._dumps:
-                path = None
-                if self.output_dir is not None:
-                    os.makedirs(self.output_dir, exist_ok=True)
-                    path = os.path.join(self.output_dir, f"plt{self.simulation.step:05d}.h5z")
-                report = write_plotfile(hierarchy, path, writer=self.writer,
-                                        method=self.method or "amric",
-                                        config=self.config, **self.overrides)
-                self.records.append(StepRecord(step=self.simulation.step,
-                                               time=self.simulation.time,
-                                               report=report, path=path))
-            self.simulation.advance(dt)
+        series_writer = None
+        if self.series and self._dumps:
+            from repro.series.writer import SeriesWriter
+
+            series_writer = SeriesWriter(self.output_dir, config=self.config,
+                                         keyframe_interval=self.keyframe_interval,
+                                         **self.overrides)
+        try:
+            for step in range(nsteps):
+                hierarchy = self.simulation.hierarchy
+                if step % self.plot_interval == 0 and self._dumps:
+                    if series_writer is not None:
+                        report = series_writer.append(hierarchy)
+                        path = report.path
+                    else:
+                        path = None
+                        if self.output_dir is not None:
+                            os.makedirs(self.output_dir, exist_ok=True)
+                            path = os.path.join(
+                                self.output_dir, f"plt{self.simulation.step:05d}.h5z")
+                        report = write_plotfile(hierarchy, path, writer=self.writer,
+                                                method=self.method or "amric",
+                                                config=self.config, **self.overrides)
+                    self.records.append(StepRecord(step=self.simulation.step,
+                                                   time=self.simulation.time,
+                                                   report=report, path=path))
+                self.simulation.advance(dt)
+        finally:
+            if series_writer is not None:
+                series_writer.close()
         return self.records

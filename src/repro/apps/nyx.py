@@ -43,13 +43,25 @@ class NyxSimulation(SyntheticAMRSimulation):
                  max_grid_size: int = 32, blocking_factor: int = 8, nranks: int = 4,
                  target_fine_density: float = 0.02, seed: int = 0,
                  sigma: float = 1.0, spectral_slope: float = 3.2,
-                 n_halos_per_mcell: float = 40.0):
+                 n_halos_per_mcell: float = 40.0,
+                 drift_rate: float = 0.15, growth_rate: float = 0.08,
+                 regrid_interval: int = 1):
         super().__init__(coarse_shape, ratio=ratio, max_grid_size=max_grid_size,
                          blocking_factor=blocking_factor, nranks=nranks,
-                         target_fine_density=target_fine_density, seed=seed)
+                         target_fine_density=target_fine_density, seed=seed,
+                         regrid_interval=regrid_interval)
         self.sigma = float(sigma)
         self.spectral_slope = float(spectral_slope)
         self.n_halos_per_mcell = float(n_halos_per_mcell)
+        #: per-step phase rotation of every field's large-scale structure.
+        #: All fields drift coherently in a fixed two-field subspace, so
+        #: consecutive plotfiles are genuinely correlated — what a real
+        #: simulation's dump cadence produces, and what the series
+        #: subsystem's temporal delta compression exploits.  Smaller values
+        #: model a denser dump cadence.
+        self.drift_rate = float(drift_rate)
+        #: per-step amplification of the log-density contrast (structure growth)
+        self.growth_rate = float(growth_rate)
 
     # ------------------------------------------------------------------
     @property
@@ -58,7 +70,16 @@ class NyxSimulation(SyntheticAMRSimulation):
 
     def _growth(self) -> float:
         """Structure-growth factor: density contrast grows with each step."""
-        return 1.0 + 0.08 * self.step
+        return 1.0 + self.growth_rate * self.step
+
+    def _drift_pair(self, seed_a: int, seed_b: int) -> np.ndarray:
+        """A field rotating smoothly between two fixed random fields."""
+        phase = self.drift_rate * self.step
+        a = gaussian_random_field(self.coarse_shape, slope=self.spectral_slope,
+                                  seed=seed_a)
+        b = gaussian_random_field(self.coarse_shape, slope=self.spectral_slope,
+                                  seed=seed_b)
+        return np.cos(phase) * a + np.sin(phase) * b
 
     def coarse_fields(self) -> Dict[str, np.ndarray]:
         shape = self.coarse_shape
@@ -67,10 +88,10 @@ class NyxSimulation(SyntheticAMRSimulation):
         ncells_m = float(np.prod(shape)) / 1e6
         n_halos = max(4, int(self.n_halos_per_mcell * ncells_m * growth))
 
-        # baryon and dark-matter density share the same large-scale structure
-        base = gaussian_random_field(shape, slope=self.spectral_slope, seed=seed)
-        drift = gaussian_random_field(shape, slope=self.spectral_slope, seed=seed + self.step + 1)
-        mixed = np.cos(0.15 * self.step) * base + np.sin(0.15 * self.step) * drift
+        # baryon and dark-matter density share the same large-scale structure;
+        # it rotates through a fixed pair of modes so successive dumps drift
+        # coherently instead of decorrelating in one step
+        mixed = self._drift_pair(seed, seed + 1)
         std = mixed.std() or 1.0
         mixed = mixed / std
 
@@ -89,7 +110,7 @@ class NyxSimulation(SyntheticAMRSimulation):
 
         velocities = {}
         for axis, name in enumerate(("xmom", "ymom", "zmom")):
-            vel = gaussian_random_field(shape, slope=3.2, seed=seed + 23 + axis + self.step)
+            vel = self._drift_pair(seed + 23 + axis, seed + 53 + axis)
             velocities[name] = 2.0e2 * vel * np.sqrt(np.clip(baryon, 1e-6, None))
 
         return {

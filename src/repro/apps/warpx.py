@@ -35,10 +35,12 @@ class WarpXSimulation(SyntheticAMRSimulation):
                  max_grid_size: int = 64, blocking_factor: int = 8, nranks: int = 4,
                  target_fine_density: float = 0.02, seed: int = 0,
                  pulse_speed: float = 0.04, pulse_width: float = 0.04,
-                 wavelength: float = 0.08, noise: float = 3e-5):
+                 wavelength: float = 0.08, noise: float = 3e-5,
+                 regrid_interval: int = 1):
         super().__init__(coarse_shape, ratio=ratio, max_grid_size=max_grid_size,
                          blocking_factor=blocking_factor, nranks=nranks,
-                         target_fine_density=target_fine_density, seed=seed)
+                         target_fine_density=target_fine_density, seed=seed,
+                         regrid_interval=regrid_interval)
         self.pulse_speed = float(pulse_speed)
         self.pulse_width = float(pulse_width)
         self.wavelength = float(wavelength)

@@ -1,21 +1,31 @@
 """The ``python -m repro`` command line: plotfile tooling over the facade.
 
-Four subcommands, all thin shells over :func:`repro.open` / :func:`repro.write`:
+Six subcommands, all thin shells over :func:`repro.open` / :func:`repro.write`
+and their series counterparts:
 
 ``info PATH``
     Print the self-describing header summary and per-dataset storage table —
-    nothing is decoded.
+    nothing is decoded.  Legacy pre-header files are refused with a clear
+    message (their structure is simply not in the file).
 ``compress OUT``
     Produce a compressed plotfile, either from a synthetic run preset
     (``--preset nyx_1``) or by recompressing an existing plotfile
     (``--input other.h5z``).
 ``decompress IN OUT``
     Fully reconstruct a plotfile and rewrite it uncompressed (method
-    "nocomp"), itself self-describing and re-openable.
+    "nocomp"), itself self-describing and re-openable.  For legacy inputs,
+    ``--template`` names a self-describing plotfile with identical structure
+    to stand in for the missing header.
 ``verify PATH``
     Scan + decode every chunk of a plotfile and check the reconstruction is
     structurally sound; with ``--against RAW`` also check the decoded data
     stays within the header's error bound of the reference copy.
+``series-info DIR``
+    Print a series manifest summary and the per-step temporal
+    rate-distortion table — nothing is decoded.
+``series-verify DIR``
+    Decode every step of a series (resolving all delta chains) and check
+    manifest/file consistency, keyframe cadence and finiteness.
 
 Every command exits 0 on success and 1 on failure, with errors reported as
 one-line messages (corrupt files surface the underlying ``ValueError``).
@@ -65,6 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_dec.add_argument("out")
     p_dec.add_argument("--backend", default="serial",
                        choices=("serial", "thread", "process"))
+    p_dec.add_argument("--template", default=None,
+                       help="self-describing plotfile whose structure stands "
+                            "in for a legacy (pre-header) input's")
 
     p_ver = sub.add_parser("verify", help="decode everything and check integrity")
     p_ver.add_argument("path")
@@ -73,6 +86,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "check the error bound against")
     p_ver.add_argument("--backend", default="serial",
                        choices=("serial", "thread", "process"))
+
+    p_sinfo = sub.add_parser("series-info",
+                             help="print series manifest + per-step table "
+                                  "(no decoding)")
+    p_sinfo.add_argument("directory")
+    p_sinfo.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the summary as JSON")
+    p_sinfo.add_argument("--step", type=int, default=None,
+                         help="also print this step's per-dataset table")
+
+    p_sver = sub.add_parser("series-verify",
+                            help="decode every step of a series and check "
+                                 "chains, cadence and manifest consistency")
+    p_sver.add_argument("directory")
+    p_sver.add_argument("--backend", default="serial",
+                        choices=("serial", "thread", "process"))
     return parser
 
 
@@ -85,6 +114,15 @@ def _cmd_info(args) -> int:
         summarize_plotfile
 
     with repro.open(args.path) as handle:
+        if not handle.is_self_describing:
+            print(f"error: {args.path} is a legacy plotfile (written before "
+                  "format v1); its structure is not recorded in the file. "
+                  "Reconstruct it with a structural template instead: pass "
+                  "--template <self-describing plotfile with identical "
+                  "structure> to `python -m repro decompress`, or "
+                  "repro.open(path).read(template=hierarchy) from Python.",
+                  file=sys.stderr)
+            return 1
         summary = summarize_plotfile(handle)
         rows = plotfile_dataset_rows(handle)
     if args.as_json:
@@ -147,8 +185,18 @@ def _cmd_compress(args) -> int:
 def _cmd_decompress(args) -> int:
     import repro
 
+    template = None
+    if args.template is not None:
+        from repro.core.header import template_from_header
+
+        with repro.open(args.template) as template_handle:
+            if template_handle.header is None:
+                raise ValueError(
+                    f"--template {args.template} is itself a legacy plotfile; "
+                    "the template must be self-describing")
+            template = template_from_header(template_handle.header)
     with repro.open(args.input) as handle:
-        hierarchy = handle.read(backend=args.backend)
+        hierarchy = handle.read(template=template, backend=args.backend)
     report = repro.write(hierarchy, args.out, method="nocomp")
     print(f"decompressed {args.input} -> {args.out}: "
           f"{report.raw_bytes} bytes over {report.ndatasets} datasets")
@@ -213,12 +261,82 @@ def _cmd_verify(args) -> int:
     return 0 if passed else 1
 
 
+def _cmd_series_info(args) -> int:
+    import repro
+    from repro.analysis.reporting import format_table
+    from repro.analysis.series_report import (
+        series_dataset_rows,
+        series_step_rows,
+        series_summary,
+    )
+
+    with repro.open_series(args.directory) as series:
+        summary = {**series.describe(), **series_summary(series)}
+        step_rows = series_step_rows(series)
+        dataset_rows = series_dataset_rows(series, args.step) \
+            if args.step is not None else None
+    if args.as_json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"series {summary['directory']}")
+    for key in ("nsteps", "keyframes", "codec", "error_bound",
+                "error_bound_mode", "keyframe_interval"):
+        print(f"  {key:20s} {summary[key]}")
+    print(f"  {'fields':20s} {', '.join(summary['fields'])}")
+    print(f"  {'stored':20s} {summary['stored_bytes']} bytes "
+          f"({summary['compression_ratio']:.1f}x over {summary['raw_bytes']})")
+    print(f"  {'vs keyframe-only':20s} {summary['keyframe_only_bytes']} bytes "
+          f"({summary['delta_savings_factor']:.2f}x saved "
+          f"{summary['delta_saved_bytes']} bytes)")
+    print()
+    print(format_table(step_rows))
+    if dataset_rows is not None:
+        print()
+        print(format_table(dataset_rows, title=f"step {args.step}"))
+    return 0
+
+
+def _cmd_series_verify(args) -> int:
+    import repro
+
+    with repro.open_series(args.directory) as series:
+        interval = series.index.keyframe_interval
+        cadence_ok = all(rec.kind == "key"
+                         for rec in series.steps() if rec.index % interval == 0)
+        bytes_ok = True
+        finite_ok = True
+        fields_ok = True
+        for rec in series.steps():
+            handle = series.open_step(rec.index)
+            for dataset in rec.datasets:
+                stored = handle.dataset_info(dataset.name).stored_nbytes
+                if stored != dataset.stored_bytes:
+                    bytes_ok = False
+            hierarchy = series.read(step=rec.index, backend=args.backend)
+            if tuple(hierarchy.component_names) != series.fields:
+                fields_ok = False
+            if not all(np.isfinite(fab.data).all()
+                       for lvl in hierarchy.levels for fab in lvl.multifab):
+                finite_ok = False
+        chunks = series.stats.chunks_decoded
+        checks = [("keyframe_cadence", cadence_ok), ("manifest_bytes", bytes_ok),
+                  ("fields", fields_ok), ("finite", finite_ok)]
+    passed = all(ok for _, ok in checks)
+    status = "PASS" if passed else "FAIL"
+    detail = ", ".join(f"{name}={'ok' if ok else 'FAIL'}" for name, ok in checks)
+    print(f"series-verify {args.directory}: {status} ({detail}; "
+          f"{len(series.steps())} steps, {chunks} chunks decoded)")
+    return 0 if passed else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"info": _cmd_info, "compress": _cmd_compress,
-                "decompress": _cmd_decompress, "verify": _cmd_verify}
+                "decompress": _cmd_decompress, "verify": _cmd_verify,
+                "series-info": _cmd_series_info,
+                "series-verify": _cmd_series_verify}
     try:
         return handlers[args.command](args)
-    except (ValueError, KeyError, FileNotFoundError) as exc:
+    except (ValueError, KeyError, IndexError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

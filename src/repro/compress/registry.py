@@ -19,8 +19,8 @@ filter registry).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
 
 from repro.compress.base import Compressor
 from repro.compress.errorbound import ErrorBound
@@ -117,3 +117,17 @@ register_codec(CodecSpec(
     name="zfp_like", factory=ZFPLikeCompressor,
     options=("block_size", "radius", "lossless_level"),
     description="fixed-block orthogonal-transform comparator"))
+
+
+def _temporal_delta_factory(error_bound, mode: str = "rel", **options):
+    # imported lazily: repro.compress.temporal pulls in the h5lite filter base,
+    # which would cycle back into this package during its own import
+    from repro.compress.temporal import TemporalDeltaCodec
+
+    return TemporalDeltaCodec(error_bound, mode=mode, **options)
+
+
+register_codec(CodecSpec(
+    name="temporal_delta", factory=_temporal_delta_factory,
+    options=("offset", "lossless_level"),
+    description="fixed-grid value quantisation, delta-coded across timesteps"))

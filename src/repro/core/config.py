@@ -14,8 +14,7 @@ jobs to (:mod:`repro.parallel.backend`).
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.compress.errorbound import ErrorBound
@@ -91,19 +90,3 @@ class AMRICConfig:
     def make_codec(self, name: Optional[str] = None, **options):
         """Build any registered codec honouring this configuration's bound."""
         return create_codec(name or self.compressor, self.error_bound_obj, **options)
-
-    def make_sz_lr(self, block_size: Optional[int] = None):
-        """Deprecated: use ``make_codec("sz_lr", ...)`` / the codec registry."""
-        warnings.warn(
-            "AMRICConfig.make_sz_lr is deprecated; use "
-            "make_codec('sz_lr', block_size=...) instead",
-            DeprecationWarning, stacklevel=2)
-        return self.make_codec("sz_lr", block_size=block_size or self.sz_block_size)
-
-    def make_sz_interp(self):
-        """Deprecated: use ``make_codec("sz_interp", ...)`` / the codec registry."""
-        warnings.warn(
-            "AMRICConfig.make_sz_interp is deprecated; use "
-            "make_codec('sz_interp', anchor_stride=...) instead",
-            DeprecationWarning, stacklevel=2)
-        return self.make_codec("sz_interp", anchor_stride=self.interp_anchor_stride)

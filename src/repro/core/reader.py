@@ -329,6 +329,12 @@ def _decode_filter(filter_id: str, codec: str, error_bound: float,
         compressor = create_codec(codec, ErrorBound(error_bound, error_bound_mode))
         cls = SZChunkFilter if filter_id == SZChunkFilter.filter_id else AMRICChunkFilter
         return cls(compressor)
+    if filter_id == "temporal_delta":
+        # series keyframe chunks are self-contained (payload carries its own
+        # grid); delta chunks raise from decode with a pointer at open_series
+        from repro.compress.temporal import TemporalDeltaFilter
+
+        return TemporalDeltaFilter()
     raise ValueError(f"cannot decode chunks written with unknown filter {filter_id!r}")
 
 

@@ -13,20 +13,27 @@ reader classes from three packages::
 ``write`` dispatches on ``method`` to the AMRIC writer (default) or the
 baseline writers, so studies comparing methods drive every writer through one
 call; ``open`` returns a lazy :class:`~repro.core.reader.PlotfileHandle` that
-decodes only what is asked for.  The ``python -m repro`` CLI
-(:mod:`repro.cli`) is a thin shell over these two functions.
+decodes only what is asked for.  The temporal counterparts ``open_series`` /
+``write_series`` do the same for multi-step runs (:mod:`repro.series`): a
+directory of per-step plotfiles delta-compressed across timesteps, read back
+time-indexed.  The ``python -m repro`` CLI (:mod:`repro.cli`) is a thin shell
+over these functions.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
 from repro.amr.hierarchy import AmrHierarchy
 from repro.core.config import AMRICConfig
 from repro.core.pipeline import AMRICWriter, WriteReport
 from repro.core.reader import PlotfileHandle
 
-__all__ = ["open_plotfile", "write_plotfile", "WRITE_METHODS"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.series.reader import SeriesHandle
+
+__all__ = ["open_plotfile", "write_plotfile", "open_series", "write_series",
+           "WRITE_METHODS"]
 
 #: method name (and aliases) → how :func:`write_plotfile` builds the writer
 WRITE_METHODS = {
@@ -108,3 +115,34 @@ def write_plotfile(hierarchy: AmrHierarchy, path: Optional[str] = None, *,
     from repro.baselines.nocomp import NoCompressionWriter
 
     return NoCompressionWriter(**overrides).write_plotfile(hierarchy, path)
+
+
+def open_series(directory: str) -> "SeriesHandle":
+    """Open a plotfile series directory (exported as :func:`repro.open_series`).
+
+    Returns a lazy :class:`~repro.series.reader.SeriesHandle`: ``steps()``
+    lists the manifest, ``read_field(name, level, box, step=...)`` decodes
+    one step's region resolving delta chains chunk by chunk, and
+    ``time_slice(name, box)`` extracts a region's evolution across steps.
+    """
+    from repro.series.reader import SeriesHandle
+
+    return SeriesHandle(directory)
+
+
+def write_series(hierarchies: Iterable[AmrHierarchy], directory: str, *,
+                 config: Optional[AMRICConfig] = None,
+                 keyframe_interval: int = 8, backend=None,
+                 **overrides) -> List[WriteReport]:
+    """Write a sequence of snapshots as one delta-compressed series.
+
+    A thin shell over :class:`~repro.series.writer.SeriesWriter` (exported as
+    :func:`repro.write_series`); every ``keyframe_interval``-th dump is
+    self-contained, the rest delta-encode against their predecessor when that
+    is smaller.  Returns the per-step write reports.
+    """
+    from repro.series.writer import write_series as _write_series
+
+    return _write_series(hierarchies, directory, config=config,
+                         keyframe_interval=keyframe_interval,
+                         backend=backend, **overrides)

@@ -1,0 +1,42 @@
+"""The plotfile-series subsystem: delta compression across timesteps.
+
+A *series* is a directory of per-step plotfiles plus a versioned manifest
+(``series.h5z``) tying them together:
+
+* :class:`~repro.series.writer.SeriesWriter` wraps the staged writer's
+  plan/pack stages, keeps a rolling reference of the previous dump per
+  (level, field) dataset and — when it actually saves bytes — stores the
+  quantised delta against the prior step through the registered
+  ``temporal_delta`` codec (:mod:`repro.compress.temporal`).  Every Nth dump
+  is a self-contained keyframe, and a regrid (detected via the structure
+  fingerprint of :mod:`repro.core.header`) forces one per affected dataset.
+* :class:`~repro.series.index.SeriesIndex` is the manifest: per-step paths,
+  simulation times, hierarchy fingerprints, per-dataset stream modes and
+  stats, validated like the plotfile header.
+* :class:`~repro.series.reader.SeriesHandle` (returned by
+  :func:`repro.open_series`) reads lazily: ``read_field(..., step=...)``
+  resolves delta chains chunk-by-chunk through the PR-3 chunk cache, and
+  ``time_slice`` extracts a box's evolution without decoding any chunk
+  outside the requested box's chains.
+"""
+
+from repro.series.index import (
+    INDEX_FILENAME,
+    SeriesDatasetRecord,
+    SeriesIndex,
+    SeriesStepRecord,
+)
+from repro.series.reader import SeriesHandle, SeriesStepHandle, open_series
+from repro.series.writer import SeriesWriter, write_series
+
+__all__ = [
+    "INDEX_FILENAME",
+    "SeriesDatasetRecord",
+    "SeriesIndex",
+    "SeriesStepRecord",
+    "SeriesHandle",
+    "SeriesStepHandle",
+    "SeriesWriter",
+    "open_series",
+    "write_series",
+]

@@ -1,0 +1,354 @@
+"""The series manifest: a versioned, validated JSON index in a container.
+
+``series.h5z`` is an :class:`~repro.h5lite.file.H5LiteFile` holding no
+datasets — only the superblock's first-class header section, exactly like the
+plotfile header of :mod:`repro.core.header` — so the manifest travels in the
+same container format as the data it describes.  The JSON records, per step:
+path, simulation time/step, the hierarchy structure fingerprint, and per
+``level_<l>/<field>`` dataset the stream mode (key or delta), the reference
+step of a delta stream, both candidate sizes (what the step *would* have cost
+as a keyframe) and the quality record.
+
+Validation mirrors the plotfile header's rules: unknown *extra* keys are
+ignored (additive evolution within a major version), a newer major version
+raises :class:`ValueError`, and every structural field is checked on parse so
+a corrupt manifest fails loudly instead of mis-resolving a delta chain.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.h5lite.file import H5LiteFile
+
+__all__ = [
+    "SERIES_FORMAT_NAME",
+    "SERIES_FORMAT_VERSION",
+    "INDEX_FILENAME",
+    "FieldGrid",
+    "SeriesDatasetRecord",
+    "SeriesStepRecord",
+    "SeriesIndex",
+]
+
+SERIES_FORMAT_NAME = "amric-series"
+SERIES_FORMAT_VERSION = 1
+
+#: manifest file name inside a series directory
+INDEX_FILENAME = "series.h5z"
+
+_MODES = ("key", "delta")
+
+
+class _IndexError(ValueError):
+    """Raised for any malformed manifest (a ValueError so callers need one except)."""
+
+
+def _require(obj: dict, key: str, kind, context: str):
+    if key not in obj:
+        raise _IndexError(f"malformed series index: {context} is missing {key!r}")
+    value = obj[key]
+    if kind is float:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise _IndexError(
+                f"malformed series index: {context}[{key!r}] must be a number, "
+                f"got {type(value).__name__}")
+        return float(value)
+    if kind is int:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise _IndexError(
+                f"malformed series index: {context}[{key!r}] must be an int, "
+                f"got {type(value).__name__}")
+        return int(value)
+    if not isinstance(value, kind):
+        raise _IndexError(
+            f"malformed series index: {context}[{key!r}] must be "
+            f"{getattr(kind, '__name__', kind)}, got {type(value).__name__}")
+    return value
+
+
+@dataclass(frozen=True)
+class FieldGrid:
+    """One field's fixed quantisation grid, shared by every step of the series."""
+
+    eb_abs: float                 #: absolute grid half-spacing (|x - x̂| <= eb_abs)
+    offset: float                 #: grid origin (the field's minimum at step 0)
+
+    def to_json(self) -> dict:
+        return {"eb_abs": self.eb_abs, "offset": self.offset}
+
+    @staticmethod
+    def from_json(obj, context: str) -> "FieldGrid":
+        if not isinstance(obj, dict):
+            raise _IndexError(f"malformed series index: {context} must be an object")
+        eb = _require(obj, "eb_abs", float, context)
+        if eb <= 0:
+            raise _IndexError(f"malformed series index: {context}.eb_abs must be > 0")
+        return FieldGrid(eb_abs=eb, offset=_require(obj, "offset", float, context))
+
+
+@dataclass
+class SeriesDatasetRecord:
+    """How one ``level_<l>/<field>`` dataset was stored at one step."""
+
+    name: str
+    mode: str                     #: "key" (self-contained) or "delta"
+    ref: Optional[int]            #: step index the delta references (None for key)
+    stored_bytes: int
+    raw_bytes: int
+    key_bytes: int                #: what the keyframe encoding cost / would have cost
+    delta_bytes: Optional[int]    #: what the delta encoding cost (None when not tried)
+    psnr: float
+    layout: str                   #: layout fingerprint of this dataset's chunk stream
+
+    @property
+    def delta_saved_bytes(self) -> int:
+        """Bytes the chosen encoding saved over the keyframe candidate."""
+        return self.key_bytes - self.stored_bytes
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name, "mode": self.mode, "ref": self.ref,
+            "stored_bytes": self.stored_bytes, "raw_bytes": self.raw_bytes,
+            "key_bytes": self.key_bytes, "delta_bytes": self.delta_bytes,
+            "psnr": self.psnr, "layout": self.layout,
+        }
+
+    @staticmethod
+    def from_json(obj, context: str) -> "SeriesDatasetRecord":
+        if not isinstance(obj, dict):
+            raise _IndexError(f"malformed series index: {context} must be an object")
+        mode = _require(obj, "mode", str, context)
+        if mode not in _MODES:
+            raise _IndexError(
+                f"malformed series index: {context} has unknown mode {mode!r}; "
+                f"expected one of {_MODES}")
+        ref = obj.get("ref")
+        if mode == "delta":
+            if not isinstance(ref, int) or isinstance(ref, bool) or ref < 0:
+                raise _IndexError(
+                    f"malformed series index: {context} is a delta stream but has "
+                    f"no valid reference step (got {ref!r})")
+        else:
+            ref = None
+        delta_bytes = obj.get("delta_bytes")
+        if delta_bytes is not None:
+            delta_bytes = _require(obj, "delta_bytes", int, context)
+        return SeriesDatasetRecord(
+            name=_require(obj, "name", str, context), mode=mode, ref=ref,
+            stored_bytes=_require(obj, "stored_bytes", int, context),
+            raw_bytes=_require(obj, "raw_bytes", int, context),
+            key_bytes=_require(obj, "key_bytes", int, context),
+            delta_bytes=delta_bytes,
+            psnr=_require(obj, "psnr", float, context),
+            layout=_require(obj, "layout", str, context))
+
+
+@dataclass
+class SeriesStepRecord:
+    """One step of the series: where it lives and how it was encoded."""
+
+    index: int                    #: position in the series (0-based, dense)
+    step: int                     #: the simulation's step counter
+    time: float
+    path: str                     #: plotfile path relative to the series directory
+    kind: str                     #: "key" when every dataset is self-contained
+    fingerprint: str              #: structure fingerprint of the hierarchy
+    datasets: List[SeriesDatasetRecord] = field(default_factory=list)
+
+    @property
+    def stored_bytes(self) -> int:
+        return sum(d.stored_bytes for d in self.datasets)
+
+    @property
+    def raw_bytes(self) -> int:
+        return sum(d.raw_bytes for d in self.datasets)
+
+    @property
+    def key_bytes(self) -> int:
+        return sum(d.key_bytes for d in self.datasets)
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.raw_bytes / max(self.stored_bytes, 1)
+
+    @property
+    def delta_saved_bytes(self) -> int:
+        return sum(d.delta_saved_bytes for d in self.datasets)
+
+    def dataset(self, name: str) -> Optional[SeriesDatasetRecord]:
+        for d in self.datasets:
+            if d.name == name:
+                return d
+        return None
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index, "step": self.step, "time": self.time,
+            "path": self.path, "kind": self.kind,
+            "fingerprint": self.fingerprint,
+            "datasets": [d.to_json() for d in self.datasets],
+        }
+
+    @staticmethod
+    def from_json(obj, position: int) -> "SeriesStepRecord":
+        ctx = f"steps[{position}]"
+        if not isinstance(obj, dict):
+            raise _IndexError(f"malformed series index: {ctx} must be an object")
+        index = _require(obj, "index", int, ctx)
+        if index != position:
+            raise _IndexError(
+                f"malformed series index: {ctx} records index {index} — the "
+                "step list must be dense and ordered")
+        kind = _require(obj, "kind", str, ctx)
+        if kind not in _MODES:
+            raise _IndexError(
+                f"malformed series index: {ctx} has unknown kind {kind!r}")
+        datasets_json = _require(obj, "datasets", (list, tuple), ctx)
+        datasets = [SeriesDatasetRecord.from_json(d, f"{ctx}.datasets[{i}]")
+                    for i, d in enumerate(datasets_json)]
+        for d in datasets:
+            if d.ref is not None and d.ref >= index:
+                raise _IndexError(
+                    f"malformed series index: {ctx} dataset {d.name!r} references "
+                    f"step {d.ref}, which is not earlier than {index}")
+        return SeriesStepRecord(
+            index=index, step=_require(obj, "step", int, ctx),
+            time=_require(obj, "time", float, ctx),
+            path=_require(obj, "path", str, ctx), kind=kind,
+            fingerprint=_require(obj, "fingerprint", str, ctx),
+            datasets=datasets)
+
+
+@dataclass
+class SeriesIndex:
+    """The whole manifest: series-wide configuration plus the step list."""
+
+    version: int
+    codec: str
+    error_bound: float
+    error_bound_mode: str
+    keyframe_interval: int
+    unit_block_size: int
+    remove_redundancy: bool
+    components: Tuple[str, ...]
+    field_grids: Dict[str, FieldGrid] = field(default_factory=dict)
+    steps: List[SeriesStepRecord] = field(default_factory=list)
+
+    @property
+    def nsteps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def stored_bytes(self) -> int:
+        return sum(s.stored_bytes for s in self.steps)
+
+    @property
+    def raw_bytes(self) -> int:
+        return sum(s.raw_bytes for s in self.steps)
+
+    @property
+    def key_bytes(self) -> int:
+        """Total bytes a keyframe-only encoding of the same series would need."""
+        return sum(s.key_bytes for s in self.steps)
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.raw_bytes / max(self.stored_bytes, 1)
+
+    @property
+    def delta_saved_bytes(self) -> int:
+        return sum(s.delta_saved_bytes for s in self.steps)
+
+    def times(self) -> List[float]:
+        return [s.time for s in self.steps]
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "format": SERIES_FORMAT_NAME,
+            "version": self.version,
+            "codec": self.codec,
+            "error_bound": self.error_bound,
+            "error_bound_mode": self.error_bound_mode,
+            "keyframe_interval": self.keyframe_interval,
+            "unit_block_size": self.unit_block_size,
+            "remove_redundancy": self.remove_redundancy,
+            "components": list(self.components),
+            "field_grids": {name: grid.to_json()
+                            for name, grid in self.field_grids.items()},
+            "steps": [s.to_json() for s in self.steps],
+        }
+
+    @staticmethod
+    def from_json(obj) -> "SeriesIndex":
+        if not isinstance(obj, dict):
+            raise _IndexError(
+                f"malformed series index: expected an object, got {type(obj).__name__}")
+        fmt = obj.get("format")
+        if fmt != SERIES_FORMAT_NAME:
+            raise _IndexError(
+                f"malformed series index: format is {fmt!r}, expected "
+                f"{SERIES_FORMAT_NAME!r}")
+        version = _require(obj, "version", int, "index")
+        if version < 1 or version > SERIES_FORMAT_VERSION:
+            raise _IndexError(
+                f"series index version {version} is not supported by this reader "
+                f"(supports 1..{SERIES_FORMAT_VERSION}); upgrade repro to read it")
+        components = _require(obj, "components", (list, tuple), "index")
+        if not components or not all(isinstance(c, str) for c in components):
+            raise _IndexError(
+                "malformed series index: components must be a non-empty list of names")
+        grids_json = _require(obj, "field_grids", dict, "index")
+        field_grids = {str(name): FieldGrid.from_json(g, f"field_grids[{name!r}]")
+                       for name, g in grids_json.items()}
+        for name in components:
+            if name not in field_grids:
+                raise _IndexError(
+                    f"malformed series index: component {name!r} has no "
+                    "quantisation grid")
+        steps_json = _require(obj, "steps", (list, tuple), "index")
+        steps = [SeriesStepRecord.from_json(s, i) for i, s in enumerate(steps_json)]
+        keyframe_interval = _require(obj, "keyframe_interval", int, "index")
+        if keyframe_interval < 1:
+            raise _IndexError(
+                "malformed series index: keyframe_interval must be >= 1")
+        return SeriesIndex(
+            version=version,
+            codec=_require(obj, "codec", str, "index"),
+            error_bound=_require(obj, "error_bound", float, "index"),
+            error_bound_mode=_require(obj, "error_bound_mode", str, "index"),
+            keyframe_interval=keyframe_interval,
+            unit_block_size=_require(obj, "unit_block_size", int, "index"),
+            remove_redundancy=bool(_require(obj, "remove_redundancy", bool, "index")),
+            components=tuple(components),
+            field_grids=field_grids,
+            steps=steps)
+
+    # ------------------------------------------------------------------
+    # container I/O
+    # ------------------------------------------------------------------
+    def save(self, directory: str) -> str:
+        """Write the manifest container into ``directory`` (atomic replace)."""
+        path = os.path.join(directory, INDEX_FILENAME)
+        tmp = path + ".tmp"
+        with H5LiteFile(tmp, "w") as f:
+            f.header = self.to_json()
+        os.replace(tmp, path)
+        return path
+
+    @staticmethod
+    def load(directory: str) -> "SeriesIndex":
+        """Parse and validate the manifest of one series directory."""
+        path = os.path.join(directory, INDEX_FILENAME)
+        if not os.path.exists(path):
+            raise FileNotFoundError(
+                f"{directory!r} is not a plotfile series: no {INDEX_FILENAME} manifest")
+        with H5LiteFile(path, "r") as f:
+            header = f.header
+        if header is None:
+            raise _IndexError(
+                f"{path} carries no series manifest in its header section")
+        return SeriesIndex.from_json(header)

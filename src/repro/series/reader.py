@@ -1,0 +1,311 @@
+"""Lazy, time-indexed reads over a plotfile series.
+
+:func:`open_series` parses the manifest and returns a :class:`SeriesHandle`;
+nothing is decoded until a field is asked for.  Per step the handle hands out
+a :class:`SeriesStepHandle` — a :class:`~repro.core.reader.PlotfileHandle`
+whose chunk decode stage resolves temporal references: a key chunk decodes
+directly, a delta chunk first resolves the *same chunk* of its reference
+step (recursively, back to the nearest keyframe) and adds the stored code
+differences.  Resolution is chunk-granular and memoised in the PR-3 style
+chunk caches, so
+
+* reading a box at step *t* decodes only the chunks intersecting the box —
+  at step *t* and along those chunks' reference chains — never a chunk
+  outside the request;
+* :meth:`SeriesHandle.time_slice` walks a box through every step while each
+  chunk's chain is decoded exactly once (shared code cache across steps).
+
+All decode work is counted in one shared :class:`~repro.core.reader.ReadStats`
+(`handle.stats`), which is what the chain-locality tests assert against.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.amr.box import Box
+from repro.amr.hierarchy import AmrHierarchy
+from repro.compress.temporal import MODE_DELTA, TemporalDeltaCodec
+from repro.core.reader import DatasetReadPlan, PlotfileHandle, ReadPlan, ReadStats
+from repro.series.index import SeriesIndex, SeriesStepRecord
+
+__all__ = ["SeriesHandle", "SeriesStepHandle", "open_series"]
+
+
+def open_series(directory: str) -> "SeriesHandle":
+    """Open a series directory for lazy reading (exported as :func:`repro.open_series`)."""
+    return SeriesHandle(directory)
+
+
+class SeriesStepHandle(PlotfileHandle):
+    """One step of a series: a plotfile handle that can follow delta chains.
+
+    Everything metadata- and geometry-related is inherited; only the chunk
+    decode stage (:meth:`_decode_chunks`) is replaced by temporal chain
+    resolution through the owning :class:`SeriesHandle`.
+    """
+
+    def __init__(self, series: "SeriesHandle", step_index: int, path: str):
+        super().__init__(path)
+        self._series = series
+        self._step_index = step_index
+        # all step handles of a series report into one shared stats object
+        self.stats = series.stats
+
+    # ------------------------------------------------------------------
+    def _record(self) -> SeriesStepRecord:
+        return self._series.index.steps[self._step_index]
+
+    def _resolve_codes(self, dsname: str, chunk_index: int
+                       ) -> Tuple[np.ndarray, float, float]:
+        """Absolute grid codes of one chunk: (codes, eb, offset).
+
+        Walks the reference chain *iteratively* back to the nearest keyframe
+        or cached stream (an arbitrary ``keyframe_interval`` must not hit the
+        interpreter's recursion limit), then folds the collected deltas
+        forward.  Every stream along the chain is decoded at most once per
+        series handle (memoised in the shared code cache) and charged to
+        :attr:`stats`.
+        """
+        series = self._series
+        cached = series._codes.get((self._step_index, dsname, chunk_index))
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        # walk back, newest first, until a key stream or a cached resolution
+        pending: List[Tuple[int, np.ndarray, Dict[str, object]]] = []
+        step = self._step_index
+        while True:
+            cached = series._codes.get((step, dsname, chunk_index))
+            if cached is not None:
+                self.stats.cache_hits += 1
+                codes = cached[0]
+                break
+            handle = series.open_step(step)
+            payload = handle._file.read_chunk_payload(dsname, chunk_index)
+            mode, codes, meta = TemporalDeltaCodec.unpack_codes(payload)
+            self.stats.chunks_decoded += 1
+            if mode != MODE_DELTA:
+                series._codes[(step, dsname, chunk_index)] = \
+                    (codes, float(meta["eb"]), float(meta["offset"]))
+                break
+            record = series.index.steps[step].dataset(dsname)
+            if record is None or record.ref is None:
+                raise ValueError(
+                    f"step {step} stores {dsname!r} as a delta stream but "
+                    "the series manifest records no reference step")
+            pending.append((step, codes, meta))
+            step = record.ref
+        # fold the deltas forward onto the resolved base, caching each step
+        for step, deltas, meta in reversed(pending):
+            if deltas.size != codes.size:
+                raise ValueError(
+                    f"delta chunk {chunk_index} of {dsname!r} at step {step} "
+                    f"has {deltas.size} codes but its reference has "
+                    f"{codes.size}; the series is corrupt")
+            codes = codes + deltas
+            series._codes[(step, dsname, chunk_index)] = \
+                (codes, float(meta["eb"]), float(meta["offset"]))
+        return series._codes[(self._step_index, dsname, chunk_index)]
+
+    def _decode_chunks(self, plan: ReadPlan, dplan: DatasetReadPlan,
+                       indices: Sequence[int]) -> Dict[int, np.ndarray]:
+        out: Dict[int, np.ndarray] = {}
+        for index in indices:
+            cached = self._cache.get((dplan.name, index))
+            if cached is not None:
+                out[index] = cached
+                self.stats.cache_hits += 1
+                continue
+            codes, eb, offset = self._resolve_codes(dplan.name, index)
+            chunk = np.zeros(dplan.chunk_elements, dtype=np.float64)
+            chunk[:codes.size] = TemporalDeltaCodec.grid_values(codes, eb, offset)
+            self._cache[(dplan.name, index)] = chunk
+            out[index] = chunk
+        return out
+
+    # ------------------------------------------------------------------
+    def read(self, template: Optional[AmrHierarchy] = None,
+             backend=None, comm=None) -> AmrHierarchy:
+        """Full staged read; delta chains are pre-resolved into the chunk cache.
+
+        Chain resolution must run through the series handle (the shared code
+        cache is what keeps chains chunk-granular), so every chunk is
+        materialised into the PR-3 chunk cache in-process first; the staged
+        decode/place/refill pipeline then runs entirely on cache hits, over
+        the cached scan plan with a fresh output hierarchy.
+        """
+        if template is not None:
+            raise ValueError(
+                "series steps are always self-describing; the template "
+                "override would bypass delta-chain resolution")
+        from dataclasses import replace
+
+        from repro.core.reader import _empty_like, execute_read
+        from repro.parallel.backend import ExecutionBackend, make_backend
+
+        plan = self._scan()
+        for dplan in plan.datasets:
+            self._decode_chunks(plan, dplan, range(dplan.nchunks))
+        owns = not isinstance(backend, ExecutionBackend)
+        resolved = make_backend(backend if backend is not None
+                                else self.config.backend,
+                                self.config.backend_workers)
+        try:
+            fresh = replace(plan, structure=_empty_like(plan.structure))
+            return execute_read(self._file, fresh, resolved, comm=comm,
+                                stats=self.stats, cache=self._cache)
+        finally:
+            if owns:
+                resolved.close()
+
+
+class SeriesHandle:
+    """An open plotfile series: inspect cheaply, decode lazily, slice time.
+
+    * :meth:`steps`, :attr:`fields`, :attr:`times` — manifest only;
+    * :meth:`read_field` — one field over one region at one step, decoding
+      only the intersecting chunks and their reference chains;
+    * :meth:`time_slice` — a region's evolution across steps as one array;
+    * :meth:`read` — a whole hierarchy at one step.
+
+    Step handles, decoded chunk values and resolved code streams are all
+    cached on the series handle, shared across steps (a keyframe chunk
+    resolved for step 3's chain is a cache hit for step 4's).  Like the
+    single-file handle's chunk cache, the caches are unbounded for the
+    handle's lifetime — decoding a whole long run through one handle holds
+    it in memory; open a fresh handle to drop the caches.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = str(directory)
+        self.index = SeriesIndex.load(self.directory)
+        self.stats = ReadStats()
+        self._handles: Dict[int, SeriesStepHandle] = {}
+        #: (step index, dataset, chunk) -> (absolute codes, eb, offset)
+        self._codes: Dict[Tuple[int, str, int], Tuple[np.ndarray, float, float]] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if not self._closed:
+            for handle in self._handles.values():
+                handle.close()
+            self._handles.clear()
+            self._closed = True
+
+    def __enter__(self) -> "SeriesHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return self.index.nsteps
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SeriesHandle({self.directory!r}, nsteps={self.index.nsteps}, "
+                f"codec={self.index.codec!r})")
+
+    # ------------------------------------------------------------------
+    # manifest-level metadata (nothing decoded)
+    # ------------------------------------------------------------------
+    @property
+    def nsteps(self) -> int:
+        return self.index.nsteps
+
+    @property
+    def fields(self) -> Tuple[str, ...]:
+        return tuple(self.index.components)
+
+    @property
+    def codec(self) -> str:
+        return self.index.codec
+
+    @property
+    def error_bound(self) -> float:
+        return self.index.error_bound
+
+    @property
+    def times(self) -> List[float]:
+        return self.index.times()
+
+    def steps(self) -> List[SeriesStepRecord]:
+        """The manifest's per-step records (paths, kinds, stats)."""
+        return list(self.index.steps)
+
+    def describe(self) -> Dict[str, object]:
+        """A flat summary (what ``python -m repro series-info`` prints)."""
+        index = self.index
+        return {
+            "directory": self.directory,
+            "nsteps": index.nsteps,
+            "codec": index.codec,
+            "error_bound": index.error_bound,
+            "error_bound_mode": index.error_bound_mode,
+            "keyframe_interval": index.keyframe_interval,
+            "fields": list(index.components),
+            "stored_bytes": index.stored_bytes,
+            "raw_bytes": index.raw_bytes,
+            "compression_ratio": index.compression_ratio,
+            "keyframe_only_bytes": index.key_bytes,
+            "delta_saved_bytes": index.delta_saved_bytes,
+            "keyframes": sum(1 for s in index.steps if s.kind == "key"),
+        }
+
+    # ------------------------------------------------------------------
+    def _step_index(self, step: int) -> int:
+        nsteps = self.index.nsteps
+        if not -nsteps <= step < nsteps:
+            raise IndexError(
+                f"step {step} out of range for a series of {nsteps} steps")
+        return step % nsteps if nsteps else 0
+
+    def open_step(self, step: int = -1) -> SeriesStepHandle:
+        """The (cached) plotfile handle of one step; negative indices count back."""
+        if self._closed:
+            raise ValueError("series handle is closed")
+        index = self._step_index(step)
+        handle = self._handles.get(index)
+        if handle is None:
+            path = os.path.join(self.directory, self.index.steps[index].path)
+            handle = SeriesStepHandle(self, index, path)
+            self._handles[index] = handle
+        return handle
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def read_field(self, name: str, level: int = 0, box: Optional[Box] = None,
+                   step: int = -1, refill: bool = True,
+                   fill_value: float = 0.0) -> np.ndarray:
+        """One field over one region at one step (see PlotfileHandle.read_field)."""
+        return self.open_step(step).read_field(name, level=level, box=box,
+                                               refill=refill,
+                                               fill_value=fill_value)
+
+    def read(self, step: int = -1, backend=None) -> AmrHierarchy:
+        """Fully reconstruct one step's hierarchy."""
+        return self.open_step(step).read(backend=backend)
+
+    def time_slice(self, name: str, box: Optional[Box] = None, level: int = 0,
+                   steps: Optional[Sequence[int]] = None, refill: bool = True,
+                   fill_value: float = 0.0) -> Tuple[np.ndarray, np.ndarray]:
+        """A region's evolution: (times, values of shape ``(nsteps, *box.shape)``).
+
+        Only the chunks whose unit blocks intersect ``box`` are decoded — at
+        each requested step and along those chunks' delta chains — so
+        extracting a small probe region from a long series stays far cheaper
+        than decoding the plotfiles in full.
+        """
+        indices = list(range(self.index.nsteps)) if steps is None \
+            else [self._step_index(s) for s in steps]
+        times = np.asarray([self.index.steps[i].time for i in indices],
+                           dtype=np.float64)
+        values = [self.read_field(name, level=level, box=box, step=i,
+                                  refill=refill, fill_value=fill_value)
+                  for i in indices]
+        return times, np.stack(values) if values else np.zeros((0,))

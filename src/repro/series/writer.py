@@ -1,0 +1,422 @@
+"""The series writer: staged per-step writes with a rolling temporal reference.
+
+Each :meth:`SeriesWriter.append` reuses the staged writer's plan and pack
+stages (:mod:`repro.core.stages`) so a series step's chunk layout is exactly
+a plotfile's, then swaps the spatial encode stage for temporal encode jobs:
+
+* every dataset is always encoded as a **key** candidate (absolute quantised
+  codes on the series' fixed grid);
+* a dataset whose layout fingerprint matches the previous step's — same
+  boxes, same distribution, same unit blocks, i.e. no regrid touched it —
+  is *also* encoded as a **delta** candidate against the previous step's
+  codes, and the smaller of the two candidates is committed ("when
+  beneficial", never worse than a keyframe);
+* every ``keyframe_interval``-th step skips the delta candidates entirely,
+  so the series always contains self-contained restart points.
+
+Jobs are plain picklable dataclasses submitted through
+:meth:`~repro.parallel.mpi_sim.SimComm.run_jobs` to any execution backend
+(serial / thread / process), mirroring the plotfile writer — every backend
+commits byte-identical series.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.amr.hierarchy import AmrHierarchy
+from repro.compress.errorbound import ErrorBound
+from repro.compress.temporal import MODE_DELTA, MODE_KEY, TemporalDeltaCodec, TemporalDeltaFilter
+from repro.core.config import AMRICConfig
+from repro.core.header import build_header, structure_fingerprint
+from repro.core.pipeline import LevelFieldRecord, WriteReport
+from repro.core.stages import DatasetPlan, dataset_record, pack_dataset, plan_write
+from repro.h5lite.file import H5LiteFile
+from repro.parallel.backend import ExecutionBackend, WorkloadTally, make_backend
+from repro.parallel.mpi_sim import SimComm
+from repro.series.index import (
+    INDEX_FILENAME,
+    SERIES_FORMAT_VERSION,
+    FieldGrid,
+    SeriesDatasetRecord,
+    SeriesIndex,
+    SeriesStepRecord,
+)
+
+__all__ = [
+    "SeriesWriter",
+    "write_series",
+    "TemporalEncodeJob",
+    "TemporalEncodeResult",
+    "temporal_encode_job",
+    "dataset_layout_fingerprint",
+]
+
+
+def dataset_layout_fingerprint(dplan: DatasetPlan) -> str:
+    """Digest of one dataset's chunked element stream layout.
+
+    Delta encoding subtracts the reference stream element-by-element, so it
+    is only valid when both steps packed the dataset identically: same chunk
+    size, same participating ranks, same unit blocks in the same order.
+    Because redundancy removal carves a level's blocks around the *next*
+    level's boxes, a fine-level regrid changes the coarse level's fingerprint
+    too — exactly the cases that must fall back to a keyframe.
+    """
+    doc = {
+        "chunk_elements": int(dplan.chunk_elements),
+        "ranks": [
+            {
+                "rank": int(spec.rank),
+                "actual": int(spec.actual_elements),
+                "blocks": [[int(b.box_index), list(b.box.lo), list(b.box.hi)]
+                           for b in spec.blocks],
+            }
+            for spec in dplan.rank_specs
+        ],
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# the temporal encode stage (runs on the execution backends)
+# ----------------------------------------------------------------------
+@dataclass
+class TemporalEncodeJob:
+    """One dataset's temporal encode work (picklable, backend-portable)."""
+
+    key: str                                  #: dataset name
+    data: np.ndarray                          #: packed buffer (one chunk per rank)
+    chunk_elements: int
+    actual_sizes: List[int]                   #: valid elements per chunk
+    block_shapes: List[List[Tuple[int, ...]]]  #: per chunk, its blocks' shapes
+    eb_abs: float                             #: the series' fixed grid for this field
+    offset: float
+    #: previous step's absolute codes per chunk; None forces a keyframe
+    ref_codes: Optional[List[np.ndarray]] = None
+    lossless_level: int = 6
+
+
+@dataclass
+class TemporalEncodeResult:
+    """What one temporal encode produced (travels back across the backend)."""
+
+    key: str
+    mode: str                                 #: the committed stream kind
+    payloads: List[bytes]
+    codes: List[np.ndarray]                   #: absolute codes (the next step's reference)
+    key_bytes: int
+    delta_bytes: Optional[int]
+    reconstructions: List[List[np.ndarray]]
+    filter_calls: int
+
+    @property
+    def compressed_bytes(self) -> int:
+        return sum(len(p) for p in self.payloads)
+
+
+def temporal_encode_job(job: TemporalEncodeJob) -> TemporalEncodeResult:
+    """Encode one dataset's chunks, choosing key or delta by committed size.
+
+    A module-level pure function over picklable inputs — the temporal mirror
+    of :func:`repro.core.stages.encode_job` — so serial, thread and process
+    backends produce identical bytes.  Both candidates reconstruct to the
+    same grid values, so the choice never affects decoded data.
+    """
+    codec = TemporalDeltaCodec(ErrorBound.absolute(job.eb_abs),
+                               offset=job.offset,
+                               lossless_level=job.lossless_level)
+    ce = job.chunk_elements
+    key_payloads: List[bytes] = []
+    delta_payloads: Optional[List[bytes]] = [] if job.ref_codes is not None else None
+    codes_out: List[np.ndarray] = []
+    reconstructions: List[List[np.ndarray]] = []
+    for i, actual in enumerate(job.actual_sizes):
+        chunk = job.data[i * ce:i * ce + int(actual)]
+        payload, codes, recon = codec.encode_key(chunk, eb=job.eb_abs)
+        key_payloads.append(payload)
+        codes_out.append(codes)
+        if delta_payloads is not None:
+            dpayload, _, _ = codec.encode_delta(chunk, job.ref_codes[i],
+                                                eb=job.eb_abs)
+            delta_payloads.append(dpayload)
+        blocks: List[np.ndarray] = []
+        offset = 0
+        for shape in job.block_shapes[i]:
+            size = int(np.prod(shape))
+            blocks.append(recon[offset:offset + size].reshape(shape))
+            offset += size
+        reconstructions.append(blocks)
+    key_bytes = sum(len(p) for p in key_payloads)
+    delta_bytes = sum(len(p) for p in delta_payloads) \
+        if delta_payloads is not None else None
+    if delta_bytes is not None and delta_bytes < key_bytes:
+        mode, payloads = MODE_DELTA, delta_payloads
+    else:
+        mode, payloads = MODE_KEY, key_payloads
+    return TemporalEncodeResult(
+        key=job.key, mode=mode, payloads=payloads, codes=codes_out,
+        key_bytes=key_bytes, delta_bytes=delta_bytes,
+        reconstructions=reconstructions, filter_calls=len(job.actual_sizes))
+
+
+# ----------------------------------------------------------------------
+# the series writer
+# ----------------------------------------------------------------------
+class SeriesWriter:
+    """Appends one plotfile per simulation dump into a series directory.
+
+    Usage::
+
+        with SeriesWriter("run_dir", keyframe_interval=8,
+                          error_bound=1e-3) as series:
+            for hierarchy in simulation.run(nsteps):
+                report = series.append(hierarchy)
+
+    The directory accumulates ``plt<step>.h5z`` files plus the ``series.h5z``
+    manifest (rewritten atomically after every append, so an interrupted run
+    leaves a readable prefix).  Each step file is itself a self-describing
+    format-v1 plotfile; keyframe steps open with plain :func:`repro.open`,
+    delta steps need :func:`repro.open_series` to resolve their references.
+    """
+
+    method_name = "series"
+
+    def __init__(self, directory: str, config: Optional[AMRICConfig] = None,
+                 keyframe_interval: int = 8,
+                 backend: "ExecutionBackend | str | None" = None,
+                 comm: Optional[SimComm] = None, **overrides):
+        config = config or AMRICConfig()
+        if overrides:
+            config = config.with_overrides(**overrides)
+        self.config = config
+        self.keyframe_interval = int(keyframe_interval)
+        if self.keyframe_interval < 1:
+            raise ValueError("keyframe_interval must be >= 1")
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        if os.path.exists(os.path.join(self.directory, INDEX_FILENAME)):
+            raise ValueError(
+                f"{self.directory!r} already holds a series manifest; "
+                "write each series into a fresh directory")
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self.backend = make_backend(backend if backend is not None else config.backend,
+                                    config.backend_workers)
+        self.comm = comm
+        self.index: Optional[SeriesIndex] = None
+        #: dataset name -> (layout fingerprint, absolute codes per chunk)
+        self._ref: Dict[str, Tuple[str, List[np.ndarray]]] = {}
+        self.reports: List[WriteReport] = []
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the writer-owned backend pool (idempotent)."""
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "SeriesWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    @property
+    def nsteps(self) -> int:
+        return 0 if self.index is None else self.index.nsteps
+
+    def _field_grids(self, hierarchy: AmrHierarchy) -> Dict[str, FieldGrid]:
+        """Fix every field's quantisation grid from the first step's data.
+
+        The grid must not move between steps (delta codes would stop lining
+        up), so the relative bound is resolved once, against the first dump's
+        value range — the same convention the paper's writers use per file,
+        frozen for the series.
+        """
+        eb = self.config.error_bound_obj
+        grids: Dict[str, FieldGrid] = {}
+        for name in hierarchy.component_names:
+            vmin = min(lvl.multifab.min(name) for lvl in hierarchy.levels)
+            grids[name] = FieldGrid(
+                eb_abs=eb.resolve(value_range=hierarchy.value_range(name)),
+                offset=float(vmin))
+        return grids
+
+    def _start_index(self, hierarchy: AmrHierarchy) -> SeriesIndex:
+        cfg = self.config
+        return SeriesIndex(
+            version=SERIES_FORMAT_VERSION,
+            codec=TemporalDeltaCodec.name,
+            error_bound=cfg.error_bound,
+            error_bound_mode=cfg.error_bound_mode,
+            keyframe_interval=self.keyframe_interval,
+            unit_block_size=cfg.unit_block_size,
+            remove_redundancy=cfg.remove_redundancy,
+            components=tuple(hierarchy.component_names),
+            field_grids=self._field_grids(hierarchy))
+
+    # ------------------------------------------------------------------
+    def append(self, hierarchy: AmrHierarchy,
+               filename: Optional[str] = None) -> WriteReport:
+        """Write one step of the series; returns the step's write report."""
+        cfg = self.config
+        start = time.perf_counter()
+        if self.index is None:
+            self.index = self._start_index(hierarchy)
+        elif tuple(hierarchy.component_names) != self.index.components:
+            raise ValueError(
+                f"hierarchy components {hierarchy.component_names} do not match "
+                f"the series components {self.index.components}")
+        index = self.index
+        step_index = index.nsteps
+        force_key = step_index % self.keyframe_interval == 0
+        filename = filename or f"plt{hierarchy.step:05d}.h5z"
+        path = os.path.join(self.directory, filename)
+        if os.path.exists(path):
+            raise ValueError(
+                f"series step file {path!r} already exists; every appended "
+                "hierarchy needs a distinct step counter")
+
+        # ---- plan + pack: the staged writer's layout, unchanged ----------
+        nranks = max(lvl.multifab.distribution.nranks for lvl in hierarchy.levels)
+        if self.comm is not None and self.comm.size != nranks:
+            raise ValueError(
+                f"communicator has {self.comm.size} ranks but the hierarchy "
+                f"is distributed over {nranks}")
+        comm = self.comm if self.comm is not None else SimComm(nranks)
+        plan = plan_write(hierarchy, cfg, comm)
+        header = build_header(
+            hierarchy, method=self.method_name, codec=TemporalDeltaCodec.name,
+            error_bound=cfg.error_bound, error_bound_mode=cfg.error_bound_mode,
+            unit_block_size=cfg.unit_block_size,
+            remove_redundancy=cfg.remove_redundancy,
+            codec_options={"modify_filter": True,
+                           "series": {"step_index": step_index,
+                                      "keyframe_interval": self.keyframe_interval}})
+        fingerprint = structure_fingerprint(header)
+
+        # ---- encode: temporal jobs through the backend -------------------
+        dplans: List[DatasetPlan] = []
+        packed = []
+        jobs: List[TemporalEncodeJob] = []
+        layouts: Dict[str, str] = {}
+        for level_plan in plan.levels:
+            level = hierarchy[level_plan.level]
+            for dplan in level_plan.datasets:
+                pack = pack_dataset(level, dplan)
+                layout = dataset_layout_fingerprint(dplan)
+                grid = index.field_grids[dplan.field]
+                ref_codes: Optional[List[np.ndarray]] = None
+                if not force_key:
+                    ref = self._ref.get(dplan.name)
+                    if ref is not None and ref[0] == layout:
+                        ref_codes = ref[1]
+                dplans.append(dplan)
+                packed.append(pack)
+                layouts[dplan.name] = layout
+                jobs.append(TemporalEncodeJob(
+                    key=dplan.name, data=pack.data,
+                    chunk_elements=dplan.chunk_elements,
+                    actual_sizes=[spec.actual_elements for spec in dplan.rank_specs],
+                    block_shapes=[[tuple(b.box.shape) for b in spec.blocks]
+                                  for spec in dplan.rank_specs],
+                    eb_abs=grid.eb_abs, offset=grid.offset,
+                    ref_codes=ref_codes))
+        results = comm.run_jobs(self.backend, temporal_encode_job, jobs)
+
+        # ---- commit: container file + manifest ---------------------------
+        records: List[LevelFieldRecord] = []
+        dataset_records: List[SeriesDatasetRecord] = []
+        tally = WorkloadTally(nranks)
+        next_ref: Dict[str, Tuple[str, List[np.ndarray]]] = {}
+        with H5LiteFile(path, "w") as h5file:
+            h5file.attrs["method"] = self.method_name
+            h5file.attrs["compressor"] = TemporalDeltaCodec.name
+            h5file.attrs["error_bound"] = cfg.error_bound
+            h5file.attrs["time"] = hierarchy.time
+            h5file.attrs["step"] = hierarchy.step
+            h5file.attrs["nlevels"] = hierarchy.nlevels
+            h5file.attrs["ref_ratios"] = list(hierarchy.ref_ratios)
+            h5file.attrs["components"] = list(hierarchy.component_names)
+            h5file.attrs["series_step_index"] = step_index
+            h5file.header = header.to_json()
+            for dplan, pack, result in zip(dplans, packed, results):
+                ref_index = step_index - 1 if result.mode == MODE_DELTA else None
+                h5file.create_dataset_from_chunks(
+                    dplan.name, result.payloads,
+                    shape=(dplan.total_elements,), dtype="float64",
+                    chunk_elements=dplan.chunk_elements,
+                    filter_id=TemporalDeltaFilter.filter_id,
+                    actual_elements_per_chunk=[spec.actual_elements
+                                               for spec in dplan.rank_specs],
+                    attrs={"level": dplan.level, "field": dplan.field,
+                           "value_range": dplan.value_range,
+                           "series_mode": result.mode,
+                           "series_ref": ref_index})
+                comm.record_collective_write()
+                record = dataset_record(dplan, pack.originals, result)
+                records.append(record)
+                dataset_records.append(SeriesDatasetRecord(
+                    name=dplan.name, mode=result.mode, ref=ref_index,
+                    stored_bytes=result.compressed_bytes,
+                    raw_bytes=record.raw_bytes,
+                    key_bytes=result.key_bytes, delta_bytes=result.delta_bytes,
+                    psnr=record.psnr, layout=layouts[dplan.name]))
+                tally.add_dataset(
+                    ranks=dplan.ranks,
+                    per_rank_elements=dplan.per_rank_elements,
+                    chunk_elements=dplan.chunk_elements,
+                    compressed_bytes=result.compressed_bytes)
+                next_ref[dplan.name] = (layouts[dplan.name], result.codes)
+        # the rolling reference is always exactly the previous dump — stale
+        # datasets (e.g. a level that vanished this step) drop out with it
+        self._ref = next_ref
+
+        kind = MODE_KEY if all(d.mode == MODE_KEY for d in dataset_records) \
+            else MODE_DELTA
+        index.steps.append(SeriesStepRecord(
+            index=step_index, step=int(hierarchy.step), time=float(hierarchy.time),
+            path=filename, kind=kind, fingerprint=fingerprint,
+            datasets=dataset_records))
+        index.save(self.directory)
+
+        report = WriteReport(
+            method=f"{self.method_name}({TemporalDeltaCodec.name})",
+            path=path, records=records, rank_workloads=tally.workloads(),
+            removed_cells=plan.removed_cells, total_cells=plan.total_cells,
+            ndatasets=len(records),
+            elapsed_seconds=time.perf_counter() - start,
+            error_bound=cfg.error_bound,
+            backend=self.backend.name,
+            collectives={"barriers": comm.counters.barriers,
+                         "reductions": comm.counters.reductions,
+                         "gathers": comm.counters.gathers,
+                         "collective_writes": comm.counters.collective_writes})
+        self.reports.append(report)
+        return report
+
+
+def write_series(hierarchies: Iterable[AmrHierarchy], directory: str, *,
+                 config: Optional[AMRICConfig] = None,
+                 keyframe_interval: int = 8,
+                 backend: "ExecutionBackend | str | None" = None,
+                 **overrides) -> List[WriteReport]:
+    """Write a whole series in one call (exported as :func:`repro.write_series`).
+
+    ``hierarchies`` is any iterable of snapshots — a list, or a generator like
+    :meth:`~repro.apps.base.SyntheticAMRSimulation.run` so dumps stream
+    through without holding every step in memory.  Returns the per-step
+    write reports.
+    """
+    with SeriesWriter(directory, config=config,
+                      keyframe_interval=keyframe_interval, backend=backend,
+                      **overrides) as writer:
+        return [writer.append(h) for h in hierarchies]

@@ -218,11 +218,9 @@ class TestConfig:
         interp = cfg.make_codec("sz_interp", anchor_stride=cfg.interp_anchor_stride)
         assert interp.anchor_stride == cfg.interp_anchor_stride
 
-    def test_legacy_make_helpers_deprecated_but_equivalent(self):
-        cfg = AMRICConfig(error_bound=1e-4, sz_block_size=4)
-        with pytest.warns(DeprecationWarning, match="make_sz_lr is deprecated"):
-            lr = cfg.make_sz_lr(block_size=8)
-        assert lr.block_size == 8
-        with pytest.warns(DeprecationWarning, match="make_sz_interp is deprecated"):
-            interp = cfg.make_sz_interp()
-        assert interp.anchor_stride == cfg.interp_anchor_stride
+    def test_legacy_make_helpers_removed(self):
+        # the deprecated make_sz_lr/make_sz_interp shims are gone; everything
+        # routes through the codec registry (make_codec)
+        cfg = AMRICConfig()
+        assert not hasattr(cfg, "make_sz_lr")
+        assert not hasattr(cfg, "make_sz_interp")

@@ -1,0 +1,346 @@
+"""The series subsystem end to end: writer, manifest, reader, delta chains."""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro.amr.box import Box
+from repro.amr.upsample import covered_mask
+from repro.apps.base import build_two_level_hierarchy
+from repro.apps.nyx import NyxSimulation
+from repro.series import INDEX_FILENAME, SeriesIndex, SeriesWriter, open_series
+from repro.series.writer import write_series
+
+NSTEPS = 10                    # the acceptance criterion's series length
+KEYFRAME_INTERVAL = 3
+
+
+def make_sim():
+    return NyxSimulation(coarse_shape=(24, 24, 24), nranks=2,
+                         target_fine_density=0.03, max_grid_size=12, seed=42,
+                         drift_rate=0.05, growth_rate=0.02, regrid_interval=3)
+
+
+@pytest.fixture(scope="module")
+def hierarchies():
+    return list(make_sim().run(NSTEPS))
+
+
+@pytest.fixture(scope="module")
+def series_dir(hierarchies, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("series") / "run")
+    write_series(hierarchies, path, keyframe_interval=KEYFRAME_INTERVAL,
+                 error_bound=1e-3)
+    return path
+
+
+@pytest.fixture(scope="module")
+def keyonly_dir(hierarchies, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("series") / "keyonly")
+    write_series(hierarchies, path, keyframe_interval=1, error_bound=1e-3)
+    return path
+
+
+class TestSeriesWriter:
+    def test_directory_layout(self, series_dir, hierarchies):
+        names = sorted(os.listdir(series_dir))
+        assert INDEX_FILENAME in names
+        for h in hierarchies:
+            assert f"plt{h.step:05d}.h5z" in names
+
+    def test_manifest_round_trips(self, series_dir):
+        index = SeriesIndex.load(series_dir)
+        assert index.nsteps == NSTEPS
+        assert index.codec == "temporal_delta"
+        assert index.keyframe_interval == KEYFRAME_INTERVAL
+        assert set(index.field_grids) == set(index.components)
+        reparsed = SeriesIndex.from_json(index.to_json())
+        assert reparsed.to_json() == index.to_json()
+
+    def test_keyframe_cadence(self, series_dir):
+        index = SeriesIndex.load(series_dir)
+        for step in index.steps:
+            if step.index % KEYFRAME_INTERVAL == 0:
+                assert step.kind == "key"
+                assert all(d.mode == "key" for d in step.datasets)
+
+    def test_delta_actually_saves(self, series_dir, keyonly_dir):
+        delta_bytes = SeriesIndex.load(series_dir).stored_bytes
+        key_bytes = SeriesIndex.load(keyonly_dir).stored_bytes
+        assert delta_bytes < key_bytes
+        # the manifest's keyframe-only accounting matches the real key-only run
+        assert SeriesIndex.load(series_dir).key_bytes == key_bytes
+
+    def test_delta_never_worse_per_dataset(self, series_dir):
+        index = SeriesIndex.load(series_dir)
+        for step in index.steps:
+            for d in step.datasets:
+                assert d.stored_bytes <= d.key_bytes
+
+    def test_reports_look_like_write_reports(self, hierarchies, tmp_path):
+        reports = write_series(hierarchies[:2], str(tmp_path / "r"),
+                               keyframe_interval=2, error_bound=1e-3)
+        assert len(reports) == 2
+        assert reports[0].method == "series(temporal_delta)"
+        assert reports[0].compression_ratio > 2
+        assert reports[0].ndatasets == len(SeriesIndex.load(
+            str(tmp_path / "r")).steps[0].datasets)
+
+    def test_refuses_existing_series(self, series_dir, hierarchies):
+        with pytest.raises(ValueError, match="already holds a series"):
+            SeriesWriter(series_dir)
+
+    def test_refuses_duplicate_step(self, hierarchies, tmp_path):
+        with SeriesWriter(str(tmp_path / "dup"), error_bound=1e-3) as writer:
+            writer.append(hierarchies[0])
+            with pytest.raises(ValueError, match="distinct step"):
+                writer.append(hierarchies[0])
+
+    def test_refuses_bad_interval(self, tmp_path):
+        with pytest.raises(ValueError, match="keyframe_interval"):
+            SeriesWriter(str(tmp_path / "k0"), keyframe_interval=0)
+
+
+class TestBackendIdentity:
+    def test_all_backends_write_identical_bytes(self, hierarchies, tmp_path):
+        dirs = {}
+        for backend in ("serial", "thread", "process"):
+            path = str(tmp_path / backend)
+            write_series(hierarchies[:4], path, keyframe_interval=4,
+                         error_bound=1e-3, backend=backend)
+            dirs[backend] = path
+        reference = dirs.pop("serial")
+        files = sorted(f for f in os.listdir(reference) if f.endswith(".h5z")
+                       and f != INDEX_FILENAME)
+        for backend, path in dirs.items():
+            for name in files:
+                with open(os.path.join(reference, name), "rb") as a, \
+                        open(os.path.join(path, name), "rb") as b:
+                    assert a.read() == b.read(), (backend, name)
+
+
+class TestSeriesReader:
+    def test_decodes_identical_to_keyframe_only(self, series_dir, keyonly_dir):
+        with open_series(series_dir) as delta, open_series(keyonly_dir) as key:
+            for i in range(NSTEPS):
+                hd = delta.read(step=i)
+                hk = key.read(step=i)
+                for lvl_d, lvl_k in zip(hd.levels, hk.levels):
+                    for fab_d, fab_k in zip(lvl_d.multifab, lvl_k.multifab):
+                        assert np.array_equal(fab_d.data, fab_k.data)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_full_read_on_every_backend(self, series_dir, backend):
+        with open_series(series_dir) as series:
+            reference = series.read(step=NSTEPS - 1)
+        with open_series(series_dir) as series:
+            hierarchy = series.read(step=NSTEPS - 1, backend=backend)
+        for lvl_a, lvl_b in zip(reference.levels, hierarchy.levels):
+            for fab_a, fab_b in zip(lvl_a.multifab, lvl_b.multifab):
+                assert np.array_equal(fab_a.data, fab_b.data)
+
+    def test_error_bound_on_kept_cells(self, series_dir, hierarchies):
+        with open_series(series_dir) as series:
+            for i, original in enumerate(hierarchies):
+                decoded = series.read(step=i)
+                for level in range(original.nlevels):
+                    covered = covered_mask(original, level)
+                    for name in original.component_names:
+                        eb_abs = series.index.field_grids[name].eb_abs
+                        ref = original[level].multifab.to_global(
+                            name, original[level].domain)
+                        got = decoded[level].multifab.to_global(
+                            name, original[level].domain)
+                        mask = original[level].boxarray.coverage_mask(
+                            original[level].domain) & ~covered
+                        err = np.abs(ref[mask] - got[mask]).max()
+                        assert err <= eb_abs * (1 + 1e-9)
+
+    def test_negative_step_indexing(self, series_dir):
+        with open_series(series_dir) as series:
+            last = series.read_field("baryon_density", step=-1, refill=False)
+            explicit = series.read_field("baryon_density", step=NSTEPS - 1,
+                                         refill=False)
+            assert np.array_equal(last, explicit)
+            with pytest.raises(IndexError):
+                series.open_step(NSTEPS)
+
+    def test_keyframe_step_opens_standalone(self, series_dir):
+        with open_series(series_dir) as series:
+            key_record = series.steps()[KEYFRAME_INTERVAL]
+            assert key_record.kind == "key"
+            chained = series.read_field("temperature", step=KEYFRAME_INTERVAL,
+                                        refill=False)
+        path = os.path.join(series_dir, key_record.path)
+        with repro.open(path) as handle:
+            assert handle.is_self_describing
+            standalone = handle.read_field("temperature", refill=False)
+        assert np.array_equal(chained, standalone)
+
+    def test_delta_step_refuses_standalone_decode(self, series_dir):
+        with open_series(series_dir) as series:
+            delta_record = next(s for s in series.steps() if s.kind == "delta")
+            delta_dataset = next(d for d in delta_record.datasets
+                                 if d.mode == "delta")
+        level = int(delta_dataset.name.split("/")[0].removeprefix("level_"))
+        field = delta_dataset.name.split("/", 1)[1]
+        with repro.open(os.path.join(series_dir, delta_record.path)) as handle:
+            with pytest.raises(ValueError, match="open_series"):
+                handle.read_field(field, level=level, refill=False)
+
+
+class TestChainLocality:
+    def test_time_slice_touches_only_the_boxes_chains(self, series_dir):
+        box = Box((0, 0, 0), (5, 5, 5))
+        with open_series(series_dir) as series:
+            times, values = series.time_slice("baryon_density", box=box,
+                                              level=0, refill=False)
+            assert values.shape == (NSTEPS, 6, 6, 6)
+            assert np.array_equal(times, np.asarray(series.times))
+            decoded = series.stats.chunks_decoded
+            total_chunks = sum(
+                info.nchunks
+                for i in range(NSTEPS)
+                for info in series.open_step(i)._file.datasets.values())
+            # the box's chains only: far fewer decodes than the whole series,
+            # and never more than one decode of the box's dataset chunks per
+            # step (the per-series code cache de-duplicates chain walks)
+            assert 0 < decoded <= NSTEPS * 2
+            assert decoded < total_chunks / 5
+
+    def test_time_slice_matches_full_decode(self, series_dir, keyonly_dir):
+        box = Box((4, 4, 4), (9, 9, 9))
+        with open_series(series_dir) as series:
+            _, values = series.time_slice("temperature", box=box, level=0,
+                                          refill=False)
+        with open_series(keyonly_dir) as key:
+            for i in range(NSTEPS):
+                full = key.read_field("temperature", step=i, refill=False)
+                assert np.array_equal(values[i], full[4:10, 4:10, 4:10])
+
+    def test_repeated_reads_hit_the_cache(self, series_dir):
+        with open_series(series_dir) as series:
+            box = Box((0, 0, 0), (3, 3, 3))
+            series.read_field("xmom", box=box, step=2, refill=False)
+            first = series.stats.chunks_decoded
+            series.read_field("xmom", box=box, step=2, refill=False)
+            assert series.stats.chunks_decoded == first
+            assert series.stats.cache_hits > 0
+
+    def test_step_subset_selection(self, series_dir):
+        with open_series(series_dir) as series:
+            times, values = series.time_slice(
+                "baryon_density", box=Box((0, 0, 0), (1, 1, 1)),
+                steps=[0, 2, -1], refill=False)
+            assert values.shape[0] == 3
+            assert times[2] == series.times[-1]
+
+
+class TestRegridFallback:
+    @staticmethod
+    def _blob_hierarchy(step, fine_boxarray=None):
+        shape = (24, 24, 24)
+        idx = np.indices(shape)
+        centre = (6 + 3 * step, 12, 12)
+        dist2 = sum((ax - c) ** 2 for ax, c in zip(idx, centre))
+        fields = {"density": np.exp(-dist2 / 20.0) + 0.01}
+        return build_two_level_hierarchy(
+            fields, "density", 0.05, max_grid_size=12, blocking_factor=4,
+            nranks=2, seed=9, step=step, time=float(step),
+            fine_boxarray=fine_boxarray)
+
+    def test_regrid_mid_series_forces_keyframes(self, tmp_path):
+        h0 = self._blob_hierarchy(0)
+        frozen = h0[1].boxarray
+        h1 = self._blob_hierarchy(1, fine_boxarray=frozen)   # same grids
+        h2 = self._blob_hierarchy(2)                          # regridded
+        assert tuple(h2[1].boxarray.boxes) != tuple(frozen.boxes)
+        path = str(tmp_path / "regrid")
+        write_series([h0, h1, h2], path, keyframe_interval=100,
+                     error_bound=1e-3)
+        index = SeriesIndex.load(path)
+        assert index.steps[0].kind == "key"
+        # step 1 shares the structure: the smooth blob drift deltas well
+        assert any(d.mode == "delta" for d in index.steps[1].datasets)
+        # step 2 regridded: every dataset must fall back to a keyframe
+        # (including level 0, whose blocks are carved around the fine boxes)
+        assert index.steps[1].fingerprint != index.steps[2].fingerprint
+        assert all(d.mode == "key" for d in index.steps[2].datasets)
+        # and the decoded data is still right everywhere
+        with open_series(path) as series:
+            for i, original in enumerate([h0, h1, h2]):
+                decoded = series.read(step=i)
+                name = "density"
+                eb_abs = series.index.field_grids[name].eb_abs
+                ref = original[1].multifab.to_global(name, original[1].domain)
+                got = decoded[1].multifab.to_global(name, original[1].domain)
+                mask = original[1].boxarray.coverage_mask(original[1].domain)
+                assert np.abs(ref[mask] - got[mask]).max() <= eb_abs * (1 + 1e-9)
+
+    def test_vanishing_fine_level(self, tmp_path):
+        # a level that disappears mid-series must not leave a stale reference
+        h0 = self._blob_hierarchy(0)
+        flat = {"density": np.full((24, 24, 24), 0.01)}
+        h1 = build_two_level_hierarchy(flat, "density", 0.05, max_grid_size=12,
+                                       nranks=2, seed=9, step=1, time=1.0)
+        h2 = self._blob_hierarchy(2)
+        path = str(tmp_path / "vanish")
+        write_series([h0, h1, h2], path, keyframe_interval=100, error_bound=1e-3)
+        index = SeriesIndex.load(path)
+        assert index.steps[1].fingerprint != index.steps[0].fingerprint
+        with open_series(path) as series:
+            for i in range(3):
+                series.read(step=i)  # chains resolve without error
+
+
+class TestManifestValidation:
+    @staticmethod
+    def _tampered(series_dir, mutate, tmp_path):
+        index = SeriesIndex.load(series_dir)
+        doc = index.to_json()
+        mutate(doc)
+        return doc
+
+    def test_rejects_unknown_format(self, series_dir, tmp_path):
+        doc = self._tampered(series_dir, lambda d: d.update(format="zip"),
+                             tmp_path)
+        with pytest.raises(ValueError, match="format"):
+            SeriesIndex.from_json(doc)
+
+    def test_rejects_future_version(self, series_dir, tmp_path):
+        doc = self._tampered(series_dir, lambda d: d.update(version=99),
+                             tmp_path)
+        with pytest.raises(ValueError, match="version 99"):
+            SeriesIndex.from_json(doc)
+
+    def test_rejects_non_dense_steps(self, series_dir, tmp_path):
+        def mutate(d):
+            d["steps"][1]["index"] = 5
+        with pytest.raises(ValueError, match="dense"):
+            SeriesIndex.from_json(self._tampered(series_dir, mutate, tmp_path))
+
+    def test_rejects_forward_reference(self, series_dir, tmp_path):
+        def mutate(d):
+            for ds in d["steps"][1]["datasets"]:
+                ds["mode"] = "delta"
+                ds["ref"] = 4
+        with pytest.raises(ValueError, match="not earlier"):
+            SeriesIndex.from_json(self._tampered(series_dir, mutate, tmp_path))
+
+    def test_rejects_missing_grid(self, series_dir, tmp_path):
+        def mutate(d):
+            d["field_grids"].pop("temperature")
+        with pytest.raises(ValueError, match="quantisation grid"):
+            SeriesIndex.from_json(self._tampered(series_dir, mutate, tmp_path))
+
+    def test_rejects_bad_mode(self, series_dir, tmp_path):
+        def mutate(d):
+            d["steps"][0]["datasets"][0]["mode"] = "diff"
+        with pytest.raises(ValueError, match="unknown mode"):
+            SeriesIndex.from_json(self._tampered(series_dir, mutate, tmp_path))
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="not a plotfile series"):
+            open_series(str(tmp_path / "nowhere"))

@@ -1,0 +1,197 @@
+"""Series wiring: CLI subcommands, driver series mode, facade verbs, analysis."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.amr.box import Box
+from repro.apps.driver import SimulationDriver
+from repro.apps.nyx import NyxSimulation
+from repro.cli import main as cli_main
+from repro.series import SeriesIndex
+
+
+def make_sim(seed=17):
+    return NyxSimulation(coarse_shape=(24, 24, 24), nranks=2,
+                         target_fine_density=0.03, max_grid_size=12, seed=seed,
+                         drift_rate=0.05, growth_rate=0.02, regrid_interval=4)
+
+
+@pytest.fixture(scope="module")
+def series_dir(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("cli") / "run")
+    repro.write_series(make_sim().run(4), path, keyframe_interval=4,
+                       error_bound=1e-3)
+    return path
+
+
+class TestFacade:
+    def test_write_series_accepts_generators(self, series_dir):
+        # the module fixture already streamed a generator through write_series
+        assert SeriesIndex.load(series_dir).nsteps == 4
+
+    def test_open_series_round_trip(self, series_dir):
+        with repro.open_series(series_dir) as series:
+            assert series.nsteps == 4
+            assert "baryon_density" in series.fields
+            times, values = series.time_slice(
+                "baryon_density", box=Box((0, 0, 0), (2, 2, 2)), refill=False)
+            assert values.shape == (4, 3, 3, 3)
+            assert np.all(np.isfinite(values))
+
+    def test_exported_verbs(self):
+        assert repro.open_series is not None
+        assert repro.write_series is not None
+        assert "open_series" in repro.__all__ and "write_series" in repro.__all__
+
+
+class TestDriverSeriesMode:
+    def test_series_run_builds_a_series(self, tmp_path):
+        out = str(tmp_path / "driver_series")
+        driver = SimulationDriver(make_sim(seed=23), output_dir=out,
+                                  series=True, keyframe_interval=3,
+                                  error_bound=1e-3)
+        records = driver.run(3)
+        assert len(records) == 3
+        assert all(r.path and r.path.endswith(".h5z") for r in records)
+        index = SeriesIndex.load(out)
+        assert index.nsteps == 3
+        assert index.steps[0].kind == "key"
+
+    def test_plot_interval_thins_the_series(self, tmp_path):
+        out = str(tmp_path / "thin")
+        driver = SimulationDriver(make_sim(seed=29), output_dir=out,
+                                  series=True, plot_interval=2,
+                                  error_bound=1e-3)
+        driver.run(4)
+        assert SeriesIndex.load(out).nsteps == 2
+
+    def test_series_requires_output_dir(self):
+        with pytest.raises(ValueError, match="output_dir"):
+            SimulationDriver(make_sim(), series=True)
+
+    def test_series_rejects_writer_and_method(self, tmp_path):
+        with pytest.raises(ValueError, match="series"):
+            SimulationDriver(make_sim(), series=True,
+                             output_dir=str(tmp_path), method="nocomp")
+
+
+class TestAnalysisRows:
+    def test_step_rows_and_summary(self, series_dir):
+        from repro.analysis import series_step_rows, series_summary
+
+        rows = series_step_rows(series_dir)
+        assert len(rows) == 4
+        assert rows[0]["kind"] == "key"
+        assert all(row["CR"] > 1 for row in rows)
+        summary = series_summary(series_dir)
+        assert summary["nsteps"] == 4
+        assert summary["keyframe_only_bytes"] >= summary["stored_bytes"]
+        assert summary["delta_savings_factor"] >= 1.0
+        assert np.isfinite(summary["mean_psnr_db"])
+
+    def test_dataset_rows(self, series_dir):
+        from repro.analysis import series_dataset_rows
+
+        rows = series_dataset_rows(series_dir, step=1)
+        assert {row["mode"] for row in rows} <= {"key", "delta"}
+        assert any(row["mode"] == "delta" for row in rows)
+
+
+class TestSeriesCli:
+    def test_series_info(self, series_dir, capsys):
+        assert cli_main(["series-info", series_dir]) == 0
+        out = capsys.readouterr().out
+        assert "temporal_delta" in out
+        assert "vs keyframe-only" in out
+        assert "delta_saved" in out
+
+    def test_series_info_json(self, series_dir, capsys):
+        assert cli_main(["series-info", series_dir, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["nsteps"] == 4
+        assert summary["delta_savings_factor"] >= 1.0
+
+    def test_series_info_step_table(self, series_dir, capsys):
+        assert cli_main(["series-info", series_dir, "--step", "1"]) == 0
+        assert "level_0/baryon_density" in capsys.readouterr().out
+
+    def test_series_verify_passes(self, series_dir, capsys):
+        assert cli_main(["series-verify", series_dir]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "chunks decoded" in out
+
+    def test_series_verify_detects_corruption(self, series_dir, tmp_path, capsys):
+        import shutil
+
+        broken = str(tmp_path / "broken")
+        shutil.copytree(series_dir, broken)
+        index = SeriesIndex.load(broken)
+        # lie about a stored size: manifest/file consistency must fail
+        index.steps[1].datasets[0].stored_bytes += 1
+        index.save(broken)
+        assert cli_main(["series-verify", broken]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_series_commands_on_missing_dir(self, tmp_path, capsys):
+        assert cli_main(["series-info", str(tmp_path / "nope")]) == 1
+        assert cli_main(["series-verify", str(tmp_path / "nope")]) == 1
+
+
+class TestLegacyInfoSatellite:
+    @pytest.fixture()
+    def legacy_pair(self, tmp_path):
+        """A pre-header plotfile plus a self-describing twin for --template."""
+        from repro.core.pipeline import AMRICWriter
+        from repro.h5lite.file import H5LiteFile
+
+        hierarchy = make_sim(seed=31).hierarchy
+        modern = str(tmp_path / "modern.h5z")
+        with AMRICWriter(error_bound=1e-3) as writer:
+            writer.write_plotfile(hierarchy, modern)
+        legacy = str(tmp_path / "legacy.h5z")
+        with H5LiteFile(modern, "r") as src, H5LiteFile(legacy, "w") as dst:
+            dst.attrs.update(src.attrs)
+            dst.header = None                       # strip the format-v1 header
+            for name in src.dataset_names():
+                info = src.datasets[name]
+                payloads = [src.read_chunk_payload(name, i)
+                            for i in range(info.nchunks)]
+                dst.create_dataset_from_chunks(
+                    name, payloads, shape=info.shape, dtype=info.dtype,
+                    chunk_elements=info.chunk_elements,
+                    filter_id=info.filter_id,
+                    actual_elements_per_chunk=[c.actual_elements
+                                               for c in info.chunks],
+                    attrs=info.attrs)
+        return legacy, modern, hierarchy
+
+    def test_info_on_legacy_file_fails_clearly(self, legacy_pair, capsys):
+        legacy, _, _ = legacy_pair
+        assert cli_main(["info", legacy]) == 1
+        err = capsys.readouterr().err
+        assert "legacy plotfile" in err
+        assert "--template" in err
+
+    def test_info_on_modern_file_still_works(self, legacy_pair, capsys):
+        _, modern, _ = legacy_pair
+        assert cli_main(["info", modern]) == 0
+        assert "self_describing" in capsys.readouterr().out
+
+    def test_decompress_template_rescues_legacy(self, legacy_pair, tmp_path,
+                                                capsys):
+        legacy, modern, hierarchy = legacy_pair
+        out = str(tmp_path / "restored.h5z")
+        # without the template the legacy file is unreadable...
+        assert cli_main(["decompress", legacy, str(tmp_path / "x.h5z")]) == 1
+        assert "template" in capsys.readouterr().err
+        # ...with it, the reconstruction matches the modern file's
+        assert cli_main(["decompress", legacy, out, "--template", modern]) == 0
+        # the restored copy carries the refilled coarse cells, so compare
+        # against the refilled read of the self-describing twin
+        with repro.open(out) as restored, repro.open(modern) as reference:
+            a = restored.read_field("baryon_density", refill=False)
+            direct = reference.read_field("baryon_density", refill=True)
+            assert np.array_equal(a, direct)

@@ -1,0 +1,140 @@
+"""The temporal_delta codec: grids, key/delta streams, corrupt inputs."""
+
+import numpy as np
+import pytest
+
+from repro.compress.errorbound import ErrorBound
+from repro.compress.registry import available_codecs, create_codec
+from repro.compress.temporal import (
+    MODE_DELTA,
+    MODE_KEY,
+    TemporalDeltaCodec,
+    TemporalDeltaFilter,
+    stream_mode,
+)
+
+
+@pytest.fixture()
+def codec():
+    return TemporalDeltaCodec(ErrorBound.absolute(1e-2), offset=3.0)
+
+
+@pytest.fixture()
+def data():
+    rng = np.random.default_rng(11)
+    return 3.0 + np.cumsum(rng.normal(size=4096)) * 0.05
+
+
+class TestRegistry:
+    def test_registered(self):
+        assert "temporal_delta" in available_codecs()
+
+    def test_create_filters_options(self):
+        codec = create_codec("temporal_delta", 1e-3, mode="abs", offset=2.5,
+                             block_size=99)  # block_size silently dropped
+        assert isinstance(codec, TemporalDeltaCodec)
+        assert codec.offset == 2.5
+
+
+class TestKeyStreams:
+    def test_round_trip_and_bound(self, codec, data):
+        payload, codes, recon = codec.encode_key(data)
+        assert np.abs(recon - data).max() <= 1e-2 * (1 + 1e-12)
+        values, back_codes = codec.decode_key(payload)
+        assert np.array_equal(values, recon)
+        assert np.array_equal(back_codes, codes)
+        assert stream_mode(payload) == MODE_KEY
+
+    def test_compressor_interface(self, data):
+        codec = create_codec("temporal_delta", 1e-3)
+        buffer, recon = codec.compress_with_reconstruction(data.reshape(64, 64))
+        assert buffer.codec == "temporal_delta"
+        assert np.array_equal(codec.decompress(buffer), recon)
+        assert buffer.compression_ratio > 2
+
+    def test_constant_field(self, codec):
+        payload, codes, recon = codec.encode_key(np.full(100, 3.0))
+        assert np.all(codes == 0)
+        values, _ = codec.decode_key(payload)
+        assert np.allclose(values, 3.0)
+
+
+class TestDeltaStreams:
+    def test_reconstruction_identical_to_key(self, codec, data):
+        _, ref_codes, _ = codec.encode_key(data)
+        drifted = data + 0.03 * np.sin(np.arange(data.size) / 50.0)
+        delta_payload, codes, recon = codec.encode_delta(drifted, ref_codes)
+        key_payload, key_codes, key_recon = codec.encode_key(drifted)
+        assert np.array_equal(recon, key_recon)
+        assert np.array_equal(codes, key_codes)
+        assert stream_mode(delta_payload) == MODE_DELTA
+
+    def test_delta_smaller_for_smooth_drift(self, codec, data):
+        _, ref_codes, _ = codec.encode_key(data)
+        drifted = data + 0.02
+        delta_payload, _, _ = codec.encode_delta(drifted, ref_codes)
+        key_payload, _, _ = codec.encode_key(drifted)
+        assert len(delta_payload) < len(key_payload)
+
+    def test_decode_with_reference(self, codec, data):
+        _, ref_codes, _ = codec.encode_key(data)
+        payload, codes, recon = codec.encode_delta(data + 0.05, ref_codes)
+        values, back = codec.decode_with_reference(payload, ref_codes)
+        assert np.array_equal(values, recon)
+        assert np.array_equal(back, codes)
+
+    def test_delta_standalone_refused(self, codec, data):
+        _, ref_codes, _ = codec.encode_key(data)
+        payload, _, _ = codec.encode_delta(data, ref_codes)
+        with pytest.raises(ValueError, match="open_series"):
+            codec.decode_key(payload)
+        with pytest.raises(ValueError, match="reference"):
+            codec.decode_with_reference(payload, None)
+
+    def test_mismatched_reference_sizes(self, codec, data):
+        _, ref_codes, _ = codec.encode_key(data)
+        with pytest.raises(ValueError, match="identical layout"):
+            codec.encode_delta(data[:-1], ref_codes)
+        payload, _, _ = codec.encode_delta(data, ref_codes)
+        with pytest.raises(ValueError, match="inconsistent"):
+            codec.decode_with_reference(payload, ref_codes[:-2])
+
+
+class TestCorruptStreams:
+    def test_wrong_codec_stream(self, codec, data):
+        other = create_codec("sz_lr", 1e-3)
+        buffer = other.compress(data)
+        with pytest.raises(ValueError):
+            codec.decode_key(buffer.payload)
+
+    def test_truncated_stream(self, codec, data):
+        payload, _, _ = codec.encode_key(data)
+        with pytest.raises(ValueError):
+            codec.decode_key(payload[: len(payload) // 2])
+
+    def test_garbage(self, codec):
+        with pytest.raises(ValueError):
+            codec.decode_key(b"not a container at all")
+
+
+class TestFilter:
+    def test_encode_decode_with_padding(self, codec, data):
+        filt = TemporalDeltaFilter(codec)
+        chunk = np.concatenate([data, np.zeros(128)])
+        payload = filt.encode(chunk, actual_elements=data.size)
+        back = filt.decode(payload, chunk.size)
+        assert np.abs(back[:data.size] - data).max() <= 1e-2 * (1 + 1e-12)
+        assert np.all(back[data.size:] == 0.0)
+        assert filt.stats.calls == 1
+        assert filt.stats.padded_elements == 128
+
+    def test_oversized_payload_rejected(self, codec, data):
+        filt = TemporalDeltaFilter(codec)
+        payload = filt.encode(data, actual_elements=data.size)
+        with pytest.raises(ValueError, match="hold"):
+            filt.decode(payload, data.size // 2)
+
+    def test_bad_actual_elements(self, codec, data):
+        filt = TemporalDeltaFilter(codec)
+        with pytest.raises(ValueError, match="out of range"):
+            filt.encode(data, actual_elements=data.size + 1)
