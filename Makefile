@@ -1,49 +1,55 @@
 # Developer entry points. `make test` is the tier-1 gate; `make lint` runs ruff
 # (skipping with a notice when it is not installed); `make bench` runs the
-# tracked performance suite and refreshes BENCH_entropy.json + BENCH_writer.json
-# + BENCH_reader.json + BENCH_series.json (it degrades to a plain run — the
-# perf tests skip themselves — if pytest-benchmark is absent); `make smoke`
-# exercises the `python -m repro` CLI end to end and `make smoke-series` does
-# the same for the series subsystem (write N steps -> series-verify ->
-# time_slice).
+# tracked performance suite, one BENCH_<suite>.json per entry of BENCH_SUITES
+# (it degrades to a plain run — the perf tests skip themselves — if
+# pytest-benchmark is absent); `make bench-check` gates the fresh medians
+# against benchmarks/baselines/ (25% tolerance; `make bench-baseline` adopts
+# the fresh results); `make smoke` exercises the `python -m repro` CLI end to
+# end and `make smoke-series` does the same for the series subsystem.  The
+# smoke targets honour REPRO_BACKEND (CI runs them with REPRO_BACKEND=process).
 
 PY := PYTHONPATH=src python
 
-.PHONY: test lint bench smoke smoke-series
+# suite -> pytest paths ('+'-separated). Adding a benchmark suite is one line.
+BENCH_SUITES := \
+	entropy:benchmarks/perf/test_perf_huffman.py+benchmarks/perf/test_perf_sz.py \
+	writer:benchmarks/perf/test_perf_writer.py \
+	reader:benchmarks/perf/test_perf_reader.py \
+	series:benchmarks/perf/test_perf_series.py \
+	service:benchmarks/perf/test_perf_service.py
+
+.PHONY: test lint bench bench-check bench-baseline smoke smoke-series
 
 test:
 	$(PY) -m pytest -x -q
 
 lint:
 	@if $(PY) -c "import ruff" 2>/dev/null; then \
-		$(PY) -m ruff check src tests benchmarks; \
+		$(PY) -m ruff check src tests benchmarks tools; \
 	else \
 		echo "ruff not installed; skipping lint"; \
 	fi
 
 bench:
-	@$(PY) -c "import pytest_benchmark" 2>/dev/null \
-		&& $(PY) -m pytest benchmarks/perf -q \
-			--ignore=benchmarks/perf/test_perf_writer.py \
-			--ignore=benchmarks/perf/test_perf_reader.py \
-			--ignore=benchmarks/perf/test_perf_series.py \
-			--benchmark-json=BENCH_entropy.json \
-		|| $(PY) -m pytest benchmarks/perf -q \
-			--ignore=benchmarks/perf/test_perf_writer.py \
-			--ignore=benchmarks/perf/test_perf_reader.py \
-			--ignore=benchmarks/perf/test_perf_series.py
-	@$(PY) -c "import pytest_benchmark" 2>/dev/null \
-		&& $(PY) -m pytest benchmarks/perf/test_perf_writer.py -q \
-			--benchmark-json=BENCH_writer.json \
-		|| $(PY) -m pytest benchmarks/perf/test_perf_writer.py -q
-	@$(PY) -c "import pytest_benchmark" 2>/dev/null \
-		&& $(PY) -m pytest benchmarks/perf/test_perf_reader.py -q \
-			--benchmark-json=BENCH_reader.json \
-		|| $(PY) -m pytest benchmarks/perf/test_perf_reader.py -q
-	@$(PY) -c "import pytest_benchmark" 2>/dev/null \
-		&& $(PY) -m pytest benchmarks/perf/test_perf_series.py -q \
-			--benchmark-json=BENCH_series.json \
-		|| $(PY) -m pytest benchmarks/perf/test_perf_series.py -q
+	@set -e; \
+	have_bm=0; $(PY) -c "import pytest_benchmark" 2>/dev/null && have_bm=1; \
+	for suite in $(BENCH_SUITES); do \
+		name=$${suite%%:*}; \
+		paths=$$(printf '%s' "$${suite#*:}" | tr '+' ' '); \
+		if [ "$$have_bm" = 1 ]; then \
+			$(PY) -m pytest $$paths -q --benchmark-json=BENCH_$$name.json; \
+		else \
+			$(PY) -m pytest $$paths -q; \
+		fi; \
+	done
+
+# BENCH_TOLERANCE overrides the default 25% (e.g. CI runners with noisier
+# clocks than the machine that produced the committed baselines)
+bench-check:
+	$(PY) tools/bench_check.py $(if $(BENCH_TOLERANCE),--tolerance $(BENCH_TOLERANCE))
+
+bench-baseline:
+	$(PY) tools/bench_check.py --update
 
 smoke:
 	@rm -rf .smoke && mkdir -p .smoke
@@ -56,12 +62,13 @@ smoke:
 
 smoke-series:
 	@rm -rf .smoke-series && mkdir -p .smoke-series
-	$(PY) -c "import repro; from repro.apps.nyx import NyxSimulation; \
+	$(PY) -c "import os; import repro; from repro.apps.nyx import NyxSimulation; \
 		sim = NyxSimulation(coarse_shape=(24, 24, 24), nranks=2, \
 		target_fine_density=0.03, max_grid_size=12, seed=7, \
 		drift_rate=0.05, growth_rate=0.02, regrid_interval=4); \
 		repro.write_series(sim.run(5), '.smoke-series/run', \
-		keyframe_interval=4, error_bound=1e-3)"
+		keyframe_interval=4, error_bound=1e-3, \
+		backend=os.environ.get('REPRO_BACKEND'))"
 	$(PY) -m repro series-info .smoke-series/run
 	$(PY) -m repro series-verify .smoke-series/run
 	$(PY) -c "import numpy as np; import repro; from repro.amr.box import Box; \

@@ -51,4 +51,15 @@ write = write_plotfile
 #: ``open`` is deliberately NOT in __all__: ``from repro import *`` must not
 #: shadow the builtin in the importing module (repro.open still works)
 __all__ = ["__version__", "write", "open_plotfile", "write_plotfile",
-           "open_series", "write_series"]
+           "open_series", "write_series", "ChunkCache"]
+
+
+def __getattr__(name):
+    # repro.ChunkCache resolves lazily: importing it eagerly would drag the
+    # whole service stack (engine, asyncio server, socket client) into every
+    # `import repro`, defeating the package's deliberate lazy-import pattern
+    if name == "ChunkCache":
+        from repro.service.cache import ChunkCache
+
+        return ChunkCache
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -2,7 +2,12 @@
 
 from repro.analysis.rate_distortion import RateDistortionPoint, rate_distortion_sweep
 from repro.analysis.error_slices import error_slice, compare_error_slices
-from repro.analysis.reporting import format_table, comparison_record, ComparisonRecord
+from repro.analysis.reporting import (
+    format_table,
+    comparison_record,
+    ComparisonRecord,
+    cache_stats_rows,
+)
 from repro.analysis.series_report import (
     series_dataset_rows,
     series_step_rows,
@@ -17,6 +22,7 @@ __all__ = [
     "format_table",
     "comparison_record",
     "ComparisonRecord",
+    "cache_stats_rows",
     "series_dataset_rows",
     "series_step_rows",
     "series_summary",

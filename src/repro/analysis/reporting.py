@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Sequence
 
 __all__ = ["format_table", "ComparisonRecord", "comparison_record",
-           "summarize_plotfile", "plotfile_dataset_rows"]
+           "summarize_plotfile", "plotfile_dataset_rows", "cache_stats_rows"]
 
 
 def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None,
@@ -124,3 +124,27 @@ def plotfile_dataset_rows(path) -> List[Dict[str, object]]:
         return rows_of(path)
     with open_plotfile(path) as handle:
         return rows_of(handle)
+
+
+def cache_stats_rows(source) -> List[Dict[str, object]]:
+    """Hit/miss/eviction accounting as metric/value rows for :func:`format_table`.
+
+    ``source`` may be a :class:`~repro.service.engine.QueryEngine` (rendering
+    its flat ``stats()`` snapshot — what ``repro query --op stats`` prints), a
+    :class:`~repro.service.cache.ChunkCache`, or a bare
+    :class:`~repro.service.cache.CacheStats`.
+    """
+    if hasattr(source, "stats") and callable(source.stats):    # QueryEngine
+        counters = source.stats()
+    elif hasattr(source, "max_bytes"):                         # ChunkCache
+        counters = dict(source.stats.as_dict())
+        counters["current_bytes"] = source.current_bytes
+        counters["max_bytes"] = source.max_bytes
+    elif hasattr(source, "as_dict"):                           # CacheStats
+        counters = source.as_dict()
+    else:
+        raise TypeError(
+            f"cannot extract cache stats from {type(source).__name__}; "
+            "expected a QueryEngine, ChunkCache or CacheStats")
+    return [{"metric": name, "value": value}
+            for name, value in counters.items()]

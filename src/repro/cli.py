@@ -1,7 +1,7 @@
 """The ``python -m repro`` command line: plotfile tooling over the facade.
 
-Six subcommands, all thin shells over :func:`repro.open` / :func:`repro.write`
-and their series counterparts:
+Eight subcommands, all thin shells over :func:`repro.open` / :func:`repro.write`
+and their series/service counterparts:
 
 ``info PATH``
     Print the self-describing header summary and per-dataset storage table —
@@ -26,15 +26,26 @@ and their series counterparts:
 ``series-verify DIR``
     Decode every step of a series (resolving all delta chains) and check
     manifest/file consistency, keyframe cadence and finiteness.
+``serve``
+    Run the JSON-over-TCP query service (:mod:`repro.service`): one shared
+    chunk cache and query engine serving describe/read_field/time_slice to
+    concurrent clients.
+``query``
+    One request against a running ``serve`` instance (describe, read-field,
+    time-slice, stats, ping).
 
 Every command exits 0 on success and 1 on failure, with errors reported as
 one-line messages (corrupt files surface the underlying ``ValueError``).
+Subcommands that decode accept ``--backend``; its default honours the
+``REPRO_BACKEND`` environment variable (how CI exercises the process
+backend through ``make smoke``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -42,8 +53,23 @@ import numpy as np
 
 __all__ = ["main", "build_parser"]
 
+def _default_backend() -> str:
+    """Default for every ``--backend`` flag (CI sets ``REPRO_BACKEND=process``).
+
+    Validated here because argparse only checks ``choices`` for values given
+    on the command line, never for defaults — a typo'd env var must fail up
+    front, not deep inside a run.
+    """
+    value = os.environ.get("REPRO_BACKEND") or "serial"
+    if value not in ("serial", "thread", "process"):
+        raise ValueError(
+            f"REPRO_BACKEND must be 'serial', 'thread' or 'process', "
+            f"got {value!r}")
+    return value
+
 
 def build_parser() -> argparse.ArgumentParser:
+    backend_default = _default_backend()
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="AMRIC plotfile tooling (self-describing format v1)")
@@ -64,7 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_comp.add_argument("--codec", default="sz_lr",
                         help="codec registry name (default sz_lr)")
     p_comp.add_argument("--error-bound", type=float, default=1e-3)
-    p_comp.add_argument("--backend", default="serial",
+    p_comp.add_argument("--backend", default=backend_default,
                         choices=("serial", "thread", "process"))
     p_comp.add_argument("--method", default="amric",
                         help="writer method: amric (default), amrex_1d, nocomp")
@@ -73,7 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="reconstruct a plotfile and store it raw")
     p_dec.add_argument("input")
     p_dec.add_argument("out")
-    p_dec.add_argument("--backend", default="serial",
+    p_dec.add_argument("--backend", default=backend_default,
                        choices=("serial", "thread", "process"))
     p_dec.add_argument("--template", default=None,
                        help="self-describing plotfile whose structure stands "
@@ -84,7 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ver.add_argument("--against", default=None,
                        help="reference plotfile (e.g. the nocomp copy) to "
                             "check the error bound against")
-    p_ver.add_argument("--backend", default="serial",
+    p_ver.add_argument("--backend", default=backend_default,
                        choices=("serial", "thread", "process"))
 
     p_sinfo = sub.add_parser("series-info",
@@ -100,8 +126,40 @@ def build_parser() -> argparse.ArgumentParser:
                             help="decode every step of a series and check "
                                  "chains, cadence and manifest consistency")
     p_sver.add_argument("directory")
-    p_sver.add_argument("--backend", default="serial",
+    p_sver.add_argument("--backend", default=backend_default,
                         choices=("serial", "thread", "process"))
+
+    p_srv = sub.add_parser("serve",
+                           help="run the JSON-over-TCP query service")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=None,
+                       help="TCP port (default 9753; 0 binds an ephemeral "
+                            "port, printed on startup)")
+    p_srv.add_argument("--cache-bytes", type=int, default=None,
+                       help="shared chunk-cache budget in bytes "
+                            "(default 128 MiB)")
+
+    p_q = sub.add_parser("query",
+                         help="one request against a running serve instance")
+    p_q.add_argument("op", choices=("describe", "read-field", "time-slice",
+                                    "stats", "ping"))
+    p_q.add_argument("path", nargs="?", default=None,
+                     help="plotfile or series directory (describe/read-field/"
+                          "time-slice)")
+    p_q.add_argument("--host", default="127.0.0.1")
+    p_q.add_argument("--port", type=int, default=None)
+    p_q.add_argument("--field", default=None)
+    p_q.add_argument("--level", type=int, default=0)
+    p_q.add_argument("--box", default=None,
+                     help="inclusive cell range per axis, e.g. 0:7,0:7,0:7")
+    p_q.add_argument("--step", type=int, default=None,
+                     help="series step for read-field")
+    p_q.add_argument("--steps", default=None,
+                     help="comma-separated step list for time-slice")
+    p_q.add_argument("--no-refill", action="store_true",
+                     help="do not restore covered coarse cells from finer data")
+    p_q.add_argument("--json", action="store_true", dest="as_json",
+                     help="emit the full result (arrays included) as JSON")
     return parser
 
 
@@ -329,14 +387,107 @@ def _cmd_series_verify(args) -> int:
     return 0 if passed else 1
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import QueryEngine, ReproServer
+    from repro.service.cache import DEFAULT_CACHE_BYTES
+    from repro.service.server import DEFAULT_PORT
+
+    engine = QueryEngine(cache_bytes=args.cache_bytes
+                         if args.cache_bytes is not None else DEFAULT_CACHE_BYTES)
+    server = ReproServer(engine, host=args.host,
+                         port=args.port if args.port is not None else DEFAULT_PORT)
+    server.run(on_ready=lambda s: print(
+        f"serving on {s.host}:{s.port} "
+        f"(cache budget {engine.cache.max_bytes} bytes)", flush=True))
+    engine.close()
+    return 0
+
+
+def _parse_box(spec: Optional[str]):
+    if spec is None:
+        return None
+    from repro.amr.box import Box
+
+    lo, hi = [], []
+    for axis in spec.split(","):
+        bounds = axis.split(":")
+        if len(bounds) != 2:
+            raise ValueError(
+                f"bad --box {spec!r}; expected lo:hi per axis, e.g. 0:7,0:7,0:7")
+        lo.append(int(bounds[0]))
+        hi.append(int(bounds[1]))
+    return Box(tuple(lo), tuple(hi))
+
+
+def _print_array_result(label: str, arr: np.ndarray, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps({"shape": list(arr.shape), "values": arr.tolist()}))
+    else:
+        print(f"{label}: shape={tuple(arr.shape)} min={arr.min():.6g} "
+              f"max={arr.max():.6g} mean={arr.mean():.6g}")
+
+
+def _cmd_query(args) -> int:
+    from repro.service import ReproClient
+    from repro.service.server import DEFAULT_PORT
+
+    needs_path = args.op in ("describe", "read-field", "time-slice")
+    if needs_path and args.path is None:
+        raise ValueError(f"query {args.op} needs a path argument")
+    if args.op in ("read-field", "time-slice") and args.field is None:
+        raise ValueError(f"query {args.op} needs --field")
+    port = args.port if args.port is not None else DEFAULT_PORT
+    with ReproClient(host=args.host, port=port) as client:
+        if args.op == "ping":
+            print("pong" if client.ping() else "no pong")
+        elif args.op == "describe":
+            print(json.dumps(client.describe(args.path), indent=2))
+        elif args.op == "read-field":
+            arr = client.read_field(args.path, args.field, level=args.level,
+                                    box=_parse_box(args.box), step=args.step,
+                                    refill=not args.no_refill)
+            _print_array_result(f"{args.field} L{args.level}", arr, args.as_json)
+        elif args.op == "time-slice":
+            steps = [int(s) for s in args.steps.split(",")] \
+                if args.steps is not None else None
+            times, values = client.time_slice(args.path, args.field,
+                                              box=_parse_box(args.box),
+                                              level=args.level, steps=steps,
+                                              refill=not args.no_refill)
+            if args.as_json:
+                print(json.dumps({"times": times.tolist(),
+                                  "shape": list(values.shape),
+                                  "values": values.tolist()}))
+            else:
+                print(f"{args.field} over {values.shape[0]} steps "
+                      f"t=[{times.min():.6g}, {times.max():.6g}]: "
+                      f"shape={tuple(values.shape)} min={values.min():.6g} "
+                      f"max={values.max():.6g}")
+        else:  # stats
+            from repro.analysis.reporting import format_table
+
+            stats = client.stats()
+            if args.as_json:
+                print(json.dumps(stats, indent=2))
+            else:
+                rows = [{"metric": k, "value": v} for k, v in stats.items()]
+                print(format_table(rows))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
     handlers = {"info": _cmd_info, "compress": _cmd_compress,
                 "decompress": _cmd_decompress, "verify": _cmd_verify,
                 "series-info": _cmd_series_info,
-                "series-verify": _cmd_series_verify}
+                "series-verify": _cmd_series_verify,
+                "serve": _cmd_serve, "query": _cmd_query}
+    from repro.service.client import ServiceError
+
     try:
+        args = build_parser().parse_args(argv)
         return handlers[args.command](args)
-    except (ValueError, KeyError, IndexError, FileNotFoundError) as exc:
+    # OSError covers missing files plus the query transport (connection
+    # refused/reset, timeouts); ServiceError is a server-side error reply
+    except (ValueError, KeyError, IndexError, OSError, ServiceError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

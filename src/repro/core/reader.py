@@ -422,17 +422,17 @@ class ReadStats:
 def execute_read(f: H5LiteFile, plan: ReadPlan, backend: ExecutionBackend,
                  comm: Optional[SimComm] = None,
                  stats: Optional[ReadStats] = None,
-                 cache: Optional[Dict[Tuple[str, int], np.ndarray]] = None
-                 ) -> AmrHierarchy:
+                 cache=None) -> AmrHierarchy:
     """Run decode → place → refill for a scanned plan; returns the hierarchy.
 
     Per-dataset decode jobs are submitted through ``comm``
     (:meth:`~repro.parallel.mpi_sim.SimComm.run_jobs`) to the execution
     backend — one barrier for the batch, mirroring the writer's encode stage —
     and the results are placed in plan order, which is what makes every
-    backend produce an element-wise identical hierarchy.  ``cache`` (a
-    ``(dataset, chunk index) → decoded chunk`` map, e.g. a handle's
-    random-access cache) lets already-decoded chunks skip their decode job.
+    backend produce an element-wise identical hierarchy.  ``cache`` (anything
+    with dict-style ``get``/item assignment over ``(dataset, chunk index)``
+    keys — a handle's private dict or a shared-cache view) lets
+    already-decoded chunks skip their decode job.
     """
     if comm is not None and plan.structure.levels and comm.size != plan.nranks:
         raise ValueError(
@@ -486,7 +486,8 @@ class PlotfileHandle:
     """
 
     def __init__(self, path: str, config: Optional[AMRICConfig] = None,
-                 backend: "ExecutionBackend | str | None" = None):
+                 backend: "ExecutionBackend | str | None" = None,
+                 cache=None):
         self._file = H5LiteFile(path, "r")
         try:
             self.header = parse_plotfile_header(self._file)
@@ -496,7 +497,13 @@ class PlotfileHandle:
         self.config = config or AMRICConfig()
         self._backend_spec = backend
         self._plan: Optional[ReadPlan] = None
-        self._cache: Dict[Tuple[str, int], np.ndarray] = {}
+        # ``cache`` opts the handle into a shared, byte-budgeted chunk cache
+        # (repro.service.cache.ChunkCache, keyed by path); the default stays a
+        # private unbounded dict in this handle's (dataset, chunk) key space
+        if cache is not None and hasattr(cache, "bound_view"):
+            self._cache = cache.bound_view(self._file.path)
+        else:
+            self._cache = cache if cache is not None else {}
         self.stats = ReadStats()
         self._closed = False
 
@@ -636,6 +643,27 @@ class PlotfileHandle:
                 out[index] = chunk
             self.stats.chunks_decoded += len(missing)
         return out
+
+    def chunks_for_box(self, name: str, level: int = 0,
+                       box: Optional[Box] = None):
+        """What a box read of one field would decode: ``(plan, dplan, indices)``.
+
+        The scouting half of :meth:`read_field`, shared with the query
+        engine's batch coalescing and time-slice prefetch (which union these
+        indices across requests and decode each chunk once).  Unlike
+        :meth:`read_field`, an absent dataset or out-of-range level yields
+        ``(plan, None, [])`` instead of raising — a prefetch skips, it does
+        not fail.
+        """
+        plan = self._scan()
+        if not 0 <= level < plan.structure.nlevels:
+            return plan, None, []
+        dplan = plan.dataset(level, name)
+        if dplan is None:
+            return plan, None, []
+        region = box if box is not None else plan.structure[level].domain
+        hit = [slot for slot in dplan.slots if slot.block.box.intersects(region)]
+        return plan, dplan, (dplan.chunks_for(hit) if hit else [])
 
     def read_field(self, name: str, level: int = 0, box: Optional[Box] = None,
                    refill: bool = True, fill_value: float = 0.0) -> np.ndarray:

@@ -22,6 +22,7 @@ over these functions.
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Iterable, List, Optional
 
 from repro.amr.hierarchy import AmrHierarchy
@@ -52,7 +53,7 @@ def _canonical_method(method: str) -> str:
 
 
 def open_plotfile(path: str, config: Optional[AMRICConfig] = None,
-                  backend=None) -> PlotfileHandle:
+                  backend=None, cache=None) -> PlotfileHandle:
     """Open a plotfile for lazy reading (exported as :func:`repro.open`).
 
     Self-describing plotfiles (format v1) need nothing else; pre-header files
@@ -61,9 +62,16 @@ def open_plotfile(path: str, config: Optional[AMRICConfig] = None,
     for decoding: ``config`` supplies the legacy-fallback parameters, and
     ``backend`` ("serial", "thread", "process" or an
     :class:`~repro.parallel.backend.ExecutionBackend`) runs the full-read
-    decode jobs.
+    decode jobs.  ``cache`` opts the handle into a shared
+    :class:`~repro.service.cache.ChunkCache` so overlapping consumers decode
+    each chunk once; by default every handle keeps its private per-chunk dict.
     """
-    return PlotfileHandle(path, config=config, backend=backend)
+    if not os.path.isfile(path):
+        raise ValueError(
+            f"cannot open plotfile {path!r}: no such file"
+            + (" (it is a directory — open_series reads series directories)"
+               if os.path.isdir(path) else ""))
+    return PlotfileHandle(path, config=config, backend=backend, cache=cache)
 
 
 def write_plotfile(hierarchy: AmrHierarchy, path: Optional[str] = None, *,
@@ -117,17 +125,19 @@ def write_plotfile(hierarchy: AmrHierarchy, path: Optional[str] = None, *,
     return NoCompressionWriter(**overrides).write_plotfile(hierarchy, path)
 
 
-def open_series(directory: str) -> "SeriesHandle":
+def open_series(directory: str, cache=None) -> "SeriesHandle":
     """Open a plotfile series directory (exported as :func:`repro.open_series`).
 
     Returns a lazy :class:`~repro.series.reader.SeriesHandle`: ``steps()``
     lists the manifest, ``read_field(name, level, box, step=...)`` decodes
     one step's region resolving delta chains chunk by chunk, and
     ``time_slice(name, box)`` extracts a region's evolution across steps.
+    ``cache`` shares one :class:`~repro.service.cache.ChunkCache` across the
+    series' step handles (and any other handle bound to the same cache).
     """
     from repro.series.reader import SeriesHandle
 
-    return SeriesHandle(directory)
+    return SeriesHandle(directory, cache=cache)
 
 
 def write_series(hierarchies: Iterable[AmrHierarchy], directory: str, *,

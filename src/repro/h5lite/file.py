@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -116,6 +117,9 @@ class H5LiteFile:
         #: None for files written before the header section existed
         self.header: Optional[Dict[str, object]] = None
         self.datasets: Dict[str, DatasetInfo] = {}
+        # chunk reads seek+read as one step; concurrent readers (the query
+        # service decodes on a worker pool) must not interleave the two
+        self._io_lock = threading.Lock()
         self._closed = False
         if mode == "w":
             self._fh = open(self.path, "wb")
@@ -291,8 +295,9 @@ class H5LiteFile:
                 f"chunk {index} out of range for dataset {name!r} "
                 f"({len(info.chunks)} chunks)")
         chunk = info.chunks[index]
-        self._fh.seek(chunk.offset)
-        payload = self._fh.read(chunk.nbytes)
+        with self._io_lock:
+            self._fh.seek(chunk.offset)
+            payload = self._fh.read(chunk.nbytes)
         if len(payload) != chunk.nbytes:
             raise ValueError(
                 f"{self.path} is truncated: chunk {index} of {name!r} has "

@@ -22,6 +22,8 @@ All decode work is counted in one shared :class:`~repro.core.reader.ReadStats`
 from __future__ import annotations
 
 import os
+import threading
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -35,9 +37,47 @@ from repro.series.index import SeriesIndex, SeriesStepRecord
 __all__ = ["SeriesHandle", "SeriesStepHandle", "open_series"]
 
 
-def open_series(directory: str) -> "SeriesHandle":
+def open_series(directory: str, cache=None) -> "SeriesHandle":
     """Open a series directory for lazy reading (exported as :func:`repro.open_series`)."""
-    return SeriesHandle(directory)
+    return SeriesHandle(directory, cache=cache)
+
+
+class _CodeStreamCache:
+    """Resolved absolute code streams, LRU-bounded when a budget is given.
+
+    Values are ``(codes array, eb, offset)`` tuples keyed by ``(step index,
+    dataset, chunk)``.  Without a budget this is the PR-4 behaviour (memoise
+    for the handle's lifetime); with one — a series opened onto a shared
+    :class:`~repro.service.cache.ChunkCache`, i.e. a long-lived server —
+    least-recently-used streams are evicted past the byte budget.  Eviction
+    is always safe: a missing stream makes :meth:`SeriesStepHandle._resolve_codes`
+    walk further back (at worst to the keyframe payloads) and re-derive it.
+    """
+
+    def __init__(self, max_bytes: Optional[int] = None):
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self._entries: "OrderedDict[Tuple[int, str, int], Tuple[np.ndarray, float, float]]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+
+    def get(self, key):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def __setitem__(self, key, value) -> None:
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= int(old[0].nbytes)
+            self._entries[key] = value
+            self._bytes += int(value[0].nbytes)
+            if self.max_bytes is not None:
+                while self._bytes > self.max_bytes and len(self._entries) > 1:
+                    _, evicted = self._entries.popitem(last=False)
+                    self._bytes -= int(evicted[0].nbytes)
 
 
 class SeriesStepHandle(PlotfileHandle):
@@ -49,7 +89,7 @@ class SeriesStepHandle(PlotfileHandle):
     """
 
     def __init__(self, series: "SeriesHandle", step_index: int, path: str):
-        super().__init__(path)
+        super().__init__(path, cache=series.cache)
         self._series = series
         self._step_index = step_index
         # all step handles of a series report into one shared stats object
@@ -82,6 +122,7 @@ class SeriesStepHandle(PlotfileHandle):
             cached = series._codes.get((step, dsname, chunk_index))
             if cached is not None:
                 self.stats.cache_hits += 1
+                entry = cached
                 codes = cached[0]
                 break
             handle = series.open_step(step)
@@ -89,8 +130,8 @@ class SeriesStepHandle(PlotfileHandle):
             mode, codes, meta = TemporalDeltaCodec.unpack_codes(payload)
             self.stats.chunks_decoded += 1
             if mode != MODE_DELTA:
-                series._codes[(step, dsname, chunk_index)] = \
-                    (codes, float(meta["eb"]), float(meta["offset"]))
+                entry = (codes, float(meta["eb"]), float(meta["offset"]))
+                series._codes[(step, dsname, chunk_index)] = entry
                 break
             record = series.index.steps[step].dataset(dsname)
             if record is None or record.ref is None:
@@ -99,7 +140,9 @@ class SeriesStepHandle(PlotfileHandle):
                     "the series manifest records no reference step")
             pending.append((step, codes, meta))
             step = record.ref
-        # fold the deltas forward onto the resolved base, caching each step
+        # fold the deltas forward onto the resolved base, caching each step;
+        # the answer is returned directly — the code cache may be byte-bounded
+        # and must be allowed to evict what was just inserted
         for step, deltas, meta in reversed(pending):
             if deltas.size != codes.size:
                 raise ValueError(
@@ -107,9 +150,9 @@ class SeriesStepHandle(PlotfileHandle):
                     f"has {deltas.size} codes but its reference has "
                     f"{codes.size}; the series is corrupt")
             codes = codes + deltas
-            series._codes[(step, dsname, chunk_index)] = \
-                (codes, float(meta["eb"]), float(meta["offset"]))
-        return series._codes[(self._step_index, dsname, chunk_index)]
+            entry = (codes, float(meta["eb"]), float(meta["offset"]))
+            series._codes[(step, dsname, chunk_index)] = entry
+        return entry
 
     def _decode_chunks(self, plan: ReadPlan, dplan: DatasetReadPlan,
                        indices: Sequence[int]) -> Dict[int, np.ndarray]:
@@ -148,8 +191,14 @@ class SeriesStepHandle(PlotfileHandle):
         from repro.parallel.backend import ExecutionBackend, make_backend
 
         plan = self._scan()
+        # collect the resolved chunks into a local map rather than trusting
+        # the chunk cache to retain them: a shared byte-budgeted cache may
+        # evict between materialisation and placement
+        resolved_chunks: Dict[Tuple[str, int], np.ndarray] = {}
         for dplan in plan.datasets:
-            self._decode_chunks(plan, dplan, range(dplan.nchunks))
+            decoded = self._decode_chunks(plan, dplan, range(dplan.nchunks))
+            for index, chunk in decoded.items():
+                resolved_chunks[(dplan.name, index)] = chunk
         owns = not isinstance(backend, ExecutionBackend)
         resolved = make_backend(backend if backend is not None
                                 else self.config.backend,
@@ -157,7 +206,7 @@ class SeriesStepHandle(PlotfileHandle):
         try:
             fresh = replace(plan, structure=_empty_like(plan.structure))
             return execute_read(self._file, fresh, resolved, comm=comm,
-                                stats=self.stats, cache=self._cache)
+                                stats=self.stats, cache=resolved_chunks)
         finally:
             if owns:
                 resolved.close()
@@ -174,28 +223,42 @@ class SeriesHandle:
 
     Step handles, decoded chunk values and resolved code streams are all
     cached on the series handle, shared across steps (a keyframe chunk
-    resolved for step 3's chain is a cache hit for step 4's).  Like the
-    single-file handle's chunk cache, the caches are unbounded for the
-    handle's lifetime — decoding a whole long run through one handle holds
-    it in memory; open a fresh handle to drop the caches.
+    resolved for step 3's chain is a cache hit for step 4's).  By default —
+    like the single-file handle's chunk cache — the caches are unbounded for
+    the handle's lifetime; open a fresh handle to drop them.  With ``cache``
+    (a shared :class:`~repro.service.cache.ChunkCache`) both the decoded
+    chunk values and the resolved code streams are byte-bounded to its
+    budget, so long-lived consumers (the query service) stay bounded too.
     """
 
-    def __init__(self, directory: str):
+    def __init__(self, directory: str, cache=None):
         self.directory = str(directory)
         self.index = SeriesIndex.load(self.directory)
         self.stats = ReadStats()
+        #: optional shared :class:`~repro.service.cache.ChunkCache`; every
+        #: step handle stores its decoded chunk values there (keyed by the
+        #: step's own path) instead of a private per-step dict
+        self.cache = cache
         self._handles: Dict[int, SeriesStepHandle] = {}
-        #: (step index, dataset, chunk) -> (absolute codes, eb, offset)
-        self._codes: Dict[Tuple[int, str, int], Tuple[np.ndarray, float, float]] = {}
+        #: (step index, dataset, chunk) -> (absolute codes, eb, offset);
+        #: byte-bounded to the shared cache's budget when one is given, so a
+        #: long-lived server cannot grow it without limit
+        self._codes = _CodeStreamCache(
+            cache.max_bytes if cache is not None
+            and hasattr(cache, "max_bytes") else None)
+        # guards the step-handle pool: concurrent readers (the query service
+        # worker pool) must not race open_step into leaked duplicate handles
+        self._handles_lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        if not self._closed:
-            for handle in self._handles.values():
-                handle.close()
-            self._handles.clear()
-            self._closed = True
+        with self._handles_lock:
+            if not self._closed:
+                for handle in self._handles.values():
+                    handle.close()
+                self._handles.clear()
+                self._closed = True
 
     def __enter__(self) -> "SeriesHandle":
         return self
@@ -266,15 +329,16 @@ class SeriesHandle:
 
     def open_step(self, step: int = -1) -> SeriesStepHandle:
         """The (cached) plotfile handle of one step; negative indices count back."""
-        if self._closed:
-            raise ValueError("series handle is closed")
         index = self._step_index(step)
-        handle = self._handles.get(index)
-        if handle is None:
-            path = os.path.join(self.directory, self.index.steps[index].path)
-            handle = SeriesStepHandle(self, index, path)
-            self._handles[index] = handle
-        return handle
+        with self._handles_lock:
+            if self._closed:
+                raise ValueError("series handle is closed")
+            handle = self._handles.get(index)
+            if handle is None:
+                path = os.path.join(self.directory, self.index.steps[index].path)
+                handle = SeriesStepHandle(self, index, path)
+                self._handles[index] = handle
+            return handle
 
     # ------------------------------------------------------------------
     # reading

@@ -1,0 +1,49 @@
+"""The serving layer: shared chunk cache, batched queries, and the TCP service.
+
+Everything the PR-3/PR-4 readers decode is chunk-granular; this package makes
+those chunks *shareable*:
+
+* :mod:`repro.service.cache` — a process-wide, byte-budgeted LRU
+  :class:`ChunkCache` keyed by ``(path, dataset, chunk)``.  Any handle opened
+  through the facade can opt in (``repro.open(path, cache=...)``), replacing
+  its private per-handle dict so overlapping consumers decode each chunk once.
+* :mod:`repro.service.engine` — a :class:`QueryEngine` holding a pool of lazy
+  handles over many plotfiles/series.  It accepts batched box-read requests,
+  coalesces requests hitting the same chunk or delta chain so each chunk is
+  decoded at most once per batch, and prefetches keyframe→delta chains for
+  time slices.
+* :mod:`repro.service.server` / :mod:`repro.service.client` — an asyncio
+  JSON-over-TCP server and a thin synchronous client exposing
+  describe/read_field/read_batch/time_slice to concurrent analysis clients
+  (``python -m repro serve`` / ``python -m repro query``).
+"""
+
+__all__ = [
+    "CacheStats",
+    "ChunkCache",
+    "BoxQuery",
+    "QueryEngine",
+    "ReproClient",
+    "ReproServer",
+]
+
+#: public name -> defining submodule; resolved lazily so importing the cache
+#: (or `import repro`, which re-exports ChunkCache) does not pull the engine,
+#: the asyncio server and the socket client into every process
+_EXPORTS = {
+    "CacheStats": "repro.service.cache",
+    "ChunkCache": "repro.service.cache",
+    "BoxQuery": "repro.service.engine",
+    "QueryEngine": "repro.service.engine",
+    "ReproClient": "repro.service.client",
+    "ReproServer": "repro.service.server",
+}
+
+
+def __getattr__(name):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)

@@ -1,0 +1,175 @@
+"""A process-wide, byte-budgeted LRU cache of decoded chunks.
+
+Every reader in the stack decodes in chunk units (PR 3) and the series reader
+resolves delta chains in chunk units (PR 4), but until now each handle kept
+its own private ``(dataset, chunk) → array`` dict: two handles on the same
+plotfile — or two analysis clients of the query service — decode the same
+chunk twice, and nothing ever bounds the memory a long-lived handle
+accumulates.
+
+:class:`ChunkCache` fixes both.  It is a thread-safe LRU over
+``(path, dataset, chunk index)`` keys with a byte budget: inserting past the
+budget evicts least-recently-used entries, and every hit/miss/eviction is
+counted in :class:`CacheStats` (what the cache-accounting tests and the
+``stats`` rows of the query service assert against).  Handles opt in through
+the facade (``repro.open(path, cache=...)``); the per-handle dict stays the
+default, so existing consumers are untouched.
+
+A handle addresses its chunks as ``(dataset, chunk)`` — the path prefix is
+added by the :class:`HandleCacheView` the cache hands out per file, which is
+what lets one cache serve handles over many files without key collisions.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["CacheStats", "ChunkCache", "HandleCacheView", "DEFAULT_CACHE_BYTES"]
+
+#: default byte budget: enough for ~4k chunks of 4096 float64 elements
+DEFAULT_CACHE_BYTES = 128 * 1024 * 1024
+
+#: (file path, dataset name, chunk index)
+CacheKey = Tuple[str, str, int]
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache's lifetime (all monotone except current_bytes)."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    evicted_bytes: int = 0
+    rejected: int = 0             #: entries larger than the whole budget
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / max(self.requests, 1)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"hits": self.hits, "misses": self.misses,
+                "insertions": self.insertions, "evictions": self.evictions,
+                "evicted_bytes": self.evicted_bytes, "rejected": self.rejected,
+                "hit_rate": self.hit_rate}
+
+
+class ChunkCache:
+    """Byte-budgeted LRU over decoded chunks, shared by any number of handles.
+
+    ``get``/``put`` are safe to call from concurrent readers (one lock guards
+    the LRU order and the counters).  Cached arrays are treated as immutable
+    by every consumer — the readers copy out of them, never into them — so
+    sharing needs no defensive copies.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES):
+        max_bytes = int(max_bytes)
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, np.ndarray]" = OrderedDict()
+        self._current_bytes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def current_bytes(self) -> int:
+        return self._current_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ChunkCache({len(self._entries)} chunks, "
+                f"{self._current_bytes}/{self.max_bytes} bytes)")
+
+    # ------------------------------------------------------------------
+    def get(self, key: CacheKey) -> Optional[np.ndarray]:
+        """The cached chunk, refreshed to most-recently-used; None on a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def put(self, key: CacheKey, chunk: np.ndarray) -> None:
+        """Insert one decoded chunk, evicting LRU entries past the budget.
+
+        A chunk larger than the whole budget is not cached (it would evict
+        everything and immediately be evicted itself); re-inserting an
+        existing key refreshes its recency without double-counting bytes.
+        """
+        nbytes = int(chunk.nbytes)
+        with self._lock:
+            if nbytes > self.max_bytes:
+                self.stats.rejected += 1
+                return
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._current_bytes -= int(old.nbytes)
+            self._entries[key] = chunk
+            self._current_bytes += nbytes
+            self.stats.insertions += 1
+            while self._current_bytes > self.max_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._current_bytes -= int(evicted.nbytes)
+                self.stats.evictions += 1
+                self.stats.evicted_bytes += int(evicted.nbytes)
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept — they describe the lifetime)."""
+        with self._lock:
+            self._entries.clear()
+            self._current_bytes = 0
+
+    def keys(self) -> List[CacheKey]:
+        """A snapshot of the cached keys, LRU first."""
+        with self._lock:
+            return list(self._entries)
+
+    # ------------------------------------------------------------------
+    def bound_view(self, path: str) -> "HandleCacheView":
+        """This cache addressed in one file's ``(dataset, chunk)`` key space."""
+        return HandleCacheView(self, str(path))
+
+
+class HandleCacheView:
+    """One file's window into a shared :class:`ChunkCache`.
+
+    Presents the mapping surface the handles already use for their private
+    dicts — ``get((dataset, chunk))`` and item assignment — while storing
+    under the full ``(path, dataset, chunk)`` key.  Always truthy: the staged
+    reader treats a falsy cache as "no cache", and a shared cache must be
+    consulted even while still empty.
+    """
+
+    def __init__(self, cache: ChunkCache, path: str):
+        self.cache = cache
+        self.path = path
+
+    def __bool__(self) -> bool:
+        return True
+
+    def get(self, key: Tuple[str, int]) -> Optional[np.ndarray]:
+        return self.cache.get((self.path, key[0], key[1]))
+
+    def __setitem__(self, key: Tuple[str, int], chunk: np.ndarray) -> None:
+        self.cache.put((self.path, key[0], key[1]), chunk)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HandleCacheView({self.path!r} -> {self.cache!r})"

@@ -1,0 +1,127 @@
+"""The thin synchronous client of the query service (``python -m repro query``).
+
+One TCP connection, one request line per call, blocking until the response
+line arrives.  Arrays come back bit-identical to what the server's engine
+decoded (see :mod:`repro.service.wire`).  A server-side failure raises
+:class:`ServiceError` carrying the server's one-line error message; the
+connection stays usable afterwards.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.amr.box import Box
+from repro.service.engine import BoxQuery
+from repro.service.server import DEFAULT_PORT
+from repro.service.wire import decode_line, encode_line
+
+__all__ = ["ReproClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The server answered ``ok: false`` (its error string is the message)."""
+
+
+def _box_json(box: Optional[Box]):
+    return [list(box.lo), list(box.hi)] if box is not None else None
+
+
+class ReproClient:
+    """A blocking client for one :class:`~repro.service.server.ReproServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 timeout: float = 120.0):
+        self.host = host
+        self.port = int(port)
+        self._sock = socket.create_connection((host, self.port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._next_id = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if not self._closed:
+            self._rfile.close()
+            self._sock.close()
+            self._closed = True
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReproClient({self.host}:{self.port})"
+
+    # ------------------------------------------------------------------
+    def call(self, op: str, **params):
+        """Send one request and return its decoded result (or raise).
+
+        A transport failure (timeout, reset) closes the client: the next
+        line on the socket would belong to the abandoned request, so the
+        connection cannot be trusted again.  Responses are matched to the
+        request id for the same reason — a mismatch means the stream is
+        desynchronised.
+        """
+        if self._closed:
+            raise ValueError("client is closed")
+        self._next_id += 1
+        request = {"id": self._next_id, "op": op, **params}
+        try:
+            self._sock.sendall(encode_line(request))
+            line = self._rfile.readline()
+        except OSError:
+            self.close()
+            raise
+        if not line:
+            raise ConnectionError(
+                f"server at {self.host}:{self.port} closed the connection")
+        response = decode_line(line)
+        if not isinstance(response, dict):
+            raise ConnectionError(f"malformed response: {response!r}")
+        if response.get("id") is not None and response["id"] != request["id"]:
+            self.close()
+            raise ConnectionError(
+                f"out-of-sync response (id {response['id']!r}, expected "
+                f"{request['id']}); connection closed")
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown server error"))
+        return response.get("result")
+
+    # ------------------------------------------------------------------
+    # the service surface, one method per op
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.call("ping").get("pong"))
+
+    def describe(self, path: str) -> Dict[str, object]:
+        return self.call("describe", path=str(path))
+
+    def read_field(self, path: str, field: str, level: int = 0,
+                   box: Optional[Box] = None, step: Optional[int] = None,
+                   refill: bool = True, fill_value: float = 0.0) -> np.ndarray:
+        return self.call("read_field", path=str(path), field=field, level=level,
+                         box=_box_json(box), step=step, refill=refill,
+                         fill_value=fill_value)
+
+    def read_batch(self, queries: Sequence[BoxQuery]) -> List[np.ndarray]:
+        return self.call("read_batch",
+                         queries=[q.to_json() for q in queries])
+
+    def time_slice(self, path: str, field: str, box: Optional[Box] = None,
+                   level: int = 0, steps: Optional[Sequence[int]] = None,
+                   refill: bool = True, fill_value: float = 0.0
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+        result = self.call("time_slice", path=str(path), field=field,
+                           box=_box_json(box), level=level,
+                           steps=list(steps) if steps is not None else None,
+                           refill=refill, fill_value=fill_value)
+        return result["times"], result["values"]
+
+    def stats(self) -> Dict[str, object]:
+        return self.call("stats")

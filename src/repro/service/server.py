@@ -1,0 +1,230 @@
+"""The asyncio JSON-over-TCP query server (``python -m repro serve``).
+
+Each client connection speaks the newline-delimited JSON protocol of
+:mod:`repro.service.wire`: a request line ``{"id": n, "op": ..., ...params}``
+is answered by ``{"id": n, "ok": true, "result": ...}`` (or ``"ok": false``
+with an ``error`` string; a failed request never tears down the connection).
+The asyncio loop only shuttles bytes — every engine call runs on a worker
+thread pool, so slow decodes on one connection do not stall the others, and
+many clients share one :class:`~repro.service.engine.QueryEngine` (and hence
+one chunk cache: a chunk decoded for client A is a cache hit for client B).
+
+Ops: ``ping``, ``describe``, ``read_field``, ``read_batch``, ``time_slice``,
+``stats``.  Array results travel base64-raw, so a served read is element-wise
+identical to a direct :func:`repro.open` read.
+
+The server runs in the foreground for the CLI (:meth:`ReproServer.run`) or on
+a background thread for tests and in-process use (:meth:`ReproServer.start` /
+:meth:`ReproServer.stop`); ``port=0`` binds an ephemeral port, published as
+:attr:`ReproServer.port` once listening.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Optional
+
+from repro.service.engine import BoxQuery, QueryEngine
+from repro.service.wire import MAX_LINE_BYTES, decode_line, encode_line
+
+__all__ = ["ReproServer", "DEFAULT_PORT"]
+
+DEFAULT_PORT = 9753
+
+
+class ReproServer:
+    """Serve one :class:`QueryEngine` to concurrent TCP clients."""
+
+    def __init__(self, engine: Optional[QueryEngine] = None,
+                 host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 max_workers: int = 8):
+        self.engine = engine if engine is not None else QueryEngine()
+        self._owns_engine = engine is None
+        self.host = host
+        self.requested_port = int(port)
+        #: the bound port (== requested_port unless that was 0); set on listen
+        self.port: Optional[int] = None
+        self._executor = ThreadPoolExecutor(max_workers=max_workers)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        # a stopped server's executor (and possibly engine) are gone for
+        # good; instances are one-shot by design
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # request execution (runs on the worker pool)
+    # ------------------------------------------------------------------
+    def _execute(self, request) -> Dict[str, object]:
+        request_id = None
+        try:
+            if not isinstance(request, dict):
+                raise ValueError("a request must be a JSON object")
+            request_id = request.get("id")
+            op = request.get("op")
+            if op == "ping":
+                result: object = {"pong": True}
+            elif op == "describe":
+                result = self.engine.describe(str(request["path"]))
+            elif op == "read_field":
+                result = self.engine.read_field(
+                    **vars(BoxQuery.from_json(request)))
+            elif op == "read_batch":
+                queries = request.get("queries")
+                if not isinstance(queries, list):
+                    raise ValueError("read_batch needs a 'queries' list")
+                result = self.engine.read_batch(
+                    [BoxQuery.from_json(q) for q in queries])
+            elif op == "time_slice":
+                from repro.amr.box import Box
+
+                box = request.get("box")
+                if box is not None:
+                    box = Box(tuple(int(v) for v in box[0]),
+                              tuple(int(v) for v in box[1]))
+                steps = request.get("steps")
+                times, values = self.engine.time_slice(
+                    str(request["path"]), str(request["field"]), box=box,
+                    level=int(request.get("level", 0)),
+                    steps=[int(s) for s in steps] if steps is not None else None,
+                    refill=bool(request.get("refill", True)),
+                    fill_value=float(request.get("fill_value", 0.0)))
+                result = {"times": times, "values": values}
+            elif op == "stats":
+                result = self.engine.stats()
+            else:
+                raise ValueError(f"unknown op {op!r}")
+            return {"id": request_id, "ok": True, "result": result}
+        except Exception as exc:  # noqa: BLE001 - every failure becomes a reply
+            return {"id": request_id, "ok": False,
+                    "error": f"{type(exc).__name__}: {exc}"}
+
+    # ------------------------------------------------------------------
+    # the asyncio shell
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ConnectionResetError:
+                    break
+                except ValueError:
+                    # readline wraps a limit overrun in ValueError; the line
+                    # framing is lost, so the connection cannot continue
+                    break
+                if not line:
+                    break
+                try:
+                    request = decode_line(line)
+                except ValueError as exc:
+                    response = {"id": None, "ok": False,
+                                "error": f"bad request line: {exc}"}
+                else:
+                    response = await loop.run_in_executor(
+                        self._executor, self._execute, request)
+                writer.write(encode_line(response))
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _open(self) -> None:
+        # the stream limit and the wire-format line limit are one number:
+        # any line the protocol allows must be readable
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.requested_port,
+            limit=MAX_LINE_BYTES)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    # ------------------------------------------------------------------
+    # foreground (the CLI) and background (tests / in-process) modes
+    # ------------------------------------------------------------------
+    def run(self, on_ready: Optional[Callable[["ReproServer"], None]] = None
+            ) -> None:
+        """Serve in the foreground until cancelled (Ctrl-C returns cleanly)."""
+
+        async def main() -> None:
+            await self._open()
+            if on_ready is not None:
+                on_ready(self)
+            async with self._server:
+                await self._server.serve_forever()
+
+        try:
+            asyncio.run(main())
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self._shutdown_sync()
+
+    def start(self) -> "ReproServer":
+        """Serve on a background thread; returns once the port is bound.
+
+        An instance serves once: after :meth:`stop` the executor (and an
+        owned engine) are shut down, so a fresh ``ReproServer`` must be
+        created instead of restarting this one.
+        """
+        if self._stopped:
+            raise RuntimeError(
+                "this server was stopped and cannot be restarted; "
+                "create a new ReproServer")
+        if self._thread is not None:
+            raise RuntimeError("server is already running")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-serve", daemon=True)
+        self._thread.start()
+        try:
+            asyncio.run_coroutine_threadsafe(self._open(), self._loop) \
+                .result(timeout=30)
+        except BaseException:
+            # binding failed (port taken, bad host): reap the loop thread so
+            # the instance is inert, not wedged half-started
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30)
+            self._loop.close()
+            self._loop = None
+            self._thread = None
+            raise
+        return self
+
+    def stop(self) -> None:
+        """Stop a background server and release the engine's handles."""
+        if self._loop is not None and self._thread is not None:
+            async def close_server() -> None:
+                if self._server is not None:
+                    self._server.close()
+                    await self._server.wait_closed()
+
+            asyncio.run_coroutine_threadsafe(close_server(), self._loop) \
+                .result(timeout=30)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30)
+            self._loop.close()
+            self._loop = None
+            self._thread = None
+            self._server = None
+        self._shutdown_sync()
+
+    def _shutdown_sync(self) -> None:
+        self._stopped = True
+        self._executor.shutdown(wait=False)
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReproServer({self.host}:{self.port or self.requested_port})"

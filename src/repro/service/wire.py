@@ -1,0 +1,71 @@
+"""The wire format of the query service: newline-delimited JSON.
+
+One request or response per line.  Arrays travel as tagged objects carrying
+their raw bytes base64-encoded::
+
+    {"__ndarray__": {"dtype": "float64", "shape": [8, 8, 8], "data": "..."}}
+
+Base64 of the IEEE-754 bytes — not decimal rendering — is what makes a
+server-mediated read *element-wise identical* to a direct one: the decoded
+array is bit-for-bit the array the engine produced.  Everything else is plain
+JSON; tuples flatten to lists, numpy scalars to Python numbers.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any
+
+import numpy as np
+
+__all__ = ["to_wire", "from_wire", "encode_line", "decode_line",
+           "MAX_LINE_BYTES"]
+
+#: refuse lines past this size when reading (a corrupt peer must not OOM us)
+MAX_LINE_BYTES = 512 * 1024 * 1024
+
+
+def to_wire(obj: Any) -> Any:
+    """Recursively convert a result object into JSON-serialisable form."""
+    if isinstance(obj, np.ndarray):
+        data = np.ascontiguousarray(obj)
+        return {"__ndarray__": {
+            "dtype": str(data.dtype),
+            "shape": list(data.shape),
+            "data": base64.b64encode(data.tobytes()).decode("ascii"),
+        }}
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, dict):
+        return {str(k): to_wire(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_wire(v) for v in obj]
+    return obj
+
+
+def from_wire(obj: Any) -> Any:
+    """Invert :func:`to_wire` (tagged arrays back into numpy arrays)."""
+    if isinstance(obj, dict):
+        if set(obj) == {"__ndarray__"}:
+            spec = obj["__ndarray__"]
+            raw = base64.b64decode(spec["data"])
+            arr = np.frombuffer(raw, dtype=np.dtype(spec["dtype"]))
+            return arr.reshape(tuple(spec["shape"])).copy()
+        return {k: from_wire(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [from_wire(v) for v in obj]
+    return obj
+
+
+def encode_line(obj: Any) -> bytes:
+    """One message as a single JSON line (terminator included)."""
+    return json.dumps(to_wire(obj), separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> Any:
+    """Parse one received JSON line back into Python objects + arrays."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ValueError(f"wire message of {len(line)} bytes exceeds the "
+                         f"{MAX_LINE_BYTES}-byte limit")
+    return from_wire(json.loads(line.decode("utf-8")))

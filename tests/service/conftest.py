@@ -1,0 +1,29 @@
+"""Shared fixtures for the service-layer tests: one plotfile, one series."""
+
+import pytest
+
+import repro
+from repro.apps import nyx_run
+from repro.apps.nyx import NyxSimulation
+
+
+@pytest.fixture(scope="session")
+def service_plotfile(tmp_path_factory):
+    """A mid-size two-level plotfile every service test can share (read-only)."""
+    hierarchy = nyx_run(coarse_shape=(32, 32, 32), nranks=4,
+                        target_fine_density=0.03, seed=11).hierarchy
+    path = tmp_path_factory.mktemp("service") / "nyx.h5z"
+    repro.write(hierarchy, str(path), error_bound=1e-3)
+    return str(path)
+
+
+@pytest.fixture(scope="session")
+def service_series(tmp_path_factory):
+    """A 6-step delta-compressed series (keyframes at steps 0 and 4)."""
+    sim = NyxSimulation(coarse_shape=(16, 16, 16), nranks=2,
+                        target_fine_density=0.05, max_grid_size=8, seed=3,
+                        drift_rate=0.05, growth_rate=0.02, regrid_interval=4)
+    directory = tmp_path_factory.mktemp("service") / "run"
+    repro.write_series(sim.run(6), str(directory), keyframe_interval=4,
+                       error_bound=1e-3)
+    return str(directory)

@@ -1,0 +1,119 @@
+"""The benchmark-regression comparator behind ``make bench-check``."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_check",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                 "tools", "bench_check.py"))
+bench_check = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_check)
+
+
+def _bench_json(medians):
+    return {"benchmarks": [{"name": name, "stats": {"median": median}}
+                           for name, median in medians.items()]}
+
+
+def _write(path, medians):
+    path.write_text(json.dumps(_bench_json(medians)))
+
+
+class TestComparator:
+    def test_within_tolerance_is_ok(self):
+        rows = bench_check.compare_medians({"t": 1.0}, {"t": 1.2}, 0.25)
+        assert rows[0]["status"] == bench_check.OK
+        assert rows[0]["delta"] == pytest.approx(0.2)
+
+    def test_regression_beyond_tolerance_fails(self):
+        rows = bench_check.compare_medians({"t": 1.0}, {"t": 1.3}, 0.25)
+        assert rows[0]["status"] == bench_check.REGRESSED
+        assert bench_check.has_regression(rows)
+
+    def test_improvement_beyond_tolerance_is_not_a_failure(self):
+        rows = bench_check.compare_medians({"t": 1.0}, {"t": 0.5}, 0.25)
+        assert rows[0]["status"] == bench_check.IMPROVED
+        assert not bench_check.has_regression(rows)
+
+    def test_identical_medians_pass(self):
+        rows = bench_check.compare_medians({"t": 1.0}, {"t": 1.0}, 0.0)
+        assert rows[0]["status"] == bench_check.OK
+
+    def test_new_benchmark_is_tolerated(self):
+        rows = bench_check.compare_medians({}, {"t": 1.0}, 0.25)
+        assert rows[0]["status"] == bench_check.NEW
+        assert not bench_check.has_regression(rows)
+
+    def test_dropped_benchmark_fails(self):
+        # silently deleting a benchmark must not disable its own gate
+        rows = bench_check.compare_medians({"t": 1.0}, {}, 0.25)
+        assert rows[0]["status"] == bench_check.MISSING
+        assert bench_check.has_regression(rows)
+
+    def test_delta_table_mentions_every_benchmark(self):
+        rows = bench_check.compare_medians(
+            {"fast": 0.001, "slow": 2.0}, {"fast": 0.0011, "slow": 3.0}, 0.25)
+        table = bench_check.format_rows(rows)
+        assert "fast" in table and "slow" in table
+        assert "REGRESSED" in table and "+50.0%" in table
+
+
+class TestEndToEnd:
+    def test_fresh_baselines_pass(self, tmp_path, capsys):
+        baseline = tmp_path / "baselines"
+        baseline.mkdir()
+        medians = {"test_a": 0.01, "test_b": 2.5}
+        _write(baseline / "BENCH_x.json", medians)
+        _write(tmp_path / "BENCH_x.json", medians)   # fresh == baseline
+        rc = bench_check.main(["--baseline-dir", str(baseline),
+                               "--fresh-dir", str(tmp_path)])
+        assert rc == 0
+        assert "2 benchmark(s) within" in capsys.readouterr().out
+
+    def test_degraded_median_fails_with_table(self, tmp_path, capsys):
+        baseline = tmp_path / "baselines"
+        baseline.mkdir()
+        _write(baseline / "BENCH_x.json", {"test_a": 0.01, "test_b": 1.0})
+        _write(tmp_path / "BENCH_x.json", {"test_a": 0.01, "test_b": 1.5})
+        rc = bench_check.main(["--baseline-dir", str(baseline),
+                               "--fresh-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FAIL" in out and "REGRESSED" in out and "test_b" in out
+
+    def test_tolerance_is_configurable(self, tmp_path):
+        baseline = tmp_path / "baselines"
+        baseline.mkdir()
+        _write(baseline / "BENCH_x.json", {"t": 1.0})
+        _write(tmp_path / "BENCH_x.json", {"t": 1.4})
+        args = ["--baseline-dir", str(baseline), "--fresh-dir", str(tmp_path)]
+        assert bench_check.main(args) == 1                       # 25% default
+        assert bench_check.main([*args, "--tolerance", "0.5"]) == 0
+
+    def test_missing_fresh_file_is_a_notice_not_a_failure(self, tmp_path, capsys):
+        baseline = tmp_path / "baselines"
+        baseline.mkdir()
+        _write(baseline / "BENCH_x.json", {"t": 1.0})
+        rc = bench_check.main(["--baseline-dir", str(baseline),
+                               "--fresh-dir", str(tmp_path)])
+        assert rc == 0
+        assert "no fresh results" in capsys.readouterr().out
+
+    def test_update_adopts_fresh_results(self, tmp_path, capsys):
+        baseline = tmp_path / "baselines"
+        _write(tmp_path / "BENCH_x.json", {"t": 1.0})
+        rc = bench_check.main(["--baseline-dir", str(baseline),
+                               "--fresh-dir", str(tmp_path), "--update"])
+        assert rc == 0
+        adopted = json.loads((baseline / "BENCH_x.json").read_text())
+        assert adopted["benchmarks"][0]["stats"]["median"] == 1.0
+
+    def test_not_a_benchmark_file_raises(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"something": "else"}))
+        with pytest.raises(ValueError, match="not a pytest-benchmark"):
+            bench_check.load_medians(str(path))

@@ -76,6 +76,62 @@ class TestWriteFacade:
                 1e-3 * max(vrange, 1e-30) * (1 + 1e-6)
 
 
+class TestOpenErrorPaths:
+    def test_open_missing_file_raises_clear_value_error(self, tmp_path):
+        with pytest.raises(ValueError, match="no such file"):
+            repro.open(str(tmp_path / "nope.h5z"))
+
+    def test_open_directory_points_at_open_series(self, tmp_path):
+        with pytest.raises(ValueError, match="open_series"):
+            repro.open(str(tmp_path))
+
+    def test_open_corrupt_file_raises_clear_value_error(self, hierarchy, tmp_path):
+        path = tmp_path / "c.h5z"
+        repro.write(hierarchy, str(path), error_bound=1e-2)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 3])
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            repro.open(str(path))
+
+    def test_open_non_plotfile_raises_clear_value_error(self, tmp_path):
+        path = tmp_path / "junk.h5z"
+        path.write_bytes(b"not a container at all, but long enough to read")
+        with pytest.raises(ValueError, match="not an H5Lite file"):
+            repro.open(str(path))
+
+
+class TestReadStatsAccounting:
+    def test_lazy_reads_count_decodes_and_hits(self, hierarchy, tmp_path):
+        from repro.amr.box import Box
+
+        path = str(tmp_path / "stats.h5z")
+        repro.write(hierarchy, path, error_bound=1e-2)
+        with repro.open(path) as handle:
+            box = Box((0, 0, 0), (7, 7, 7))
+            handle.read_field("baryon_density", level=0, box=box, refill=False)
+            decoded = handle.stats.chunks_decoded
+            assert decoded > 0 and handle.stats.cache_hits == 0
+            handle.read_field("baryon_density", level=0, box=box, refill=False)
+            assert handle.stats.chunks_decoded == decoded    # second read: cache
+            assert handle.stats.cache_hits > 0
+            handle.stats.reset()
+            assert handle.stats.chunks_decoded == 0
+
+    def test_shared_cache_and_disabled_cache_reads_byte_identical(
+            self, hierarchy, tmp_path):
+        from repro.amr.box import Box
+
+        path = str(tmp_path / "shared.h5z")
+        repro.write(hierarchy, path, error_bound=1e-2)
+        cache = repro.ChunkCache()
+        box = Box((2, 2, 2), (13, 13, 13))
+        with repro.open(path) as plain, repro.open(path, cache=cache) as shared:
+            for name in plain.fields:
+                a = plain.read_field(name, level=0, box=box)
+                b = shared.read_field(name, level=0, box=box)
+                assert a.tobytes() == b.tobytes()
+        assert cache.stats.insertions > 0
+
+
 class TestDriverOnFacade:
     def test_driver_method_dispatch_writes_self_describing(self, tmp_path):
         from repro.apps import SimulationDriver, nyx_run
@@ -199,3 +255,38 @@ class TestCLI:
         bad.write_bytes(plotfile.read_bytes()[: plotfile.stat().st_size // 2])
         assert cli_main(["verify", str(bad)]) == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_backend_default_honours_env(self, plotfile, monkeypatch):
+        from repro.cli import build_parser
+
+        monkeypatch.setenv("REPRO_BACKEND", "thread")
+        args = build_parser().parse_args(["verify", str(plotfile)])
+        assert args.backend == "thread"
+
+    def test_typoed_repro_backend_fails_up_front(self, plotfile, monkeypatch,
+                                                 capsys):
+        monkeypatch.setenv("REPRO_BACKEND", "proces")
+        assert cli_main(["verify", str(plotfile)]) == 1
+        assert "REPRO_BACKEND must be" in capsys.readouterr().err
+
+
+class TestLazyServiceImport:
+    def test_import_repro_does_not_load_the_service_stack(self):
+        import os
+        import subprocess
+        import sys
+
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        code = ("import sys, repro; "
+                "loaded = [m for m in sys.modules if m.startswith('repro.service')"
+                " or m == 'asyncio']; "
+                "assert not loaded, loaded; "
+                "repro.ChunkCache(1); "
+                "assert 'repro.service.cache' in sys.modules; "
+                "assert 'repro.service.server' not in sys.modules; "
+                "print('lazy ok')")
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            env={**os.environ, "PYTHONPATH": os.path.join(repo_root, "src")})
+        assert result.returncode == 0, result.stderr
+        assert "lazy ok" in result.stdout

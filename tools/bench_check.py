@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""The benchmark-regression gate: fresh BENCH_*.json vs committed baselines.
+
+``make bench`` leaves one pytest-benchmark JSON per suite in the repo root
+(``BENCH_entropy.json``, ``BENCH_writer.json``, ...).  This tool compares the
+*median* of every benchmark in those files against the committed reference
+copies under ``benchmarks/baselines/`` and fails (exit 1) when any median
+regressed beyond the tolerance (default 25%), printing a per-benchmark delta
+table either way.
+
+Matching is by file name and benchmark name.  A benchmark present only in the
+fresh results is reported as ``new`` (not a failure — baselines are updated
+with ``--update``); one present only in the baseline is reported as
+``missing`` and *does* fail, because a silently dropped benchmark would
+otherwise disable its own gate.  A fresh file that does not exist at all is
+skipped with a notice (``make bench`` degrades to plain pytest runs when
+pytest-benchmark is absent, producing no JSON).
+
+Deliberately dependency-free (stdlib only) so CI can run it before/without
+installing the package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+from typing import Dict, List, Optional, Tuple
+
+#: default locations, relative to the repo root (= this file's parent's parent)
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE_DIR = os.path.join(REPO_ROOT, "benchmarks", "baselines")
+DEFAULT_TOLERANCE = 0.25
+
+OK = "ok"
+REGRESSED = "REGRESSED"
+IMPROVED = "improved"
+NEW = "new"
+MISSING = "MISSING"
+
+
+def load_medians(path: str) -> Dict[str, float]:
+    """``benchmark name → median seconds`` of one pytest-benchmark JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or "benchmarks" not in payload:
+        raise ValueError(f"{path} is not a pytest-benchmark JSON file")
+    out: Dict[str, float] = {}
+    for bench in payload["benchmarks"]:
+        stats = bench.get("stats") or {}
+        median = stats.get("median")
+        if median is None:
+            raise ValueError(
+                f"{path}: benchmark {bench.get('name')!r} has no stats.median")
+        out[str(bench["name"])] = float(median)
+    return out
+
+
+def compare_medians(baseline: Dict[str, float], fresh: Dict[str, float],
+                    tolerance: float, suite: str = "") -> List[dict]:
+    """Delta rows for one suite; a row's status is REGRESSED when the fresh
+    median exceeds the baseline by more than ``tolerance`` (fractional)."""
+    rows: List[dict] = []
+    for name in sorted(set(baseline) | set(fresh)):
+        base = baseline.get(name)
+        new = fresh.get(name)
+        if base is None:
+            status, delta = NEW, None
+        elif new is None:
+            status, delta = MISSING, None
+        else:
+            delta = (new - base) / base if base > 0 else 0.0
+            if delta > tolerance:
+                status = REGRESSED
+            elif delta < -tolerance:
+                status = IMPROVED
+            else:
+                status = OK
+        rows.append({
+            "suite": suite, "benchmark": name,
+            "baseline_ms": None if base is None else base * 1e3,
+            "fresh_ms": None if new is None else new * 1e3,
+            "delta": delta, "status": status,
+        })
+    return rows
+
+
+def compare_directories(baseline_dir: str, fresh_dir: str,
+                        tolerance: float) -> Tuple[List[dict], List[str]]:
+    """Compare every ``BENCH_*.json`` under ``baseline_dir`` against
+    ``fresh_dir``; returns (all delta rows, notices for skipped files)."""
+    rows: List[dict] = []
+    notices: List[str] = []
+    names = sorted(n for n in os.listdir(baseline_dir)
+                   if n.startswith("BENCH_") and n.endswith(".json")) \
+        if os.path.isdir(baseline_dir) else []
+    if not names:
+        notices.append(f"no baselines under {baseline_dir}; nothing to check")
+        return rows, notices
+    for name in names:
+        fresh_path = os.path.join(fresh_dir, name)
+        suite = name[len("BENCH_"):-len(".json")]
+        if not os.path.isfile(fresh_path):
+            notices.append(
+                f"{name}: no fresh results in {fresh_dir} (make bench "
+                "without pytest-benchmark produces none); skipped")
+            continue
+        baseline = load_medians(os.path.join(baseline_dir, name))
+        fresh = load_medians(fresh_path)
+        rows.extend(compare_medians(baseline, fresh, tolerance, suite=suite))
+    # fresh suites with no baseline at all are worth a notice too
+    for name in sorted(os.listdir(fresh_dir)):
+        if name.startswith("BENCH_") and name.endswith(".json") \
+                and name not in names:
+            notices.append(f"{name}: no committed baseline; run with --update "
+                           "to adopt it")
+    return rows, notices
+
+
+def has_regression(rows: List[dict]) -> bool:
+    return any(row["status"] in (REGRESSED, MISSING) for row in rows)
+
+
+def format_rows(rows: List[dict]) -> str:
+    """A fixed-width delta table (stdlib-only sibling of analysis.format_table)."""
+    columns = ["suite", "benchmark", "baseline_ms", "fresh_ms", "delta", "status"]
+
+    def fmt(row: dict, column: str) -> str:
+        value = row[column]
+        if value is None:
+            return "-"
+        if column in ("baseline_ms", "fresh_ms"):
+            return f"{value:.3f}"
+        if column == "delta":
+            return f"{value:+.1%}"
+        return str(value)
+
+    table = [[fmt(row, c) for c in columns] for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in table)) if table else len(c)
+              for i, c in enumerate(columns)]
+    lines = [" | ".join(c.ljust(w) for c, w in zip(columns, widths)),
+             "-+-".join("-" * w for w in widths)]
+    lines += [" | ".join(v.ljust(w) for v, w in zip(r, widths)) for r in table]
+    return "\n".join(lines)
+
+
+def update_baselines(baseline_dir: str, fresh_dir: str) -> List[str]:
+    """Adopt every fresh ``BENCH_*.json`` as the new committed baseline."""
+    os.makedirs(baseline_dir, exist_ok=True)
+    adopted = []
+    for name in sorted(os.listdir(fresh_dir)):
+        if name.startswith("BENCH_") and name.endswith(".json"):
+            shutil.copyfile(os.path.join(fresh_dir, name),
+                            os.path.join(baseline_dir, name))
+            adopted.append(name)
+    return adopted
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when fresh benchmark medians regressed past the "
+                    "committed baselines")
+    parser.add_argument("--baseline-dir", default=DEFAULT_BASELINE_DIR,
+                        help="committed reference JSONs "
+                             "(default benchmarks/baselines)")
+    parser.add_argument("--fresh-dir", default=REPO_ROOT,
+                        help="where make bench wrote BENCH_*.json "
+                             "(default the repo root)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed fractional slowdown per median "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="adopt the fresh results as the new baselines "
+                             "instead of checking")
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error("--tolerance must be >= 0")
+
+    if args.update:
+        adopted = update_baselines(args.baseline_dir, args.fresh_dir)
+        if not adopted:
+            print(f"no BENCH_*.json under {args.fresh_dir} to adopt",
+                  file=sys.stderr)
+            return 1
+        for name in adopted:
+            print(f"baseline updated: {name}")
+        return 0
+
+    rows, notices = compare_directories(args.baseline_dir, args.fresh_dir,
+                                        args.tolerance)
+    for notice in notices:
+        print(f"note: {notice}")
+    if rows:
+        print(format_rows(rows))
+    bad = [row for row in rows if row["status"] in (REGRESSED, MISSING)]
+    if bad:
+        print(f"\nFAIL: {len(bad)} benchmark(s) regressed beyond "
+              f"{args.tolerance:.0%} (or went missing)")
+        return 1
+    checked = sum(1 for row in rows if row["status"] in (OK, IMPROVED))
+    print(f"\nbench-check: {checked} benchmark(s) within {args.tolerance:.0%} "
+          f"of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
