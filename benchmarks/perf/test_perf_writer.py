@@ -1,8 +1,10 @@
 """End-to-end writer timing on the nyx_1 preset: serial and parallel paths.
 
 ``make bench`` runs this file separately into ``BENCH_writer.json`` so the
-write-path numbers (staged serial pipeline, thread-pooled backend) are
-tracked per PR next to the entropy-stage numbers in ``BENCH_entropy.json``.
+write-path numbers (staged serial pipeline, thread-pooled backend, the
+shared-memory process pool) are tracked per PR next to the entropy-stage
+numbers in ``BENCH_entropy.json``.  The shm-vs-serial pair also feeds the
+speedup gate in ``tools/bench_check.py``.
 """
 
 import pytest
@@ -10,11 +12,15 @@ import pytest
 pytest.importorskip("pytest_benchmark")
 
 from repro.core import AMRICConfig, AMRICWriter
-from repro.parallel.backend import ParallelBackend
+from repro.parallel.backend import ParallelBackend, SharedMemoryBackend
+
+POOL_WORKERS = 4
 
 
 @pytest.mark.parametrize("compressor", ["sz_lr", "sz_interp"])
-def test_writer_plotfile_nyx1(benchmark, midsize_hierarchy, compressor):
+def test_writer_plotfile_nyx1(benchmark, midsize_hierarchy, compressor,
+                              stamp_backend):
+    stamp_backend("serial", 1)
     writer = AMRICWriter(AMRICConfig(compressor=compressor, error_bound=1e-3))
     report = benchmark.pedantic(writer.write_plotfile, args=(midsize_hierarchy,),
                                 rounds=3, iterations=1)
@@ -23,14 +29,34 @@ def test_writer_plotfile_nyx1(benchmark, midsize_hierarchy, compressor):
 
 
 @pytest.mark.parametrize("compressor", ["sz_lr", "sz_interp"])
-def test_writer_plotfile_nyx1_thread_backend(benchmark, midsize_hierarchy, compressor):
+def test_writer_plotfile_nyx1_thread_backend(benchmark, midsize_hierarchy,
+                                             compressor, stamp_backend):
     """The pooled write path: per-dataset encode jobs on a thread pool."""
-    with ParallelBackend("thread", max_workers=4) as backend:
+    stamp_backend("thread", POOL_WORKERS)
+    with ParallelBackend("thread", max_workers=POOL_WORKERS) as backend:
         writer = AMRICWriter(AMRICConfig(compressor=compressor, error_bound=1e-3),
                              backend=backend)
+        # warmup_rounds: time the persistent pool's steady state, not its spawn
         report = benchmark.pedantic(writer.write_plotfile, args=(midsize_hierarchy,),
-                                    rounds=3, iterations=1)
+                                    rounds=3, iterations=1, warmup_rounds=1)
     assert report.backend == "parallel"
+    assert report.compression_ratio > 1.0
+
+
+@pytest.mark.parametrize("compressor", ["sz_lr", "sz_interp"])
+def test_writer_plotfile_nyx1_shm_backend(benchmark, midsize_hierarchy,
+                                          compressor, stamp_backend):
+    """The zero-copy write path: encode jobs cross to a persistent process
+    pool as shared-memory descriptors (the ``bench_check`` speedup gate
+    compares this against the serial case)."""
+    stamp_backend("shm", POOL_WORKERS)
+    with SharedMemoryBackend(max_workers=POOL_WORKERS) as backend:
+        writer = AMRICWriter(AMRICConfig(compressor=compressor, error_bound=1e-3),
+                             backend=backend)
+        # warmup_rounds: time the persistent pool's steady state, not its spawn
+        report = benchmark.pedantic(writer.write_plotfile, args=(midsize_hierarchy,),
+                                    rounds=3, iterations=1, warmup_rounds=1)
+    assert report.backend == "shm"
     assert report.compression_ratio > 1.0
 
 

@@ -53,19 +53,43 @@ import numpy as np
 
 __all__ = ["main", "build_parser"]
 
+#: every execution backend the CLI can name (mirrors core.config._BACKENDS)
+BACKEND_CHOICES = ("serial", "thread", "process", "shm")
+
+
 def _default_backend() -> str:
-    """Default for every ``--backend`` flag (CI sets ``REPRO_BACKEND=process``).
+    """Default for every ``--backend`` flag (CI sets ``REPRO_BACKEND=process``
+    or ``REPRO_BACKEND=shm``).
 
     Validated here because argparse only checks ``choices`` for values given
     on the command line, never for defaults — a typo'd env var must fail up
     front, not deep inside a run.
     """
     value = os.environ.get("REPRO_BACKEND") or "serial"
-    if value not in ("serial", "thread", "process"):
+    if value not in BACKEND_CHOICES:
         raise ValueError(
-            f"REPRO_BACKEND must be 'serial', 'thread' or 'process', "
+            f"REPRO_BACKEND must be one of {', '.join(BACKEND_CHOICES)}, "
             f"got {value!r}")
     return value
+
+
+def _make_cli_backend(args):
+    """The backend instance a decoding subcommand runs on.
+
+    Built here (rather than passing the name through) so ``--max-workers``
+    reaches the pool; the caller owns it and must ``close()`` it.
+    """
+    from repro.parallel.backend import make_backend
+
+    return make_backend(args.backend, getattr(args, "max_workers", None))
+
+
+def _add_backend_args(subparser, backend_default: str) -> None:
+    subparser.add_argument("--backend", default=backend_default,
+                           choices=BACKEND_CHOICES)
+    subparser.add_argument("--max-workers", type=int, default=None,
+                           help="pool width for thread/process/shm backends "
+                                "(default: the executor's own default)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -90,8 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_comp.add_argument("--codec", default="sz_lr",
                         help="codec registry name (default sz_lr)")
     p_comp.add_argument("--error-bound", type=float, default=1e-3)
-    p_comp.add_argument("--backend", default=backend_default,
-                        choices=("serial", "thread", "process"))
+    _add_backend_args(p_comp, backend_default)
     p_comp.add_argument("--method", default="amric",
                         help="writer method: amric (default), amrex_1d, nocomp")
 
@@ -99,8 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="reconstruct a plotfile and store it raw")
     p_dec.add_argument("input")
     p_dec.add_argument("out")
-    p_dec.add_argument("--backend", default=backend_default,
-                       choices=("serial", "thread", "process"))
+    _add_backend_args(p_dec, backend_default)
     p_dec.add_argument("--template", default=None,
                        help="self-describing plotfile whose structure stands "
                             "in for a legacy (pre-header) input's")
@@ -110,8 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ver.add_argument("--against", default=None,
                        help="reference plotfile (e.g. the nocomp copy) to "
                             "check the error bound against")
-    p_ver.add_argument("--backend", default=backend_default,
-                       choices=("serial", "thread", "process"))
+    _add_backend_args(p_ver, backend_default)
 
     p_sinfo = sub.add_parser("series-info",
                              help="print series manifest + per-step table "
@@ -126,8 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="decode every step of a series and check "
                                  "chains, cadence and manifest consistency")
     p_sver.add_argument("directory")
-    p_sver.add_argument("--backend", default=backend_default,
-                        choices=("serial", "thread", "process"))
+    _add_backend_args(p_sver, backend_default)
 
     p_srv = sub.add_parser("serve",
                            help="run the JSON-over-TCP query service")
@@ -138,6 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--cache-bytes", type=int, default=None,
                        help="shared chunk-cache budget in bytes "
                             "(default 128 MiB)")
+    p_srv.add_argument("--backend", default=None, choices=BACKEND_CHOICES,
+                       help="pooled backend for batch decodes "
+                            "(default: decode inline)")
+    p_srv.add_argument("--max-workers", type=int, default=None,
+                       help="pool width for the serve backend")
 
     p_q = sub.add_parser("query",
                          help="one request against a running serve instance")
@@ -206,33 +231,40 @@ def _cmd_info(args) -> int:
 def _cmd_compress(args) -> int:
     import repro
 
-    if args.input is not None:
-        with repro.open(args.input) as handle:
-            hierarchy = handle.read(backend=args.backend)
-        source = args.input
-    else:
-        from repro.apps.driver import build_run
-
-        hierarchy = build_run(args.preset).hierarchy
-        source = f"preset {args.preset}"
-    if args.method == "amric":
-        report = repro.write(hierarchy, args.out, backend=args.backend,
-                             compressor=args.codec, error_bound=args.error_bound)
-    else:
-        # flags the baseline writers cannot honour are refused, not dropped
+    # flags the baseline writers cannot honour are refused, not dropped
+    if args.method != "amric":
         if args.codec != "sz_lr":
             raise ValueError(
                 f"--codec only applies to --method amric, not {args.method!r}")
         if args.backend != "serial":
             raise ValueError(
                 f"--backend only applies to --method amric, not {args.method!r}")
-        kwargs = {}
-        if args.method in ("amrex", "amrex_1d"):
-            kwargs["error_bound"] = args.error_bound
-        elif args.error_bound != 1e-3:
-            raise ValueError(
-                f"--error-bound does not apply to --method {args.method!r}")
-        report = repro.write(hierarchy, args.out, method=args.method, **kwargs)
+    backend = _make_cli_backend(args)
+    try:
+        if args.input is not None:
+            with repro.open(args.input) as handle:
+                hierarchy = handle.read(backend=backend)
+            source = args.input
+        else:
+            from repro.apps.driver import build_run
+
+            hierarchy = build_run(args.preset).hierarchy
+            source = f"preset {args.preset}"
+        if args.method == "amric":
+            report = repro.write(hierarchy, args.out, backend=backend,
+                                 compressor=args.codec,
+                                 error_bound=args.error_bound)
+        else:
+            kwargs = {}
+            if args.method in ("amrex", "amrex_1d"):
+                kwargs["error_bound"] = args.error_bound
+            elif args.error_bound != 1e-3:
+                raise ValueError(
+                    f"--error-bound does not apply to --method {args.method!r}")
+            report = repro.write(hierarchy, args.out, method=args.method,
+                                 **kwargs)
+    finally:
+        backend.close()
     print(f"compressed {source} -> {args.out}: method={report.method} "
           f"CR={report.compression_ratio:.1f}x "
           f"mean_psnr={report.mean_psnr:.1f}dB "
@@ -253,8 +285,12 @@ def _cmd_decompress(args) -> int:
                     f"--template {args.template} is itself a legacy plotfile; "
                     "the template must be self-describing")
             template = template_from_header(template_handle.header)
-    with repro.open(args.input) as handle:
-        hierarchy = handle.read(template=template, backend=args.backend)
+    backend = _make_cli_backend(args)
+    try:
+        with repro.open(args.input) as handle:
+            hierarchy = handle.read(template=template, backend=backend)
+    finally:
+        backend.close()
     report = repro.write(hierarchy, args.out, method="nocomp")
     print(f"decompressed {args.input} -> {args.out}: "
           f"{report.raw_bytes} bytes over {report.ndatasets} datasets")
@@ -264,12 +300,22 @@ def _cmd_decompress(args) -> int:
 def _cmd_verify(args) -> int:
     import repro
 
+    backend = _make_cli_backend(args)
+    try:
+        return _run_verify(args, backend)
+    finally:
+        backend.close()
+
+
+def _run_verify(args, backend) -> int:
+    import repro
+
     with repro.open(args.path) as handle:
         if not handle.is_self_describing:
             raise ValueError(
                 f"{args.path} has no self-describing header; verify needs "
                 "format v1 plotfiles")
-        hierarchy = handle.read(backend=args.backend)
+        hierarchy = handle.read(backend=backend)
         chunks = handle.stats.chunks_decoded
         checks = [
             ("levels", hierarchy.nlevels == handle.nlevels),
@@ -280,7 +326,7 @@ def _cmd_verify(args) -> int:
         bound_check: Optional[str] = None
         if args.against:
             with repro.open(args.against) as ref_handle:
-                reference = ref_handle.read(backend=args.backend)
+                reference = ref_handle.read(backend=backend)
             eb = handle.error_bound or 0.0
             eb_mode = (handle.header.error_bound_mode
                        if handle.header is not None else "rel")
@@ -357,6 +403,16 @@ def _cmd_series_info(args) -> int:
 def _cmd_series_verify(args) -> int:
     import repro
 
+    backend = _make_cli_backend(args)
+    try:
+        return _run_series_verify(args, backend)
+    finally:
+        backend.close()
+
+
+def _run_series_verify(args, backend) -> int:
+    import repro
+
     with repro.open_series(args.directory) as series:
         interval = series.index.keyframe_interval
         cadence_ok = all(rec.kind == "key"
@@ -370,7 +426,7 @@ def _cmd_series_verify(args) -> int:
                 stored = handle.dataset_info(dataset.name).stored_nbytes
                 if stored != dataset.stored_bytes:
                     bytes_ok = False
-            hierarchy = series.read(step=rec.index, backend=args.backend)
+            hierarchy = series.read(step=rec.index, backend=backend)
             if tuple(hierarchy.component_names) != series.fields:
                 fields_ok = False
             if not all(np.isfinite(fab.data).all()
@@ -393,7 +449,8 @@ def _cmd_serve(args) -> int:
     from repro.service.server import DEFAULT_PORT
 
     engine = QueryEngine(cache_bytes=args.cache_bytes
-                         if args.cache_bytes is not None else DEFAULT_CACHE_BYTES)
+                         if args.cache_bytes is not None else DEFAULT_CACHE_BYTES,
+                         backend=args.backend, max_workers=args.max_workers)
     server = ReproServer(engine, host=args.host,
                          port=args.port if args.port is not None else DEFAULT_PORT)
     server.run(on_ready=lambda s: print(

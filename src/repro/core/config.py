@@ -22,7 +22,7 @@ from repro.compress.registry import create_codec, is_registered, available_codec
 
 __all__ = ["AMRICConfig"]
 
-_BACKENDS = ("serial", "thread", "process")
+_BACKENDS = ("serial", "thread", "process", "shm")
 
 
 @dataclass(frozen=True)

@@ -32,7 +32,7 @@ with a per-chunk cache and decode-call statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import ClassVar, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -291,6 +291,9 @@ class DecodeJob:
     produces identical arrays.
     """
 
+    #: bulk fields the shm backend ships as shared-memory descriptors
+    _shm_fields: ClassVar[Tuple[str, ...]] = ("payloads",)
+
     key: str                               #: dataset name (stable identifier)
     payloads: List[bytes]
     chunk_indices: List[int]
@@ -304,6 +307,8 @@ class DecodeJob:
 @dataclass
 class DecodeResult:
     """What one decode job produced (travels back across the backend)."""
+
+    _shm_fields: ClassVar[Tuple[str, ...]] = ("chunks",)
 
     key: str
     chunk_indices: List[int]
@@ -358,15 +363,43 @@ def decode_job(job: DecodeJob) -> DecodeResult:
 
     A module-level pure function over picklable inputs — the read-side mirror
     of :func:`repro.core.stages.encode_job` — so serial, thread and process
-    backends run identical code on identical bytes.
+    backends run identical code on identical bytes.  Decode filters are
+    stateless per call, so inside a shm pool worker the instance is reused
+    across jobs via the per-process codec cache (a no-op elsewhere:
+    :func:`~repro.parallel.shm.worker_codec_cache` returns ``None`` outside
+    a worker, keeping the serial/thread paths exactly as before).
     """
-    filt = _decode_filter(job.filter_id, job.codec, job.error_bound,
-                          job.error_bound_mode)
+    from repro.parallel.shm import worker_codec_cache
+
+    cache = worker_codec_cache()
+    cache_key = ("decode_filter", job.filter_id, job.codec,
+                 job.error_bound, job.error_bound_mode)
+    filt = cache.get(cache_key) if cache is not None else None
+    if filt is None:
+        filt = _decode_filter(job.filter_id, job.codec, job.error_bound,
+                              job.error_bound_mode)
+        if cache is not None:
+            cache[cache_key] = filt
     chunks = [np.asarray(filt.decode(payload, job.chunk_elements),
                          dtype=np.float64).reshape(-1)
               for payload in job.payloads]
     return DecodeResult(key=job.key, chunk_indices=list(job.chunk_indices),
                         chunks=chunks)
+
+
+def _split_indices(indices: Sequence[int],
+                   backend: Optional[ExecutionBackend]) -> List[List[int]]:
+    """Partition chunk indices into contiguous per-worker batches.
+
+    One batch (no split) without a pooled backend or when the batch is too
+    small to amortise a dispatch; otherwise roughly one batch per worker.
+    """
+    width = backend.parallel_width() if backend is not None else 1
+    if width <= 1 or len(indices) < 2:
+        return [list(indices)]
+    nparts = min(width, len(indices))
+    per = -(-len(indices) // nparts)        # ceil division
+    return [list(indices[i:i + per]) for i in range(0, len(indices), per)]
 
 
 # ----------------------------------------------------------------------
@@ -625,7 +658,17 @@ class PlotfileHandle:
 
     # -- lazy random access --------------------------------------------
     def _decode_chunks(self, plan: ReadPlan, dplan: DatasetReadPlan,
-                       indices: Sequence[int]) -> Dict[int, np.ndarray]:
+                       indices: Sequence[int],
+                       backend: Optional[ExecutionBackend] = None,
+                       ) -> Dict[int, np.ndarray]:
+        """Decode the requested chunks (cache-aware).
+
+        With ``backend`` given (the query engine's batch path), the missing
+        chunks are split into per-worker sub-jobs and decoded through the
+        pool — chunk decodes within one dataset are independent, so the
+        split changes nothing but wall-clock.  Results are identical either
+        way; the serial path stays a single inline :func:`decode_job`.
+        """
         out: Dict[int, np.ndarray] = {}
         missing: List[int] = []
         for index in indices:
@@ -636,11 +679,16 @@ class PlotfileHandle:
             else:
                 missing.append(index)
         if missing:
-            result = decode_job(make_decode_job(self._file, dplan, missing,
-                                                plan=plan))
-            for index, chunk in zip(result.chunk_indices, result.chunks):
-                self._cache[(dplan.name, index)] = chunk
-                out[index] = chunk
+            jobs = [make_decode_job(self._file, dplan, part, plan=plan)
+                    for part in _split_indices(missing, backend)]
+            if backend is not None and len(jobs) > 1:
+                results = backend.map(decode_job, jobs)
+            else:
+                results = [decode_job(job) for job in jobs]
+            for result in results:
+                for index, chunk in zip(result.chunk_indices, result.chunks):
+                    self._cache[(dplan.name, index)] = chunk
+                    out[index] = chunk
             self.stats.chunks_decoded += len(missing)
         return out
 

@@ -32,7 +32,7 @@ as well as threads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import ClassVar, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -271,6 +271,10 @@ class EncodeJob:
     across a level's ranks — splitting them would change the bytes.
     """
 
+    #: bulk fields the shm backend ships as shared-memory descriptors
+    #: instead of pickling (see :mod:`repro.parallel.shm`)
+    _shm_fields: ClassVar[Tuple[str, ...]] = ("data",)
+
     key: str                               #: dataset name (stable identifier)
     data: np.ndarray                       #: the packed dataset buffer
     chunk_elements: int
@@ -282,6 +286,8 @@ class EncodeJob:
 @dataclass
 class EncodeResult:
     """What one encode job produced (travels back across the backend)."""
+
+    _shm_fields: ClassVar[Tuple[str, ...]] = ("payloads", "reconstructions")
 
     key: str
     payloads: List[bytes]

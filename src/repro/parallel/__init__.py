@@ -27,6 +27,7 @@ from repro.parallel.backend import (
     ExecutionBackend,
     ParallelBackend,
     SerialBackend,
+    SharedMemoryBackend,
     WorkloadTally,
     apportion,
     make_backend,
@@ -41,6 +42,7 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ParallelBackend",
+    "SharedMemoryBackend",
     "make_backend",
     "apportion",
     "WorkloadTally",

@@ -10,7 +10,13 @@ sequence of per-rank chunk encodes — see :mod:`repro.core.stages`).  An
   processes).  Work functions are module-level pure functions over picklable
   dataclasses, so both pool kinds work; results come back in submission
   order, which is what makes the parallel write byte-identical to the serial
-  one.
+  one;
+* :class:`SharedMemoryBackend` — a persistent process pool whose bulk
+  payloads (chunk arrays, compressed byte streams) cross the process
+  boundary as ``(segment, offset, shape, dtype)`` descriptors over
+  ``multiprocessing.shared_memory`` instead of pickled ndarrays, with
+  per-worker codec caches.  See :mod:`repro.parallel.shm` for the wire
+  format.
 
 The module also owns the per-rank accounting that used to be hand-tallied in
 the writer loop:
@@ -26,11 +32,13 @@ the writer loop:
 from __future__ import annotations
 
 import abc
+import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
+from repro.parallel import shm as shm_mod
 from repro.parallel.iomodel import RankWorkload
 
 T = TypeVar("T")
@@ -40,10 +48,23 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ParallelBackend",
+    "SharedMemoryBackend",
     "make_backend",
     "apportion",
     "WorkloadTally",
 ]
+
+
+def _tuned_chunksize(nitems: int, nworkers: int) -> int:
+    """Items per IPC round-trip: ~4 waves across the pool, at least 1.
+
+    ``executor.map``'s default chunksize of 1 makes every item a separate
+    pickle+pipe round-trip; for the small-but-many job batches the writer
+    produces, the framing overhead rivals the work.  Four waves keeps the
+    pool load-balanced (a straggler chunk idles at most ~1/4 of a worker's
+    share) while cutting round-trips by the chunk factor.
+    """
+    return max(1, nitems // (max(1, nworkers) * 4))
 
 
 class ExecutionBackend(abc.ABC):
@@ -54,6 +75,14 @@ class ExecutionBackend(abc.ABC):
     @abc.abstractmethod
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         """Run ``fn`` over ``items``, returning results in submission order."""
+
+    def parallel_width(self) -> int:
+        """How many items can genuinely make progress at once (1 = inline).
+
+        A sizing hint for callers that split divisible work (e.g. one
+        dataset's chunk decodes) into per-worker sub-jobs — not a promise.
+        """
+        return 1
 
     def close(self) -> None:
         """Release any pooled resources (idempotent)."""
@@ -104,12 +133,32 @@ class ParallelBackend(ExecutionBackend):
                 self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
         return self._executor
 
+    def _pool_width(self) -> int:
+        if self.max_workers is not None:
+            return int(self.max_workers)
+        return os.cpu_count() or 1
+
+    def parallel_width(self) -> int:
+        return self._pool_width()
+
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         if not items:
             return []
         executor = self._ensure_executor()
-        # executor.map preserves submission order regardless of completion order
-        return list(executor.map(fn, items))
+        try:
+            # executor.map preserves submission order regardless of completion
+            # order; a tuned chunksize batches process-pool IPC round-trips
+            # (thread pools ignore it)
+            if self.kind == "process":
+                chunk = _tuned_chunksize(len(items), self._pool_width())
+                return list(executor.map(fn, items, chunksize=chunk))
+            return list(executor.map(fn, items))
+        except BaseException:
+            # a broken pool (worker died, unpicklable payload, startup
+            # failure) would poison every later map; reset so the next call
+            # builds a fresh executor instead of reusing the carcass
+            self.close()
+            raise
 
     def close(self) -> None:
         if self._executor is not None:
@@ -120,9 +169,101 @@ class ParallelBackend(ExecutionBackend):
         return f"ParallelBackend(kind={self.kind!r}, max_workers={self.max_workers})"
 
 
+class SharedMemoryBackend(ExecutionBackend):
+    """A persistent process pool fed through shared-memory descriptors.
+
+    Where :class:`ParallelBackend('process')` pickles every job's chunk
+    arrays into the IPC pipe (and the results back out), this backend copies
+    each batch's bulk payloads once into a shared segment and ships only
+    ``(segment, offset, shape, dtype)`` descriptors; workers reconstruct
+    zero-copy views, run the work function, and return results through
+    per-result segments the parent adopts without a further copy.  Jobs whose
+    dataclasses don't declare ``_shm_fields`` — or batches with no bulk
+    payload — fall back to plain pickling transparently.
+
+    The pool is persistent across :meth:`map` calls (spawn cost is paid
+    once), and workers keep per-process codec caches
+    (:func:`repro.parallel.shm.worker_codec_cache`) so stateless decode
+    filters and temporal codecs are constructed once per worker rather than
+    once per job.  :meth:`close` shuts the pool down and sweeps any orphaned
+    ``/dev/shm`` segments of this run.
+    """
+
+    name = "shm"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if not shm_mod.HAVE_SHARED_MEMORY:  # pragma: no cover - exotic platform
+            raise RuntimeError(
+                "multiprocessing.shared_memory is unavailable on this "
+                "platform; use the 'process' backend instead")
+        self.max_workers = max_workers
+        self._executor = None
+
+    def _pool_width(self) -> int:
+        if self.max_workers is not None:
+            return int(self.max_workers)
+        return os.cpu_count() or 1
+
+    def parallel_width(self) -> int:
+        return self._pool_width()
+
+    def _ensure_executor(self):
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=shm_mod._worker_init,
+                initargs=(shm_mod._PROCESS_TOKEN,))
+        return self._executor
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        if not items:
+            return []
+        executor = self._ensure_executor()
+        wire_items, batch_segment = shm_mod.pack_batch(items)
+        tasks = [(fn, item) for item in wire_items]
+        chunk = _tuned_chunksize(len(tasks), self._pool_width())
+        try:
+            # shm_call returns worker exceptions in-band (WireError), so this
+            # list() always consumes every result — no sibling's result
+            # segment is stranded by an early raise
+            wires = list(executor.map(shm_mod.shm_call, tasks, chunksize=chunk))
+        except BaseException:
+            self.close()                     # broken pool: rebuild on next map
+            raise
+        finally:
+            if batch_segment is not None:
+                batch_segment.close()
+                try:
+                    batch_segment.unlink()
+                except FileNotFoundError:
+                    pass             # already swept by close() on a broken pool
+        results: List[R] = []
+        error: Optional[BaseException] = None
+        for wire in wires:
+            try:
+                results.append(shm_mod.adopt_result(wire))
+            except BaseException as exc:     # adopt the rest before raising
+                error = error or exc
+        if error is not None:
+            raise error
+        return results
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        # backstop: a worker killed mid-task can orphan a result segment no
+        # surviving wire result names; sweep everything this run created
+        shm_mod.sweep_segments()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SharedMemoryBackend(max_workers={self.max_workers})"
+
+
 def make_backend(spec: "str | ExecutionBackend | None",
                  max_workers: Optional[int] = None) -> ExecutionBackend:
-    """Build a backend from a name ('serial', 'thread', 'process') or pass one through."""
+    """Build a backend from a name ('serial', 'thread', 'process', 'shm')
+    or pass an instance through."""
     if spec is None:
         return SerialBackend()
     if isinstance(spec, ExecutionBackend):
@@ -133,8 +274,11 @@ def make_backend(spec: "str | ExecutionBackend | None",
         return ParallelBackend("thread", max_workers)
     if spec in ("process", "processes"):
         return ParallelBackend("process", max_workers)
+    if spec in ("shm", "shared_memory"):
+        return SharedMemoryBackend(max_workers)
     raise ValueError(
-        f"unknown backend {spec!r}; expected 'serial', 'thread' or 'process'")
+        f"unknown backend {spec!r}; expected 'serial', 'thread', 'process' "
+        "or 'shm'")
 
 
 # ----------------------------------------------------------------------
@@ -219,5 +363,5 @@ class WorkloadTally:
                              compressed_bytes=int(self.compressed[r]),
                              compressor_launches=int(self.launches[r]),
                              padded_bytes=int(self.padded[r]),
-                             chunks_written=int(max(self.chunks[r], 1)))
+                             chunks_written=int(self.chunks[r]))
                 for r in range(self.nranks)]

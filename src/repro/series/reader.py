@@ -155,7 +155,12 @@ class SeriesStepHandle(PlotfileHandle):
         return entry
 
     def _decode_chunks(self, plan: ReadPlan, dplan: DatasetReadPlan,
-                       indices: Sequence[int]) -> Dict[int, np.ndarray]:
+                       indices: Sequence[int],
+                       backend=None) -> Dict[int, np.ndarray]:
+        # ``backend`` is accepted for signature compatibility with the base
+        # handle (the query engine passes its pool) but deliberately unused:
+        # delta-chain resolution walks the shared per-series code cache
+        # step by step, which is inherently sequential
         out: Dict[int, np.ndarray] = {}
         for index in indices:
             cached = self._cache.get((dplan.name, index))

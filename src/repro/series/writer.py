@@ -27,7 +27,7 @@ import json
 import os
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import ClassVar, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -93,6 +93,9 @@ def dataset_layout_fingerprint(dplan: DatasetPlan) -> str:
 class TemporalEncodeJob:
     """One dataset's temporal encode work (picklable, backend-portable)."""
 
+    #: bulk fields the shm backend ships as shared-memory descriptors
+    _shm_fields: ClassVar[Tuple[str, ...]] = ("data", "ref_codes")
+
     key: str                                  #: dataset name
     data: np.ndarray                          #: packed buffer (one chunk per rank)
     chunk_elements: int
@@ -108,6 +111,9 @@ class TemporalEncodeJob:
 @dataclass
 class TemporalEncodeResult:
     """What one temporal encode produced (travels back across the backend)."""
+
+    _shm_fields: ClassVar[Tuple[str, ...]] = ("payloads", "codes",
+                                              "reconstructions")
 
     key: str
     mode: str                                 #: the committed stream kind
@@ -130,10 +136,25 @@ def temporal_encode_job(job: TemporalEncodeJob) -> TemporalEncodeResult:
     of :func:`repro.core.stages.encode_job` — so serial, thread and process
     backends produce identical bytes.  Both candidates reconstruct to the
     same grid values, so the choice never affects decoded data.
+
+    :class:`TemporalDeltaCodec` is stateless (pure methods over explicit
+    arguments), so inside a shm pool worker one instance per
+    ``(eb_abs, offset, lossless_level)`` recipe is reused across jobs via
+    the per-process codec cache; elsewhere
+    :func:`~repro.parallel.shm.worker_codec_cache` returns ``None`` and a
+    fresh instance is built exactly as before.
     """
-    codec = TemporalDeltaCodec(ErrorBound.absolute(job.eb_abs),
-                               offset=job.offset,
-                               lossless_level=job.lossless_level)
+    from repro.parallel.shm import worker_codec_cache
+
+    cache = worker_codec_cache()
+    cache_key = ("temporal_codec", job.eb_abs, job.offset, job.lossless_level)
+    codec = cache.get(cache_key) if cache is not None else None
+    if codec is None:
+        codec = TemporalDeltaCodec(ErrorBound.absolute(job.eb_abs),
+                                   offset=job.offset,
+                                   lossless_level=job.lossless_level)
+        if cache is not None:
+            cache[cache_key] = codec
     ce = job.chunk_elements
     key_payloads: List[bytes] = []
     delta_payloads: Optional[List[bytes]] = [] if job.ref_codes is not None else None

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.amr.box import Box
 from repro.core.reader import PlotfileHandle
+from repro.parallel.backend import ExecutionBackend, make_backend
 from repro.series.index import INDEX_FILENAME
 from repro.series.reader import SeriesHandle
 from repro.service.cache import DEFAULT_CACHE_BYTES, ChunkCache
@@ -95,8 +96,17 @@ class QueryEngine:
     """Batched, cached reads over a pool of plotfile and series handles."""
 
     def __init__(self, cache: Optional[ChunkCache] = None,
-                 cache_bytes: int = DEFAULT_CACHE_BYTES):
+                 cache_bytes: int = DEFAULT_CACHE_BYTES,
+                 backend: "ExecutionBackend | str | None" = None,
+                 max_workers: Optional[int] = None):
         self.cache = cache if cache is not None else ChunkCache(cache_bytes)
+        # ``backend`` hands each batch's decode groups to a pooled execution
+        # backend (e.g. 'shm'); None keeps every decode inline.  The usual
+        # ownership convention: a name builds a pool the engine closes, an
+        # instance stays the caller's.
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self._backend: Optional[ExecutionBackend] = \
+            None if backend is None else make_backend(backend, max_workers)
         self._plotfiles: Dict[str, PlotfileHandle] = {}
         self._series: Dict[str, SeriesHandle] = {}
         self._lock = threading.Lock()
@@ -115,6 +125,8 @@ class QueryEngine:
                 series.close()
             self._plotfiles.clear()
             self._series.clear()
+            if self._backend is not None and self._owns_backend:
+                self._backend.close()
             self._closed = True
 
     def __enter__(self) -> "QueryEngine":
@@ -212,7 +224,8 @@ class QueryEngine:
                 groups[key] = entry
             entry[3].update(indices)
         for handle, plan, dplan, chunk_set in groups.values():
-            handle._decode_chunks(plan, dplan, sorted(chunk_set))
+            handle._decode_chunks(plan, dplan, sorted(chunk_set),
+                                  backend=self._backend)
         # -- assemble each answer from the warm cache -----------------------
         return [self._target(q).read_field(q.field, level=q.level, box=q.box,
                                            refill=q.refill,

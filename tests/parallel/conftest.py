@@ -1,0 +1,12 @@
+"""Fixtures for the backend tests: a small hierarchy for identity checks."""
+
+import pytest
+
+from repro.apps import nyx_run
+
+
+@pytest.fixture(scope="session")
+def nyx_hierarchy():
+    """A small Nyx-like two-level hierarchy (session-scoped: it is read-only)."""
+    return nyx_run(coarse_shape=(32, 32, 32), nranks=4, target_fine_density=0.03,
+                   seed=101).hierarchy

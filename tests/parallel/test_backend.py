@@ -9,6 +9,7 @@ from repro.parallel.backend import (
     ParallelBackend,
     SerialBackend,
     WorkloadTally,
+    _tuned_chunksize,
     apportion,
     make_backend,
 )
@@ -62,6 +63,46 @@ class TestBackends:
         out = comm.run_jobs(SerialBackend(), _square, [1, 2, 3])
         assert out == [1, 4, 9]
         assert comm.counters.barriers == 1
+
+    def test_tuned_chunksize_batches_ipc(self):
+        # ~4 waves across the pool, never below one item per round-trip
+        assert _tuned_chunksize(100, 4) == 6
+        assert _tuned_chunksize(3, 4) == 1
+        assert _tuned_chunksize(0, 4) == 1
+        assert _tuned_chunksize(64, 1) == 16
+
+    def test_process_map_uses_tuned_chunksize(self, monkeypatch):
+        seen = {}
+        backend = ParallelBackend("process", max_workers=2)
+
+        class FakeExecutor:
+            def map(self, fn, items, chunksize=None):
+                seen["chunksize"] = chunksize
+                return map(fn, items)
+
+            def shutdown(self, wait=True):
+                pass
+
+        monkeypatch.setattr(backend, "_ensure_executor", lambda: FakeExecutor())
+        assert backend.map(_square, list(range(40))) == [x * x for x in range(40)]
+        assert seen["chunksize"] == _tuned_chunksize(40, 2)
+
+    def test_broken_pool_is_torn_down_and_rebuilt(self):
+        backend = ParallelBackend("thread", max_workers=1)
+
+        def boom(_):
+            raise RuntimeError("worker exploded")
+
+        with pytest.raises(RuntimeError, match="worker exploded"):
+            backend.map(boom, [1, 2])
+        # the failed map must not leave the dead executor behind
+        assert backend._executor is None
+        assert backend.map(_square, [3]) == [9]
+        backend.close()
+
+    def test_parallel_width(self):
+        assert SerialBackend().parallel_width() == 1
+        assert ParallelBackend("thread", max_workers=5).parallel_width() == 5
 
 
 class TestApportion:
@@ -125,6 +166,18 @@ class TestWorkloadTally:
         workloads = tally.workloads()
         assert workloads[0].padded_bytes == 0
         assert workloads[1].padded_bytes == 40 * 8
+
+    def test_idle_rank_reports_zero_chunks(self):
+        # regression: workloads() used to clamp chunks_written to >= 1, so a
+        # rank that wrote nothing was billed for one write in the I/O model
+        tally = WorkloadTally(3)
+        tally.add_dataset(ranks=[0, 2], per_rank_elements=[10, 20],
+                          chunk_elements=20, compressed_bytes=100)
+        workloads = tally.workloads()
+        assert workloads[1].chunks_written == 0
+        assert workloads[1].raw_bytes == 0
+        assert workloads[0].chunks_written == 1
+        assert workloads[2].chunks_written == 1
 
     def test_validation(self):
         with pytest.raises(ValueError):

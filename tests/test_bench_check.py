@@ -23,6 +23,14 @@ def _write(path, medians):
     path.write_text(json.dumps(_bench_json(medians)))
 
 
+def _write_suite(path, entries):
+    """Write a pytest-benchmark JSON whose entries may carry extra_info:
+    ``entries`` maps name -> (median, extra_info dict)."""
+    path.write_text(json.dumps({"benchmarks": [
+        {"name": name, "stats": {"median": median}, "extra_info": extra}
+        for name, (median, extra) in entries.items()]}))
+
+
 class TestComparator:
     def test_within_tolerance_is_ok(self):
         rows = bench_check.compare_medians({"t": 1.0}, {"t": 1.2}, 0.25)
@@ -60,6 +68,99 @@ class TestComparator:
         table = bench_check.format_rows(rows)
         assert "fast" in table and "slow" in table
         assert "REGRESSED" in table and "+50.0%" in table
+
+
+#: the reader speedup gate pair, used as the exemplar in the tests below
+_READER_PAIR = next(t for t in bench_check.SPEEDUP_TARGETS if t[0] == "reader")
+
+
+class TestSpeedupGate:
+    def _reader_suite(self, tmp_path, serial_median, shm_median,
+                      fresh_cores, baseline_cores=None):
+        """Baseline+fresh dirs holding only the reader speedup pair."""
+        _, shm_name, serial_name, _ = _READER_PAIR
+        baseline = tmp_path / "baselines"
+        baseline.mkdir()
+        if baseline_cores is not None:
+            _write_suite(baseline / "BENCH_reader.json", {
+                serial_name: (serial_median, {"cpu_count": baseline_cores}),
+                shm_name: (shm_median, {"cpu_count": baseline_cores}),
+            })
+        _write_suite(tmp_path / "BENCH_reader.json", {
+            serial_name: (serial_median, {"cpu_count": fresh_cores}),
+            shm_name: (shm_median, {"cpu_count": fresh_cores}),
+        })
+        return str(baseline), str(tmp_path)
+
+    def test_target_relaxes_to_parity_below_two_cores(self):
+        assert bench_check.effective_speedup_target(3.0, 1) == 1.0
+        assert bench_check.effective_speedup_target(3.0, None) == 1.0
+
+    def test_target_full_at_reference_cores_and_above(self):
+        assert bench_check.effective_speedup_target(3.0, 4) == 3.0
+        assert bench_check.effective_speedup_target(3.0, 16) == 3.0
+
+    def test_target_scales_linearly_in_between(self):
+        # 2 of 4 cores -> one third of the way from 1.0 to 3.0
+        assert bench_check.effective_speedup_target(3.0, 2) == \
+            pytest.approx(1.0 + 2.0 / 3.0)
+        assert bench_check.effective_speedup_target(3.0, 3) == \
+            pytest.approx(1.0 + 4.0 / 3.0)
+
+    def test_meets_target_on_reference_machine(self, tmp_path):
+        base, fresh = self._reader_suite(tmp_path, serial_median=3.0,
+                                         shm_median=0.9, fresh_cores=4)
+        lines, notices, failures = bench_check.check_speedups(base, fresh, 0.25)
+        assert failures == 0
+        assert any("3.33x" in line and "ok" in line for line in lines)
+
+    def test_misses_target_on_reference_machine(self, tmp_path):
+        base, fresh = self._reader_suite(tmp_path, serial_median=3.0,
+                                         shm_median=2.0, fresh_cores=4)
+        lines, notices, failures = bench_check.check_speedups(base, fresh, 0.25)
+        assert failures == 1
+        assert any("FAIL" in line for line in lines)
+
+    def test_single_core_machine_only_needs_parity(self, tmp_path):
+        # 0.9x of serial on one core passes with the 25% tolerance pad
+        base, fresh = self._reader_suite(tmp_path, serial_median=1.0,
+                                         shm_median=1.1, fresh_cores=1)
+        _, _, failures = bench_check.check_speedups(base, fresh, 0.25)
+        assert failures == 0
+
+    def test_single_core_machine_still_fails_when_far_slower(self, tmp_path):
+        base, fresh = self._reader_suite(tmp_path, serial_median=1.0,
+                                         shm_median=2.0, fresh_cores=1)
+        _, _, failures = bench_check.check_speedups(base, fresh, 0.25)
+        assert failures == 1
+
+    def test_fewer_cores_than_baseline_skips_with_notice(self, tmp_path):
+        # slow enough to fail the 4-core gate — but the baseline was recorded
+        # on 4 cores and this machine has 1, so the assertion is skipped
+        base, fresh = self._reader_suite(tmp_path, serial_median=1.0,
+                                         shm_median=5.0, fresh_cores=1,
+                                         baseline_cores=4)
+        lines, notices, failures = bench_check.check_speedups(base, fresh, 0.25)
+        assert failures == 0
+        assert not lines
+        assert any("skipping" in n and "core" in n for n in notices)
+
+    def test_missing_fresh_suite_is_a_notice(self, tmp_path):
+        baseline = tmp_path / "baselines"
+        baseline.mkdir()
+        lines, notices, failures = bench_check.check_speedups(
+            str(baseline), str(tmp_path), 0.25)
+        assert failures == 0 and not lines
+        assert any("no fresh" in n for n in notices)
+
+    def test_speedup_failure_fails_main(self, tmp_path, capsys):
+        base, fresh = self._reader_suite(tmp_path, serial_median=1.0,
+                                         shm_median=2.0, fresh_cores=4,
+                                         baseline_cores=4)
+        rc = bench_check.main(["--baseline-dir", base, "--fresh-dir", fresh])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "speedup assertion(s) failed" in out
 
 
 class TestEndToEnd:

@@ -16,6 +16,16 @@ otherwise disable its own gate.  A fresh file that does not exist at all is
 skipped with a notice (``make bench`` degrades to plain pytest runs when
 pytest-benchmark is absent, producing no JSON).
 
+On top of the per-median regression gate, the tool asserts the
+**parallel-vs-serial speedups** declared in :data:`SPEEDUP_TARGETS`: within
+one fresh suite, the pooled benchmark's median must beat its serial sibling
+by the target factor.  The target is declared for a 4-core machine and
+auto-scales to the *recording* machine's core count (stamped into each
+benchmark's ``extra_info.cpu_count`` by the perf conftest): below 2 cores it
+relaxes to "no worse than serial", and when the fresh run's machine has
+fewer cores than the baseline's the assertion is skipped with a printed
+notice — a smaller box cannot be asked to reproduce a bigger box's speedup.
+
 Deliberately dependency-free (stdlib only) so CI can run it before/without
 installing the package.
 """
@@ -40,22 +50,41 @@ IMPROVED = "improved"
 NEW = "new"
 MISSING = "MISSING"
 
+#: the core count the speedup targets below are declared for
+SPEEDUP_REFERENCE_CORES = 4
+#: (suite, parallel benchmark, serial benchmark, speedup target at 4 cores)
+SPEEDUP_TARGETS: List[Tuple[str, str, str, float]] = [
+    ("writer", "test_writer_plotfile_nyx1_shm_backend[sz_lr]",
+     "test_writer_plotfile_nyx1[sz_lr]", 3.0),
+    ("writer", "test_writer_plotfile_nyx1_shm_backend[sz_interp]",
+     "test_writer_plotfile_nyx1[sz_interp]", 3.0),
+    ("reader", "test_reader_full_shm_backend", "test_reader_full_serial", 3.0),
+]
 
-def load_medians(path: str) -> Dict[str, float]:
-    """``benchmark name → median seconds`` of one pytest-benchmark JSON file."""
+
+def load_entries(path: str) -> Dict[str, dict]:
+    """``name → {"median": seconds, "extra_info": {...}}`` of one JSON file."""
     with open(path, "r", encoding="utf-8") as fh:
         payload = json.load(fh)
     if not isinstance(payload, dict) or "benchmarks" not in payload:
         raise ValueError(f"{path} is not a pytest-benchmark JSON file")
-    out: Dict[str, float] = {}
+    out: Dict[str, dict] = {}
     for bench in payload["benchmarks"]:
         stats = bench.get("stats") or {}
         median = stats.get("median")
         if median is None:
             raise ValueError(
                 f"{path}: benchmark {bench.get('name')!r} has no stats.median")
-        out[str(bench["name"])] = float(median)
+        out[str(bench["name"])] = {
+            "median": float(median),
+            "extra_info": dict(bench.get("extra_info") or {}),
+        }
     return out
+
+
+def load_medians(path: str) -> Dict[str, float]:
+    """``benchmark name → median seconds`` of one pytest-benchmark JSON file."""
+    return {name: entry["median"] for name, entry in load_entries(path).items()}
 
 
 def compare_medians(baseline: Dict[str, float], fresh: Dict[str, float],
@@ -121,6 +150,92 @@ def compare_directories(baseline_dir: str, fresh_dir: str,
 
 def has_regression(rows: List[dict]) -> bool:
     return any(row["status"] in (REGRESSED, MISSING) for row in rows)
+
+
+# ----------------------------------------------------------------------
+# parallel-vs-serial speedup assertions
+# ----------------------------------------------------------------------
+def effective_speedup_target(target: float, cores: Optional[int]) -> float:
+    """The speedup a machine with ``cores`` cores is held to.
+
+    ``target`` is declared for :data:`SPEEDUP_REFERENCE_CORES` cores.  Below
+    2 cores a process pool cannot beat serial at all, so the gate relaxes to
+    "no worse than serial" (1.0); between 2 and the reference count the
+    target scales linearly; an unknown core count is treated like 1 core
+    (the conservative reading — never fail on missing metadata).
+    """
+    if cores is None or cores < 2:
+        return 1.0
+    if cores >= SPEEDUP_REFERENCE_CORES:
+        return float(target)
+    return 1.0 + (float(target) - 1.0) * (cores - 1) / (SPEEDUP_REFERENCE_CORES - 1)
+
+
+def _entry_cores(entry: Optional[dict]) -> Optional[int]:
+    if entry is None:
+        return None
+    cores = entry.get("extra_info", {}).get("cpu_count")
+    return int(cores) if cores is not None else None
+
+
+def check_speedups(baseline_dir: str, fresh_dir: str,
+                   tolerance: float) -> Tuple[List[str], List[str], int]:
+    """Assert every :data:`SPEEDUP_TARGETS` pair in the fresh results.
+
+    Returns ``(result lines, notices, failures)``.  A pair whose fresh suite
+    file or benchmarks are absent is a notice (the median comparator already
+    flags genuinely dropped benchmarks); a fresh run recorded on fewer cores
+    than the baseline machine skips the assertion with a notice.  The
+    regression ``tolerance`` also pads the speedup requirement, so bench
+    noise does not flake the gate.
+    """
+    lines: List[str] = []
+    notices: List[str] = []
+    failures = 0
+    for suite, parallel_name, serial_name, target in SPEEDUP_TARGETS:
+        filename = f"BENCH_{suite}.json"
+        fresh_path = os.path.join(fresh_dir, filename)
+        if not os.path.isfile(fresh_path):
+            notices.append(
+                f"speedup {suite}: no fresh {filename}; skipped")
+            continue
+        fresh = load_entries(fresh_path)
+        par, ser = fresh.get(parallel_name), fresh.get(serial_name)
+        if par is None or ser is None:
+            missing = parallel_name if par is None else serial_name
+            notices.append(
+                f"speedup {suite}: {missing!r} not in fresh results; skipped")
+            continue
+        fresh_cores = _entry_cores(par)
+        baseline_path = os.path.join(baseline_dir, filename)
+        baseline_cores = None
+        if os.path.isfile(baseline_path):
+            baseline_cores = _entry_cores(
+                load_entries(baseline_path).get(parallel_name))
+        if fresh_cores is not None and baseline_cores is not None \
+                and fresh_cores < baseline_cores:
+            notices.append(
+                f"speedup {suite}: recording machine has {fresh_cores} "
+                f"core(s) but the baseline was recorded on {baseline_cores}; "
+                f"skipping the {parallel_name!r} speedup assertion")
+            continue
+        if par["median"] <= 0:
+            notices.append(
+                f"speedup {suite}: {parallel_name!r} has a zero median; skipped")
+            continue
+        speedup = ser["median"] / par["median"]
+        goal = effective_speedup_target(target, fresh_cores)
+        required = goal * (1.0 - tolerance)
+        ok = speedup >= required
+        if not ok:
+            failures += 1
+        cores_note = f"{fresh_cores}" if fresh_cores is not None else "?"
+        lines.append(
+            f"speedup {suite}: {parallel_name} {speedup:.2f}x over "
+            f"{serial_name} ({'ok' if ok else 'FAIL'}; target {goal:.2f}x "
+            f"on {cores_note} core(s), required >= {required:.2f}x after "
+            f"{tolerance:.0%} tolerance)")
+    return lines, notices, failures
 
 
 def format_rows(rows: List[dict]) -> str:
@@ -190,18 +305,27 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     rows, notices = compare_directories(args.baseline_dir, args.fresh_dir,
                                         args.tolerance)
-    for notice in notices:
+    speedup_lines, speedup_notices, speedup_failures = check_speedups(
+        args.baseline_dir, args.fresh_dir, args.tolerance)
+    for notice in notices + speedup_notices:
         print(f"note: {notice}")
     if rows:
         print(format_rows(rows))
+    for line in speedup_lines:
+        print(line)
     bad = [row for row in rows if row["status"] in (REGRESSED, MISSING)]
-    if bad:
-        print(f"\nFAIL: {len(bad)} benchmark(s) regressed beyond "
-              f"{args.tolerance:.0%} (or went missing)")
+    if bad or speedup_failures:
+        parts = []
+        if bad:
+            parts.append(f"{len(bad)} benchmark(s) regressed beyond "
+                         f"{args.tolerance:.0%} (or went missing)")
+        if speedup_failures:
+            parts.append(f"{speedup_failures} speedup assertion(s) failed")
+        print(f"\nFAIL: " + "; ".join(parts))
         return 1
     checked = sum(1 for row in rows if row["status"] in (OK, IMPROVED))
     print(f"\nbench-check: {checked} benchmark(s) within {args.tolerance:.0%} "
-          f"of baseline")
+          f"of baseline; {len(speedup_lines)} speedup assertion(s) held")
     return 0
 
 
