@@ -5,8 +5,10 @@
 # pytest-benchmark is absent); `make bench-check` gates the fresh medians
 # against benchmarks/baselines/ (25% tolerance; `make bench-baseline` adopts
 # the fresh results); `make smoke` exercises the `python -m repro` CLI end to
-# end and `make smoke-series` does the same for the series subsystem.  The
-# smoke targets honour REPRO_BACKEND (CI runs them with REPRO_BACKEND=process).
+# end, `make smoke-series` does the same for the series subsystem and
+# `make smoke-remote` drives a box read through a simulated high-latency
+# RangeSource.  The smoke targets honour REPRO_BACKEND (CI runs them with
+# REPRO_BACKEND=process).
 
 PY := PYTHONPATH=src python
 
@@ -16,9 +18,11 @@ BENCH_SUITES := \
 	writer:benchmarks/perf/test_perf_writer.py \
 	reader:benchmarks/perf/test_perf_reader.py \
 	series:benchmarks/perf/test_perf_series.py \
-	service:benchmarks/perf/test_perf_service.py
+	service:benchmarks/perf/test_perf_service.py \
+	remote:benchmarks/perf/test_perf_remote.py
 
-.PHONY: test lint bench bench-check bench-baseline smoke smoke-series
+.PHONY: test lint bench bench-check bench-baseline smoke smoke-series \
+	smoke-remote
 
 test:
 	$(PY) -m pytest -x -q
@@ -59,6 +63,24 @@ smoke:
 	$(PY) -m repro decompress .smoke/plt.h5z .smoke/raw.h5z
 	$(PY) -m repro verify .smoke/plt.h5z --against .smoke/raw.h5z
 	@rm -rf .smoke
+
+smoke-remote:
+	@rm -rf .smoke-remote && mkdir -p .smoke-remote
+	$(PY) -m repro compress --preset nyx_1 .smoke-remote/plt.h5z
+	$(PY) -m repro info .smoke-remote/plt.h5z \
+		--source latency:5ms,block:4k --stats
+	$(PY) -c "import numpy as np; import repro; from repro.amr.box import Box; \
+		h = repro.open('.smoke-remote/plt.h5z', \
+		source='latency:5ms,block:4k,gap:64k'); \
+		a = h.read_field('baryon_density', level=0, \
+		box=Box((0, 0, 0), (15, 15, 15)), max_level=0); \
+		assert np.isfinite(a).all(); \
+		s = h.stats; \
+		assert s.requests >= s.coalesced_requests >= 1; \
+		print('remote box read ok:', a.shape, f'{s.coalesced_requests} reads', \
+		f'{s.bytes_read} bytes'); \
+		h.close()"
+	@rm -rf .smoke-remote
 
 smoke-series:
 	@rm -rf .smoke-series && mkdir -p .smoke-series

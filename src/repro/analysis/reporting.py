@@ -13,7 +13,8 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Sequence
 
 __all__ = ["format_table", "ComparisonRecord", "comparison_record",
-           "summarize_plotfile", "plotfile_dataset_rows", "cache_stats_rows"]
+           "summarize_plotfile", "plotfile_dataset_rows", "cache_stats_rows",
+           "io_stats_rows"]
 
 
 def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None,
@@ -146,5 +147,42 @@ def cache_stats_rows(source) -> List[Dict[str, object]]:
         raise TypeError(
             f"cannot extract cache stats from {type(source).__name__}; "
             "expected a QueryEngine, ChunkCache or CacheStats")
+    return [{"metric": name, "value": value}
+            for name, value in counters.items()]
+
+
+def io_stats_rows(source) -> List[Dict[str, object]]:
+    """Byte-source traffic as metric/value rows for :func:`format_table`.
+
+    ``source`` may be a :class:`~repro.core.reader.PlotfileHandle` or
+    :class:`~repro.series.reader.SeriesHandle` (rendering the handle's
+    :class:`~repro.core.reader.ReadStats`, plus the per-source counters when
+    the handle exposes them), a bare ``ReadStats``, or a
+    :class:`~repro.h5lite.source.SourceStats` — what ``repro info --stats``
+    prints to show coalescing and cache wins.
+    """
+    from repro.core.reader import ReadStats
+
+    if hasattr(source, "hit_rate"):                           # SourceStats
+        counters = source.as_dict()
+    elif isinstance(source, ReadStats):
+        counters = {
+            "requests": source.requests,
+            "coalesced_requests": source.coalesced_requests,
+            "bytes_read": source.bytes_read,
+            "chunks_decoded": source.chunks_decoded,
+            "cache_hits": source.cache_hits,
+        }
+    elif hasattr(source, "stats") and isinstance(source.stats, ReadStats):
+        counters = {row["metric"]: row["value"]
+                    for row in io_stats_rows(source.stats)}
+        src_stats = getattr(source, "source_stats", None)
+        if src_stats is not None:
+            for name, value in src_stats.as_dict().items():
+                counters[f"source_{name}"] = value
+    else:
+        raise TypeError(
+            f"cannot extract I/O stats from {type(source).__name__}; "
+            "expected a handle, ReadStats or SourceStats")
     return [{"metric": name, "value": value}
             for name, value in counters.items()]

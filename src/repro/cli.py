@@ -84,6 +84,14 @@ def _make_cli_backend(args):
     return make_backend(args.backend, getattr(args, "max_workers", None))
 
 
+def _add_source_arg(subparser) -> None:
+    subparser.add_argument(
+        "--source", default=None,
+        help="byte-source spec: local (default), mmap, memory, or "
+             "RangeSource modifiers like latency:50ms,block:64k,readahead:2 "
+             "(simulates a high-latency medium with coalescing + block cache)")
+
+
 def _add_backend_args(subparser, backend_default: str) -> None:
     subparser.add_argument("--backend", default=backend_default,
                            choices=BACKEND_CHOICES)
@@ -103,6 +111,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_info.add_argument("path")
     p_info.add_argument("--json", action="store_true", dest="as_json",
                         help="emit the summary as JSON")
+    _add_source_arg(p_info)
+    p_info.add_argument("--stats", action="store_true",
+                        help="also print the open's byte-source I/O counters")
 
     p_comp = sub.add_parser("compress", help="write a compressed plotfile")
     p_comp.add_argument("out", help="output plotfile path")
@@ -133,6 +144,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reference plotfile (e.g. the nocomp copy) to "
                             "check the error bound against")
     _add_backend_args(p_ver, backend_default)
+    _add_source_arg(p_ver)
+    p_ver.add_argument("--stats", action="store_true",
+                       help="also print the decode's byte-source I/O counters")
 
     p_sinfo = sub.add_parser("series-info",
                              help="print series manifest + per-step table "
@@ -163,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: decode inline)")
     p_srv.add_argument("--max-workers", type=int, default=None,
                        help="pool width for the serve backend")
+    _add_source_arg(p_srv)
 
     p_q = sub.add_parser("query",
                          help="one request against a running serve instance")
@@ -183,6 +198,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma-separated step list for time-slice")
     p_q.add_argument("--no-refill", action="store_true",
                      help="do not restore covered coarse cells from finer data")
+    p_q.add_argument("--max-level", type=int, default=None,
+                     help="progressive-read cap: refill never recurses past "
+                          "this level (read-field/time-slice)")
     p_q.add_argument("--json", action="store_true", dest="as_json",
                      help="emit the full result (arrays included) as JSON")
     return parser
@@ -193,10 +211,10 @@ def build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 def _cmd_info(args) -> int:
     import repro
-    from repro.analysis.reporting import format_table, plotfile_dataset_rows, \
-        summarize_plotfile
+    from repro.analysis.reporting import format_table, io_stats_rows, \
+        plotfile_dataset_rows, summarize_plotfile
 
-    with repro.open(args.path) as handle:
+    with repro.open(args.path, source=args.source) as handle:
         if not handle.is_self_describing:
             print(f"error: {args.path} is a legacy plotfile (written before "
                   "format v1); its structure is not recorded in the file. "
@@ -208,7 +226,11 @@ def _cmd_info(args) -> int:
             return 1
         summary = summarize_plotfile(handle)
         rows = plotfile_dataset_rows(handle)
+        stats_rows = io_stats_rows(handle) if args.stats else None
     if args.as_json:
+        if stats_rows is not None:
+            summary["io_stats"] = {row["metric"]: row["value"]
+                                   for row in stats_rows}
         print(json.dumps(summary, indent=2))
         return 0
     print(f"plotfile {summary['path']}")
@@ -225,6 +247,9 @@ def _cmd_info(args) -> int:
           f"({summary['compression_ratio']:.1f}x over {summary['logical_bytes']})")
     print()
     print(format_table(rows))
+    if stats_rows is not None:
+        print()
+        print(format_table(stats_rows, title="byte-source I/O"))
     return 0
 
 
@@ -310,7 +335,8 @@ def _cmd_verify(args) -> int:
 def _run_verify(args, backend) -> int:
     import repro
 
-    with repro.open(args.path) as handle:
+    stats_rows = None
+    with repro.open(args.path, source=args.source) as handle:
         if not handle.is_self_describing:
             raise ValueError(
                 f"{args.path} has no self-describing header; verify needs "
@@ -357,11 +383,18 @@ def _run_verify(args, backend) -> int:
             kind = "absolute" if eb_mode == "abs" else "relative"
             bound_check = (f"worst {kind} error {worst:.3e} "
                            f"{'<=' if ok else '>'} bound {eb:.3e}")
+        if args.stats:
+            from repro.analysis.reporting import format_table, io_stats_rows
+
+            stats_rows = format_table(io_stats_rows(handle),
+                                      title="byte-source I/O")
     passed = all(ok for _, ok in checks)
     status = "PASS" if passed else "FAIL"
     detail = ", ".join(f"{name}={'ok' if ok else 'FAIL'}" for name, ok in checks)
     print(f"verify {args.path}: {status} ({detail}; {chunks} chunks decoded)"
           + (f"\n  {bound_check}" if bound_check else ""))
+    if stats_rows is not None:
+        print(stats_rows)
     return 0 if passed else 1
 
 
@@ -450,7 +483,8 @@ def _cmd_serve(args) -> int:
 
     engine = QueryEngine(cache_bytes=args.cache_bytes
                          if args.cache_bytes is not None else DEFAULT_CACHE_BYTES,
-                         backend=args.backend, max_workers=args.max_workers)
+                         backend=args.backend, max_workers=args.max_workers,
+                         source=args.source)
     server = ReproServer(engine, host=args.host,
                          port=args.port if args.port is not None else DEFAULT_PORT)
     server.run(on_ready=lambda s: print(
@@ -502,7 +536,8 @@ def _cmd_query(args) -> int:
         elif args.op == "read-field":
             arr = client.read_field(args.path, args.field, level=args.level,
                                     box=_parse_box(args.box), step=args.step,
-                                    refill=not args.no_refill)
+                                    refill=not args.no_refill,
+                                    max_level=args.max_level)
             _print_array_result(f"{args.field} L{args.level}", arr, args.as_json)
         elif args.op == "time-slice":
             steps = [int(s) for s in args.steps.split(",")] \
@@ -510,7 +545,8 @@ def _cmd_query(args) -> int:
             times, values = client.time_slice(args.path, args.field,
                                               box=_parse_box(args.box),
                                               level=args.level, steps=steps,
-                                              refill=not args.no_refill)
+                                              refill=not args.no_refill,
+                                              max_level=args.max_level)
             if args.as_json:
                 print(json.dumps({"times": times.tolist(),
                                   "shape": list(values.shape),

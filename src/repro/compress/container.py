@@ -94,7 +94,7 @@ def unpack_container(payload: bytes, expect_codec: Optional[str] = None) -> Code
     if "meta" not in sections:
         raise ValueError("codec container has no 'meta' section")
     try:
-        meta = json.loads(sections.pop("meta").decode("utf-8"))
+        meta = json.loads(bytes(sections.pop("meta")).decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ValueError(f"corrupt codec container meta: {exc}") from exc
     codec = str(meta.get("codec", ""))

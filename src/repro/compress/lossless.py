@@ -74,7 +74,7 @@ def unpack_sections(buffer: bytes) -> Dict[str, bytes]:
         for _ in range(count):
             (name_len,) = struct.unpack_from("<B", buffer, offset)
             offset += 1
-            name = buffer[offset:offset + name_len].decode("utf-8")
+            name = bytes(buffer[offset:offset + name_len]).decode("utf-8")
             offset += name_len
             (size,) = struct.unpack_from("<Q", buffer, offset)
             offset += 8
@@ -126,7 +126,7 @@ def unpack_array(payload: bytes) -> np.ndarray:
     """Invert :func:`pack_array`."""
     (dtype_len,) = struct.unpack_from("<B", payload, 0)
     offset = 1
-    dtype = np.dtype(payload[offset:offset + dtype_len].decode("ascii"))
+    dtype = np.dtype(bytes(payload[offset:offset + dtype_len]).decode("ascii"))
     offset += dtype_len
     (ndim,) = struct.unpack_from("<B", payload, offset)
     offset += 1

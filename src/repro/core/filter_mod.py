@@ -210,7 +210,7 @@ class AMRICLevelFilter(Filter):
     # ------------------------------------------------------------------
     def decode(self, payload: bytes, chunk_elements: int) -> np.ndarray:
         (header_len,) = struct.unpack_from("<Q", payload, 0)
-        header = json.loads(payload[8:8 + header_len].decode("utf-8"))
+        header = json.loads(bytes(payload[8:8 + header_len]).decode("utf-8"))
         body = payload[8 + header_len:]
         plan = ChunkPlan.from_json(header["plan"])
 

@@ -303,6 +303,15 @@ class DecodeJob:
     error_bound: float = 1e-3
     error_bound_mode: str = "rel"
 
+    def __getstate__(self) -> dict:
+        # zero-copy sources (mmap/memory) hand out memoryview payloads, which
+        # do not pickle; materialise them at the process-pool boundary (the
+        # shm backend ships them as descriptors and never gets here)
+        state = dict(self.__dict__)
+        if any(isinstance(p, memoryview) for p in state["payloads"]):
+            state["payloads"] = [bytes(p) for p in state["payloads"]]
+        return state
+
 
 @dataclass
 class DecodeResult:
@@ -348,7 +357,8 @@ def make_decode_job(f: H5LiteFile, dplan: DatasetReadPlan,
                     plan: Optional[ReadPlan] = None) -> DecodeJob:
     """Pull the (selected) raw chunk payloads of one dataset into a job."""
     indices = list(chunk_indices) if chunk_indices is not None else dplan.all_chunks
-    payloads = [f.read_chunk_payload(dplan.name, i) for i in indices]
+    # one batched (coalescing) source read instead of N seek+read round-trips
+    payloads = f.read_chunk_payloads(dplan.name, indices)
     codec = plan.codec if plan is not None else "sz_lr"
     eb = plan.error_bound if plan is not None else 1e-3
     mode = plan.error_bound_mode if plan is not None else "rel"
@@ -440,16 +450,28 @@ def place_dataset(structure: AmrHierarchy, dplan: DatasetReadPlan,
 # ----------------------------------------------------------------------
 @dataclass
 class ReadStats:
-    """Decode accounting for one handle / reader (drives the lazy-read tests)."""
+    """Decode + I/O accounting for one handle / reader.
+
+    The decode counters drive the lazy-read tests; the I/O counters mirror
+    the handle's :class:`~repro.h5lite.source.SourceStats` (wire bytes,
+    ranges requested pre-coalescing, reads issued post-coalescing), so cache
+    hit-rate and transfer cost are observable per handle and per engine.
+    """
 
     chunks_decoded: int = 0
     cache_hits: int = 0
     datasets_decoded: int = 0
+    bytes_read: int = 0             #: bytes fetched from the byte source
+    requests: int = 0               #: ranges requested (pre-coalescing)
+    coalesced_requests: int = 0     #: reads issued to the medium
 
     def reset(self) -> None:
         self.chunks_decoded = 0
         self.cache_hits = 0
         self.datasets_decoded = 0
+        self.bytes_read = 0
+        self.requests = 0
+        self.coalesced_requests = 0
 
 
 def execute_read(f: H5LiteFile, plan: ReadPlan, backend: ExecutionBackend,
@@ -520,8 +542,8 @@ class PlotfileHandle:
 
     def __init__(self, path: str, config: Optional[AMRICConfig] = None,
                  backend: "ExecutionBackend | str | None" = None,
-                 cache=None):
-        self._file = H5LiteFile(path, "r")
+                 cache=None, source=None):
+        self._file = H5LiteFile(path, "r", source=source)
         try:
             self.header = parse_plotfile_header(self._file)
         except ValueError:
@@ -538,7 +560,28 @@ class PlotfileHandle:
         else:
             self._cache = cache if cache is not None else {}
         self.stats = ReadStats()
+        self._io_seen = (0, 0, 0)
+        self._sync_io()                     # charges the superblock loads
         self._closed = False
+
+    def _sync_io(self) -> None:
+        """Fold the source's traffic since the last sync into :attr:`stats`.
+
+        Delta-based so :attr:`stats` can be swapped for a shared accumulator
+        (a series hands every step handle its own stats object) without
+        double-counting what an earlier object already absorbed.
+        """
+        src = self._file.source.stats
+        now = (src.bytes_read, src.requests, src.coalesced_requests)
+        self.stats.bytes_read += now[0] - self._io_seen[0]
+        self.stats.requests += now[1] - self._io_seen[1]
+        self.stats.coalesced_requests += now[2] - self._io_seen[2]
+        self._io_seen = now
+
+    @property
+    def source_stats(self):
+        """The underlying :class:`~repro.h5lite.source.SourceStats`."""
+        return self._file.source.stats
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
@@ -690,6 +733,7 @@ class PlotfileHandle:
                     self._cache[(dplan.name, index)] = chunk
                     out[index] = chunk
             self.stats.chunks_decoded += len(missing)
+            self._sync_io()
         return out
 
     def chunks_for_box(self, name: str, level: int = 0,
@@ -714,7 +758,8 @@ class PlotfileHandle:
         return plan, dplan, (dplan.chunks_for(hit) if hit else [])
 
     def read_field(self, name: str, level: int = 0, box: Optional[Box] = None,
-                   refill: bool = True, fill_value: float = 0.0) -> np.ndarray:
+                   refill: bool = True, fill_value: float = 0.0,
+                   max_level: Optional[int] = None) -> np.ndarray:
         """Decode one field over one region, touching only intersecting chunks.
 
         Returns a dense array covering ``box`` (default: the level's whole
@@ -722,6 +767,15 @@ class PlotfileHandle:
         ``refill`` (the default) coarse cells covered by the next finer level
         are restored by conservatively averaging the finer data down — which
         itself decodes only the intersecting fine chunks.
+
+        ``max_level`` makes the read *progressive*: refill never recurses
+        past level ``max_level``, so a ``max_level=0`` probe touches only
+        coarse chunks and returns immediately — the time-to-first-array path
+        of an interactive viewer, which then re-issues the read with a higher
+        (or no) cap to refine.  Cells whose data was dropped at write time
+        (``remove_redundancy``) and whose finer source lies above the cap
+        keep ``fill_value``.  Requesting ``level > max_level`` is a
+        contradiction and raises :class:`ValueError`.
         """
         plan = self._scan()
         structure = plan.structure
@@ -729,6 +783,10 @@ class PlotfileHandle:
             raise ValueError(
                 f"level {level} out of range; plotfile has levels "
                 f"0..{structure.nlevels - 1}")
+        if max_level is not None and level > max_level:
+            raise ValueError(
+                f"level {level} is finer than max_level {max_level}; a "
+                "progressive read cannot return data above its cap")
         if name not in structure.component_names:
             raise KeyError(
                 f"unknown field {name!r}; plotfile has {structure.component_names}")
@@ -750,7 +808,8 @@ class PlotfileHandle:
                     out[overlap.slices(origin=query.lo)] = \
                         data[overlap.slices(origin=slot.block.box.lo)]
 
-        if refill and plan.remove_redundancy and level < structure.nlevels - 1:
+        if (refill and plan.remove_redundancy and level < structure.nlevels - 1
+                and (max_level is None or level + 1 <= max_level)):
             ratio = structure.ref_ratios[level]
             for fine_box in structure[level + 1].boxarray:
                 overlap = fine_box.coarsen(ratio).intersection(query)
@@ -758,7 +817,8 @@ class PlotfileHandle:
                     continue
                 fine = self.read_field(name, level=level + 1,
                                        box=overlap.refine(ratio), refill=refill,
-                                       fill_value=fill_value)
+                                       fill_value=fill_value,
+                                       max_level=max_level)
                 out[overlap.slices(origin=query.lo)] = average_down(fine, ratio)
         return out
 
@@ -788,6 +848,7 @@ class PlotfileHandle:
             return execute_read(self._file, plan, resolved, comm=comm,
                                 stats=self.stats, cache=cache)
         finally:
+            self._sync_io()
             if owns:
                 resolved.close()
 
@@ -831,9 +892,10 @@ class AMRICReader:
         self.close()
 
     # ------------------------------------------------------------------
-    def open(self, path: str) -> PlotfileHandle:
+    def open(self, path: str, source=None) -> PlotfileHandle:
         """A lazy handle on ``path`` sharing this reader's config/backend."""
-        return PlotfileHandle(path, config=self.config, backend=self.backend)
+        return PlotfileHandle(path, config=self.config, backend=self.backend,
+                              source=source)
 
     def read_plotfile(self, path: str,
                       template: Optional[AmrHierarchy] = None) -> AmrHierarchy:

@@ -53,7 +53,7 @@ def _canonical_method(method: str) -> str:
 
 
 def open_plotfile(path: str, config: Optional[AMRICConfig] = None,
-                  backend=None, cache=None) -> PlotfileHandle:
+                  backend=None, cache=None, source=None) -> PlotfileHandle:
     """Open a plotfile for lazy reading (exported as :func:`repro.open`).
 
     Self-describing plotfiles (format v1) need nothing else; pre-header files
@@ -65,13 +65,18 @@ def open_plotfile(path: str, config: Optional[AMRICConfig] = None,
     decode jobs.  ``cache`` opts the handle into a shared
     :class:`~repro.service.cache.ChunkCache` so overlapping consumers decode
     each chunk once; by default every handle keeps its private per-chunk dict.
+    ``source`` picks the byte source under the file — None (local file), a
+    spec string (``"mmap"``, ``"memory"``, ``"latency:50ms,block:64k"``), a
+    :class:`~repro.h5lite.source.ByteSource` instance or a factory callable
+    (see :func:`repro.h5lite.source.make_source`).
     """
     if not os.path.isfile(path):
         raise ValueError(
             f"cannot open plotfile {path!r}: no such file"
             + (" (it is a directory — open_series reads series directories)"
                if os.path.isdir(path) else ""))
-    return PlotfileHandle(path, config=config, backend=backend, cache=cache)
+    return PlotfileHandle(path, config=config, backend=backend, cache=cache,
+                          source=source)
 
 
 def write_plotfile(hierarchy: AmrHierarchy, path: Optional[str] = None, *,
@@ -125,7 +130,7 @@ def write_plotfile(hierarchy: AmrHierarchy, path: Optional[str] = None, *,
     return NoCompressionWriter(**overrides).write_plotfile(hierarchy, path)
 
 
-def open_series(directory: str, cache=None) -> "SeriesHandle":
+def open_series(directory: str, cache=None, source=None) -> "SeriesHandle":
     """Open a plotfile series directory (exported as :func:`repro.open_series`).
 
     Returns a lazy :class:`~repro.series.reader.SeriesHandle`: ``steps()``
@@ -134,10 +139,12 @@ def open_series(directory: str, cache=None) -> "SeriesHandle":
     ``time_slice(name, box)`` extracts a region's evolution across steps.
     ``cache`` shares one :class:`~repro.service.cache.ChunkCache` across the
     series' step handles (and any other handle bound to the same cache).
+    ``source`` (a spec string or factory callable) picks the byte source each
+    step file is opened through, as in :func:`open_plotfile`.
     """
     from repro.series.reader import SeriesHandle
 
-    return SeriesHandle(directory, cache=cache)
+    return SeriesHandle(directory, cache=cache, source=source)
 
 
 def write_series(hierarchies: Iterable[AmrHierarchy], directory: str, *,

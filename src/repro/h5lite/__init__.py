@@ -20,6 +20,15 @@ that preserves HDF5's chunk/filter cost structure and round-trips data.
 """
 
 from repro.h5lite.file import H5LiteFile, DatasetInfo
+from repro.h5lite.source import (
+    ByteSource,
+    SourceStats,
+    LocalFileSource,
+    MmapSource,
+    MemorySource,
+    RangeSource,
+    make_source,
+)
 from repro.h5lite.filters import (
     Filter,
     FilterRegistry,
@@ -33,6 +42,13 @@ from repro.h5lite.chunking import amrex_chunk_elements, amric_chunk_elements
 __all__ = [
     "H5LiteFile",
     "DatasetInfo",
+    "ByteSource",
+    "SourceStats",
+    "LocalFileSource",
+    "MmapSource",
+    "MemorySource",
+    "RangeSource",
+    "make_source",
     "Filter",
     "FilterRegistry",
     "NoCompressionFilter",

@@ -24,13 +24,13 @@ from __future__ import annotations
 import json
 import os
 import struct
-import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.h5lite.filters import Filter, NoCompressionFilter
+from repro.h5lite.source import ByteSource, SourceSpec, make_source
 
 __all__ = ["H5LiteFile", "DatasetInfo", "ChunkRecord"]
 
@@ -107,7 +107,8 @@ class H5LiteFile:
             back = f.read_dataset("level_0/data", filter=my_filter)
     """
 
-    def __init__(self, path: str, mode: str = "r"):
+    def __init__(self, path: str, mode: str = "r", *,
+                 source: SourceSpec = None):
         if mode not in ("r", "w"):
             raise ValueError("mode must be 'r' or 'w'")
         self.path = str(path)
@@ -117,17 +118,19 @@ class H5LiteFile:
         #: None for files written before the header section existed
         self.header: Optional[Dict[str, object]] = None
         self.datasets: Dict[str, DatasetInfo] = {}
-        # chunk reads seek+read as one step; concurrent readers (the query
-        # service decodes on a worker pool) must not interleave the two
-        self._io_lock = threading.Lock()
         self._closed = False
+        #: the byte source reads go through (read mode only)
+        self.source: Optional[ByteSource] = None
         if mode == "w":
+            if source is not None:
+                raise ValueError("source= applies to read mode only")
             self._fh = open(self.path, "wb")
             # placeholder header: magic + superblock offset (patched on close)
             self._fh.write(_MAGIC + struct.pack("<Q", 0))
             self._data_offset = self._fh.tell()
         else:
-            self._fh = open(self.path, "rb")
+            self._fh = None
+            self.source = make_source(self.path, source)
             self._load_superblock()
 
     # ------------------------------------------------------------------
@@ -152,20 +155,37 @@ class H5LiteFile:
             self._fh.write(superblock)
             self._fh.seek(len(_MAGIC))
             self._fh.write(struct.pack("<Q", superblock_offset))
-        self._fh.close()
+            self._fh.close()
+        else:
+            self.source.close()
         self._closed = True
 
     def _load_superblock(self) -> None:
-        preamble = self._fh.read(len(_MAGIC) + 8)
+        """Two bounded ranged reads: the 12-byte preamble, then the superblock.
+
+        The superblock sits at the end of the file, so its size is known from
+        the recorded offset and the source's total size — no ``read()``-to-EOF,
+        which on a remote source would be an unbounded transfer.
+        """
+        total = self.source.size()
+        header_len = len(_MAGIC) + 8
+        if total < header_len:
+            raise ValueError(f"{self.path} is truncated: no superblock offset")
+        preamble = self.source.read_at(0, header_len)
         if preamble[:4] != _MAGIC:
             raise ValueError(f"{self.path} is not an H5Lite file")
-        if len(preamble) < len(_MAGIC) + 8:
-            raise ValueError(f"{self.path} is truncated: no superblock offset")
         (superblock_offset,) = struct.unpack_from("<Q", preamble, 4)
-        self._fh.seek(superblock_offset)
-        raw = self._fh.read()
+        if superblock_offset >= total:
+            raise ValueError(
+                f"{self.path} has a corrupt or truncated superblock: offset "
+                f"{superblock_offset} points past EOF (file is {total} bytes)")
+        if superblock_offset < header_len:
+            raise ValueError(
+                f"{self.path} has a corrupt or truncated superblock: offset "
+                f"{superblock_offset} points into the file preamble")
+        raw = self.source.read_at(superblock_offset, total - superblock_offset)
         try:
-            superblock = json.loads(raw.decode("utf-8"))
+            superblock = json.loads(bytes(raw).decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ValueError(
                 f"{self.path} has a corrupt or truncated superblock: {exc}") from exc
@@ -287,22 +307,39 @@ class H5LiteFile:
         (:mod:`repro.core.reader`) pulls only the payloads whose chunks
         intersect a request and ships them to decode workers as plain bytes.
         """
+        return self.read_chunk_payloads(name, [index])[0]
+
+    def read_chunk_payloads(self, name: str, indices: Sequence[int]) -> List[bytes]:
+        """Raw stored bytes of several chunks, as one batch.
+
+        The batch goes to the byte source as a single :meth:`ByteSource.read_many`
+        call, so sources that coalesce (adjacent chunks of one dataset are
+        contiguous on disk) turn N chunk reads into one ranged read — the
+        difference between N round-trips and one on a high-latency source.
+        Payloads come back in ``indices`` order.
+        """
+        if self.mode != "r":
+            raise ValueError("file is open write-only")
         if name not in self.datasets:
             raise KeyError(f"no dataset named {name!r}; have {sorted(self.datasets)}")
         info = self.datasets[name]
-        if not 0 <= index < len(info.chunks):
-            raise IndexError(
-                f"chunk {index} out of range for dataset {name!r} "
-                f"({len(info.chunks)} chunks)")
-        chunk = info.chunks[index]
-        with self._io_lock:
-            self._fh.seek(chunk.offset)
-            payload = self._fh.read(chunk.nbytes)
-        if len(payload) != chunk.nbytes:
+        ranges = []
+        for index in indices:
+            if not 0 <= index < len(info.chunks):
+                raise IndexError(
+                    f"chunk {index} out of range for dataset {name!r} "
+                    f"({len(info.chunks)} chunks)")
+            chunk = info.chunks[index]
+            ranges.append((chunk.offset, chunk.nbytes))
+        try:
+            payloads = self.source.read_many(ranges)
+        except ValueError as exc:
+            # a chunk range past EOF means the data section was cut off;
+            # keep the established truncation diagnostics
             raise ValueError(
-                f"{self.path} is truncated: chunk {index} of {name!r} has "
-                f"{len(payload)} of {chunk.nbytes} bytes")
-        return payload
+                f"{self.path} is truncated: a chunk of {name!r} reads past "
+                f"EOF ({exc})") from exc
+        return list(payloads)
 
     def read_dataset(self, name: str, filter: Optional[Filter] = None) -> np.ndarray:
         """Read a dataset back, applying ``filter`` to decode each chunk."""
@@ -314,9 +351,9 @@ class H5LiteFile:
             raise ValueError(
                 f"dataset was written with filter {info.filter_id!r}, not {filter.filter_id!r}")
         out = np.empty(info.nelements, dtype=np.float64)
+        payloads = self.read_chunk_payloads(name, range(len(info.chunks)))
         pos = 0
-        for i in range(len(info.chunks)):
-            payload = self.read_chunk_payload(name, i)
+        for payload in payloads:
             decoded = filter.decode(payload, info.chunk_elements)
             take = min(info.nelements - pos, info.chunk_elements)
             out[pos:pos + take] = decoded[:take]

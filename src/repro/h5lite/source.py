@@ -1,0 +1,662 @@
+"""Pluggable byte sources under :class:`~repro.h5lite.file.H5LiteFile`.
+
+Every read in the stack used to bottom out in a blocking ``seek``+``read``
+against one local POSIX file handle under one lock.  That is the right call
+for a warm local disk and exactly the wrong one for a high-latency medium
+(NFS, HTTP/S3 range requests), where each round-trip costs tens of
+milliseconds and the staged reader would serialize behind N per-chunk seeks.
+
+This module abstracts "where the bytes live" behind :class:`ByteSource` —
+``read_at(offset, size)``, a vectorized ``read_many(ranges)`` and ``size()``
+— with four implementations:
+
+:class:`LocalFileSource`
+    The previous behaviour: seek+read on a local file handle (one lock), with
+    exactly-adjacent ranges in a ``read_many`` batch merged into one syscall.
+:class:`MmapSource`
+    Zero-copy ``memoryview`` slices of a memory-mapped file for warm local
+    reads.  Views handed out survive :meth:`close` (closing defers until the
+    last view dies).
+:class:`MemorySource`
+    Bytes held in memory (tests, in-memory round-trips, pre-fetched files).
+:class:`RangeSource`
+    The remote-style adapter: wraps any base source with per-request
+    latency/bandwidth accounting (optionally *simulated* by sleeping, which is
+    how the remote benchmark measures time-to-first-array), **request
+    coalescing** (near-adjacent ranges within a gap threshold merge into one
+    ranged read), a byte-budgeted **block cache** (fixed-size aligned blocks,
+    LRU, counted with the same eviction-stats idiom as
+    :mod:`repro.service.cache`) and sequential **readahead**.
+
+Every source counts its traffic in a :class:`SourceStats`: ranges requested
+by callers (pre-coalescing), reads actually issued to the backing medium
+(post-coalescing), bytes fetched, block-cache hits/misses/evictions and
+simulated wait time.  :class:`~repro.core.reader.ReadStats` surfaces these
+per handle; the query engine sums them per engine.
+
+Sources are picked by spec string (``repro.open(path, source="mmap")``,
+``repro info --source latency:50ms``) through :func:`make_source`.
+"""
+
+from __future__ import annotations
+
+import io
+import mmap
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "ByteSource",
+    "SourceStats",
+    "LocalFileSource",
+    "MmapSource",
+    "MemorySource",
+    "RangeSource",
+    "make_source",
+    "coalesce_ranges",
+    "DEFAULT_BLOCK_BYTES",
+    "DEFAULT_BLOCK_CACHE_BYTES",
+    "DEFAULT_GAP_BYTES",
+]
+
+#: aligned block size of the :class:`RangeSource` cache
+DEFAULT_BLOCK_BYTES = 64 * 1024
+#: byte budget of the :class:`RangeSource` block cache
+DEFAULT_BLOCK_CACHE_BYTES = 32 * 1024 * 1024
+#: ranges closer than this merge into one ranged read
+DEFAULT_GAP_BYTES = 64 * 1024
+
+#: (offset, size) byte range
+Range = Tuple[int, int]
+
+
+@dataclass
+class SourceStats:
+    """Traffic counters for one source's lifetime (the I/O mirror of
+    :class:`~repro.service.cache.CacheStats`)."""
+
+    requests: int = 0             #: ranges callers asked for (pre-coalescing)
+    coalesced_requests: int = 0   #: reads issued to the medium (post-coalescing)
+    bytes_read: int = 0           #: bytes fetched from the medium
+    cache_hits: int = 0           #: block-cache hits (RangeSource only)
+    cache_misses: int = 0         #: block-cache misses (RangeSource only)
+    evictions: int = 0            #: blocks evicted past the budget
+    evicted_bytes: int = 0
+    readahead_blocks: int = 0     #: blocks fetched speculatively
+    wait_seconds: float = 0.0     #: simulated latency/bandwidth time accrued
+
+    @property
+    def cache_requests(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / max(self.cache_requests, 1)
+
+    @property
+    def coalescing_factor(self) -> float:
+        """Ranges requested per read issued (>= 1 once coalescing helps)."""
+        return self.requests / max(self.coalesced_requests, 1)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "requests": self.requests,
+            "coalesced_requests": self.coalesced_requests,
+            "bytes_read": self.bytes_read,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
+            "readahead_blocks": self.readahead_blocks,
+            "wait_seconds": self.wait_seconds,
+            "hit_rate": self.hit_rate,
+            "coalescing_factor": self.coalescing_factor,
+        }
+
+
+def _check_range(offset: int, size: int, total: int, name: str) -> None:
+    if offset < 0 or size < 0:
+        raise ValueError(
+            f"{name}: invalid range (offset={offset}, size={size}); "
+            "offset and size must be >= 0")
+    if offset + size > total:
+        raise ValueError(
+            f"{name}: range [{offset}, {offset + size}) reads past EOF "
+            f"(source is {total} bytes); the file is truncated or the "
+            "range is wrong")
+
+
+def coalesce_ranges(ranges: Sequence[Range], gap: int
+                    ) -> List[Tuple[int, int, List[int]]]:
+    """Merge byte ranges whose gaps are at most ``gap`` bytes.
+
+    Returns ``(start, end, member_indices)`` groups in offset order, where
+    ``member_indices`` point into the input sequence.  Zero-size ranges are
+    never grouped (they read nothing).  Overlapping ranges merge regardless
+    of ``gap``.
+    """
+    order = sorted((i for i in range(len(ranges)) if ranges[i][1] > 0),
+                   key=lambda i: ranges[i][0])
+    groups: List[Tuple[int, int, List[int]]] = []
+    for i in order:
+        offset, size = ranges[i]
+        if groups and offset - groups[-1][1] <= gap:
+            start, end, members = groups.pop()
+            members.append(i)
+            groups.append((start, max(end, offset + size), members))
+        else:
+            groups.append((offset, offset + size, [i]))
+    return groups
+
+
+class ByteSource:
+    """Where an :class:`~repro.h5lite.file.H5LiteFile`'s bytes live.
+
+    The contract every implementation honours:
+
+    * :meth:`read_at` returns exactly ``size`` bytes (``bytes`` or a
+      zero-copy ``memoryview``); a range past :meth:`size` raises
+      :class:`ValueError` (never a short read), a zero-size range returns an
+      empty buffer without touching the medium;
+    * :meth:`read_many` answers a batch of ranges in input order — the seam
+      where coalescing implementations turn N chunk reads into few ranged
+      reads;
+    * all traffic is counted in :attr:`stats`.
+    """
+
+    def __init__(self) -> None:
+        self.stats = SourceStats()
+
+    # -- required ------------------------------------------------------
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def read_at(self, offset: int, size: int):
+        raise NotImplementedError
+
+    # -- provided ------------------------------------------------------
+    def read_many(self, ranges: Sequence[Range]) -> List[object]:
+        """Batch form of :meth:`read_at` (override to coalesce)."""
+        return [self.read_at(offset, size) for offset, size in ranges]
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "ByteSource":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class LocalFileSource(ByteSource):
+    """Seek+read against a local file (the previous ``H5LiteFile`` behaviour).
+
+    One lock serializes the seek+read pair so concurrent readers (the query
+    service decodes on a worker pool) cannot interleave them.  A
+    :meth:`read_many` batch merges *exactly adjacent* ranges (chunks are
+    written back-to-back, so a dataset's chunk batch usually collapses into
+    one syscall).
+    """
+
+    def __init__(self, path: str):
+        super().__init__()
+        self.path = str(path)
+        self._fh = open(self.path, "rb")
+        self._size = os.fstat(self._fh.fileno()).st_size
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def size(self) -> int:
+        return self._size
+
+    def read_at(self, offset: int, size: int) -> bytes:
+        _check_range(offset, size, self._size, self.path)
+        self.stats.requests += 1
+        if size == 0:
+            return b""
+        with self._lock:
+            self._fh.seek(offset)
+            data = self._fh.read(size)
+        self.stats.coalesced_requests += 1
+        self.stats.bytes_read += len(data)
+        if len(data) != size:
+            raise ValueError(
+                f"{self.path}: short read at offset {offset} "
+                f"({len(data)} of {size} bytes); the file was truncated "
+                "after open")
+        return data
+
+    def read_many(self, ranges: Sequence[Range]) -> List[object]:
+        for offset, size in ranges:
+            _check_range(offset, size, self._size, self.path)
+        self.stats.requests += len(ranges)
+        out: List[object] = [b""] * len(ranges)
+        for start, end, members in coalesce_ranges(ranges, gap=0):
+            with self._lock:
+                self._fh.seek(start)
+                data = self._fh.read(end - start)
+            self.stats.coalesced_requests += 1
+            self.stats.bytes_read += len(data)
+            if len(data) != end - start:
+                raise ValueError(
+                    f"{self.path}: short read at offset {start} "
+                    f"({len(data)} of {end - start} bytes); the file was "
+                    "truncated after open")
+            for i in members:
+                offset, size = ranges[i]
+                out[i] = data[offset - start:offset - start + size]
+        return out
+
+    def close(self) -> None:
+        if not self._closed:
+            self._fh.close()
+            self._closed = True
+
+
+class MmapSource(ByteSource):
+    """Zero-copy ``memoryview`` slices of a memory-mapped local file.
+
+    The fast path for warm local reads: no syscall per chunk, no staging
+    copy — consumers parse compressed payloads straight out of the page
+    cache.  Views handed out stay valid after :meth:`close`: closing the
+    mapping while buffers are exported is deferred (the mapping lives until
+    the last view is garbage-collected), so a decoded handle can outlive its
+    file object.  An empty file cannot be mapped and raises at open.
+    """
+
+    def __init__(self, path: str):
+        super().__init__()
+        self.path = str(path)
+        with open(self.path, "rb") as fh:
+            self._size = os.fstat(fh.fileno()).st_size
+            if self._size == 0:
+                raise ValueError(f"{self.path} is empty; nothing to map")
+            self._mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        self._view = memoryview(self._mm)
+        self._closed = False
+
+    def size(self) -> int:
+        return self._size
+
+    def read_at(self, offset: int, size: int) -> memoryview:
+        if self._closed:
+            raise ValueError(f"{self.path}: source is closed")
+        _check_range(offset, size, self._size, self.path)
+        self.stats.requests += 1
+        if size == 0:
+            return memoryview(b"")
+        self.stats.coalesced_requests += 1
+        self.stats.bytes_read += size
+        return self._view[offset:offset + size]
+
+    def read_many(self, ranges: Sequence[Range]) -> List[object]:
+        return [self.read_at(offset, size) for offset, size in ranges]
+
+    def close(self) -> None:
+        """Stop handing out views; the mapping itself lives while views do.
+
+        ``mmap.close`` refuses (``BufferError``) while memoryviews are
+        exported.  Instead of propagating that — which would make every
+        consumer's teardown order-sensitive — the mapping is simply released
+        to the garbage collector: exported views keep it alive, and the OS
+        unmaps once the last one dies.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._view.release()
+        try:
+            self._mm.close()
+        except BufferError:
+            # views are still exported; drop our reference and let them
+            # keep the mapping alive until they are collected
+            pass
+        self._mm = None  # type: ignore[assignment]
+
+
+class MemorySource(ByteSource):
+    """A source over bytes already in memory (zero-copy views)."""
+
+    def __init__(self, data: Union[bytes, bytearray, memoryview],
+                 name: str = "<memory>"):
+        super().__init__()
+        self.path = name
+        self._data = memoryview(data).cast("B") if not isinstance(data, bytes) \
+            else memoryview(data)
+        self._size = self._data.nbytes
+
+    @classmethod
+    def from_file(cls, path: str) -> "MemorySource":
+        """Slurp a whole file into memory (every later read is free)."""
+        with open(path, "rb") as fh:
+            return cls(fh.read(), name=str(path))
+
+    def size(self) -> int:
+        return self._size
+
+    def read_at(self, offset: int, size: int) -> memoryview:
+        _check_range(offset, size, self._size, self.path)
+        self.stats.requests += 1
+        if size == 0:
+            return memoryview(b"")
+        self.stats.coalesced_requests += 1
+        self.stats.bytes_read += size
+        return self._data[offset:offset + size]
+
+
+class RangeSource(ByteSource):
+    """A remote-style adapter: coalescing + block cache + readahead + latency.
+
+    Wraps any base source and models a ranged-read protocol (HTTP/S3 style):
+    every read issued to the base costs ``latency`` seconds plus
+    ``nbytes / bandwidth``, accrued in ``stats.wait_seconds`` and — with
+    ``simulate=True`` — actually slept, so wall-clock benchmarks see the
+    round-trips.  Three mechanisms keep the round-trip count down:
+
+    * **coalescing** — a :meth:`read_many` batch's missing block runs merge
+      when the gap between them is at most ``gap`` bytes (re-fetching a small
+      cached gap is cheaper than a second round-trip);
+    * **block cache** — fetched bytes land in fixed-size aligned blocks under
+      a byte-budgeted LRU, so overlapping and repeated ranges are served
+      locally;
+    * **readahead** — when a batch starts right where the previous one ended
+      (the sequential pattern of a staged full read), the final fetch is
+      extended by ``readahead`` extra blocks.
+
+    Thread-safe; assembly never depends on a block surviving the LRU between
+    fetch and use (a batch pins its blocks locally), so an arbitrarily small
+    budget stays correct — it only costs refetches.
+    """
+
+    def __init__(self, base: ByteSource, *,
+                 latency: float = 0.0,
+                 bandwidth: Optional[float] = None,
+                 gap: int = DEFAULT_GAP_BYTES,
+                 block_bytes: int = DEFAULT_BLOCK_BYTES,
+                 cache_bytes: int = DEFAULT_BLOCK_CACHE_BYTES,
+                 readahead: int = 0,
+                 simulate: bool = False):
+        super().__init__()
+        if block_bytes < 1:
+            raise ValueError(f"block_bytes must be >= 1, got {block_bytes}")
+        if cache_bytes < block_bytes:
+            raise ValueError(
+                f"cache_bytes ({cache_bytes}) must hold at least one block "
+                f"({block_bytes})")
+        if gap < 0 or readahead < 0:
+            raise ValueError("gap and readahead must be >= 0")
+        if latency < 0 or (bandwidth is not None and bandwidth <= 0):
+            raise ValueError("latency must be >= 0 and bandwidth > 0")
+        self.base = base
+        self.path = getattr(base, "path", "<wrapped>")
+        self.latency = float(latency)
+        self.bandwidth = float(bandwidth) if bandwidth else None
+        self.gap = int(gap)
+        self.block_bytes = int(block_bytes)
+        self.cache_bytes = int(cache_bytes)
+        self.readahead = int(readahead)
+        self.simulate = bool(simulate)
+        self._size = base.size()
+        self._nblocks = -(-self._size // self.block_bytes) if self._size else 0
+        self._blocks: "OrderedDict[int, bytes]" = OrderedDict()
+        self._cached_bytes = 0
+        self._next_block = -1          #: sequential-readahead watermark
+        self._lock = threading.RLock()
+
+    def size(self) -> int:
+        return self._size
+
+    # -- block bookkeeping (callers hold the lock) ----------------------
+    def _block_span(self, offset: int, size: int) -> range:
+        return range(offset // self.block_bytes,
+                     (offset + size - 1) // self.block_bytes + 1)
+
+    def _insert_block(self, block: int, data: bytes) -> None:
+        old = self._blocks.pop(block, None)
+        if old is not None:
+            self._cached_bytes -= len(old)
+        self._blocks[block] = data
+        self._cached_bytes += len(data)
+        while self._cached_bytes > self.cache_bytes and len(self._blocks) > 1:
+            _, evicted = self._blocks.popitem(last=False)
+            self._cached_bytes -= len(evicted)
+            self.stats.evictions += 1
+            self.stats.evicted_bytes += len(evicted)
+
+    def _fetch_run(self, first: int, last: int,
+                   local: Dict[int, bytes]) -> None:
+        """One ranged read covering blocks ``first..last`` (inclusive)."""
+        start = first * self.block_bytes
+        end = min((last + 1) * self.block_bytes, self._size)
+        data = self.base.read_at(start, end - start)
+        nbytes = end - start
+        self.stats.coalesced_requests += 1
+        self.stats.bytes_read += nbytes
+        wait = self.latency
+        if self.bandwidth is not None:
+            wait += nbytes / self.bandwidth
+        if wait > 0:
+            self.stats.wait_seconds += wait
+            if self.simulate:
+                time.sleep(wait)
+        for block in range(first, last + 1):
+            lo = block * self.block_bytes - start
+            piece = bytes(data[lo:lo + min(self.block_bytes, end - start - lo)])
+            local[block] = piece
+            self._insert_block(block, piece)
+
+    # -- reads -----------------------------------------------------------
+    def read_at(self, offset: int, size: int) -> bytes:
+        return self.read_many([(offset, size)])[0]
+
+    def read_many(self, ranges: Sequence[Range]) -> List[object]:
+        for offset, size in ranges:
+            _check_range(offset, size, self._size, self.path)
+        with self._lock:
+            self.stats.requests += len(ranges)
+            needed = sorted({block for offset, size in ranges if size > 0
+                             for block in self._block_span(offset, size)})
+            # pin every needed block locally: cache hits are copied out now so
+            # eviction mid-batch (a budget smaller than the batch span) can
+            # never invalidate assembly
+            local: Dict[int, bytes] = {}
+            missing: List[int] = []
+            for block in needed:
+                cached = self._blocks.get(block)
+                if cached is not None:
+                    self._blocks.move_to_end(block)
+                    self.stats.cache_hits += 1
+                    local[block] = cached
+                else:
+                    self.stats.cache_misses += 1
+                    missing.append(block)
+            if missing:
+                # merge missing-block runs whose byte gap is within threshold
+                runs: List[List[int]] = [[missing[0], missing[0]]]
+                for block in missing[1:]:
+                    if (block - runs[-1][1] - 1) * self.block_bytes <= self.gap:
+                        runs[-1][1] = block
+                    else:
+                        runs.append([block, block])
+                # sequential readahead: a batch that starts where the last
+                # one ended extends its final fetch past the request
+                if self.readahead and needed[0] == self._next_block:
+                    first, last = runs[-1]
+                    extended = min(last + self.readahead, self._nblocks - 1)
+                    self.stats.readahead_blocks += extended - last
+                    runs[-1][1] = extended
+                for first, last in runs:
+                    self._fetch_run(first, last, local)
+            if needed:
+                self._next_block = needed[-1] + 1
+            # assemble each range from the pinned blocks
+            out: List[object] = []
+            for offset, size in ranges:
+                if size == 0:
+                    out.append(b"")
+                    continue
+                span = self._block_span(offset, size)
+                if len(span) == 1:
+                    lo = offset - span[0] * self.block_bytes
+                    out.append(local[span[0]][lo:lo + size])
+                    continue
+                pieces: List[bytes] = []
+                for block in span:
+                    base = block * self.block_bytes
+                    lo = max(offset, base) - base
+                    hi = min(offset + size, base + self.block_bytes) - base
+                    pieces.append(local[block][lo:hi])
+                out.append(b"".join(pieces))
+            return out
+
+    # -- cache management -----------------------------------------------
+    @property
+    def cached_bytes(self) -> int:
+        return self._cached_bytes
+
+    def clear_cache(self) -> None:
+        with self._lock:
+            self._blocks.clear()
+            self._cached_bytes = 0
+
+    def close(self) -> None:
+        self.clear_cache()
+        self.base.close()
+
+
+# ----------------------------------------------------------------------
+# spec parsing: "mmap", "memory", "latency:50ms,block:4k,readahead:2", ...
+# ----------------------------------------------------------------------
+#: anything :func:`make_source` accepts: None (local), a source instance, a
+#: spec string, or a callable ``path -> ByteSource``
+SourceSpec = Union[None, str, ByteSource, Callable[[str], ByteSource]]
+
+_BASES = ("local", "mmap", "memory")
+_MODIFIERS = ("latency", "bandwidth", "gap", "block", "cache", "readahead",
+              "range")
+
+
+def _parse_duration(value: str, token: str) -> float:
+    """Seconds from '50ms', '2s', '100us' or a bare number (seconds)."""
+    units = {"us": 1e-6, "ms": 1e-3, "s": 1.0}
+    for suffix, scale in sorted(units.items(), key=lambda kv: -len(kv[0])):
+        if value.endswith(suffix):
+            return float(value[:-len(suffix)]) * scale
+    try:
+        return float(value)
+    except ValueError:
+        raise ValueError(
+            f"bad duration {value!r} in source spec token {token!r}; "
+            "expected e.g. 50ms, 0.1s") from None
+
+
+def _parse_bytes(value: str, token: str) -> float:
+    """Bytes from '64k', '8m', '1g' (base 1024) or a bare number."""
+    units = {"k": 1024.0, "m": 1024.0 ** 2, "g": 1024.0 ** 3}
+    lowered = value.lower().rstrip("ib")          # accept 64kib / 64kb / 64k
+    if lowered and lowered[-1] in units:
+        return float(lowered[:-1]) * units[lowered[-1]]
+    try:
+        return float(value)
+    except ValueError:
+        raise ValueError(
+            f"bad byte count {value!r} in source spec token {token!r}; "
+            "expected e.g. 64k, 8m") from None
+
+
+def parse_source_spec(spec: str) -> Dict[str, object]:
+    """Parse a source spec string into ``{"base": ..., **range options}``.
+
+    Grammar: comma-separated tokens.  A bare base name (``local``, ``mmap``,
+    ``memory``) picks the byte source; any modifier token (``latency:50ms``,
+    ``bandwidth:100m`` [bytes/s], ``gap:128k``, ``block:4k``, ``cache:8m``,
+    ``readahead:2``, or bare ``range``) wraps the base in a
+    :class:`RangeSource`.
+    """
+    out: Dict[str, object] = {"base": "local"}
+    wrapped = False
+    for raw in str(spec).split(","):
+        token = raw.strip()
+        if not token:
+            continue
+        name, _, value = token.partition(":")
+        name = name.strip().lower()
+        value = value.strip()
+        if name in _BASES and not value:
+            out["base"] = name
+        elif name == "range" and not value:
+            wrapped = True
+        elif name == "latency":
+            out["latency"] = _parse_duration(value, token)
+            wrapped = True
+        elif name == "bandwidth":
+            out["bandwidth"] = _parse_bytes(value, token)
+            wrapped = True
+        elif name in ("gap", "block", "cache"):
+            key = {"gap": "gap", "block": "block_bytes", "cache": "cache_bytes"}
+            out[key[name]] = int(_parse_bytes(value, token))
+            wrapped = True
+        elif name == "readahead":
+            try:
+                out["readahead"] = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"bad readahead {value!r} in source spec token "
+                    f"{token!r}; expected a block count") from None
+            wrapped = True
+        else:
+            raise ValueError(
+                f"unknown source spec token {token!r}; expected one of "
+                f"{', '.join(_BASES)} or "
+                f"{', '.join(m + ':<value>' for m in _MODIFIERS[:-1])} "
+                "or 'range'")
+    out["range"] = wrapped
+    return out
+
+
+def make_source(path: str, spec: SourceSpec = None) -> ByteSource:
+    """Build the byte source an :class:`H5LiteFile` opens ``path`` through.
+
+    ``spec`` may be None (a plain :class:`LocalFileSource`), an already-built
+    :class:`ByteSource` (used as-is; the caller manages sharing), a callable
+    ``path -> ByteSource`` (how a series opens every step through the same
+    recipe), or a spec string — see :func:`parse_source_spec`.
+    """
+    if spec is None:
+        return LocalFileSource(path)
+    if isinstance(spec, ByteSource):
+        return spec
+    if callable(spec):
+        source = spec(path)
+        if not isinstance(source, ByteSource):
+            raise TypeError(
+                f"source factory returned {type(source).__name__}, "
+                "not a ByteSource")
+        return source
+    options = parse_source_spec(spec)
+    base_name = options.pop("base")
+    wrapped = options.pop("range")
+    if base_name == "mmap":
+        base: ByteSource = MmapSource(path)
+    elif base_name == "memory":
+        base = MemorySource.from_file(path)
+    else:
+        base = LocalFileSource(path)
+    if not wrapped:
+        return base
+    return RangeSource(
+        base,
+        latency=float(options.get("latency", 0.0)),
+        bandwidth=options.get("bandwidth"),
+        gap=int(options.get("gap", DEFAULT_GAP_BYTES)),
+        block_bytes=int(options.get("block_bytes", DEFAULT_BLOCK_BYTES)),
+        cache_bytes=int(options.get("cache_bytes", DEFAULT_BLOCK_CACHE_BYTES)),
+        readahead=int(options.get("readahead", 0)),
+        # a spec that asks for latency/bandwidth wants to *feel* it
+        simulate=bool(float(options.get("latency", 0.0)) > 0
+                      or options.get("bandwidth")))

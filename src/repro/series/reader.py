@@ -37,9 +37,9 @@ from repro.series.index import SeriesIndex, SeriesStepRecord
 __all__ = ["SeriesHandle", "SeriesStepHandle", "open_series"]
 
 
-def open_series(directory: str, cache=None) -> "SeriesHandle":
+def open_series(directory: str, cache=None, source=None) -> "SeriesHandle":
     """Open a series directory for lazy reading (exported as :func:`repro.open_series`)."""
-    return SeriesHandle(directory, cache=cache)
+    return SeriesHandle(directory, cache=cache, source=source)
 
 
 class _CodeStreamCache:
@@ -89,17 +89,22 @@ class SeriesStepHandle(PlotfileHandle):
     """
 
     def __init__(self, series: "SeriesHandle", step_index: int, path: str):
-        super().__init__(path, cache=series.cache)
+        super().__init__(path, cache=series.cache, source=series._source_spec)
         self._series = series
         self._step_index = step_index
-        # all step handles of a series report into one shared stats object
+        # all step handles of a series report into one shared stats object;
+        # the I/O charged during open (the superblock loads) moves with it
+        series.stats.bytes_read += self.stats.bytes_read
+        series.stats.requests += self.stats.requests
+        series.stats.coalesced_requests += self.stats.coalesced_requests
         self.stats = series.stats
 
     # ------------------------------------------------------------------
     def _record(self) -> SeriesStepRecord:
         return self._series.index.steps[self._step_index]
 
-    def _resolve_codes(self, dsname: str, chunk_index: int
+    def _resolve_codes(self, dsname: str, chunk_index: int,
+                       payload: Optional[bytes] = None
                        ) -> Tuple[np.ndarray, float, float]:
         """Absolute grid codes of one chunk: (codes, eb, offset).
 
@@ -108,7 +113,10 @@ class SeriesStepHandle(PlotfileHandle):
         interpreter's recursion limit), then folds the collected deltas
         forward.  Every stream along the chain is decoded at most once per
         series handle (memoised in the shared code cache) and charged to
-        :attr:`stats`.
+        :attr:`stats`.  ``payload`` short-circuits this step's own chunk read
+        (:meth:`_decode_chunks` prefetches a whole decode group as one
+        coalesced batch); chain steps still read individually — which chain
+        a chunk needs is only known while walking it.
         """
         series = self._series
         cached = series._codes.get((self._step_index, dsname, chunk_index))
@@ -126,8 +134,12 @@ class SeriesStepHandle(PlotfileHandle):
                 codes = cached[0]
                 break
             handle = series.open_step(step)
-            payload = handle._file.read_chunk_payload(dsname, chunk_index)
-            mode, codes, meta = TemporalDeltaCodec.unpack_codes(payload)
+            if payload is not None and step == self._step_index:
+                raw, payload = payload, None
+            else:
+                raw = handle._file.read_chunk_payload(dsname, chunk_index)
+                handle._sync_io()
+            mode, codes, meta = TemporalDeltaCodec.unpack_codes(raw)
             self.stats.chunks_decoded += 1
             if mode != MODE_DELTA:
                 entry = (codes, float(meta["eb"]), float(meta["offset"]))
@@ -162,13 +174,28 @@ class SeriesStepHandle(PlotfileHandle):
         # delta-chain resolution walks the shared per-series code cache
         # step by step, which is inherently sequential
         out: Dict[int, np.ndarray] = {}
+        misses: List[int] = []
         for index in indices:
             cached = self._cache.get((dplan.name, index))
             if cached is not None:
                 out[index] = cached
                 self.stats.cache_hits += 1
-                continue
-            codes, eb, offset = self._resolve_codes(dplan.name, index)
+            else:
+                misses.append(index)
+        # prefetch this step's payloads for the whole decode group as one
+        # coalesced batch (chunks whose code stream is already resolved in
+        # the series cache need no payload at all)
+        prefetched: Dict[int, bytes] = {}
+        need = [i for i in misses
+                if self._series._codes.get(
+                    (self._step_index, dplan.name, i)) is None]
+        if need:
+            payloads = self._file.read_chunk_payloads(dplan.name, need)
+            self._sync_io()
+            prefetched = dict(zip(need, payloads))
+        for index in misses:
+            codes, eb, offset = self._resolve_codes(
+                dplan.name, index, payload=prefetched.get(index))
             chunk = np.zeros(dplan.chunk_elements, dtype=np.float64)
             chunk[:codes.size] = TemporalDeltaCodec.grid_values(codes, eb, offset)
             self._cache[(dplan.name, index)] = chunk
@@ -236,9 +263,17 @@ class SeriesHandle:
     budget, so long-lived consumers (the query service) stay bounded too.
     """
 
-    def __init__(self, directory: str, cache=None):
+    def __init__(self, directory: str, cache=None, source=None):
+        from repro.h5lite.source import ByteSource
+
+        if isinstance(source, ByteSource):
+            raise ValueError(
+                "a series opens one file per step; pass a source spec "
+                "string or a factory callable, not a single ByteSource")
         self.directory = str(directory)
         self.index = SeriesIndex.load(self.directory)
+        #: the recipe every step handle opens its file through
+        self._source_spec = source
         self.stats = ReadStats()
         #: optional shared :class:`~repro.service.cache.ChunkCache`; every
         #: step handle stores its decoded chunk values there (keyed by the
@@ -350,11 +385,13 @@ class SeriesHandle:
     # ------------------------------------------------------------------
     def read_field(self, name: str, level: int = 0, box: Optional[Box] = None,
                    step: int = -1, refill: bool = True,
-                   fill_value: float = 0.0) -> np.ndarray:
+                   fill_value: float = 0.0,
+                   max_level: Optional[int] = None) -> np.ndarray:
         """One field over one region at one step (see PlotfileHandle.read_field)."""
         return self.open_step(step).read_field(name, level=level, box=box,
                                                refill=refill,
-                                               fill_value=fill_value)
+                                               fill_value=fill_value,
+                                               max_level=max_level)
 
     def read(self, step: int = -1, backend=None) -> AmrHierarchy:
         """Fully reconstruct one step's hierarchy."""
@@ -362,7 +399,9 @@ class SeriesHandle:
 
     def time_slice(self, name: str, box: Optional[Box] = None, level: int = 0,
                    steps: Optional[Sequence[int]] = None, refill: bool = True,
-                   fill_value: float = 0.0) -> Tuple[np.ndarray, np.ndarray]:
+                   fill_value: float = 0.0,
+                   max_level: Optional[int] = None
+                   ) -> Tuple[np.ndarray, np.ndarray]:
         """A region's evolution: (times, values of shape ``(nsteps, *box.shape)``).
 
         Only the chunks whose unit blocks intersect ``box`` are decoded — at
@@ -375,6 +414,7 @@ class SeriesHandle:
         times = np.asarray([self.index.steps[i].time for i in indices],
                            dtype=np.float64)
         values = [self.read_field(name, level=level, box=box, step=i,
-                                  refill=refill, fill_value=fill_value)
+                                  refill=refill, fill_value=fill_value,
+                                  max_level=max_level)
                   for i in indices]
         return times, np.stack(values) if values else np.zeros((0,))

@@ -104,10 +104,11 @@ class ReproClient:
 
     def read_field(self, path: str, field: str, level: int = 0,
                    box: Optional[Box] = None, step: Optional[int] = None,
-                   refill: bool = True, fill_value: float = 0.0) -> np.ndarray:
+                   refill: bool = True, fill_value: float = 0.0,
+                   max_level: Optional[int] = None) -> np.ndarray:
         return self.call("read_field", path=str(path), field=field, level=level,
                          box=_box_json(box), step=step, refill=refill,
-                         fill_value=fill_value)
+                         fill_value=fill_value, max_level=max_level)
 
     def read_batch(self, queries: Sequence[BoxQuery]) -> List[np.ndarray]:
         return self.call("read_batch",
@@ -115,12 +116,14 @@ class ReproClient:
 
     def time_slice(self, path: str, field: str, box: Optional[Box] = None,
                    level: int = 0, steps: Optional[Sequence[int]] = None,
-                   refill: bool = True, fill_value: float = 0.0
+                   refill: bool = True, fill_value: float = 0.0,
+                   max_level: Optional[int] = None
                    ) -> Tuple[np.ndarray, np.ndarray]:
         result = self.call("time_slice", path=str(path), field=field,
                            box=_box_json(box), level=level,
                            steps=list(steps) if steps is not None else None,
-                           refill=refill, fill_value=fill_value)
+                           refill=refill, fill_value=fill_value,
+                           max_level=max_level)
         return result["times"], result["values"]
 
     def stats(self) -> Dict[str, object]:

@@ -59,6 +59,9 @@ class BoxQuery:
     step: Optional[int] = None
     refill: bool = True
     fill_value: float = 0.0
+    #: progressive-read cap: refill never recurses past this level (None =
+    #: full resolution); see :meth:`PlotfileHandle.read_field`
+    max_level: Optional[int] = None
 
     def to_json(self) -> dict:
         return {
@@ -66,6 +69,7 @@ class BoxQuery:
             "box": [list(self.box.lo), list(self.box.hi)] if self.box else None,
             "step": self.step, "refill": self.refill,
             "fill_value": self.fill_value,
+            "max_level": self.max_level,
         }
 
     @staticmethod
@@ -79,12 +83,14 @@ class BoxQuery:
         if box is not None:
             box = Box(tuple(int(v) for v in box[0]), tuple(int(v) for v in box[1]))
         step = obj.get("step")
+        max_level = obj.get("max_level")
         return BoxQuery(
             path=str(obj["path"]), field=str(obj["field"]),
             level=int(obj.get("level", 0)), box=box,
             step=int(step) if step is not None else None,
             refill=bool(obj.get("refill", True)),
-            fill_value=float(obj.get("fill_value", 0.0)))
+            fill_value=float(obj.get("fill_value", 0.0)),
+            max_level=int(max_level) if max_level is not None else None)
 
 
 def _is_series_dir(path: str) -> bool:
@@ -98,8 +104,12 @@ class QueryEngine:
     def __init__(self, cache: Optional[ChunkCache] = None,
                  cache_bytes: int = DEFAULT_CACHE_BYTES,
                  backend: "ExecutionBackend | str | None" = None,
-                 max_workers: Optional[int] = None):
+                 max_workers: Optional[int] = None,
+                 source=None):
         self.cache = cache if cache is not None else ChunkCache(cache_bytes)
+        #: byte-source recipe (spec string / factory) every pooled handle
+        #: opens its file through; None = plain local files
+        self._source_spec = source
         # ``backend`` hands each batch's decode groups to a pooled execution
         # backend (e.g. 'shm'); None keeps every decode inline.  The usual
         # ownership convention: a name builds a pool the engine closes, an
@@ -152,7 +162,8 @@ class QueryEngine:
                 raise ValueError("query engine is closed")
             handle = self._plotfiles.get(key)
             if handle is None:
-                handle = open_plotfile(key, cache=self.cache)
+                handle = open_plotfile(key, cache=self.cache,
+                                       source=self._source_spec)
                 self._plotfiles[key] = handle
             return handle
 
@@ -164,7 +175,8 @@ class QueryEngine:
                 raise ValueError("query engine is closed")
             series = self._series.get(key)
             if series is None:
-                series = SeriesHandle(key, cache=self.cache)
+                series = SeriesHandle(key, cache=self.cache,
+                                      source=self._source_spec)
                 self._series[key] = series
             return series
 
@@ -190,10 +202,12 @@ class QueryEngine:
 
     def read_field(self, path: str, field: str, level: int = 0,
                    box: Optional[Box] = None, step: Optional[int] = None,
-                   refill: bool = True, fill_value: float = 0.0) -> np.ndarray:
+                   refill: bool = True, fill_value: float = 0.0,
+                   max_level: Optional[int] = None) -> np.ndarray:
         """One box read (the single-request form of :meth:`read_batch`)."""
         query = BoxQuery(path=path, field=field, level=level, box=box,
-                         step=step, refill=refill, fill_value=fill_value)
+                         step=step, refill=refill, fill_value=fill_value,
+                         max_level=max_level)
         return self.read_batch([query])[0]
 
     def read_batch(self, queries: Sequence[BoxQuery]) -> List[np.ndarray]:
@@ -229,12 +243,14 @@ class QueryEngine:
         # -- assemble each answer from the warm cache -----------------------
         return [self._target(q).read_field(q.field, level=q.level, box=q.box,
                                            refill=q.refill,
-                                           fill_value=q.fill_value)
+                                           fill_value=q.fill_value,
+                                           max_level=q.max_level)
                 for q in queries]
 
     def time_slice(self, directory: str, field: str, box: Optional[Box] = None,
                    level: int = 0, steps: Optional[Sequence[int]] = None,
-                   refill: bool = True, fill_value: float = 0.0
+                   refill: bool = True, fill_value: float = 0.0,
+                   max_level: Optional[int] = None
                    ) -> Tuple[np.ndarray, np.ndarray]:
         """A region's evolution across steps, with chain prefetch.
 
@@ -257,7 +273,8 @@ class QueryEngine:
         with self._lock:
             self._requests += len(indices)
         return series.time_slice(field, box=box, level=level, steps=steps,
-                                 refill=refill, fill_value=fill_value)
+                                 refill=refill, fill_value=fill_value,
+                                 max_level=max_level)
 
     # ------------------------------------------------------------------
     # accounting
@@ -275,6 +292,12 @@ class QueryEngine:
             }
         out["chunks_decoded"] = sum(h.stats.chunks_decoded for h in handles) \
             + sum(s.stats.chunks_decoded for s in series)
+        # wire-level I/O totals across every pooled handle ("io_" prefixed:
+        # "requests" above counts engine queries, not source ranges)
+        all_stats = [h.stats for h in handles] + [s.stats for s in series]
+        out["io_bytes_read"] = sum(s.bytes_read for s in all_stats)
+        out["io_requests"] = sum(s.requests for s in all_stats)
+        out["io_coalesced_requests"] = sum(s.coalesced_requests for s in all_stats)
         out["cache_bytes"] = self.cache.current_bytes
         out["cache_max_bytes"] = self.cache.max_bytes
         out.update({f"cache_{k}": v for k, v in self.cache.stats.as_dict().items()})

@@ -85,12 +85,14 @@ class ReproServer:
                     box = Box(tuple(int(v) for v in box[0]),
                               tuple(int(v) for v in box[1]))
                 steps = request.get("steps")
+                max_level = request.get("max_level")
                 times, values = self.engine.time_slice(
                     str(request["path"]), str(request["field"]), box=box,
                     level=int(request.get("level", 0)),
                     steps=[int(s) for s in steps] if steps is not None else None,
                     refill=bool(request.get("refill", True)),
-                    fill_value=float(request.get("fill_value", 0.0)))
+                    fill_value=float(request.get("fill_value", 0.0)),
+                    max_level=int(max_level) if max_level is not None else None)
                 result = {"times": times, "values": values}
             elif op == "stats":
                 result = self.engine.stats()

@@ -218,3 +218,72 @@ class TestEndToEnd:
         path.write_text(json.dumps({"something": "else"}))
         with pytest.raises(ValueError, match="not a pytest-benchmark"):
             bench_check.load_medians(str(path))
+
+
+class TestRemoteGate:
+    def _remote_suite(self, tmp_path, *, full_median=2.0, probe_median=0.2,
+                      full_io=(170, 14, 1_000_000), probe_io=(6, 3, 60_000)):
+        """A fresh BENCH_remote.json with the full read and the coarse probe."""
+        def extra(io):
+            requests, coalesced, nbytes = io
+            return {"io_requests": requests,
+                    "io_coalesced_requests": coalesced,
+                    "io_bytes_read": nbytes}
+
+        _write_suite(tmp_path / "BENCH_remote.json", {
+            bench_check.REMOTE_FULL_BENCH: (full_median, extra(full_io)),
+            bench_check.REMOTE_PROBE_BENCH: (probe_median, extra(probe_io)),
+        })
+        return str(tmp_path)
+
+    def test_all_targets_hold(self, tmp_path):
+        fresh = self._remote_suite(tmp_path)
+        lines, notices, failures = bench_check.check_remote(fresh)
+        assert failures == 0
+        assert len(lines) == 3
+        assert all("ok" in line for line in lines)
+
+    def test_weak_coalescing_fails(self, tmp_path):
+        fresh = self._remote_suite(tmp_path, full_io=(28, 14, 1_000_000))
+        lines, _, failures = bench_check.check_remote(fresh)
+        assert failures == 1
+        assert any("coalescing" in line and "FAIL" in line for line in lines)
+
+    def test_heavy_probe_bytes_fail(self, tmp_path):
+        fresh = self._remote_suite(tmp_path, probe_io=(6, 3, 400_000))
+        lines, _, failures = bench_check.check_remote(fresh)
+        assert failures == 1
+        assert any("bytes" in line and "FAIL" in line for line in lines)
+
+    def test_slow_probe_fails(self, tmp_path):
+        fresh = self._remote_suite(tmp_path, probe_median=1.5)
+        lines, _, failures = bench_check.check_remote(fresh)
+        assert failures == 1
+        assert any("time-to-first-array" in line and "FAIL" in line
+                   for line in lines)
+
+    def test_missing_suite_is_a_notice(self, tmp_path):
+        lines, notices, failures = bench_check.check_remote(str(tmp_path))
+        assert failures == 0 and not lines
+        assert any("no fresh" in n for n in notices)
+
+    def test_missing_extra_info_is_a_notice(self, tmp_path):
+        _write(tmp_path / "BENCH_remote.json", {
+            bench_check.REMOTE_FULL_BENCH: 2.0,
+            bench_check.REMOTE_PROBE_BENCH: 0.2,
+        })
+        lines, notices, failures = bench_check.check_remote(str(tmp_path))
+        assert failures == 0
+        # byte + coalescing assertions skip; the timing one still runs
+        assert any("skipped" in n for n in notices)
+        assert any("time-to-first-array" in line for line in lines)
+
+    def test_remote_failure_fails_main(self, tmp_path, capsys):
+        baseline = tmp_path / "baselines"
+        baseline.mkdir()
+        self._remote_suite(tmp_path, probe_median=1.9)
+        rc = bench_check.main(["--baseline-dir", str(baseline),
+                               "--fresh-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "remote-read assertion(s) failed" in out

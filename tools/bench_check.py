@@ -19,7 +19,12 @@ pytest-benchmark is absent, producing no JSON).
 On top of the per-median regression gate, the tool asserts the
 **parallel-vs-serial speedups** declared in :data:`SPEEDUP_TARGETS`: within
 one fresh suite, the pooled benchmark's median must beat its serial sibling
-by the target factor.  The target is declared for a 4-core machine and
+by the target factor.  It also asserts the **remote-read targets** on the
+fresh ``BENCH_remote.json`` (see :func:`check_remote`): request coalescing
+must cut the full read's round-trips by at least
+:data:`REMOTE_COALESCING_MIN`, and the progressive ``max_level=0`` probe must
+fetch at most :data:`REMOTE_PROBE_BYTES_MAX` of the full read's bytes in at
+most :data:`REMOTE_PROBE_TIME_MAX` of its wall time.  The target is declared for a 4-core machine and
 auto-scales to the *recording* machine's core count (stamped into each
 benchmark's ``extra_info.cpu_count`` by the perf conftest): below 2 cores it
 relaxes to "no worse than serial", and when the fresh run's machine has
@@ -238,6 +243,95 @@ def check_speedups(baseline_dir: str, fresh_dir: str,
     return lines, notices, failures
 
 
+# ----------------------------------------------------------------------
+# remote-read assertions (BENCH_remote.json)
+# ----------------------------------------------------------------------
+#: the remote suite's full-resolution read and its coarse progressive probe
+REMOTE_SUITE = "remote"
+REMOTE_FULL_BENCH = "test_remote_read_full"
+REMOTE_PROBE_BENCH = "test_remote_probe_coarse"
+#: the full read must save at least this many round-trips per issued read
+REMOTE_COALESCING_MIN = 3.0
+#: the max_level=0 probe vs the full read: bytes and wall-time ceilings
+REMOTE_PROBE_BYTES_MAX = 0.25
+REMOTE_PROBE_TIME_MAX = 0.50
+
+
+def check_remote(fresh_dir: str) -> Tuple[List[str], List[str], int]:
+    """Assert the remote-read targets on a fresh ``BENCH_remote.json``.
+
+    Returns ``(result lines, notices, failures)`` like :func:`check_speedups`.
+    A missing suite file, benchmark or ``extra_info`` counter downgrades the
+    assertion to a notice — the median comparator already fails genuinely
+    dropped benchmarks — so machines that cannot run the suite do not fail
+    the gate for the wrong reason.
+    """
+    lines: List[str] = []
+    notices: List[str] = []
+    failures = 0
+    fresh_path = os.path.join(fresh_dir, f"BENCH_{REMOTE_SUITE}.json")
+    if not os.path.isfile(fresh_path):
+        notices.append(
+            f"remote: no fresh BENCH_{REMOTE_SUITE}.json; skipped")
+        return lines, notices, failures
+    entries = load_entries(fresh_path)
+    full = entries.get(REMOTE_FULL_BENCH)
+    probe = entries.get(REMOTE_PROBE_BENCH)
+    if full is None or probe is None:
+        missing = REMOTE_FULL_BENCH if full is None else REMOTE_PROBE_BENCH
+        notices.append(
+            f"remote: {missing!r} not in fresh results; skipped")
+        return lines, notices, failures
+
+    def _io(entry: dict, key: str) -> Optional[float]:
+        value = entry["extra_info"].get(f"io_{key}")
+        return None if value is None else float(value)
+
+    requests = _io(full, "requests")
+    coalesced = _io(full, "coalesced_requests")
+    if requests is None or coalesced is None:
+        notices.append(
+            f"remote: {REMOTE_FULL_BENCH!r} carries no io_* extra_info; "
+            "coalescing assertion skipped")
+    else:
+        factor = requests / max(coalesced, 1.0)
+        ok = factor >= REMOTE_COALESCING_MIN
+        failures += 0 if ok else 1
+        lines.append(
+            f"remote: full read coalescing {factor:.2f}x "
+            f"({requests:.0f} ranges -> {coalesced:.0f} reads; "
+            f"{'ok' if ok else 'FAIL'}; required >= "
+            f"{REMOTE_COALESCING_MIN:.1f}x)")
+
+    full_bytes, probe_bytes = _io(full, "bytes_read"), _io(probe, "bytes_read")
+    if full_bytes is None or probe_bytes is None or full_bytes <= 0:
+        notices.append(
+            "remote: bytes_read missing from extra_info; probe byte "
+            "assertion skipped")
+    else:
+        ratio = probe_bytes / full_bytes
+        ok = ratio <= REMOTE_PROBE_BYTES_MAX
+        failures += 0 if ok else 1
+        lines.append(
+            f"remote: max_level=0 probe fetched {ratio:.1%} of the full "
+            f"read's bytes ({'ok' if ok else 'FAIL'}; required <= "
+            f"{REMOTE_PROBE_BYTES_MAX:.0%})")
+
+    if full["median"] <= 0:
+        notices.append(
+            f"remote: {REMOTE_FULL_BENCH!r} has a zero median; "
+            "time-to-first-array assertion skipped")
+    else:
+        ratio = probe["median"] / full["median"]
+        ok = ratio <= REMOTE_PROBE_TIME_MAX
+        failures += 0 if ok else 1
+        lines.append(
+            f"remote: time-to-first-array {ratio:.1%} of the full read "
+            f"({'ok' if ok else 'FAIL'}; required <= "
+            f"{REMOTE_PROBE_TIME_MAX:.0%})")
+    return lines, notices, failures
+
+
 def format_rows(rows: List[dict]) -> str:
     """A fixed-width delta table (stdlib-only sibling of analysis.format_table)."""
     columns = ["suite", "benchmark", "baseline_ms", "fresh_ms", "delta", "status"]
@@ -307,25 +401,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                                         args.tolerance)
     speedup_lines, speedup_notices, speedup_failures = check_speedups(
         args.baseline_dir, args.fresh_dir, args.tolerance)
-    for notice in notices + speedup_notices:
+    remote_lines, remote_notices, remote_failures = check_remote(args.fresh_dir)
+    for notice in notices + speedup_notices + remote_notices:
         print(f"note: {notice}")
     if rows:
         print(format_rows(rows))
-    for line in speedup_lines:
+    for line in speedup_lines + remote_lines:
         print(line)
     bad = [row for row in rows if row["status"] in (REGRESSED, MISSING)]
-    if bad or speedup_failures:
+    if bad or speedup_failures or remote_failures:
         parts = []
         if bad:
             parts.append(f"{len(bad)} benchmark(s) regressed beyond "
                          f"{args.tolerance:.0%} (or went missing)")
         if speedup_failures:
             parts.append(f"{speedup_failures} speedup assertion(s) failed")
+        if remote_failures:
+            parts.append(f"{remote_failures} remote-read assertion(s) failed")
         print(f"\nFAIL: " + "; ".join(parts))
         return 1
     checked = sum(1 for row in rows if row["status"] in (OK, IMPROVED))
     print(f"\nbench-check: {checked} benchmark(s) within {args.tolerance:.0%} "
-          f"of baseline; {len(speedup_lines)} speedup assertion(s) held")
+          f"of baseline; {len(speedup_lines)} speedup assertion(s) and "
+          f"{len(remote_lines)} remote-read assertion(s) held")
     return 0
 
 
