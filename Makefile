@@ -5,10 +5,11 @@
 # pytest-benchmark is absent); `make bench-check` gates the fresh medians
 # against benchmarks/baselines/ (25% tolerance; `make bench-baseline` adopts
 # the fresh results); `make smoke` exercises the `python -m repro` CLI end to
-# end, `make smoke-series` does the same for the series subsystem and
+# end, `make smoke-series` does the same for the series subsystem,
 # `make smoke-remote` drives a box read through a simulated high-latency
-# RangeSource.  The smoke targets honour REPRO_BACKEND (CI runs them with
-# REPRO_BACKEND=process).
+# RangeSource and `make smoke-stream` runs a live producer -> serve ->
+# `query follow` pipeline across three real processes.  The smoke targets
+# honour REPRO_BACKEND (CI runs them with REPRO_BACKEND=process).
 
 PY := PYTHONPATH=src python
 
@@ -19,10 +20,11 @@ BENCH_SUITES := \
 	reader:benchmarks/perf/test_perf_reader.py \
 	series:benchmarks/perf/test_perf_series.py \
 	service:benchmarks/perf/test_perf_service.py \
-	remote:benchmarks/perf/test_perf_remote.py
+	remote:benchmarks/perf/test_perf_remote.py \
+	stream:benchmarks/perf/test_perf_stream.py
 
 .PHONY: test lint bench bench-check bench-baseline smoke smoke-series \
-	smoke-remote
+	smoke-remote smoke-stream
 
 test:
 	$(PY) -m pytest -x -q
@@ -100,3 +102,6 @@ smoke-series:
 		print('time_slice ok:', v.shape, f'{s.stats.chunks_decoded} chunks decoded'); \
 		s.close()"
 	@rm -rf .smoke-series
+
+smoke-stream:
+	$(PY) tools/smoke_stream.py

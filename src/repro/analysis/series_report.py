@@ -14,41 +14,54 @@ from typing import Dict, List
 
 import numpy as np
 
-__all__ = ["series_step_rows", "series_dataset_rows", "series_summary"]
+__all__ = ["step_summary_row", "series_step_rows", "series_dataset_rows",
+           "series_summary"]
 
 
 def _index_of(series) -> "object":
-    """Accept a SeriesHandle, a SeriesIndex, or a series directory path."""
+    """Accept a SeriesHandle, a SeriesIndex, or a series directory path.
+
+    A path is opened live-aware (journal-only directories report too), so
+    ``series-info`` works mid-run.
+    """
     from repro.series.index import SeriesIndex
     from repro.series.reader import SeriesHandle
+    from repro.stream.journal import load_live_index
 
     if isinstance(series, SeriesHandle):
         return series.index
     if isinstance(series, SeriesIndex):
         return series
-    return SeriesIndex.load(str(series))
+    index, _ = load_live_index(str(series))
+    return index
+
+
+def step_summary_row(step) -> Dict[str, object]:
+    """One step's rate/distortion/savings row (manifest record only, no decode).
+
+    The shared shape of a ``series-info`` table row and of the summary the
+    server pushes with each ``subscribe`` step-committed event.
+    """
+    psnrs = [d.psnr for d in step.datasets if np.isfinite(d.psnr)]
+    ndelta = sum(1 for d in step.datasets if d.mode == "delta")
+    return {
+        "step": step.step,
+        "time": step.time,
+        "kind": step.kind,
+        "delta_datasets": f"{ndelta}/{len(step.datasets)}",
+        "stored_bytes": step.stored_bytes,
+        "CR": step.compression_ratio,
+        "psnr_db": float(np.mean(psnrs)) if psnrs else float("inf"),
+        "worst_psnr_db": float(min(psnrs)) if psnrs else float("inf"),
+        "key_bytes": step.key_bytes,
+        "delta_saved": step.delta_saved_bytes,
+    }
 
 
 def series_step_rows(series) -> List[Dict[str, object]]:
     """Per-step rate/distortion/savings rows for :func:`~repro.analysis.reporting.format_table`."""
     index = _index_of(series)
-    rows: List[Dict[str, object]] = []
-    for step in index.steps:
-        psnrs = [d.psnr for d in step.datasets if np.isfinite(d.psnr)]
-        ndelta = sum(1 for d in step.datasets if d.mode == "delta")
-        rows.append({
-            "step": step.step,
-            "time": step.time,
-            "kind": step.kind,
-            "delta_datasets": f"{ndelta}/{len(step.datasets)}",
-            "stored_bytes": step.stored_bytes,
-            "CR": step.compression_ratio,
-            "psnr_db": float(np.mean(psnrs)) if psnrs else float("inf"),
-            "worst_psnr_db": float(min(psnrs)) if psnrs else float("inf"),
-            "key_bytes": step.key_bytes,
-            "delta_saved": step.delta_saved_bytes,
-        })
-    return rows
+    return [step_summary_row(step) for step in index.steps]
 
 
 def series_dataset_rows(series, step: int = -1) -> List[Dict[str, object]]:

@@ -143,12 +143,19 @@ class SimulationDriver:
     delta-compress against each other through the ``temporal_delta`` codec,
     every ``keyframe_interval``-th dump stays self-contained, and the run is
     read back time-indexed via :func:`repro.open_series`.
+
+    ``stream=True`` (implies series mode) commits every dump through the
+    append-mode journal (:mod:`repro.stream`), so readers and ``repro serve``
+    subscribers observe each step the moment it lands rather than at
+    finalize; a crash mid-run leaves a resumable directory instead of a
+    half-written manifest.
     """
 
     def __init__(self, simulation: SyntheticAMRSimulation, writer=None,
                  output_dir: Optional[str] = None, plot_interval: int = 1,
                  method: Optional[str] = None, config=None,
                  series: bool = False, keyframe_interval: int = 8,
+                 stream: bool = False, compact_interval: Optional[int] = None,
                  **overrides):
         if writer is not None and (config is not None or overrides):
             # write_plotfile would reject this at the first dump; fail at
@@ -156,6 +163,8 @@ class SimulationDriver:
             raise ValueError(
                 "writer= already carries its configuration; do not also pass "
                 "config=/writer overrides to SimulationDriver")
+        if stream and not series:
+            raise ValueError("stream=True is a series mode; pass series=True")
         if series:
             if output_dir is None:
                 raise ValueError("series=True needs an output_dir to accumulate into")
@@ -168,7 +177,9 @@ class SimulationDriver:
         self.method = method
         self.config = config
         self.series = bool(series)
+        self.stream = bool(stream)
         self.keyframe_interval = int(keyframe_interval)
+        self.compact_interval = compact_interval
         self.overrides = overrides
         self.output_dir = output_dir
         self.plot_interval = max(1, int(plot_interval))
@@ -190,6 +201,8 @@ class SimulationDriver:
 
             series_writer = SeriesWriter(self.output_dir, config=self.config,
                                          keyframe_interval=self.keyframe_interval,
+                                         append=self.stream,
+                                         compact_interval=self.compact_interval,
                                          **self.overrides)
         try:
             for step in range(nsteps):

@@ -29,10 +29,15 @@ and their series/service counterparts:
 ``serve``
     Run the JSON-over-TCP query service (:mod:`repro.service`): one shared
     chunk cache and query engine serving describe/read_field/time_slice to
-    concurrent clients.
+    concurrent clients, and watching live (append-mode) series for
+    subscribers.
 ``query``
     One request against a running ``serve`` instance (describe, read-field,
-    time-slice, stats, ping).
+    time-slice, stats, ping, refresh) — or a *stream*: ``query follow DIR``
+    (equivalently ``query --follow DIR``) subscribes to a live series and
+    prints one JSON line per committed step as it lands, pairing each with a
+    box read when ``--field`` is given, reconnecting and resuming from the
+    next unseen step if the server drops.
 
 Every command exits 0 on success and 1 on failure, with errors reported as
 one-line messages (corrupt files surface the underlying ``ValueError``).
@@ -177,15 +182,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: decode inline)")
     p_srv.add_argument("--max-workers", type=int, default=None,
                        help="pool width for the serve backend")
+    p_srv.add_argument("--watch-interval", type=float, default=None,
+                       help="poll period (seconds) for live series watched "
+                            "by subscribers (default 0.25)")
     _add_source_arg(p_srv)
 
     p_q = sub.add_parser("query",
                          help="one request against a running serve instance")
-    p_q.add_argument("op", choices=("describe", "read-field", "time-slice",
-                                    "stats", "ping"))
+    p_q.add_argument("op", help="describe | read-field | time-slice | stats "
+                                "| ping | refresh | follow (validated in the "
+                                "handler so `query --follow DIR` also parses)")
     p_q.add_argument("path", nargs="?", default=None,
                      help="plotfile or series directory (describe/read-field/"
-                          "time-slice)")
+                          "time-slice/refresh/follow)")
     p_q.add_argument("--host", default="127.0.0.1")
     p_q.add_argument("--port", type=int, default=None)
     p_q.add_argument("--field", default=None)
@@ -201,6 +210,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_q.add_argument("--max-level", type=int, default=None,
                      help="progressive-read cap: refill never recurses past "
                           "this level (read-field/time-slice)")
+    p_q.add_argument("--follow", action="store_true",
+                     help="subscribe to a live series and stream one JSON "
+                          "line per committed step (same as the follow op)")
+    p_q.add_argument("--from-step", type=int, default=0,
+                     help="first step index to stream when following "
+                          "(default 0: catch up from the start)")
     p_q.add_argument("--json", action="store_true", dest="as_json",
                      help="emit the full result (arrays included) as JSON")
     return parser
@@ -485,8 +500,12 @@ def _cmd_serve(args) -> int:
                          if args.cache_bytes is not None else DEFAULT_CACHE_BYTES,
                          backend=args.backend, max_workers=args.max_workers,
                          source=args.source)
+    server_kwargs = {}
+    if args.watch_interval is not None:
+        server_kwargs["watch_interval"] = args.watch_interval
     server = ReproServer(engine, host=args.host,
-                         port=args.port if args.port is not None else DEFAULT_PORT)
+                         port=args.port if args.port is not None else DEFAULT_PORT,
+                         **server_kwargs)
     server.run(on_ready=lambda s: print(
         f"serving on {s.host}:{s.port} "
         f"(cache budget {engine.cache.max_bytes} bytes)", flush=True))
@@ -518,16 +537,62 @@ def _print_array_result(label: str, arr: np.ndarray, as_json: bool) -> None:
               f"max={arr.max():.6g} mean={arr.mean():.6g}")
 
 
+def _cmd_follow(args, port: int) -> int:
+    from repro.service.client import follow_series
+
+    print(f"following {args.path} from step {args.from_step} "
+          f"({args.host}:{port}, field={args.field or '-'})", flush=True)
+    stream = follow_series(args.path, args.field, host=args.host, port=port,
+                           level=args.level, box=_parse_box(args.box),
+                           from_step=args.from_step,
+                           refill=not args.no_refill,
+                           max_level=args.max_level)
+    for event, arr in stream:
+        name = event.get("event")
+        if name == "step":
+            row = {"event": "step", "step_index": event.get("step_index")}
+            summary = event.get("summary")
+            if isinstance(summary, dict):
+                for key in ("step", "time", "kind", "CR", "psnr_db"):
+                    if key in summary:
+                        row[key] = summary[key]
+            if arr is not None:
+                row.update(shape=list(arr.shape), min=float(arr.min()),
+                           max=float(arr.max()), mean=float(arr.mean()))
+            print(json.dumps(row), flush=True)
+        elif name == "finalized":
+            print(json.dumps({"event": "finalized",
+                              "nsteps": event.get("nsteps"),
+                              "high_water": event.get("high_water")}),
+                  flush=True)
+    return 0
+
+
+_QUERY_OPS = ("describe", "read-field", "time-slice", "stats", "ping",
+              "refresh", "follow")
+
+
 def _cmd_query(args) -> int:
     from repro.service import ReproClient
     from repro.service.server import DEFAULT_PORT
 
-    needs_path = args.op in ("describe", "read-field", "time-slice")
+    # `query --follow DIR` parses the directory into the op slot; normalise
+    # it to the spelled-out `query follow DIR` form
+    if args.follow and args.op not in _QUERY_OPS:
+        args.op, args.path = "follow", args.op
+    if args.op not in _QUERY_OPS:
+        raise ValueError(
+            f"unknown query op {args.op!r}; expected one of "
+            f"{', '.join(_QUERY_OPS)}")
+    needs_path = args.op in ("describe", "read-field", "time-slice",
+                             "refresh", "follow")
     if needs_path and args.path is None:
         raise ValueError(f"query {args.op} needs a path argument")
     if args.op in ("read-field", "time-slice") and args.field is None:
         raise ValueError(f"query {args.op} needs --field")
     port = args.port if args.port is not None else DEFAULT_PORT
+    if args.op == "follow" or args.follow:
+        return _cmd_follow(args, port)
     with ReproClient(host=args.host, port=port) as client:
         if args.op == "ping":
             print("pong" if client.ping() else "no pong")
@@ -556,6 +621,8 @@ def _cmd_query(args) -> int:
                       f"t=[{times.min():.6g}, {times.max():.6g}]: "
                       f"shape={tuple(values.shape)} min={values.min():.6g} "
                       f"max={values.max():.6g}")
+        elif args.op == "refresh":
+            print(json.dumps(client.refresh(args.path)))
         else:  # stats
             from repro.analysis.reporting import format_table
 

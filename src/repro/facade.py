@@ -141,6 +141,12 @@ def open_series(directory: str, cache=None, source=None) -> "SeriesHandle":
     series' step handles (and any other handle bound to the same cache).
     ``source`` (a spec string or factory callable) picks the byte source each
     step file is opened through, as in :func:`open_plotfile`.
+
+    A directory still being written by an append-mode writer opens *live*:
+    the handle merges the manifest with the commit journal, ``refresh()``
+    picks up newly committed steps without touching already-decoded state,
+    and ``handle.live`` flips to False once the writer finalizes (see
+    :mod:`repro.stream`).
     """
     from repro.series.reader import SeriesHandle
 
@@ -150,6 +156,7 @@ def open_series(directory: str, cache=None, source=None) -> "SeriesHandle":
 def write_series(hierarchies: Iterable[AmrHierarchy], directory: str, *,
                  config: Optional[AMRICConfig] = None,
                  keyframe_interval: int = 8, backend=None,
+                 append: bool = False, compact_interval: Optional[int] = None,
                  **overrides) -> List[WriteReport]:
     """Write a sequence of snapshots as one delta-compressed series.
 
@@ -157,9 +164,17 @@ def write_series(hierarchies: Iterable[AmrHierarchy], directory: str, *,
     :func:`repro.write_series`); every ``keyframe_interval``-th dump is
     self-contained, the rest delta-encode against their predecessor when that
     is smaller.  Returns the per-step write reports.
+
+    ``append=True`` commits each step through the crash-safe journal
+    (:mod:`repro.stream`) so concurrent readers and ``subscribe`` clients
+    see steps as they land, and an interrupted run resumes by calling again
+    with ``append=True`` on the same directory; ``compact_interval`` bounds
+    how many journal records accumulate before they are folded into the
+    manifest (default: one compaction per keyframe interval).
     """
     from repro.series.writer import write_series as _write_series
 
     return _write_series(hierarchies, directory, config=config,
                          keyframe_interval=keyframe_interval,
-                         backend=backend, **overrides)
+                         backend=backend, append=append,
+                         compact_interval=compact_interval, **overrides)

@@ -331,12 +331,33 @@ class SeriesIndex:
     # container I/O
     # ------------------------------------------------------------------
     def save(self, directory: str) -> str:
-        """Write the manifest container into ``directory`` (atomic replace)."""
+        """Write the manifest container into ``directory``.
+
+        The commit is crash-atomic: the container is written to a temp file,
+        fsync'd, renamed over the manifest, and the directory entry fsync'd —
+        a crash at any point leaves either the old manifest or the new one,
+        never a torn ``series.h5z``.
+        """
         path = os.path.join(directory, INDEX_FILENAME)
         tmp = path + ".tmp"
         with H5LiteFile(tmp, "w") as f:
             f.header = self.to_json()
+        fd = os.open(tmp, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
         os.replace(tmp, path)
+        try:
+            dfd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return path
+        try:
+            os.fsync(dfd)
+        except OSError:
+            pass
+        finally:
+            os.close(dfd)
         return path
 
     @staticmethod

@@ -33,12 +33,24 @@ from repro.amr.hierarchy import AmrHierarchy
 from repro.compress.temporal import MODE_DELTA, TemporalDeltaCodec
 from repro.core.reader import DatasetReadPlan, PlotfileHandle, ReadPlan, ReadStats
 from repro.series.index import SeriesIndex, SeriesStepRecord
+from repro.stream.journal import (
+    JOURNAL_FILENAME,
+    load_live_index,
+    replay_journal,
+    tail_journal,
+)
 
 __all__ = ["SeriesHandle", "SeriesStepHandle", "open_series"]
 
 
 def open_series(directory: str, cache=None, source=None) -> "SeriesHandle":
-    """Open a series directory for lazy reading (exported as :func:`repro.open_series`)."""
+    """Open a series directory for lazy reading (exported as :func:`repro.open_series`).
+
+    A directory still being written by an append-mode
+    :class:`~repro.series.writer.SeriesWriter` opens too (``handle.live`` is
+    true): the handle sees every journal-committed step, and
+    :meth:`SeriesHandle.refresh` picks up new ones as they land.
+    """
     return SeriesHandle(directory, cache=cache, source=source)
 
 
@@ -271,7 +283,13 @@ class SeriesHandle:
                 "a series opens one file per step; pass a source spec "
                 "string or a factory callable, not a single ByteSource")
         self.directory = str(directory)
-        self.index = SeriesIndex.load(self.directory)
+        self.index, view = load_live_index(self.directory)
+        #: the series is still being appended to (a journal is present);
+        #: :meth:`refresh` keeps the handle current until it finalizes
+        self._live = view is not None
+        self._journal_offset = 0 if view is None else view.end_offset
+        self._journal_crc = 0 if view is None else view.genesis_crc
+        self._refresh_lock = threading.Lock()
         #: the recipe every step handle opens its file through
         self._source_spec = source
         self.stats = ReadStats()
@@ -340,12 +358,71 @@ class SeriesHandle:
         """The manifest's per-step records (paths, kinds, stats)."""
         return list(self.index.steps)
 
+    @property
+    def live(self) -> bool:
+        """Whether the series is still being appended to (journal present)."""
+        return self._live
+
+    @property
+    def high_water(self) -> int:
+        """Index of the newest committed step (-1 for an empty live series)."""
+        return self.index.nsteps - 1
+
+    def refresh(self) -> int:
+        """Pick up steps committed since the handle last looked; returns how many.
+
+        Committed steps are immutable, so a refresh only ever *appends* to
+        the in-memory index — open step handles, decoded chunk values and
+        resolved code streams all stay valid and warm.  The steady-state cost
+        when nothing changed is one ``stat`` plus a 24-byte journal head
+        probe; new steps cost exactly their own journal records.  When the
+        writer compacted (journal rewritten) or finalized (journal gone) the
+        handle falls back to one manifest reload — still merged append-only
+        into the same index object.  Once the series finalizes, refresh
+        settles to a free no-op.
+        """
+        if not self._live:
+            return 0
+        with self._refresh_lock:
+            if not self._live:
+                return 0
+            path = os.path.join(self.directory, JOURNAL_FILENAME)
+            tail = tail_journal(path, self._journal_offset, self._journal_crc)
+            if tail.status == "ok":
+                appended = replay_journal(self.index, tail, path=path)
+                self._journal_offset = tail.end_offset
+                return appended
+            # compaction or finalize switched generations: full reload,
+            # merged by appending the unseen suffix onto the live index
+            before = self.index.nsteps
+            if tail.status == "gone":
+                fresh, view = SeriesIndex.load(self.directory), None
+            else:
+                fresh, view = load_live_index(self.directory)
+            if fresh.nsteps < before:
+                raise ValueError(
+                    f"series {self.directory!r} lost steps ({before} -> "
+                    f"{fresh.nsteps}); committed steps are immutable — the "
+                    "directory was rewritten by something other than the "
+                    "append-mode writer")
+            self.index.steps.extend(fresh.steps[before:])
+            if view is None:
+                self._live = False
+                self._journal_offset = 0
+                self._journal_crc = 0
+            else:
+                self._journal_offset = view.end_offset
+                self._journal_crc = view.genesis_crc
+            return self.index.nsteps - before
+
     def describe(self) -> Dict[str, object]:
         """A flat summary (what ``python -m repro series-info`` prints)."""
         index = self.index
         return {
             "directory": self.directory,
             "nsteps": index.nsteps,
+            "live": self._live,
+            "high_water": self.high_water,
             "codec": index.codec,
             "error_bound": index.error_bound,
             "error_bound_mode": index.error_bound_mode,

@@ -49,6 +49,7 @@ from repro.series.index import (
     SeriesIndex,
     SeriesStepRecord,
 )
+from repro.stream.journal import JOURNAL_FILENAME, SeriesJournal, replay_journal
 
 __all__ = [
     "SeriesWriter",
@@ -207,6 +208,20 @@ class SeriesWriter:
     leaves a readable prefix).  Each step file is itself a self-describing
     format-v1 plotfile; keyframe steps open with plain :func:`repro.open`,
     delta steps need :func:`repro.open_series` to resolve their references.
+
+    **Append mode** (``append=True``) turns the directory into a *live*
+    series.  Each step is committed through the manifest journal
+    (:mod:`repro.stream.journal`): step file fsync'd first, then one fsync'd
+    journal record — a crash can only lose the step being written, never a
+    committed one.  Every ``compact_interval`` committed records the journal
+    is folded into ``series.h5z`` (snapshot + atomic journal rewrite).
+    Readers follow the run with :meth:`~repro.series.reader.SeriesHandle.refresh`;
+    :meth:`finalize` (called by :meth:`close`) compacts one last time and
+    drops the journal, leaving a directory byte-compatible with non-append
+    series.  Reopening an existing live (crashed) or finalized directory with
+    ``append=True`` resumes it: committed steps are recovered, a torn journal
+    tail is truncated, and the first resumed step is a keyframe (the rolling
+    delta reference does not survive a restart).
     """
 
     method_name = "series"
@@ -214,7 +229,8 @@ class SeriesWriter:
     def __init__(self, directory: str, config: Optional[AMRICConfig] = None,
                  keyframe_interval: int = 8,
                  backend: "ExecutionBackend | str | None" = None,
-                 comm: Optional[SimComm] = None, **overrides):
+                 comm: Optional[SimComm] = None, append: bool = False,
+                 compact_interval: Optional[int] = None, **overrides):
         config = config or AMRICConfig()
         if overrides:
             config = config.with_overrides(**overrides)
@@ -222,32 +238,127 @@ class SeriesWriter:
         self.keyframe_interval = int(keyframe_interval)
         if self.keyframe_interval < 1:
             raise ValueError("keyframe_interval must be >= 1")
+        self.append_mode = bool(append)
+        if compact_interval is not None and not self.append_mode:
+            raise ValueError("compact_interval only applies to append=True")
         self.directory = str(directory)
         os.makedirs(self.directory, exist_ok=True)
-        if os.path.exists(os.path.join(self.directory, INDEX_FILENAME)):
-            raise ValueError(
-                f"{self.directory!r} already holds a series manifest; "
-                "write each series into a fresh directory")
+        self.index: Optional[SeriesIndex] = None
+        self.journal: Optional[SeriesJournal] = None
+        self._finalized = False
+        self._aborted = False
+        #: dataset name -> (layout fingerprint, absolute codes per chunk)
+        self._ref: Dict[str, Tuple[str, List[np.ndarray]]] = {}
+        has_manifest = os.path.exists(os.path.join(self.directory, INDEX_FILENAME))
+        has_journal = os.path.exists(os.path.join(self.directory, JOURNAL_FILENAME))
+        if self.append_mode:
+            if has_manifest or has_journal:
+                self._recover()
+        else:
+            if has_manifest:
+                raise ValueError(
+                    f"{self.directory!r} already holds a series manifest; "
+                    "write each series into a fresh directory, or resume it "
+                    "with append=True")
+            if has_journal:
+                raise ValueError(
+                    f"{self.directory!r} holds a live series journal; "
+                    "resume it with append=True")
+        if compact_interval is None:
+            compact_interval = self.keyframe_interval
+        self.compact_interval = int(compact_interval)
+        if self.compact_interval < 1:
+            raise ValueError("compact_interval must be >= 1")
         self._owns_backend = not isinstance(backend, ExecutionBackend)
         self.backend = make_backend(backend if backend is not None else config.backend,
                                     config.backend_workers)
         self.comm = comm
-        self.index: Optional[SeriesIndex] = None
-        #: dataset name -> (layout fingerprint, absolute codes per chunk)
-        self._ref: Dict[str, Tuple[str, List[np.ndarray]]] = {}
         self.reports: List[WriteReport] = []
 
+    def _recover(self) -> None:
+        """Resume an append-mode series: replay the journal, truncate torn tail.
+
+        The recovered manifest is authoritative for the series-wide knobs —
+        the grids were frozen at the original step 0 and delta chains depend
+        on them — so constructor arguments that disagree are overridden.
+        """
+        if os.path.exists(os.path.join(self.directory, JOURNAL_FILENAME)):
+            journal, view = SeriesJournal.open_existing(self.directory)
+            if os.path.exists(os.path.join(self.directory, INDEX_FILENAME)):
+                index = SeriesIndex.load(self.directory)
+            else:
+                config = dict(view.config)
+                config["steps"] = []
+                index = SeriesIndex.from_json(config)
+            replay_journal(index, view, path=journal.path)
+        else:
+            # a finalized series reopened for more steps: fresh generation
+            index = SeriesIndex.load(self.directory)
+            journal = SeriesJournal(self.directory)
+            journal.create(index.to_json(), base=index.nsteps)
+        self.index = index
+        self.journal = journal
+        self.keyframe_interval = index.keyframe_interval
+        self.config = self.config.with_overrides(
+            error_bound=index.error_bound,
+            error_bound_mode=index.error_bound_mode,
+            unit_block_size=index.unit_block_size,
+            remove_redundancy=index.remove_redundancy)
+
     # ------------------------------------------------------------------
+    def _compact(self) -> None:
+        """Fold the journal into the manifest (snapshot, then fresh generation)."""
+        self.index.save(self.directory)
+        self.journal.rewrite(self.index.to_json(), base=self.index.nsteps)
+
+    def finalize(self) -> None:
+        """Compact everything and drop the journal (idempotent).
+
+        After this the directory is indistinguishable from one written
+        without append mode — any pre-stream reader opens it.
+        """
+        if not self.append_mode:
+            raise ValueError("finalize() only applies to append=True writers")
+        if self._finalized:
+            return
+        if self.index is not None:
+            self.index.save(self.directory)
+        if self.journal is not None:
+            self.journal.remove()
+        self._finalized = True
+
+    def abort(self) -> None:
+        """Stop without finalizing: the journal stays and the series stays live.
+
+        For tests and controlled shutdowns that want the directory left
+        exactly as a crash would — resumable with ``append=True`` and
+        readable through :func:`repro.open_series`.
+        """
+        self._aborted = True
+        if self.journal is not None:
+            self.journal.close()
+        if self._owns_backend:
+            self.backend.close()
+
     def close(self) -> None:
-        """Release the writer-owned backend pool (idempotent)."""
+        """Finalize (append mode) and release the writer-owned backend pool."""
+        if self.append_mode and not self._aborted:
+            self.finalize()
+        if self.journal is not None:
+            self.journal.close()
         if self._owns_backend:
             self.backend.close()
 
     def __enter__(self) -> "SeriesWriter":
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def __exit__(self, exc_type, *exc) -> None:
+        # on an exception, leave the journal in place: the committed prefix
+        # stays live-readable and the run is resumable with append=True
+        if exc_type is not None and self.append_mode:
+            self.abort()
+        else:
+            self.close()
 
     # ------------------------------------------------------------------
     @property
@@ -290,8 +401,15 @@ class SeriesWriter:
         """Write one step of the series; returns the step's write report."""
         cfg = self.config
         start = time.perf_counter()
+        if self.append_mode and self._finalized:
+            raise ValueError(
+                "this series has been finalized; reopen it with "
+                "SeriesWriter(append=True) to add more steps")
         if self.index is None:
             self.index = self._start_index(hierarchy)
+            if self.append_mode:
+                self.journal = SeriesJournal(self.directory)
+                self.journal.create(self.index.to_json(), base=0)
         elif tuple(hierarchy.component_names) != self.index.components:
             raise ValueError(
                 f"hierarchy components {hierarchy.component_names} do not match "
@@ -302,9 +420,14 @@ class SeriesWriter:
         filename = filename or f"plt{hierarchy.step:05d}.h5z"
         path = os.path.join(self.directory, filename)
         if os.path.exists(path):
-            raise ValueError(
-                f"series step file {path!r} already exists; every appended "
-                "hierarchy needs a distinct step counter")
+            # an append-mode restart may find the file a crashed commit wrote
+            # but never journaled — an orphan no committed step references
+            if self.append_mode and all(s.path != filename for s in index.steps):
+                os.unlink(path)
+            else:
+                raise ValueError(
+                    f"series step file {path!r} already exists; every appended "
+                    "hierarchy needs a distinct step counter")
 
         # ---- plan + pack: the staged writer's layout, unchanged ----------
         nranks = max(lvl.multifab.distribution.nranks for lvl in hierarchy.levels)
@@ -403,11 +526,24 @@ class SeriesWriter:
 
         kind = MODE_KEY if all(d.mode == MODE_KEY for d in dataset_records) \
             else MODE_DELTA
-        index.steps.append(SeriesStepRecord(
+        record_step = SeriesStepRecord(
             index=step_index, step=int(hierarchy.step), time=float(hierarchy.time),
             path=filename, kind=kind, fingerprint=fingerprint,
-            datasets=dataset_records))
-        index.save(self.directory)
+            datasets=dataset_records)
+        index.steps.append(record_step)
+        if self.append_mode:
+            # durable commit order: data file first, then the journal record
+            # naming it — a crash between the two leaves only an orphan file
+            fd = os.open(path, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            self.journal.append_step(record_step.to_json())
+            if index.nsteps - self.journal.base >= self.compact_interval:
+                self._compact()
+        else:
+            index.save(self.directory)
 
         report = WriteReport(
             method=f"{self.method_name}({TemporalDeltaCodec.name})",
@@ -429,15 +565,20 @@ def write_series(hierarchies: Iterable[AmrHierarchy], directory: str, *,
                  config: Optional[AMRICConfig] = None,
                  keyframe_interval: int = 8,
                  backend: "ExecutionBackend | str | None" = None,
+                 append: bool = False,
+                 compact_interval: Optional[int] = None,
                  **overrides) -> List[WriteReport]:
     """Write a whole series in one call (exported as :func:`repro.write_series`).
 
     ``hierarchies`` is any iterable of snapshots — a list, or a generator like
     :meth:`~repro.apps.base.SyntheticAMRSimulation.run` so dumps stream
     through without holding every step in memory.  Returns the per-step
-    write reports.
+    write reports.  With ``append=True`` every step is journal-committed as
+    it lands (live readers can follow the run) and the series is finalized
+    on normal exit — an exception leaves the committed prefix resumable.
     """
     with SeriesWriter(directory, config=config,
                       keyframe_interval=keyframe_interval, backend=backend,
+                      append=append, compact_interval=compact_interval,
                       **overrides) as writer:
         return [writer.append(h) for h in hierarchies]

@@ -15,7 +15,11 @@ those chunks *shareable*:
 * :mod:`repro.service.server` / :mod:`repro.service.client` — an asyncio
   JSON-over-TCP server and a thin synchronous client exposing
   describe/read_field/read_batch/time_slice to concurrent analysis clients
-  (``python -m repro serve`` / ``python -m repro query``).
+  (``python -m repro serve`` / ``python -m repro query``), plus the
+  streaming ``subscribe`` verb: the server watches live (append-mode)
+  series and pushes step-committed events; :func:`follow_series` pairs
+  each event with a box read, reconnecting and resuming on failure
+  (``python -m repro query --follow``).
 """
 
 __all__ = [
@@ -25,6 +29,8 @@ __all__ = [
     "QueryEngine",
     "ReproClient",
     "ReproServer",
+    "ServiceError",
+    "follow_series",
 ]
 
 #: public name -> defining submodule; resolved lazily so importing the cache
@@ -37,6 +43,8 @@ _EXPORTS = {
     "QueryEngine": "repro.service.engine",
     "ReproClient": "repro.service.client",
     "ReproServer": "repro.service.server",
+    "ServiceError": "repro.service.client",
+    "follow_series": "repro.service.client",
 }
 
 

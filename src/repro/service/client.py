@@ -10,20 +10,35 @@ connection stays usable afterwards.
 from __future__ import annotations
 
 import socket
-from typing import Dict, List, Optional, Sequence, Tuple
+import time
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.amr.box import Box
 from repro.service.engine import BoxQuery
 from repro.service.server import DEFAULT_PORT
-from repro.service.wire import decode_line, encode_line
+from repro.service.wire import (
+    ERROR_UNKNOWN_OP,
+    PROTOCOL_VERSION,
+    decode_line,
+    encode_line,
+)
 
-__all__ = ["ReproClient", "ServiceError"]
+__all__ = ["ReproClient", "ServiceError", "follow_series"]
 
 
 class ServiceError(RuntimeError):
-    """The server answered ``ok: false`` (its error string is the message)."""
+    """The server answered ``ok: false`` (its error string is the message).
+
+    :attr:`kind` carries the server's machine-readable error class when it
+    sent one (e.g. :data:`~repro.service.wire.ERROR_UNKNOWN_OP` from a
+    pre-streaming server asked to ``subscribe``), else ``None``.
+    """
+
+    def __init__(self, message: str, kind: Optional[str] = None):
+        super().__init__(message)
+        self.kind = kind
 
 
 def _box_json(box: Optional[Box]):
@@ -71,7 +86,8 @@ class ReproClient:
         if self._closed:
             raise ValueError("client is closed")
         self._next_id += 1
-        request = {"id": self._next_id, "op": op, **params}
+        request = {"v": PROTOCOL_VERSION, "id": self._next_id, "op": op,
+                   **params}
         try:
             self._sock.sendall(encode_line(request))
             line = self._rfile.readline()
@@ -90,7 +106,8 @@ class ReproClient:
                 f"out-of-sync response (id {response['id']!r}, expected "
                 f"{request['id']}); connection closed")
         if not response.get("ok"):
-            raise ServiceError(response.get("error", "unknown server error"))
+            raise ServiceError(response.get("error", "unknown server error"),
+                               kind=response.get("kind"))
         return response.get("result")
 
     # ------------------------------------------------------------------
@@ -128,3 +145,145 @@ class ReproClient:
 
     def stats(self) -> Dict[str, object]:
         return self.call("stats")
+
+    def refresh(self, path: str) -> Dict[str, object]:
+        """Poll one live series for new commits: {appended, nsteps, high_water, live}."""
+        return self.call("refresh", path=str(path))
+
+    # ------------------------------------------------------------------
+    # the streaming verb
+    # ------------------------------------------------------------------
+    def subscribe(self, path: str, from_step: int = 0) -> Iterator[dict]:
+        """Stream a live series' step-committed events (a generator).
+
+        Yields a ``{"event": "subscribed", ...}`` acknowledgement, then one
+        ``{"event": "step", "step_index": ..., "summary": ...}`` per committed
+        step — strictly ordered from ``from_step``, each exactly once — and
+        finally ``{"event": "finalized", ...}`` when the writer finalizes.
+        The stream consumes the connection; to stop early, close the client
+        (or use :func:`follow_series`, which also reconnects).  Against a
+        pre-streaming server the generator raises :class:`ServiceError` with
+        a clear "does not support subscribe" message instead of hanging.
+        """
+        if self._closed:
+            raise ValueError("client is closed")
+        self._next_id += 1
+        request = {"v": PROTOCOL_VERSION, "id": self._next_id,
+                   "op": "subscribe", "path": str(path),
+                   "from_step": int(from_step)}
+        try:
+            self._sock.sendall(encode_line(request))
+            line = self._rfile.readline()
+        except OSError:
+            self.close()
+            raise
+        if not line:
+            raise ConnectionError(
+                f"server at {self.host}:{self.port} closed the connection")
+        response = decode_line(line)
+        if not isinstance(response, dict):
+            raise ConnectionError(f"malformed response: {response!r}")
+        if response.get("id") is not None and response["id"] != request["id"]:
+            self.close()
+            raise ConnectionError(
+                f"out-of-sync response (id {response['id']!r}, expected "
+                f"{request['id']}); connection closed")
+        if not response.get("ok"):
+            error = str(response.get("error", "unknown server error"))
+            kind = response.get("kind")
+            if kind == ERROR_UNKNOWN_OP or "unknown op" in error:
+                raise ServiceError(
+                    f"server at {self.host}:{self.port} does not support "
+                    f"subscribe (it speaks a pre-streaming protocol): {error}",
+                    kind=kind or ERROR_UNKNOWN_OP)
+            raise ServiceError(error, kind=kind)
+        result = response.get("result")
+        yield {"event": "subscribed",
+               **(result if isinstance(result, dict) else {})}
+        while True:
+            try:
+                line = self._rfile.readline()
+            except OSError:
+                self.close()
+                raise
+            if not line:
+                self.close()
+                raise ConnectionError(
+                    f"server at {self.host}:{self.port} dropped the "
+                    "subscription stream")
+            event = decode_line(line)
+            if not isinstance(event, dict) or "event" not in event:
+                self.close()
+                raise ConnectionError(f"malformed event: {event!r}")
+            if event["event"] == "error":
+                raise ServiceError(
+                    str(event.get("error", "unknown server error")))
+            yield event
+            if event["event"] in ("finalized", "end"):
+                return
+
+
+def follow_series(path: str, field: Optional[str] = None, *,
+                  host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                  level: int = 0, box: Optional[Box] = None,
+                  from_step: int = 0, refill: bool = True,
+                  fill_value: float = 0.0, max_level: Optional[int] = None,
+                  reconnect: bool = True, max_retries: int = 5,
+                  retry_delay: float = 0.5, timeout: float = 120.0
+                  ) -> Iterator[Tuple[dict, Optional[np.ndarray]]]:
+    """Follow a live series end to end: ``(event, array)`` per committed step.
+
+    The client half of ``repro query --follow``.  Two connections are used —
+    one carries the subscription stream, the other the box reads — so a slow
+    read can never desynchronise the event stream.  With ``field`` set, each
+    step event is paired with that step's box read (element-wise identical to
+    reading the finalized series later); with ``field=None`` the arrays are
+    ``None`` and only events flow.
+
+    On a dropped connection (server restart, network blip) the generator
+    reconnects — waiting ``retry_delay`` between at most ``max_retries``
+    consecutive attempts, the counter resetting on progress — and resumes the
+    subscription *from the first step it has not yielded*: committed steps
+    are delivered exactly once across reconnects.  The generator ends after
+    the ``finalized`` event (yielded last, with a ``None`` array).
+    """
+    next_step = int(from_step)
+    retries = 0
+    while True:
+        sub: Optional[ReproClient] = None
+        reads: Optional[ReproClient] = None
+        try:
+            sub = ReproClient(host, port, timeout=timeout)
+            if field is not None:
+                reads = ReproClient(host, port, timeout=timeout)
+            for event in sub.subscribe(path, from_step=next_step):
+                name = event.get("event")
+                if name == "step":
+                    step_index = int(event["step_index"])
+                    array = None
+                    if reads is not None:
+                        array = reads.read_field(
+                            path, field, level=level, box=box,
+                            step=step_index, refill=refill,
+                            fill_value=fill_value, max_level=max_level)
+                    next_step = step_index + 1
+                    retries = 0
+                    yield event, array
+                elif name == "finalized":
+                    yield event, None
+                    return
+                elif name == "end":
+                    return
+                else:
+                    retries = 0
+                    yield event, None
+            return
+        except (ConnectionError, OSError):
+            if not reconnect or retries >= max_retries:
+                raise
+            retries += 1
+            time.sleep(retry_delay)
+        finally:
+            for client in (sub, reads):
+                if client is not None:
+                    client.close()

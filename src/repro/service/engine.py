@@ -39,6 +39,7 @@ from repro.parallel.backend import ExecutionBackend, make_backend
 from repro.series.index import INDEX_FILENAME
 from repro.series.reader import SeriesHandle
 from repro.service.cache import DEFAULT_CACHE_BYTES, ChunkCache
+from repro.stream.journal import JOURNAL_FILENAME
 
 __all__ = ["BoxQuery", "QueryEngine"]
 
@@ -94,8 +95,11 @@ class BoxQuery:
 
 
 def _is_series_dir(path: str) -> bool:
-    return os.path.isdir(path) and \
+    # a live series may not have been compacted into a manifest yet — its
+    # journal alone makes the directory a readable series
+    return os.path.isdir(path) and (
         os.path.isfile(os.path.join(path, INDEX_FILENAME))
+        or os.path.isfile(os.path.join(path, JOURNAL_FILENAME)))
 
 
 class QueryEngine:
@@ -179,6 +183,19 @@ class QueryEngine:
                                       source=self._source_spec)
                 self._series[key] = series
             return series
+
+    def refresh(self, directory: str) -> int:
+        """Pick up a live series' newly committed steps; returns how many.
+
+        Cheap by design (see :meth:`SeriesHandle.refresh`): committed steps
+        are immutable, so nothing in the shared cache is invalidated — a
+        server polling this per watch tick costs a ``stat`` per tick.
+        """
+        return self.series(directory).refresh()
+
+    def high_water(self, directory: str) -> int:
+        """The newest committed step index of one (possibly live) series."""
+        return self.series(directory).high_water
 
     def _target(self, query: BoxQuery) -> PlotfileHandle:
         """The plotfile handle a query reads from (a step handle for series)."""

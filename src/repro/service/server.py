@@ -10,8 +10,20 @@ many clients share one :class:`~repro.service.engine.QueryEngine` (and hence
 one chunk cache: a chunk decoded for client A is a cache hit for client B).
 
 Ops: ``ping``, ``describe``, ``read_field``, ``read_batch``, ``time_slice``,
-``stats``.  Array results travel base64-raw, so a served read is element-wise
-identical to a direct :func:`repro.open` read.
+``stats``, ``refresh``.  Array results travel base64-raw, so a served read is
+element-wise identical to a direct :func:`repro.open` read.
+
+**Subscribe.**  ``subscribe`` is the one *streaming* verb: after the usual
+``ok`` acknowledgement the server takes over the connection and pushes one
+newline-delimited event per committed step of a live series — strictly
+ordered, each step exactly once from the requested ``from_step`` — followed
+by a ``finalized`` event when the writer finalizes.  A
+:class:`_SeriesWatcher` per watched series polls
+:meth:`QueryEngine.refresh <repro.service.engine.QueryEngine.refresh>` off
+the event loop (committed steps are immutable, so a poll costs a ``stat``)
+and fans one wakeup out to every subscriber.  The client may send a line at
+any time to end the stream (``event: "end"``); that line is then answered as
+an ordinary request on the same connection.
 
 The server runs in the foreground for the CLI (:meth:`ReproServer.run`) or on
 a background thread for tests and in-process use (:meth:`ReproServer.start` /
@@ -22,16 +34,74 @@ a background thread for tests and in-process use (:meth:`ReproServer.start` /
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, Optional
 
-from repro.service.engine import BoxQuery, QueryEngine
-from repro.service.wire import MAX_LINE_BYTES, decode_line, encode_line
+from repro.service.engine import BoxQuery, QueryEngine, _is_series_dir
+from repro.service.wire import (
+    ERROR_UNKNOWN_OP,
+    ERROR_UNSUPPORTED_VERSION,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    decode_line,
+    encode_line,
+    error_envelope,
+)
 
 __all__ = ["ReproServer", "DEFAULT_PORT"]
 
 DEFAULT_PORT = 9753
+
+#: ops answered with one response line (``subscribe`` streams instead)
+_OPS = ("ping", "describe", "read_field", "read_batch", "time_slice",
+        "stats", "refresh", "subscribe")
+
+
+class _SeriesWatcher:
+    """One live series' poll loop, shared by every subscriber of that series.
+
+    Owned by the server's event loop (no locks: all state transitions happen
+    there).  The poll task refreshes the pooled series handle on the worker
+    executor, publishes ``(nsteps, live, error)`` and notifies the condition;
+    it parks itself once the series finalizes or errors.
+    """
+
+    def __init__(self, path: str, nsteps: int, live: bool):
+        self.path = path
+        self.nsteps = nsteps
+        self.live = live
+        self.error: Optional[str] = None
+        self.refs = 0
+        self.condition = asyncio.Condition()
+        self.task: Optional[asyncio.Task] = None
+
+    async def poll_loop(self, server: "ReproServer", interval: float) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            try:
+                await loop.run_in_executor(
+                    server._executor, server.engine.refresh, self.path)
+                series = server.engine.series(self.path)
+                nsteps, live, error = series.nsteps, series.live, None
+            except Exception as exc:  # noqa: BLE001 - published to subscribers
+                nsteps, live = self.nsteps, False
+                error = f"{type(exc).__name__}: {exc}"
+            if (nsteps, live, error) != (self.nsteps, self.live, self.error):
+                self.nsteps, self.live, self.error = nsteps, live, error
+                async with self.condition:
+                    self.condition.notify_all()
+            if not live:
+                return
+            await asyncio.sleep(interval)
+
+    async def wait_for_step(self, step_index: int) -> None:
+        """Block until step ``step_index`` commits (or live/error flips)."""
+        async with self.condition:
+            await self.condition.wait_for(
+                lambda: self.nsteps > step_index or not self.live
+                or self.error is not None)
 
 
 class ReproServer:
@@ -39,14 +109,22 @@ class ReproServer:
 
     def __init__(self, engine: Optional[QueryEngine] = None,
                  host: str = "127.0.0.1", port: int = DEFAULT_PORT,
-                 max_workers: int = 8):
+                 max_workers: int = 8, watch_interval: float = 0.25):
         self.engine = engine if engine is not None else QueryEngine()
         self._owns_engine = engine is None
         self.host = host
         self.requested_port = int(port)
         #: the bound port (== requested_port unless that was 0); set on listen
         self.port: Optional[int] = None
+        #: how often a watched live series is polled for new commits; the
+        #: subscriber-visible event-to-commit lag is bounded by this
+        self.watch_interval = float(watch_interval)
         self._executor = ThreadPoolExecutor(max_workers=max_workers)
+        #: abs series path -> its watcher (event-loop state only)
+        self._watchers: Dict[str, _SeriesWatcher] = {}
+        #: live connection tasks, cancelled on stop so clients see EOF
+        #: promptly instead of waiting out their socket timeout
+        self._conn_tasks: set = set()
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
@@ -63,9 +141,18 @@ class ReproServer:
             if not isinstance(request, dict):
                 raise ValueError("a request must be a JSON object")
             request_id = request.get("id")
+            v = request.get("v")
+            if isinstance(v, int) and not isinstance(v, bool) \
+                    and v > PROTOCOL_VERSION:
+                return error_envelope(
+                    request_id,
+                    f"request speaks protocol version {v} but this server "
+                    f"speaks {PROTOCOL_VERSION}; upgrade the server",
+                    kind=ERROR_UNSUPPORTED_VERSION)
             op = request.get("op")
             if op == "ping":
-                result: object = {"pong": True}
+                result: object = {"pong": True,
+                                  "protocol_version": PROTOCOL_VERSION}
             elif op == "describe":
                 result = self.engine.describe(str(request["path"]))
             elif op == "read_field":
@@ -96,12 +183,23 @@ class ReproServer:
                 result = {"times": times, "values": values}
             elif op == "stats":
                 result = self.engine.stats()
+            elif op == "refresh":
+                path = str(request["path"])
+                appended = self.engine.refresh(path)
+                series = self.engine.series(path)
+                result = {"appended": appended, "nsteps": series.nsteps,
+                          "high_water": series.high_water,
+                          "live": series.live}
             else:
-                raise ValueError(f"unknown op {op!r}")
-            return {"id": request_id, "ok": True, "result": result}
+                return error_envelope(
+                    request_id,
+                    f"unknown op {op!r}; this server supports "
+                    f"{', '.join(_OPS)}",
+                    kind=ERROR_UNKNOWN_OP)
+            return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True,
+                    "result": result}
         except Exception as exc:  # noqa: BLE001 - every failure becomes a reply
-            return {"id": request_id, "ok": False,
-                    "error": f"{type(exc).__name__}: {exc}"}
+            return error_envelope(request_id, f"{type(exc).__name__}: {exc}")
 
     # ------------------------------------------------------------------
     # the asyncio shell
@@ -109,16 +207,23 @@ class ReproServer:
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         loop = asyncio.get_running_loop()
+        pending_line: Optional[bytes] = None
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
         try:
             while True:
-                try:
-                    line = await reader.readline()
-                except ConnectionResetError:
-                    break
-                except ValueError:
-                    # readline wraps a limit overrun in ValueError; the line
-                    # framing is lost, so the connection cannot continue
-                    break
+                if pending_line is not None:
+                    line, pending_line = pending_line, None
+                else:
+                    try:
+                        line = await reader.readline()
+                    except ConnectionResetError:
+                        break
+                    except ValueError:
+                        # readline wraps a limit overrun in ValueError; the
+                        # line framing is lost, so the connection cannot
+                        # continue
+                        break
                 if not line:
                     break
                 try:
@@ -127,16 +232,178 @@ class ReproServer:
                     response = {"id": None, "ok": False,
                                 "error": f"bad request line: {exc}"}
                 else:
+                    if isinstance(request, dict) \
+                            and request.get("op") == "subscribe":
+                        # streaming verb: takes over the connection until the
+                        # series finalizes or the client sends a line (which
+                        # comes back here as the next request)
+                        pending_line = await self._stream_subscription(
+                            reader, writer, request)
+                        if pending_line is None:
+                            continue
+                        if not pending_line:
+                            break
+                        continue
                     response = await loop.run_in_executor(
                         self._executor, self._execute, request)
                 writer.write(encode_line(response))
                 await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
         finally:
+            self._conn_tasks.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
                 pass
+
+    # ------------------------------------------------------------------
+    # the subscribe stream
+    # ------------------------------------------------------------------
+    def _open_subscribed_series(self, path: str):
+        """Worker-thread half of subscription setup: open + first refresh."""
+        if not _is_series_dir(path):
+            raise ValueError(
+                f"{path!r} is not a series directory (no manifest or journal)")
+        series = self.engine.series(path)
+        series.refresh()
+        return series
+
+    async def _acquire_watcher(self, key: str, series) -> _SeriesWatcher:
+        watcher = self._watchers.get(key)
+        if watcher is None:
+            watcher = _SeriesWatcher(key, series.nsteps, series.live)
+            self._watchers[key] = watcher
+            if watcher.live:
+                watcher.task = asyncio.ensure_future(
+                    watcher.poll_loop(self, self.watch_interval))
+        watcher.refs += 1
+        return watcher
+
+    async def _release_watcher(self, key: str, watcher: _SeriesWatcher) -> None:
+        watcher.refs -= 1
+        if watcher.refs <= 0:
+            self._watchers.pop(key, None)
+            if watcher.task is not None:
+                watcher.task.cancel()
+                await asyncio.gather(watcher.task, return_exceptions=True)
+
+    async def _stream_subscription(self, reader: asyncio.StreamReader,
+                                   writer: asyncio.StreamWriter,
+                                   request: dict) -> Optional[bytes]:
+        """Push step-committed events until finalize or a client line.
+
+        Returns ``None`` when the stream never started (a refused request —
+        the caller resumes its normal read loop), or the next raw line of the
+        connection: the client's mid-stream request to answer next, or ``b""``
+        at client EOF.
+        """
+        loop = asyncio.get_running_loop()
+        request_id = request.get("id")
+        v = request.get("v")
+        if isinstance(v, int) and not isinstance(v, bool) \
+                and v > PROTOCOL_VERSION:
+            writer.write(encode_line(error_envelope(
+                request_id,
+                f"request speaks protocol version {v} but this server "
+                f"speaks {PROTOCOL_VERSION}; upgrade the server",
+                kind=ERROR_UNSUPPORTED_VERSION)))
+            await writer.drain()
+            return None
+        try:
+            path = request.get("path")
+            if not isinstance(path, str):
+                raise ValueError("subscribe needs a 'path' string")
+            from_step = request.get("from_step", 0)
+            from_step = 0 if from_step is None else int(from_step)
+            if from_step < 0:
+                raise ValueError("from_step must be >= 0")
+            series = await loop.run_in_executor(
+                self._executor, self._open_subscribed_series, path)
+        except Exception as exc:  # noqa: BLE001 - refusal, not a stream
+            writer.write(encode_line(error_envelope(
+                request_id, f"{type(exc).__name__}: {exc}")))
+            await writer.drain()
+            return None
+        from repro.analysis.series_report import step_summary_row
+
+        key = os.path.abspath(path)
+        watcher = await self._acquire_watcher(key, series)
+        read_task: Optional[asyncio.Task] = None
+        try:
+            writer.write(encode_line({
+                "v": PROTOCOL_VERSION, "id": request_id, "ok": True,
+                "result": {"subscribed": path, "nsteps": watcher.nsteps,
+                           "high_water": watcher.nsteps - 1,
+                           "live": watcher.live}}))
+            await writer.drain()
+            read_task = asyncio.ensure_future(reader.readline())
+            next_step = from_step
+            while True:
+                # drain every committed step the subscriber has not seen;
+                # strictly ordered, each exactly once
+                while next_step < watcher.nsteps:
+                    record = series.index.steps[next_step]
+                    writer.write(encode_line({
+                        "v": PROTOCOL_VERSION, "event": "step",
+                        "step_index": next_step, "step": record.step,
+                        "time": record.time, "kind": record.kind,
+                        "path": record.path,
+                        "summary": step_summary_row(record)}))
+                    next_step += 1
+                await writer.drain()
+                if watcher.error is not None:
+                    writer.write(encode_line({
+                        "v": PROTOCOL_VERSION, "event": "error",
+                        "error": watcher.error}))
+                    await writer.drain()
+                    break
+                if not watcher.live:
+                    writer.write(encode_line({
+                        "v": PROTOCOL_VERSION, "event": "finalized",
+                        "nsteps": watcher.nsteps}))
+                    await writer.drain()
+                    break
+                wait_task = asyncio.ensure_future(
+                    watcher.wait_for_step(next_step))
+                try:
+                    await asyncio.wait({read_task, wait_task},
+                                       return_when=asyncio.FIRST_COMPLETED)
+                finally:
+                    if not wait_task.done():
+                        wait_task.cancel()
+                        await asyncio.gather(wait_task,
+                                             return_exceptions=True)
+                if read_task.done():
+                    # the client spoke (or hung up): end the stream and hand
+                    # its line back to the request loop
+                    try:
+                        line = read_task.result()
+                    except (ConnectionResetError, ValueError):
+                        line = b""
+                    read_task = None
+                    if line:
+                        writer.write(encode_line({
+                            "v": PROTOCOL_VERSION, "event": "end"}))
+                        await writer.drain()
+                    return line
+            # stream over (finalized/error) with the client silent so far:
+            # its next line — whenever it comes — resumes the request loop
+            try:
+                line = await read_task
+            except (ConnectionResetError, ValueError):
+                line = b""
+            read_task = None
+            return line
+        except (ConnectionResetError, BrokenPipeError):
+            return b""
+        finally:
+            if read_task is not None:
+                read_task.cancel()
+                await asyncio.gather(read_task, return_exceptions=True)
+            await self._release_watcher(key, watcher)
 
     async def _open(self) -> None:
         # the stream limit and the wire-format line limit are one number:
@@ -205,6 +472,13 @@ class ReproServer:
                 if self._server is not None:
                     self._server.close()
                     await self._server.wait_closed()
+                # drop established connections too: a stopped server must
+                # hand its clients EOF now, not at their socket timeout
+                for conn in list(self._conn_tasks):
+                    conn.cancel()
+                if self._conn_tasks:
+                    await asyncio.gather(*self._conn_tasks,
+                                         return_exceptions=True)
 
             asyncio.run_coroutine_threadsafe(close_server(), self._loop) \
                 .result(timeout=30)

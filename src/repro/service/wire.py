@@ -9,21 +9,50 @@ Base64 of the IEEE-754 bytes — not decimal rendering — is what makes a
 server-mediated read *element-wise identical* to a direct one: the decoded
 array is bit-for-bit the array the engine produced.  Everything else is plain
 JSON; tuples flatten to lists, numpy scalars to Python numbers.
+
+**Versioning.**  Requests and responses carry a ``"v"`` field
+(:data:`PROTOCOL_VERSION`); a message without one is version 1 (the PR-5
+protocol, which predates the field).  The rules are the manifest's: within a
+major version evolution is additive (unknown fields are ignored), and a
+server answers a request from a *newer* protocol with a structured refusal
+instead of guessing.  Error responses may carry a machine-readable ``kind``
+(:data:`ERROR_UNKNOWN_OP`, :data:`ERROR_UNSUPPORTED_VERSION`) next to the
+human-readable ``error`` string, so a client can distinguish "this server
+predates subscribe" from an ordinary failed request.
 """
 
 from __future__ import annotations
 
 import base64
 import json
-from typing import Any
+from typing import Any, Optional
 
 import numpy as np
 
 __all__ = ["to_wire", "from_wire", "encode_line", "decode_line",
-           "MAX_LINE_BYTES"]
+           "error_envelope", "MAX_LINE_BYTES", "PROTOCOL_VERSION",
+           "ERROR_UNKNOWN_OP", "ERROR_UNSUPPORTED_VERSION"]
 
 #: refuse lines past this size when reading (a corrupt peer must not OOM us)
 MAX_LINE_BYTES = 512 * 1024 * 1024
+
+#: version 1: the original PR-5 request/response protocol (no "v" field);
+#: version 2: adds "v", error ``kind``s, and the streaming ``subscribe`` verb
+PROTOCOL_VERSION = 2
+
+#: error kinds (the ``kind`` field of an error envelope)
+ERROR_UNKNOWN_OP = "unknown_op"
+ERROR_UNSUPPORTED_VERSION = "unsupported_version"
+
+
+def error_envelope(request_id: Any, message: str,
+                   kind: Optional[str] = None) -> dict:
+    """A failed-request response line (optionally machine-classified)."""
+    response = {"v": PROTOCOL_VERSION, "id": request_id, "ok": False,
+                "error": str(message)}
+    if kind is not None:
+        response["kind"] = kind
+    return response
 
 
 def to_wire(obj: Any) -> Any:

@@ -1,0 +1,44 @@
+"""Live in situ streaming: the append-mode series journal and its readers.
+
+The PR-4 series subsystem finalizes a manifest (``series.h5z``) before
+:func:`repro.open_series` can read anything — post-mortem analysis only.
+This package is what makes a series **appendable and watchable** while the
+producing simulation is still running:
+
+* :mod:`repro.stream.journal` — the versioned manifest *journal*
+  (``series.journal``): append-only framed records, one fsync'd commit per
+  step, crash-recoverable by replaying complete records and truncating a
+  torn tail.  :class:`~repro.series.writer.SeriesWriter` in ``append=True``
+  mode commits each step through it and periodically *compacts* into the
+  ordinary ``series.h5z`` manifest, so a finalized series is byte-compatible
+  with pre-stream readers.
+* the read side lives where the readers live:
+  :meth:`repro.series.reader.SeriesHandle.refresh` re-reads only the journal
+  tail (committed steps are immutable, so nothing warm is ever invalidated),
+  and the query service (:mod:`repro.service`) exposes a ``subscribe`` verb
+  pushing step-committed events to ``repro query --follow`` clients.
+"""
+
+from repro.stream.journal import (
+    JOURNAL_FILENAME,
+    JOURNAL_FORMAT_VERSION,
+    JournalTail,
+    JournalView,
+    SeriesJournal,
+    load_live_index,
+    read_journal,
+    replay_journal,
+    tail_journal,
+)
+
+__all__ = [
+    "JOURNAL_FILENAME",
+    "JOURNAL_FORMAT_VERSION",
+    "JournalTail",
+    "JournalView",
+    "SeriesJournal",
+    "load_live_index",
+    "read_journal",
+    "replay_journal",
+    "tail_journal",
+]

@@ -1,0 +1,413 @@
+"""The series manifest journal: crash-safe append-mode commits, one per step.
+
+``series.h5z`` is a whole-manifest snapshot — rewriting it per step is an
+O(nsteps) commit and a reader polling it must re-parse every step it already
+knows.  The journal (``series.journal``) is the incremental complement: an
+append-only file of framed records, each one a step commit, fsync'd before
+:meth:`~repro.series.writer.SeriesWriter.append` returns.
+
+Layout::
+
+    [4s magic b"SJNL"][<I journal format version>]          # 8-byte preamble
+    [4s b"SJRC"][<Q payload len>][<I crc32(payload)>][payload]   # record 0
+    [4s b"SJRC"][<Q payload len>][<I crc32(payload)>][payload]   # record 1
+    ...
+
+Every payload is the unified codec container
+(:func:`repro.compress.container.pack_container`, codec ``series_journal``)
+whose ``meta`` carries the record JSON.  Record 0 is always a **genesis**
+record — the series configuration (a manifest without its step list) plus
+``base``, the number of steps already compacted into ``series.h5z`` when this
+journal generation was written.  Every later record is a **step** record
+holding one :class:`~repro.series.index.SeriesStepRecord`.
+
+Crash-recovery invariants:
+
+* a journal is *created* and *rewritten* (compaction) via write-temp + fsync
+  + atomic rename + directory fsync, so a generation switch is all-or-nothing;
+* a step commit is a single ``write`` + fsync, so a crash can only tear the
+  **tail**: recovery replays complete records and truncates at the first
+  record whose header, length, CRC or payload fails to parse;
+* records are immutable once written — a reader that has consumed the journal
+  up to byte offset *k* only ever needs bytes ``[k:]`` plus a 24-byte head
+  probe (:func:`tail_journal`) to learn what is new.
+
+The genesis record's CRC doubles as the journal *generation id*: compaction
+rewrites the file with a new genesis (different ``base``, hence different
+CRC), and a tail reader detecting a CRC change falls back to a full reload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.compress.container import pack_container, unpack_container
+from repro.series.index import INDEX_FILENAME, SeriesIndex, SeriesStepRecord
+
+__all__ = [
+    "JOURNAL_FILENAME",
+    "JOURNAL_FORMAT_VERSION",
+    "JOURNAL_CODEC",
+    "JournalView",
+    "JournalTail",
+    "SeriesJournal",
+    "read_journal",
+    "tail_journal",
+    "load_live_index",
+    "replay_journal",
+]
+
+#: journal file name inside a series directory
+JOURNAL_FILENAME = "series.journal"
+JOURNAL_FORMAT_VERSION = 1
+#: codec tag of every record payload (unified container format)
+JOURNAL_CODEC = "series_journal"
+
+_PREAMBLE = struct.Struct("<4sI")          # magic, format version
+_PREAMBLE_MAGIC = b"SJNL"
+_RECORD_HEADER = struct.Struct("<4sQI")    # magic, payload length, crc32(payload)
+_RECORD_MAGIC = b"SJRC"
+#: offset of the first record header (== preamble size)
+GENESIS_OFFSET = _PREAMBLE.size
+#: bytes needed to identify a journal generation: preamble + genesis header
+HEAD_PROBE_BYTES = _PREAMBLE.size + _RECORD_HEADER.size
+#: a record payload larger than this is treated as a torn tail, not a record
+_MAX_PAYLOAD_BYTES = 1 << 30
+
+
+def _frame_record(obj: dict) -> bytes:
+    """One complete record: container payload behind a CRC'd length header."""
+    payload = pack_container(JOURNAL_CODEC, obj, {})
+    return _RECORD_HEADER.pack(_RECORD_MAGIC, len(payload),
+                               zlib.crc32(payload) & 0xFFFFFFFF) + payload
+
+
+def _parse_record(buf: bytes, offset: int) -> Optional[Tuple[dict, int]]:
+    """Parse the record at ``offset``; ``None`` means a torn/absent tail."""
+    end = offset + _RECORD_HEADER.size
+    if end > len(buf):
+        return None
+    magic, length, crc = _RECORD_HEADER.unpack_from(buf, offset)
+    if magic != _RECORD_MAGIC or length > _MAX_PAYLOAD_BYTES:
+        return None
+    if end + length > len(buf):
+        return None
+    payload = buf[end:end + length]
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        container = unpack_container(bytes(payload), expect_codec=JOURNAL_CODEC)
+    except ValueError:
+        return None
+    return dict(container.meta), end + length
+
+
+def _fsync_dir(directory: str) -> None:
+    # directory fsync is what makes the rename itself durable; some
+    # filesystems refuse O_RDONLY fsync on directories — best effort there
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@dataclass
+class JournalView:
+    """One full read of a journal: its generation identity and step records."""
+
+    version: int                  #: journal format version from the preamble
+    base: int                     #: steps compacted into series.h5z at genesis
+    config: dict                  #: manifest JSON minus its step list
+    steps: List[dict] = field(default_factory=list)  #: step record JSON objects
+    genesis_crc: int = 0          #: generation id (crc32 of the genesis payload)
+    end_offset: int = 0           #: byte offset just past the last complete record
+    truncated: bool = False       #: a torn tail followed ``end_offset``
+
+
+@dataclass
+class JournalTail:
+    """What :func:`tail_journal` learned without re-reading committed records."""
+
+    #: "ok" (``steps`` holds the new records), "rebuilt" (generation changed —
+    #: full reload required) or "gone" (journal removed: series finalized)
+    status: str
+    steps: List[dict] = field(default_factory=list)
+    end_offset: int = 0
+
+
+def _genesis_from_view(obj: dict, path: str) -> Tuple[int, dict]:
+    if obj.get("record") != "genesis":
+        raise ValueError(
+            f"{path}: first journal record is {obj.get('record')!r}, "
+            "expected 'genesis'")
+    base = obj.get("base")
+    if not isinstance(base, int) or isinstance(base, bool) or base < 0:
+        raise ValueError(f"{path}: genesis record has invalid base {base!r}")
+    config = obj.get("config")
+    if not isinstance(config, dict):
+        raise ValueError(f"{path}: genesis record carries no config object")
+    return base, config
+
+
+def read_journal(path: str) -> JournalView:
+    """Scan one journal file, stopping cleanly at a torn tail.
+
+    Raises :class:`ValueError` only for damage that cannot be a torn tail —
+    a bad preamble or a malformed genesis record, i.e. a file that was never
+    a complete journal generation (generation switches are atomic).
+    """
+    with open(path, "rb") as fh:
+        buf = fh.read()
+    if len(buf) < _PREAMBLE.size:
+        raise ValueError(f"{path} is too short to be a series journal")
+    magic, version = _PREAMBLE.unpack_from(buf, 0)
+    if magic != _PREAMBLE_MAGIC:
+        raise ValueError(f"{path} is not a series journal (bad magic)")
+    if version < 1 or version > JOURNAL_FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: journal format version {version} is not supported "
+            f"(supports 1..{JOURNAL_FORMAT_VERSION}); upgrade repro to read it")
+    parsed = _parse_record(buf, GENESIS_OFFSET)
+    if parsed is None:
+        raise ValueError(f"{path} has no complete genesis record")
+    genesis, offset = parsed
+    base, config = _genesis_from_view(genesis, path)
+    _, _, genesis_crc = _RECORD_HEADER.unpack_from(buf, GENESIS_OFFSET)
+    view = JournalView(version=version, base=base, config=config,
+                       genesis_crc=genesis_crc)
+    while offset < len(buf):
+        parsed = _parse_record(buf, offset)
+        if parsed is None:
+            view.truncated = True
+            break
+        obj, offset = parsed
+        if obj.get("record") == "step":
+            step = obj.get("step")
+            if not isinstance(step, dict):
+                view.truncated = True
+                break
+            view.steps.append(step)
+        # unknown record kinds are skipped (additive evolution within a
+        # major version, like the manifest's extra-key rule)
+    view.end_offset = offset
+    return view
+
+
+def tail_journal(path: str, offset: int, genesis_crc: int) -> JournalTail:
+    """Read only what a journal grew past ``offset`` — the refresh fast path.
+
+    ``offset``/``genesis_crc`` come from the caller's last
+    :class:`JournalView`/:class:`JournalTail`.  The steady-state cost when
+    nothing changed is one ``stat`` plus a 24-byte head probe; new records
+    cost exactly their own bytes.  A "rebuilt" or "gone" status tells the
+    caller to fall back to a full reload (compaction or finalize happened).
+    """
+    try:
+        size = os.stat(path).st_size
+    except FileNotFoundError:
+        return JournalTail(status="gone")
+    if size < offset:
+        return JournalTail(status="rebuilt")
+    try:
+        with open(path, "rb") as fh:
+            head = fh.read(HEAD_PROBE_BYTES)
+            if len(head) < HEAD_PROBE_BYTES \
+                    or head[:4] != _PREAMBLE_MAGIC \
+                    or head[GENESIS_OFFSET:GENESIS_OFFSET + 4] != _RECORD_MAGIC:
+                return JournalTail(status="rebuilt")
+            _, _, crc = _RECORD_HEADER.unpack_from(head, GENESIS_OFFSET)
+            if crc != genesis_crc:
+                return JournalTail(status="rebuilt")
+            if size == offset:
+                return JournalTail(status="ok", end_offset=offset)
+            fh.seek(offset)
+            buf = fh.read()
+    except FileNotFoundError:
+        return JournalTail(status="gone")
+    tail = JournalTail(status="ok")
+    pos = 0
+    while pos < len(buf):
+        parsed = _parse_record(buf, pos)
+        if parsed is None:
+            break  # torn (or still being written) tail — next call retries it
+        obj, pos = parsed
+        if obj.get("record") == "step":
+            step = obj.get("step")
+            if isinstance(step, dict):
+                tail.steps.append(step)
+    tail.end_offset = offset + pos
+    return tail
+
+
+def load_live_index(directory: str) -> Tuple[SeriesIndex, Optional[JournalView]]:
+    """Materialize the current index of a live (or finalized) series.
+
+    Merges the compacted manifest (when present) with the journal's step
+    records.  Replay is idempotent: journal steps the manifest already holds
+    are skipped, the next expected step is appended, and a gap — a journal
+    claiming step *k+2* when only *k* steps are known — raises
+    :class:`ValueError` because it can only mean a damaged directory.
+
+    Returns ``(index, view)`` where ``view`` is ``None`` for a finalized
+    series (no journal — exactly a PR-4 directory).
+    """
+    journal_path = os.path.join(directory, JOURNAL_FILENAME)
+    manifest_path = os.path.join(directory, INDEX_FILENAME)
+    if not os.path.exists(journal_path):
+        return SeriesIndex.load(directory), None
+    view = read_journal(journal_path)
+    if os.path.exists(manifest_path):
+        index = SeriesIndex.load(directory)
+    else:
+        config = dict(view.config)
+        config["steps"] = []
+        index = SeriesIndex.from_json(config)
+    replay_journal(index, view, path=journal_path)
+    return index, view
+
+
+def replay_journal(index: SeriesIndex, view: "JournalView | JournalTail", *,
+                   path: str = JOURNAL_FILENAME) -> int:
+    """Append a journal's step records onto ``index`` (idempotent; in place).
+
+    Mutates ``index.steps`` only by appending — existing
+    :class:`~repro.series.index.SeriesStepRecord` objects are never replaced,
+    which is what lets a live reader keep its caches across a refresh.
+    Returns the number of steps appended.
+    """
+    appended = 0
+    for obj in view.steps:
+        idx = obj.get("index")
+        if not isinstance(idx, int) or isinstance(idx, bool):
+            raise ValueError(f"{path}: step record with invalid index {idx!r}")
+        if idx < index.nsteps:
+            continue  # already compacted into the manifest (or replayed)
+        if idx > index.nsteps:
+            raise ValueError(
+                f"{path}: journal records step {idx} but only "
+                f"{index.nsteps} steps are known — the series directory "
+                "is damaged (missing commits)")
+        index.steps.append(SeriesStepRecord.from_json(obj, idx))
+        appended += 1
+    return appended
+
+
+# ----------------------------------------------------------------------
+# the writer's handle
+# ----------------------------------------------------------------------
+class SeriesJournal:
+    """The append-mode writer's journal handle.
+
+    Owns the open file descriptor; every mutation is durable when the method
+    returns.  :meth:`create` and :meth:`rewrite` switch generations
+    atomically; :meth:`append_step` is the per-step commit;
+    :meth:`remove` finalizes (the manifest alone now describes the series).
+    """
+
+    def __init__(self, directory: str):
+        self.directory = str(directory)
+        self.path = os.path.join(self.directory, JOURNAL_FILENAME)
+        self._fh = None
+        self.genesis_crc = 0
+        self.base = 0
+        self.end_offset = 0
+
+    # -- generation switches (atomic) ----------------------------------
+    def _write_generation(self, config: dict, base: int) -> None:
+        config = dict(config)
+        config.pop("steps", None)
+        record = _frame_record({"record": "genesis",
+                               "journal_version": JOURNAL_FORMAT_VERSION,
+                               "base": int(base), "config": config})
+        blob = _PREAMBLE.pack(_PREAMBLE_MAGIC, JOURNAL_FORMAT_VERSION) + record
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        _fsync_dir(self.directory)
+        self.close()
+        self._fh = open(self.path, "ab")
+        _, _, self.genesis_crc = _RECORD_HEADER.unpack_from(record, 0)
+        self.base = int(base)
+        self.end_offset = len(blob)
+
+    def create(self, config: dict, base: int = 0) -> None:
+        """Start a fresh journal generation (refuses to clobber an old one)."""
+        if os.path.exists(self.path):
+            raise ValueError(
+                f"{self.path!r} already exists; recover with open_existing() "
+                "or compact with rewrite()")
+        self._write_generation(config, base)
+
+    def rewrite(self, config: dict, base: int) -> None:
+        """Compact: atomically replace the journal with a step-free genesis.
+
+        Call only *after* the manifest snapshot through step ``base - 1`` is
+        durably on disk — the old generation's step records vanish here.
+        """
+        self._write_generation(config, base)
+
+    @classmethod
+    def open_existing(cls, directory: str) -> Tuple["SeriesJournal", JournalView]:
+        """Recover a journal after a crash: truncate the torn tail, reopen.
+
+        Returns the handle plus the :class:`JournalView` of every record
+        that survived, so the caller can rebuild its in-memory index.
+        """
+        journal = cls(directory)
+        view = read_journal(journal.path)
+        if view.truncated:
+            with open(journal.path, "r+b") as fh:
+                fh.truncate(view.end_offset)
+                fh.flush()
+                os.fsync(fh.fileno())
+        journal._fh = open(journal.path, "ab")
+        journal.genesis_crc = view.genesis_crc
+        journal.base = view.base
+        journal.end_offset = view.end_offset
+        return journal, view
+
+    # -- the per-step commit -------------------------------------------
+    def append_step(self, step_json: dict) -> None:
+        """Commit one step record: a single write + fsync."""
+        if self._fh is None:
+            raise ValueError("journal is not open")
+        record = _frame_record({"record": "step", "step": step_json})
+        self._fh.write(record)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.end_offset += len(record)
+
+    # -- lifecycle ------------------------------------------------------
+    def remove(self) -> None:
+        """Finalize: drop the journal (the manifest must already be current)."""
+        self.close()
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+        _fsync_dir(self.directory)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SeriesJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

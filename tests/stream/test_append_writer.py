@@ -1,0 +1,218 @@
+"""Append-mode series writing: crash recovery, compaction, finalize compat."""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro.series.index import INDEX_FILENAME, SeriesIndex
+from repro.series.writer import SeriesWriter, write_series
+from repro.stream.journal import JOURNAL_FILENAME, read_journal
+
+NSTEPS = 7                  # matches the conftest simulation run
+KEYFRAME_INTERVAL = 3
+
+
+def assert_series_equal(directory, reference_dir, field="baryon_density"):
+    """Element-wise equality of every step against the reference series."""
+    with repro.open_series(directory) as got, \
+            repro.open_series(reference_dir) as want:
+        assert len(got.steps()) == len(want.steps())
+        for i in range(len(want.steps())):
+            a = got.read_field(field, step=i)
+            b = want.read_field(field, step=i)
+            assert np.array_equal(a, b), f"step {i} differs"
+
+
+class TestFinalizedCompatibility:
+    def test_finalized_append_series_is_a_plain_series(self, hierarchies,
+                                                       reference_dir, tmp_path):
+        directory = str(tmp_path / "live")
+        write_series(hierarchies, directory,
+                     keyframe_interval=KEYFRAME_INTERVAL, error_bound=1e-3,
+                     append=True)
+        names = os.listdir(directory)
+        assert INDEX_FILENAME in names
+        assert JOURNAL_FILENAME not in names         # finalize dropped it
+        # a pre-stream reader path: the manifest alone describes the series
+        index = SeriesIndex.load(directory)
+        assert index.nsteps == NSTEPS
+        assert_series_equal(directory, reference_dir)
+
+    def test_every_committed_value_matches_non_append(self, hierarchies,
+                                                      reference_dir, tmp_path):
+        """Same snapshots, same bounds => identical decoded values."""
+        directory = str(tmp_path / "live")
+        with SeriesWriter(directory, keyframe_interval=KEYFRAME_INTERVAL,
+                          error_bound=1e-3, append=True,
+                          compact_interval=2) as writer:
+            for h in hierarchies:
+                writer.append(h)
+        assert_series_equal(directory, reference_dir)
+
+
+class TestLiveDirectory:
+    def test_mid_run_directory_opens_live(self, hierarchies, tmp_path):
+        directory = str(tmp_path / "live")
+        writer = SeriesWriter(directory, keyframe_interval=KEYFRAME_INTERVAL,
+                              error_bound=1e-3, append=True,
+                              compact_interval=100)    # journal-only commits
+        try:
+            for h in hierarchies[:3]:
+                writer.append(h)
+            assert not os.path.exists(os.path.join(directory, INDEX_FILENAME))
+            handle = repro.open_series(directory)
+            assert handle.live is True
+            assert handle.high_water == 2
+            arr = handle.read_field("baryon_density", step=2)
+            assert arr.size > 0
+        finally:
+            writer.abort()
+
+    def test_compaction_preserves_readability(self, hierarchies, tmp_path):
+        directory = str(tmp_path / "live")
+        with SeriesWriter(directory, keyframe_interval=KEYFRAME_INTERVAL,
+                          error_bound=1e-3, append=True,
+                          compact_interval=2) as writer:
+            for i, h in enumerate(hierarchies[:4]):
+                writer.append(h)
+                if i == 3:
+                    # 4 commits, compact_interval=2: manifest holds a prefix,
+                    # journal the rest; a live open merges both
+                    index = SeriesIndex.load(directory)
+                    assert index.nsteps >= 2
+                    view = read_journal(
+                        os.path.join(directory, JOURNAL_FILENAME))
+                    assert view.base == index.nsteps
+                    handle = repro.open_series(directory)
+                    assert len(handle.steps()) == 4
+
+
+class TestCrashRecovery:
+    def write_partial(self, hierarchies, directory, upto):
+        writer = SeriesWriter(directory, keyframe_interval=KEYFRAME_INTERVAL,
+                              error_bound=1e-3, append=True,
+                              compact_interval=100)
+        for h in hierarchies[:upto]:
+            writer.append(h)
+        writer.abort()      # leaves the journal exactly as a crash would
+
+    def test_resume_completes_the_series(self, hierarchies, reference_dir,
+                                         tmp_path):
+        directory = str(tmp_path / "live")
+        self.write_partial(hierarchies, directory, 4)
+        with SeriesWriter(directory, append=True) as writer:
+            assert writer.nsteps == 4
+            # recovery adopts the manifest's knobs, not the defaults
+            assert writer.keyframe_interval == KEYFRAME_INTERVAL
+            assert writer.config.error_bound == 1e-3
+            for h in hierarchies[4:]:
+                writer.append(h)
+        assert_series_equal(directory, reference_dir)
+
+    def test_torn_journal_tail_recovers_to_last_complete_step(
+            self, hierarchies, tmp_path):
+        directory = str(tmp_path / "live")
+        self.write_partial(hierarchies, directory, 4)
+        path = os.path.join(directory, JOURNAL_FILENAME)
+        # tear the last commit record mid-write
+        with open(path, "r+b") as f:
+            f.truncate(os.path.getsize(path) - 7)
+        with SeriesWriter(directory, append=True) as writer:
+            assert writer.nsteps == 3
+            writer.append(hierarchies[3])
+            assert writer.nsteps == 4
+        with repro.open_series(directory) as handle:
+            assert len(handle.steps()) == 4
+
+    def test_orphan_step_file_is_overwritten_on_resume(self, hierarchies,
+                                                       tmp_path):
+        """A crash between the plt fsync and the journal record leaves an
+        orphan file; the resumed commit of that step must reclaim it."""
+        directory = str(tmp_path / "live")
+        self.write_partial(hierarchies, directory, 3)
+        orphan = os.path.join(directory,
+                              f"plt{hierarchies[3].step:05d}.h5z")
+        with open(orphan, "wb") as f:
+            f.write(b"half a plotfile")
+        with SeriesWriter(directory, append=True) as writer:
+            writer.append(hierarchies[3])
+        with repro.open_series(directory) as handle:
+            arr = handle.read_field("baryon_density", step=3)
+            assert np.isfinite(arr).all()
+
+    def test_resumed_step_is_a_keyframe(self, hierarchies, tmp_path):
+        """The rolling delta reference dies with the process: the first step
+        after a restart must be self-contained."""
+        directory = str(tmp_path / "live")
+        self.write_partial(hierarchies, directory, 2)
+        with SeriesWriter(directory, append=True) as writer:
+            writer.append(hierarchies[2])        # index 2: normally a delta
+        with repro.open_series(directory) as handle:
+            assert handle.index.steps[2].kind == "key"
+
+    def test_reopening_a_finalized_series_appends_more_steps(
+            self, hierarchies, tmp_path):
+        directory = str(tmp_path / "live")
+        write_series(hierarchies[:4], directory,
+                     keyframe_interval=KEYFRAME_INTERVAL, error_bound=1e-3,
+                     append=True)
+        assert not os.path.exists(os.path.join(directory, JOURNAL_FILENAME))
+        with SeriesWriter(directory, append=True) as writer:
+            assert writer.nsteps == 4
+            for h in hierarchies[4:]:
+                writer.append(h)
+        with repro.open_series(directory) as handle:
+            assert len(handle.steps()) == NSTEPS
+
+    def test_exception_mid_run_leaves_a_resumable_directory(
+            self, hierarchies, tmp_path):
+        directory = str(tmp_path / "live")
+        with pytest.raises(RuntimeError, match="sim blew up"):
+            with SeriesWriter(directory, keyframe_interval=KEYFRAME_INTERVAL,
+                              error_bound=1e-3, append=True) as writer:
+                writer.append(hierarchies[0])
+                writer.append(hierarchies[1])
+                raise RuntimeError("sim blew up")
+        assert os.path.exists(os.path.join(directory, JOURNAL_FILENAME))
+        with repro.open_series(directory) as handle:
+            assert handle.live is True and len(handle.steps()) == 2
+
+
+class TestGuards:
+    def test_non_append_refuses_existing_manifest(self, hierarchies, tmp_path):
+        directory = str(tmp_path / "done")
+        write_series(hierarchies[:2], directory, error_bound=1e-3)
+        with pytest.raises(ValueError, match="append=True"):
+            SeriesWriter(directory)
+
+    def test_non_append_refuses_a_live_journal(self, hierarchies, tmp_path):
+        directory = str(tmp_path / "live")
+        writer = SeriesWriter(directory, error_bound=1e-3, append=True)
+        writer.append(hierarchies[0])
+        writer.abort()
+        with pytest.raises(ValueError, match="append=True"):
+            SeriesWriter(directory)
+
+    def test_compact_interval_requires_append(self, tmp_path):
+        with pytest.raises(ValueError, match="append=True"):
+            SeriesWriter(str(tmp_path / "x"), compact_interval=4)
+
+    def test_append_after_finalize_raises(self, hierarchies, tmp_path):
+        directory = str(tmp_path / "live")
+        writer = SeriesWriter(directory, error_bound=1e-3, append=True)
+        writer.append(hierarchies[0])
+        writer.finalize()
+        with pytest.raises(ValueError, match="finalized"):
+            writer.append(hierarchies[1])
+        writer.close()
+
+
+class TestAtomicManifestSave:
+    def test_save_leaves_no_temp_files(self, hierarchies, tmp_path):
+        directory = str(tmp_path / "plain")
+        write_series(hierarchies[:3], directory, error_bound=1e-3)
+        leftovers = [n for n in os.listdir(directory) if n.endswith(".tmp")]
+        assert leftovers == []
+        assert SeriesIndex.load(directory).nsteps == 3

@@ -1,0 +1,270 @@
+"""The subscribe verb end to end: live events, versioning, reconnect resume."""
+
+import json
+import socket
+import socketserver
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.amr.box import Box
+from repro.series.writer import SeriesWriter, write_series
+from repro.service import QueryEngine, ReproClient, ReproServer
+from repro.service.client import ServiceError, follow_series
+from repro.service.wire import (
+    ERROR_UNKNOWN_OP,
+    ERROR_UNSUPPORTED_VERSION,
+    PROTOCOL_VERSION,
+)
+
+KEYFRAME_INTERVAL = 3
+BOX = Box((0, 0, 0), (7, 7, 7))
+
+
+def make_server(**kwargs):
+    kwargs.setdefault("port", 0)
+    kwargs.setdefault("watch_interval", 0.05)
+    return ReproServer(**kwargs)
+
+
+class Producer(threading.Thread):
+    """Appends the snapshots on a schedule, then finalizes (or aborts)."""
+
+    def __init__(self, directory, hierarchies, delay=0.15, finalize=True,
+                 **writer_kwargs):
+        super().__init__(daemon=True)
+        writer_kwargs.setdefault("keyframe_interval", KEYFRAME_INTERVAL)
+        writer_kwargs.setdefault("error_bound", 1e-3)
+        self.writer = SeriesWriter(directory, append=True, **writer_kwargs)
+        self.hierarchies = hierarchies
+        self.delay = delay
+        self.finalize = finalize
+        self.error = None
+
+    def run(self):
+        try:
+            for h in self.hierarchies:
+                self.writer.append(h)
+                time.sleep(self.delay)
+            if self.finalize:
+                self.writer.close()
+            else:
+                self.writer.abort()
+        except Exception as exc:  # noqa: BLE001 - surfaced by the test
+            self.error = exc
+
+
+class TestProtocolVersion:
+    def test_responses_carry_the_protocol_version(self, tmp_path):
+        with make_server() as server, ReproClient(port=server.port) as client:
+            result = client.call("ping")
+            assert result["protocol_version"] == PROTOCOL_VERSION
+
+    def test_version_free_requests_still_work(self, tmp_path):
+        """A v1 client omits "v" entirely; the server must not care."""
+        with make_server() as server:
+            with socket.create_connection(("127.0.0.1", server.port),
+                                          timeout=30) as sock:
+                sock.sendall(b'{"id": 1, "op": "ping"}\n')
+                line = sock.makefile("rb").readline()
+        response = json.loads(line)
+        assert response["ok"] is True
+        assert response["v"] == PROTOCOL_VERSION
+
+    def test_newer_version_is_refused_with_a_kind(self):
+        with make_server() as server, ReproClient(port=server.port) as client:
+            with pytest.raises(ServiceError) as err:
+                client.call("ping", v=PROTOCOL_VERSION + 7)
+            assert err.value.kind == ERROR_UNSUPPORTED_VERSION
+            assert "upgrade the server" in str(err.value)
+
+    def test_unknown_op_names_the_supported_ops(self):
+        with make_server() as server, ReproClient(port=server.port) as client:
+            with pytest.raises(ServiceError) as err:
+                client.call("transmogrify")
+            assert err.value.kind == ERROR_UNKNOWN_OP
+            assert "subscribe" in str(err.value)     # the op list is in the message
+
+    def test_subscribe_against_a_pre_streaming_server(self):
+        """An old server answers subscribe with its unknown-op error; the
+        client must turn that into a clear upgrade message, not a hang."""
+
+        class OldServer(socketserver.StreamRequestHandler):
+            def handle(self):
+                line = self.rfile.readline()
+                request = json.loads(line)
+                self.wfile.write((json.dumps(
+                    {"id": request["id"], "ok": False,
+                     "error": f"unknown op {request['op']!r}"}) + "\n")
+                    .encode())
+
+        with socketserver.ThreadingTCPServer(("127.0.0.1", 0), OldServer) as srv:
+            threading.Thread(target=srv.serve_forever, daemon=True).start()
+            try:
+                client = ReproClient(port=srv.server_address[1])
+                with pytest.raises(ServiceError, match="pre-streaming"):
+                    for _ in client.subscribe("/nowhere"):
+                        pass
+                client.close()
+            finally:
+                srv.shutdown()
+
+
+class TestSubscribeStream:
+    def test_subscribe_refuses_a_non_series_path(self, tmp_path):
+        with make_server() as server, ReproClient(port=server.port) as client:
+            with pytest.raises(ServiceError, match="series"):
+                for _ in client.subscribe(str(tmp_path)):
+                    pass
+            # the connection survives the refusal
+            assert client.ping() is True
+
+    def test_finalized_series_catch_up_then_finalized(self, hierarchies,
+                                                      tmp_path):
+        directory = str(tmp_path / "done")
+        write_series(hierarchies[:3], directory,
+                     keyframe_interval=KEYFRAME_INTERVAL, error_bound=1e-3)
+        with make_server() as server, ReproClient(port=server.port) as client:
+            events = list(client.subscribe(directory))
+            kinds = [e["event"] for e in events]
+            assert kinds == ["subscribed", "step", "step", "step", "finalized"]
+            assert [e["step_index"] for e in events[1:4]] == [0, 1, 2]
+            assert events[1]["summary"]["kind"] == "key"
+            # the same connection answers ordinary requests afterwards
+            assert client.ping() is True
+
+    def test_live_run_exactly_once_with_reads(self, hierarchies, tmp_path):
+        """Producer -> server -> follow_series: every step exactly once, and
+        each mid-run read equals the post-finalize read."""
+        directory = str(tmp_path / "live")
+        producer = Producer(directory, hierarchies, delay=0.15)
+        producer.start()
+        # wait for the first commit so subscribe finds a series directory
+        deadline = time.time() + 30
+        while producer.writer.nsteps == 0 and time.time() < deadline:
+            time.sleep(0.01)
+        seen, arrays = [], {}
+        with make_server() as server:
+            for event, arr in follow_series(directory, "baryon_density",
+                                            port=server.port, box=BOX,
+                                            reconnect=False):
+                if event["event"] == "step":
+                    seen.append(event["step_index"])
+                    arrays[event["step_index"]] = arr
+        producer.join(timeout=60)
+        assert producer.error is None
+        assert seen == list(range(len(hierarchies)))     # exactly once, ordered
+        with repro.open_series(directory) as final:
+            assert final.live is False
+            for i, arr in arrays.items():
+                want = final.read_field("baryon_density", step=i, box=BOX)
+                assert np.array_equal(arr, want), f"step {i} differs"
+
+    def test_from_step_skips_the_prefix(self, hierarchies, tmp_path):
+        directory = str(tmp_path / "done")
+        write_series(hierarchies[:4], directory,
+                     keyframe_interval=KEYFRAME_INTERVAL, error_bound=1e-3)
+        with make_server() as server, ReproClient(port=server.port) as client:
+            events = [e for e in client.subscribe(directory, from_step=2)
+                      if e["event"] == "step"]
+            assert [e["step_index"] for e in events] == [2, 3]
+
+    def test_reconnect_resumes_from_the_next_unseen_step(self, hierarchies,
+                                                         tmp_path):
+        """Kill the server mid-stream; follow_series reconnects to its
+        successor on the same port and never repeats or drops a step."""
+        directory = str(tmp_path / "live")
+        producer = Producer(directory, hierarchies, delay=0.25)
+        producer.start()
+        deadline = time.time() + 30
+        while producer.writer.nsteps == 0 and time.time() < deadline:
+            time.sleep(0.01)
+
+        first = make_server().start()
+        port = first.port
+        servers = [first]
+        stopped = threading.Event()
+
+        def chaos():
+            # let a few events flow, then yank the server and start another
+            time.sleep(0.6)
+            first.stop()
+            replacement = None
+            for _ in range(50):
+                try:
+                    replacement = ReproServer(
+                        port=port, watch_interval=0.05).start()
+                    break
+                except OSError:
+                    time.sleep(0.1)      # the old port lingers briefly
+            assert replacement is not None, "could not rebind the port"
+            servers.append(replacement)
+            stopped.set()
+
+        chaos_thread = threading.Thread(target=chaos, daemon=True)
+        chaos_thread.start()
+        seen = []
+        try:
+            for event, arr in follow_series(directory, port=port,
+                                            max_retries=40, retry_delay=0.25):
+                if event["event"] == "step":
+                    seen.append(event["step_index"])
+        finally:
+            producer.join(timeout=60)
+            chaos_thread.join(timeout=60)
+            for s in servers:
+                try:
+                    s.stop()
+                except Exception:  # noqa: BLE001 - already stopped
+                    pass
+        assert producer.error is None
+        assert stopped.is_set(), "the server restart never happened"
+        assert seen == list(range(len(hierarchies)))
+
+    def test_two_subscribers_share_one_watcher(self, hierarchies, tmp_path):
+        directory = str(tmp_path / "live")
+        producer = Producer(directory, hierarchies[:4], delay=0.15)
+        producer.start()
+        deadline = time.time() + 30
+        while producer.writer.nsteps == 0 and time.time() < deadline:
+            time.sleep(0.01)
+        results = {}
+        with make_server() as server:
+            def subscriber(tag):
+                steps = [e["step_index"]
+                         for e, _ in follow_series(directory, port=server.port,
+                                                   reconnect=False)
+                         if e["event"] == "step"]
+                results[tag] = steps
+
+            threads = [threading.Thread(target=subscriber, args=(t,))
+                       for t in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+        producer.join(timeout=60)
+        assert producer.error is None
+        assert results[0] == results[1] == list(range(4))
+
+
+class TestRefreshOp:
+    def test_refresh_op_reports_live_state(self, hierarchies, tmp_path):
+        directory = str(tmp_path / "live")
+        writer = SeriesWriter(directory, keyframe_interval=KEYFRAME_INTERVAL,
+                              error_bound=1e-3, append=True)
+        writer.append(hierarchies[0])
+        try:
+            with make_server() as server, \
+                    ReproClient(port=server.port) as client:
+                state = client.refresh(directory)
+                assert state["live"] is True and state["nsteps"] == 1
+                writer.append(hierarchies[1])
+                state = client.refresh(directory)
+                assert state["appended"] == 1
+                assert state["nsteps"] == 2 and state["high_water"] == 1
+        finally:
+            writer.abort()

@@ -24,7 +24,12 @@ fresh ``BENCH_remote.json`` (see :func:`check_remote`): request coalescing
 must cut the full read's round-trips by at least
 :data:`REMOTE_COALESCING_MIN`, and the progressive ``max_level=0`` probe must
 fetch at most :data:`REMOTE_PROBE_BYTES_MAX` of the full read's bytes in at
-most :data:`REMOTE_PROBE_TIME_MAX` of its wall time.  The target is declared for a 4-core machine and
+most :data:`REMOTE_PROBE_TIME_MAX` of its wall time.  The **live-streaming
+targets** on the fresh ``BENCH_stream.json`` (see :func:`check_stream`) hold
+the journal to its point: a live ``refresh()`` must be at least
+:data:`STREAM_REFRESH_MIN` times cheaper than a full reopen, and a
+subscriber's mean commit-to-event lag must stay under
+:data:`STREAM_LAG_MAX_SECONDS`.  The target is declared for a 4-core machine and
 auto-scales to the *recording* machine's core count (stamped into each
 benchmark's ``extra_info.cpu_count`` by the perf conftest): below 2 cores it
 relaxes to "no worse than serial", and when the fresh run's machine has
@@ -332,6 +337,72 @@ def check_remote(fresh_dir: str) -> Tuple[List[str], List[str], int]:
     return lines, notices, failures
 
 
+# ----------------------------------------------------------------------
+# live-streaming assertions (BENCH_stream.json)
+# ----------------------------------------------------------------------
+#: the stream suite's full live reopen and its journal-tail refresh
+STREAM_SUITE = "stream"
+STREAM_REOPEN_BENCH = "test_stream_reopen_live"
+STREAM_REFRESH_BENCH = "test_stream_refresh_noop"
+STREAM_LAG_BENCH = "test_stream_follow_event_lag"
+#: refresh must beat a full reopen of the live directory by at least this
+STREAM_REFRESH_MIN = 5.0
+#: a subscriber's mean commit-to-event lag ceiling (the suite polls at 50ms)
+STREAM_LAG_MAX_SECONDS = 2.0
+
+
+def check_stream(fresh_dir: str) -> Tuple[List[str], List[str], int]:
+    """Assert the live-streaming targets on a fresh ``BENCH_stream.json``.
+
+    Returns ``(result lines, notices, failures)`` like :func:`check_remote`.
+    The journal exists so a follower pays a stat + head probe per poll
+    instead of re-parsing the whole manifest — so the refresh median must be
+    at least :data:`STREAM_REFRESH_MIN` times cheaper than a full reopen —
+    and the subscriber's recorded commit-to-event lag must stay under
+    :data:`STREAM_LAG_MAX_SECONDS`.  Missing files/benchmarks downgrade to
+    notices (the median comparator already fails dropped benchmarks).
+    """
+    lines: List[str] = []
+    notices: List[str] = []
+    failures = 0
+    fresh_path = os.path.join(fresh_dir, f"BENCH_{STREAM_SUITE}.json")
+    if not os.path.isfile(fresh_path):
+        notices.append(f"stream: no fresh BENCH_{STREAM_SUITE}.json; skipped")
+        return lines, notices, failures
+    entries = load_entries(fresh_path)
+    reopen = entries.get(STREAM_REOPEN_BENCH)
+    refresh = entries.get(STREAM_REFRESH_BENCH)
+    if reopen is None or refresh is None:
+        missing = STREAM_REOPEN_BENCH if reopen is None else STREAM_REFRESH_BENCH
+        notices.append(f"stream: {missing!r} not in fresh results; skipped")
+    elif refresh["median"] <= 0:
+        notices.append(
+            f"stream: {STREAM_REFRESH_BENCH!r} has a zero median; skipped")
+    else:
+        factor = reopen["median"] / refresh["median"]
+        ok = factor >= STREAM_REFRESH_MIN
+        failures += 0 if ok else 1
+        lines.append(
+            f"stream: live refresh {factor:.1f}x cheaper than a full reopen "
+            f"({'ok' if ok else 'FAIL'}; required >= "
+            f"{STREAM_REFRESH_MIN:.1f}x)")
+    lag_entry = entries.get(STREAM_LAG_BENCH)
+    lag = None if lag_entry is None else \
+        lag_entry["extra_info"].get("mean_event_lag_seconds")
+    if lag is None:
+        notices.append(
+            "stream: mean_event_lag_seconds missing from extra_info; "
+            "lag assertion skipped")
+    else:
+        ok = float(lag) <= STREAM_LAG_MAX_SECONDS
+        failures += 0 if ok else 1
+        lines.append(
+            f"stream: mean commit-to-event lag {float(lag) * 1e3:.0f}ms "
+            f"({'ok' if ok else 'FAIL'}; required <= "
+            f"{STREAM_LAG_MAX_SECONDS * 1e3:.0f}ms)")
+    return lines, notices, failures
+
+
 def format_rows(rows: List[dict]) -> str:
     """A fixed-width delta table (stdlib-only sibling of analysis.format_table)."""
     columns = ["suite", "benchmark", "baseline_ms", "fresh_ms", "delta", "status"]
@@ -402,14 +473,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     speedup_lines, speedup_notices, speedup_failures = check_speedups(
         args.baseline_dir, args.fresh_dir, args.tolerance)
     remote_lines, remote_notices, remote_failures = check_remote(args.fresh_dir)
-    for notice in notices + speedup_notices + remote_notices:
+    stream_lines, stream_notices, stream_failures = check_stream(args.fresh_dir)
+    for notice in notices + speedup_notices + remote_notices + stream_notices:
         print(f"note: {notice}")
     if rows:
         print(format_rows(rows))
-    for line in speedup_lines + remote_lines:
+    for line in speedup_lines + remote_lines + stream_lines:
         print(line)
     bad = [row for row in rows if row["status"] in (REGRESSED, MISSING)]
-    if bad or speedup_failures or remote_failures:
+    if bad or speedup_failures or remote_failures or stream_failures:
         parts = []
         if bad:
             parts.append(f"{len(bad)} benchmark(s) regressed beyond "
@@ -418,12 +490,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             parts.append(f"{speedup_failures} speedup assertion(s) failed")
         if remote_failures:
             parts.append(f"{remote_failures} remote-read assertion(s) failed")
+        if stream_failures:
+            parts.append(f"{stream_failures} streaming assertion(s) failed")
         print(f"\nFAIL: " + "; ".join(parts))
         return 1
     checked = sum(1 for row in rows if row["status"] in (OK, IMPROVED))
     print(f"\nbench-check: {checked} benchmark(s) within {args.tolerance:.0%} "
-          f"of baseline; {len(speedup_lines)} speedup assertion(s) and "
-          f"{len(remote_lines)} remote-read assertion(s) held")
+          f"of baseline; {len(speedup_lines)} speedup, {len(remote_lines)} "
+          f"remote-read and {len(stream_lines)} streaming assertion(s) held")
     return 0
 
 

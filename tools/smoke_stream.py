@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""End-to-end live-streaming smoke (``make smoke-stream``).
+
+Three real processes, the in situ deployment shape:
+
+* a **producer** appending a small nyx series step by step through the
+  crash-safe journal (``SeriesWriter(append=True)``), sleeping between
+  dumps like a simulation would;
+* a **server** (``python -m repro serve``) watching the live directory;
+* a **subscriber** (``python -m repro query follow``) streaming one JSON
+  line per committed step, each paired with a box read.
+
+The driver asserts the subscriber saw every step exactly once in order plus
+the finalized event, then runs ``repro series-verify`` over the finalized
+directory — proving the journal left a byte-compatible plain series behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+NSTEPS = 5
+FIELD = "baryon_density"
+
+PRODUCER = """
+import os, time
+from repro.apps.nyx import NyxSimulation
+from repro.series.writer import SeriesWriter
+
+sim = NyxSimulation(coarse_shape=(24, 24, 24), nranks=2,
+                    target_fine_density=0.03, max_grid_size=12, seed=7,
+                    drift_rate=0.05, growth_rate=0.02, regrid_interval=4)
+with SeriesWriter({directory!r}, keyframe_interval=3, error_bound=1e-3,
+                  append=True,
+                  backend=os.environ.get("REPRO_BACKEND")) as writer:
+    for hierarchy in sim.run({nsteps}):
+        writer.append(hierarchy)
+        print("committed step", writer.nsteps - 1, flush=True)
+        time.sleep(0.3)
+print("producer done", flush=True)
+"""
+
+
+def python_cmd(*args: str) -> list:
+    return [sys.executable, *args]
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp(prefix="smoke-stream-")
+    directory = os.path.join(workdir, "run")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH")) if p)
+    server = producer = None
+    try:
+        # ---- server on an ephemeral port --------------------------------
+        server = subprocess.Popen(
+            python_cmd("-m", "repro", "serve", "--port", "0",
+                       "--watch-interval", "0.1"),
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        ready = server.stdout.readline()
+        match = re.search(r"serving on [\w.]+:(\d+)", ready)
+        if not match:
+            print(f"server never came up: {ready!r}", file=sys.stderr)
+            return 1
+        port = match.group(1)
+
+        # ---- producer: journal commits with a dump cadence --------------
+        producer = subprocess.Popen(
+            python_cmd("-c", PRODUCER.format(directory=directory,
+                                             nsteps=NSTEPS)),
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        # wait for the first commit so `follow` finds a series directory
+        journal = os.path.join(directory, "series.journal")
+        deadline = time.time() + 120
+        while not os.path.exists(journal) and time.time() < deadline:
+            if producer.poll() is not None:
+                print("producer died before its first commit:\n"
+                      + producer.stdout.read(), file=sys.stderr)
+                return 1
+            time.sleep(0.05)
+
+        # ---- subscriber: the follow verb, box reads included ------------
+        follow = subprocess.run(
+            python_cmd("-m", "repro", "query", "follow", directory,
+                       "--port", port, "--field", FIELD,
+                       "--box", "0:7,0:7,0:7"),
+            env=env, capture_output=True, text=True, timeout=300)
+        if follow.returncode != 0:
+            print(f"follow failed:\n{follow.stdout}\n{follow.stderr}",
+                  file=sys.stderr)
+            return 1
+        events = [json.loads(line) for line in follow.stdout.splitlines()
+                  if line.startswith("{")]
+        steps = [e["step_index"] for e in events if e["event"] == "step"]
+        finalized = [e for e in events if e["event"] == "finalized"]
+        assert steps == list(range(NSTEPS)), \
+            f"expected steps 0..{NSTEPS - 1} exactly once, got {steps}"
+        assert len(finalized) == 1, f"expected one finalized event: {events}"
+        for e in events:
+            if e["event"] == "step":
+                assert e["shape"] == [8, 8, 8], e
+                assert e["min"] <= e["mean"] <= e["max"], e
+
+        if producer.wait(timeout=120) != 0:
+            print("producer failed:\n" + producer.stdout.read(),
+                  file=sys.stderr)
+            return 1
+
+        # ---- the finalized directory is a plain, verifiable series ------
+        verify = subprocess.run(
+            python_cmd("-m", "repro", "series-verify", directory),
+            env=env, capture_output=True, text=True, timeout=300)
+        if verify.returncode != 0:
+            print(f"series-verify failed:\n{verify.stdout}\n{verify.stderr}",
+                  file=sys.stderr)
+            return 1
+        print(f"smoke-stream ok: {NSTEPS} steps streamed exactly once, "
+              "finalized series verified")
+        return 0
+    finally:
+        for proc in (producer, server):
+            if proc is not None and proc.poll() is None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=15)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
