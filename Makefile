@@ -7,9 +7,11 @@
 # the fresh results); `make smoke` exercises the `python -m repro` CLI end to
 # end, `make smoke-series` does the same for the series subsystem,
 # `make smoke-remote` drives a box read through a simulated high-latency
-# RangeSource and `make smoke-stream` runs a live producer -> serve ->
-# `query follow` pipeline across three real processes.  The smoke targets
-# honour REPRO_BACKEND (CI runs them with REPRO_BACKEND=process).
+# RangeSource, `make smoke-stream` runs a live producer -> serve ->
+# `query follow` pipeline across three real processes and `make smoke-obs`
+# drives traced queries against a live server and checks the telemetry the
+# `stats` verb reports about them.  The smoke targets honour REPRO_BACKEND
+# (CI runs them with REPRO_BACKEND=process).
 
 PY := PYTHONPATH=src python
 
@@ -21,10 +23,11 @@ BENCH_SUITES := \
 	series:benchmarks/perf/test_perf_series.py \
 	service:benchmarks/perf/test_perf_service.py \
 	remote:benchmarks/perf/test_perf_remote.py \
-	stream:benchmarks/perf/test_perf_stream.py
+	stream:benchmarks/perf/test_perf_stream.py \
+	obs:benchmarks/perf/test_perf_obs.py
 
 .PHONY: test lint bench bench-check bench-baseline smoke smoke-series \
-	smoke-remote smoke-stream
+	smoke-remote smoke-stream smoke-obs
 
 test:
 	$(PY) -m pytest -x -q
@@ -105,3 +108,6 @@ smoke-series:
 
 smoke-stream:
 	$(PY) tools/smoke_stream.py
+
+smoke-obs:
+	$(PY) tools/smoke_obs.py

@@ -1,0 +1,101 @@
+"""Observability overhead: instrumented vs opted-out warm batched reads.
+
+``make bench`` runs this file into ``BENCH_obs.json``: the service suite's
+warm batched request mix timed twice — once on a default
+:class:`~repro.service.engine.QueryEngine` (spans, collectors, cache/IO
+counters all live) and once on an engine built with ``NULL_REGISTRY`` (every
+instrument a no-op).  The headline number is the **overhead ratio** between
+the two, measured here with interleaved min-of-N timing (robust against
+clock noise and cache drift) and stamped into ``extra_info`` so
+``tools/bench_check.py`` can hold it to :data:`OBS_OVERHEAD_MAX` (5%).
+
+The registry's design bet is that the hot path never pays for telemetry it
+is not using: stats objects keep their cheap ``+=`` fields and the registry
+folds them in at *snapshot* time.  This suite is the gate on that bet.
+"""
+
+import time
+
+import pytest
+
+pytest.importorskip("pytest_benchmark")
+
+import repro
+from repro.amr.box import Box
+from repro.obs import NULL_REGISTRY
+from repro.service import BoxQuery, QueryEngine
+
+NREQUESTS = 24
+FIELDS = ("baryon_density", "temperature")
+#: interleaved timing rounds for the overhead ratio (min-of-N each side)
+RATIO_ROUNDS = 7
+
+
+@pytest.fixture(scope="module")
+def plotfile(tmp_path_factory, midsize_hierarchy):
+    path = tmp_path_factory.mktemp("obs") / "nyx.h5z"
+    repro.write(midsize_hierarchy, str(path), error_bound=1e-3)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def queries(plotfile):
+    """The service suite's request mix: overlapping coarse probe boxes."""
+    out = []
+    for i in range(NREQUESTS):
+        lo = ((3 * i) % 16, (5 * i) % 16, (7 * i) % 16)
+        box = Box(lo, tuple(l + 15 for l in lo))
+        out.append(BoxQuery(path=plotfile, field=FIELDS[i % len(FIELDS)],
+                            level=0, box=box))
+    return out
+
+
+def _timed(fn, arg) -> float:
+    start = time.perf_counter()
+    fn(arg)
+    return time.perf_counter() - start
+
+
+def test_obs_warm_batched_instrumented(benchmark, queries):
+    """Timed: warm batched reads with the default registry, plus the
+    interleaved instrumented/null overhead ratio in ``extra_info``."""
+    with QueryEngine() as instrumented, \
+            QueryEngine(registry=NULL_REGISTRY) as null:
+        instrumented.read_batch(queries)            # warm both caches
+        null.read_batch(queries)
+        # interleave the two engines so drift hits both sides equally
+        on, off = [], []
+        for _ in range(RATIO_ROUNDS):
+            on.append(_timed(instrumented.read_batch, queries))
+            off.append(_timed(null.read_batch, queries))
+        benchmark.extra_info["obs_overhead_ratio"] = min(on) / min(off)
+        results = benchmark.pedantic(instrumented.read_batch, args=(queries,),
+                                     rounds=3, iterations=1)
+        assert len(results) == NREQUESTS
+        # the telemetry that overhead bought is actually there
+        snap = instrumented.metrics_snapshot(include_global=False)
+        assert snap["repro_cache_hits_total"]["samples"][0]["value"] > 0
+        spans = {s["labels"]["span"]: s["count"]
+                 for s in snap["repro_span_seconds"]["samples"]}
+        assert spans["engine.read_batch"] >= RATIO_ROUNDS
+
+
+def test_obs_warm_batched_null_registry(benchmark, queries):
+    """Timed: the same requests with every instrument opted out."""
+    with QueryEngine(registry=NULL_REGISTRY) as engine:
+        engine.read_batch(queries)                  # warm the cache
+        results = benchmark.pedantic(engine.read_batch, args=(queries,),
+                                     rounds=3, iterations=1)
+        assert len(results) == NREQUESTS
+        assert engine.metrics_snapshot(include_global=False) == {}
+
+
+def test_obs_snapshot_cost_is_bounded(benchmark, queries):
+    """Timed: a full registry snapshot (collectors folded in) off a loaded
+    engine — the pull model concentrates the cost here, off the hot path."""
+    with QueryEngine() as engine:
+        engine.read_batch(queries)
+        snap = benchmark.pedantic(engine.metrics_snapshot,
+                                  kwargs={"include_global": True},
+                                  rounds=5, iterations=1)
+        assert "repro_io_bytes_read_total" in snap

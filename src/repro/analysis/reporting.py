@@ -14,7 +14,7 @@ from typing import Dict, Iterable, List, Mapping, Sequence
 
 __all__ = ["format_table", "ComparisonRecord", "comparison_record",
            "summarize_plotfile", "plotfile_dataset_rows", "cache_stats_rows",
-           "io_stats_rows"]
+           "io_stats_rows", "registry_rows"]
 
 
 def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None,
@@ -186,3 +186,42 @@ def io_stats_rows(source) -> List[Dict[str, object]]:
             "expected a handle, ReadStats or SourceStats")
     return [{"metric": name, "value": value}
             for name, value in counters.items()]
+
+
+def registry_rows(snapshot: Mapping[str, Mapping[str, object]]
+                  ) -> List[Dict[str, object]]:
+    """A metrics-registry snapshot as metric/value rows for :func:`format_table`.
+
+    Works on a local :meth:`~repro.obs.MetricsRegistry.snapshot` or one
+    received over the wire (the ``registry`` key of the ``stats`` op).
+    Histograms render as count / p50 / p99 rows, the percentiles derived
+    from the bucket counts (:func:`repro.obs.quantile_from_buckets`).
+    """
+    from repro.obs import quantile_from_buckets
+
+    def freeze(labels: Mapping[str, object]) -> str:
+        return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+    rows: List[Dict[str, object]] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        kind = family.get("type", "untyped")
+        samples = sorted(family.get("samples", []),
+                         key=lambda s: freeze(s.get("labels") or {}))
+        for sample in samples:
+            tag = freeze(sample.get("labels") or {})
+            metric = f"{name}{{{tag}}}" if tag else name
+            if kind == "histogram":
+                buckets = sample.get("buckets", [])
+                rows.append({"metric": f"{metric} count",
+                             "value": int(sample.get("count", 0))})
+                rows.append({"metric": f"{metric} p50",
+                             "value": quantile_from_buckets(buckets, 0.5)})
+                rows.append({"metric": f"{metric} p99",
+                             "value": quantile_from_buckets(buckets, 0.99)})
+            else:
+                value = float(sample.get("value", 0.0))
+                rows.append({"metric": metric,
+                             "value": int(value) if value.is_integer()
+                             else value})
+    return rows

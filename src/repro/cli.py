@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line: plotfile tooling over the facade.
 
-Eight subcommands, all thin shells over :func:`repro.open` / :func:`repro.write`
+Nine subcommands, all thin shells over :func:`repro.open` / :func:`repro.write`
 and their series/service counterparts:
 
 ``info PATH``
@@ -38,6 +38,12 @@ and their series/service counterparts:
     prints one JSON line per committed step as it lands, pairing each with a
     box read when ``--field`` is given, reconnecting and resuming from the
     next unseen step if the server drops.
+``stats [HOST:PORT]``
+    One live telemetry snapshot from a running ``serve`` instance: engine
+    counters plus the full metrics registry (cache hits, I/O bytes and
+    coalescing, per-op latency histograms with derived p50/p99, span
+    timings).  ``--prom`` renders the Prometheus text exposition format,
+    ``--json`` the raw snapshot.
 
 Every command exits 0 on success and 1 on failure, with errors reported as
 one-line messages (corrupt files surface the underlying ``ValueError``).
@@ -185,7 +191,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--watch-interval", type=float, default=None,
                        help="poll period (seconds) for live series watched "
                             "by subscribers (default 0.25)")
+    p_srv.add_argument("--no-request-log", action="store_true",
+                       help="suppress the structured JSON request log "
+                            "(one line per answered request on stderr)")
     _add_source_arg(p_srv)
+
+    p_stats = sub.add_parser("stats",
+                             help="telemetry snapshot from a running serve "
+                                  "instance")
+    p_stats.add_argument("addr", nargs="?", default=None,
+                         help="server address as HOST:PORT (default "
+                              "127.0.0.1:9753; ':PORT' keeps the default "
+                              "host)")
+    p_stats.add_argument("--host", default=None,
+                         help="server host (overrides addr)")
+    p_stats.add_argument("--port", type=int, default=None,
+                         help="server port (overrides addr)")
+    p_stats.add_argument("--prom", action="store_true",
+                         help="render the registry in the Prometheus text "
+                              "exposition format")
+    p_stats.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the raw snapshot as JSON")
 
     p_q = sub.add_parser("query",
                          help="one request against a running serve instance")
@@ -503,6 +529,11 @@ def _cmd_serve(args) -> int:
     server_kwargs = {}
     if args.watch_interval is not None:
         server_kwargs["watch_interval"] = args.watch_interval
+    if not args.no_request_log:
+        # one structured JSON line per answered request (op, latency,
+        # cache hit rate, client trace ID) — stderr, so piped results
+        # of a foreground serve stay clean
+        server_kwargs["request_log"] = sys.stderr
     server = ReproServer(engine, host=args.host,
                          port=args.port if args.port is not None else DEFAULT_PORT,
                          **server_kwargs)
@@ -510,6 +541,53 @@ def _cmd_serve(args) -> int:
         f"serving on {s.host}:{s.port} "
         f"(cache budget {engine.cache.max_bytes} bytes)", flush=True))
     engine.close()
+    return 0
+
+
+def _parse_addr(addr: Optional[str], host: Optional[str],
+                port: Optional[int]) -> tuple:
+    """Resolve ``repro stats`` addressing: positional HOST:PORT plus flags."""
+    from repro.service.server import DEFAULT_PORT
+
+    resolved_host, resolved_port = "127.0.0.1", DEFAULT_PORT
+    if addr:
+        if ":" in addr:
+            host_part, port_part = addr.rsplit(":", 1)
+            if host_part:
+                resolved_host = host_part
+            if port_part:
+                resolved_port = int(port_part)
+        else:
+            resolved_host = addr
+    if host is not None:
+        resolved_host = host
+    if port is not None:
+        resolved_port = port
+    return resolved_host, resolved_port
+
+
+def _cmd_stats(args) -> int:
+    from repro.service import ReproClient
+
+    host, port = _parse_addr(args.addr, args.host, args.port)
+    with ReproClient(host=host, port=port) as client:
+        stats = client.stats()
+    registry = stats.pop("registry", {}) if isinstance(stats, dict) else {}
+    if args.prom:
+        from repro.obs import render_prometheus
+
+        sys.stdout.write(render_prometheus(registry))
+        return 0
+    if args.as_json:
+        print(json.dumps({"engine": stats, "registry": registry}, indent=2))
+        return 0
+    from repro.analysis.reporting import format_table, registry_rows
+
+    rows = [{"metric": k, "value": v} for k, v in stats.items()]
+    print(format_table(rows, title=f"engine @ {host}:{port}", floatfmt=".4g"))
+    print()
+    print(format_table(registry_rows(registry), title="metrics registry",
+                       floatfmt=".4g"))
     return 0
 
 
@@ -630,6 +708,8 @@ def _cmd_query(args) -> int:
             if args.as_json:
                 print(json.dumps(stats, indent=2))
             else:
+                # the flat engine keys; `repro stats` renders the registry
+                stats.pop("registry", None)
                 rows = [{"metric": k, "value": v} for k, v in stats.items()]
                 print(format_table(rows))
     return 0
@@ -640,7 +720,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "decompress": _cmd_decompress, "verify": _cmd_verify,
                 "series-info": _cmd_series_info,
                 "series-verify": _cmd_series_verify,
-                "serve": _cmd_serve, "query": _cmd_query}
+                "serve": _cmd_serve, "query": _cmd_query,
+                "stats": _cmd_stats}
     from repro.service.client import ServiceError
 
     try:

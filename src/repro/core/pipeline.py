@@ -47,6 +47,7 @@ from repro.core.stages import (
     plan_write,
 )
 from repro.h5lite.file import H5LiteFile
+from repro.obs import span
 from repro.parallel.backend import ExecutionBackend, WorkloadTally, make_backend
 from repro.parallel.iomodel import RankWorkload
 from repro.parallel.mpi_sim import SimComm
@@ -220,7 +221,10 @@ class AMRICWriter:
                 f"communicator has {self.comm.size} ranks but the hierarchy "
                 f"is distributed over {nranks}")
         comm = self.comm if self.comm is not None else SimComm(nranks)
-        plan = plan_write(hierarchy, cfg, comm)
+        # writer-stage spans report into the process-wide registry (an in
+        # situ writer has no query engine whose registry could collect them)
+        with span("write.plan"):
+            plan = plan_write(hierarchy, cfg, comm)
 
         # ---- pack / encode / commit, one level at a time -----------------
         # Levels batch the pipeline: a level's datasets pack together, encode
@@ -249,20 +253,26 @@ class AMRICWriter:
                 if not level_plan.datasets:
                     continue
                 level = hierarchy[level_plan.level]
-                packed = [pack_dataset(level, d) for d in level_plan.datasets]
-                jobs = [make_encode_job(p, filter_spec) for p in packed]
-                results = comm.run_jobs(self.backend, encode_job, jobs)
-                for dplan, pack, result in zip(level_plan.datasets, packed, results):
-                    commit_dataset(h5file, dplan, result)
-                    comm.record_collective_write()
-                    ndatasets += 1
-                    records.append(dataset_record(dplan, pack.originals, result))
-                    tally.add_dataset(
-                        ranks=dplan.ranks,
-                        per_rank_elements=dplan.per_rank_elements,
-                        chunk_elements=dplan.chunk_elements,
-                        compressed_bytes=result.compressed_bytes,
-                        count_padding=not cfg.modify_filter)
+                with span("write.pack"):
+                    packed = [pack_dataset(level, d) for d in level_plan.datasets]
+                with span("write.encode") as sp:
+                    jobs = [make_encode_job(p, filter_spec) for p in packed]
+                    results = comm.run_jobs(self.backend, encode_job, jobs)
+                    sp.add_bytes(sum(r.compressed_bytes for r in results))
+                with span("write.commit"):
+                    for dplan, pack, result in zip(level_plan.datasets, packed,
+                                                   results):
+                        commit_dataset(h5file, dplan, result)
+                        comm.record_collective_write()
+                        ndatasets += 1
+                        records.append(
+                            dataset_record(dplan, pack.originals, result))
+                        tally.add_dataset(
+                            ranks=dplan.ranks,
+                            per_rank_elements=dplan.per_rank_elements,
+                            chunk_elements=dplan.chunk_elements,
+                            compressed_bytes=result.compressed_bytes,
+                            count_padding=not cfg.modify_filter)
         finally:
             if h5file is not None:
                 h5file.close()

@@ -54,6 +54,7 @@ from repro.core.header import (
 )
 from repro.core.preprocess import UnitBlock, preprocess_level
 from repro.h5lite.file import H5LiteFile
+from repro.h5lite.source import ByteSource
 from repro.h5lite.filters import (
     AMRICChunkFilter,
     Filter,
@@ -543,6 +544,12 @@ class PlotfileHandle:
     def __init__(self, path: str, config: Optional[AMRICConfig] = None,
                  backend: "ExecutionBackend | str | None" = None,
                  cache=None, source=None):
+        # a caller may hand several handles one *shared* ByteSource instance;
+        # watermarking from the source's pre-open totals (not from zero) keeps
+        # each handle billing only the traffic it caused itself — two handles
+        # on one source must never both absorb the same bytes
+        pre_open = source.stats.totals() if isinstance(source, ByteSource) \
+            else (0, 0, 0)
         self._file = H5LiteFile(path, "r", source=source)
         try:
             self.header = parse_plotfile_header(self._file)
@@ -560,7 +567,7 @@ class PlotfileHandle:
         else:
             self._cache = cache if cache is not None else {}
         self.stats = ReadStats()
-        self._io_seen = (0, 0, 0)
+        self._io_seen = pre_open
         self._sync_io()                     # charges the superblock loads
         self._closed = False
 
@@ -569,10 +576,13 @@ class PlotfileHandle:
 
         Delta-based so :attr:`stats` can be swapped for a shared accumulator
         (a series hands every step handle its own stats object) without
-        double-counting what an earlier object already absorbed.
+        double-counting what an earlier object already absorbed.  The
+        watermark starts at the source's *pre-open* totals, so a handle
+        joining an already-trafficked shared source bills only its own reads
+        (see the shared-source regression tests).
         """
         src = self._file.source.stats
-        now = (src.bytes_read, src.requests, src.coalesced_requests)
+        now = src.totals()
         self.stats.bytes_read += now[0] - self._io_seen[0]
         self.stats.requests += now[1] - self._io_seen[1]
         self.stats.coalesced_requests += now[2] - self._io_seen[2]

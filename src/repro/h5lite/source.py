@@ -117,6 +117,35 @@ class SourceStats:
             "coalescing_factor": self.coalescing_factor,
         }
 
+    def totals(self) -> Tuple[int, int, int]:
+        """``(bytes_read, requests, coalesced_requests)`` — the traffic triple
+        consumers watermark against (see
+        :meth:`repro.core.reader.PlotfileHandle._sync_io`).  A handle opening
+        onto an *already-shared* source snapshots this before its first read
+        so it never absorbs traffic another handle caused."""
+        return (self.bytes_read, self.requests, self.coalesced_requests)
+
+    def samples(self, labels: Optional[Dict[str, str]] = None):
+        """This source's traffic as registry collector samples.
+
+        The ``(name, kind, labels, value)`` rows a
+        :class:`repro.obs.metrics.MetricsRegistry` collector yields — how the
+        query engine exposes per-source I/O without touching the read path.
+        """
+        tags = dict(labels or {})
+        rows = [("repro_io_requests_total", "counter", self.requests),
+                ("repro_io_reads_total", "counter", self.coalesced_requests),
+                ("repro_io_bytes_read_total", "counter", self.bytes_read),
+                ("repro_io_block_cache_hits_total", "counter", self.cache_hits),
+                ("repro_io_block_cache_misses_total", "counter",
+                 self.cache_misses),
+                ("repro_io_block_cache_evictions_total", "counter",
+                 self.evictions),
+                ("repro_io_readahead_blocks_total", "counter",
+                 self.readahead_blocks),
+                ("repro_io_wait_seconds_total", "counter", self.wait_seconds)]
+        return [(name, kind, tags, float(value)) for name, kind, value in rows]
+
 
 def _check_range(offset: int, size: int, total: int, name: str) -> None:
     if offset < 0 or size < 0:

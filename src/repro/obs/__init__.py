@@ -1,0 +1,54 @@
+"""repro.obs — the unified observability layer (PR 9).
+
+One import surface for the three pieces every instrumented subsystem uses:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` (counters, gauges,
+  fixed-bucket histograms, snapshot-time collectors), Prometheus text
+  exposition, snapshot merging, and the process-wide default registry;
+* :mod:`repro.obs.tracing` — client-minted trace IDs, context propagation,
+  and the :func:`span` timing context manager;
+* :mod:`repro.obs.reqlog` — structured JSON-lines request logs.
+
+See DESIGN.md §11 for how the pieces fit the read/serve/stream stack.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BYTE_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    quantile_from_buckets,
+    render_prometheus,
+)
+from repro.obs.reqlog import RequestLog, make_request_log
+from repro.obs.tracing import (
+    Span,
+    current_trace_id,
+    new_trace_id,
+    span,
+    trace_scope,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "render_prometheus",
+    "quantile_from_buckets",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_BYTE_BUCKETS",
+    "RequestLog",
+    "make_request_log",
+    "Span",
+    "span",
+    "new_trace_id",
+    "current_trace_id",
+    "trace_scope",
+]

@@ -1,0 +1,57 @@
+"""Structured request logs: one JSON object per line, append-only.
+
+:class:`RequestLog` is what ``repro serve`` writes its per-request records
+through — machine-parseable (one ``json.loads`` per line), human-greppable
+(a trace ID is a plain substring), and safe under the server's worker pool
+(one lock per log, one ``write`` per line).
+
+Every record carries ``ts`` (Unix seconds) and ``event``; the caller adds
+whatever fields describe the event (``op``, ``trace``, ``latency_ms``,
+``cache_hit_rate``, ``error_kind``...).  Values that are not JSON-safe are
+stringified rather than raised on — a log line must never take down the
+request that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import IO, Optional
+
+__all__ = ["RequestLog", "make_request_log"]
+
+
+class RequestLog:
+    """Thread-safe JSON-lines event log over any writable text stream."""
+
+    def __init__(self, stream: IO[str]):
+        self._stream = stream
+        self._lock = threading.Lock()
+        self.records = 0
+
+    def log(self, event: str, **fields: object) -> None:
+        record = {"ts": round(time.time(), 6), "event": str(event)}
+        record.update(fields)
+        try:
+            line = json.dumps(record, separators=(",", ":"), sort_keys=False)
+        except (TypeError, ValueError):
+            line = json.dumps({k: str(v) for k, v in record.items()},
+                              separators=(",", ":"))
+        with self._lock:
+            self._stream.write(line + "\n")
+            flush = getattr(self._stream, "flush", None)
+            if flush is not None:
+                try:
+                    flush()
+                except (OSError, ValueError):  # pragma: no cover - closed pipe
+                    pass
+            self.records += 1
+
+
+def make_request_log(target: "IO[str] | RequestLog | None"
+                     ) -> Optional[RequestLog]:
+    """Normalise a ``request_log=`` argument: a stream wraps, a log passes."""
+    if target is None or isinstance(target, RequestLog):
+        return target
+    return RequestLog(target)

@@ -1,0 +1,122 @@
+"""Request tracing: trace IDs, context propagation, and timed spans.
+
+A **trace ID** is a 16-hex-char token minted by the *client* of a request
+(:func:`new_trace_id`) and carried along the whole path: the wire protocol's
+optional ``"trace"`` field, the server's structured request log, and the
+engine executing the work.  Inside a process the current trace travels in a
+:class:`contextvars.ContextVar` — :func:`trace_scope` binds it for a block
+(the server binds it around each request on its worker pool), and
+:func:`current_trace_id` reads it from arbitrarily deep in the stack, which
+is what lets a slow ``query`` be correlated with the decode, cache and I/O
+work it caused without threading an argument through every layer.
+
+A **span** times one named unit of work into a registry::
+
+    with span("decode", registry=reg, dataset=name) as sp:
+        ...
+        sp.add_bytes(payload_nbytes)
+
+Each exit records one observation in the ``repro_span_seconds`` histogram
+(labelled ``span=<name>``), counts ``repro_span_total`` and — when bytes were
+added — ``repro_span_bytes_total``.  ``registry=None`` records into the
+process-wide default (:func:`~repro.obs.metrics.get_registry`); pass
+:data:`~repro.obs.metrics.NULL_REGISTRY` to make the span free.  Extra
+keyword arguments become span attributes, visible on the yielded
+:class:`Span` (for logging) but deliberately **not** metric labels — span
+names are low-cardinality by design, attributes are not.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+import uuid
+from typing import Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = ["new_trace_id", "current_trace_id", "trace_scope", "span", "Span"]
+
+_current_trace: "contextvars.ContextVar[Optional[str]]" = \
+    contextvars.ContextVar("repro_trace_id", default=None)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace ID (unique per request, cheap to log)."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace bound to this context, or None outside any request."""
+    return _current_trace.get()
+
+
+class trace_scope:
+    """Bind a trace ID for a ``with`` block (nested scopes restore cleanly).
+
+    ``trace_scope(None)`` is a no-op scope: the surrounding binding (if any)
+    stays visible, so callers can pass an optional incoming trace through
+    unconditionally.
+    """
+
+    def __init__(self, trace_id: Optional[str]):
+        self.trace_id = trace_id if trace_id is None else str(trace_id)
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> Optional[str]:
+        if self.trace_id is not None:
+            self._token = _current_trace.set(self.trace_id)
+        return self.trace_id if self.trace_id is not None \
+            else _current_trace.get()
+
+    def __exit__(self, *exc) -> None:
+        if self._token is not None:
+            _current_trace.reset(self._token)
+            self._token = None
+
+
+class Span:
+    """One timed unit of work (yielded by :func:`span`)."""
+
+    __slots__ = ("name", "attributes", "bytes", "trace_id", "elapsed",
+                 "_registry", "_start")
+
+    def __init__(self, name: str, registry: MetricsRegistry,
+                 attributes: Dict[str, object]):
+        self.name = str(name)
+        self.attributes = attributes
+        self.bytes = 0
+        self.trace_id = current_trace_id()
+        self.elapsed: Optional[float] = None
+        self._registry = registry
+        self._start = 0.0
+
+    def add_bytes(self, nbytes: int) -> None:
+        """Attribute ``nbytes`` of payload to this span."""
+        self.bytes += int(nbytes)
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        reg = self._registry
+        labels = {"span": self.name}
+        reg.histogram("repro_span_seconds", labels).observe(self.elapsed)
+        reg.counter("repro_span_total", labels).inc()
+        if exc_type is not None:
+            reg.counter("repro_span_errors_total", labels).inc()
+        if self.bytes:
+            reg.counter("repro_span_bytes_total", labels).inc(self.bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = f"{self.elapsed:.6f}s" if self.elapsed is not None else "open"
+        return f"Span({self.name!r}, {state}, bytes={self.bytes})"
+
+
+def span(name: str, registry: Optional[MetricsRegistry] = None,
+         **attributes: object) -> Span:
+    """A context manager timing one named unit of work (see module docstring)."""
+    return Span(name, registry if registry is not None else get_registry(),
+                dict(attributes))

@@ -33,8 +33,10 @@ from __future__ import annotations
 
 import abc
 import os
+import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
@@ -72,9 +74,28 @@ class ExecutionBackend(abc.ABC):
 
     name: str = "base"
 
+    # map-call accounting (class attrs double as zero defaults so subclasses
+    # need no __init__ cooperation; the first += creates instance attrs).
+    # One shared lock is fine — it is taken once per map() call, not per item.
+    maps: int = 0
+    items_mapped: int = 0
+    map_seconds: float = 0.0
+    _tally_lock = threading.Lock()
+
     @abc.abstractmethod
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         """Run ``fn`` over ``items``, returning results in submission order."""
+
+    def _tally_map(self, nitems: int, seconds: float) -> None:
+        with self._tally_lock:
+            self.maps += 1
+            self.items_mapped += nitems
+            self.map_seconds += seconds
+
+    def map_stats(self) -> Dict[str, float]:
+        """Lifetime map-call accounting: calls, items, wall seconds."""
+        return {"maps": self.maps, "items": self.items_mapped,
+                "seconds": self.map_seconds}
 
     def parallel_width(self) -> int:
         """How many items can genuinely make progress at once (1 = inline).
@@ -103,7 +124,11 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
-        return [fn(item) for item in items]
+        t0 = time.perf_counter()
+        try:
+            return [fn(item) for item in items]
+        finally:
+            self._tally_map(len(items), time.perf_counter() - t0)
 
 
 class ParallelBackend(ExecutionBackend):
@@ -145,6 +170,7 @@ class ParallelBackend(ExecutionBackend):
         if not items:
             return []
         executor = self._ensure_executor()
+        t0 = time.perf_counter()
         try:
             # executor.map preserves submission order regardless of completion
             # order; a tuned chunksize batches process-pool IPC round-trips
@@ -159,6 +185,8 @@ class ParallelBackend(ExecutionBackend):
             # builds a fresh executor instead of reusing the carcass
             self.close()
             raise
+        finally:
+            self._tally_map(len(items), time.perf_counter() - t0)
 
     def close(self) -> None:
         if self._executor is not None:
@@ -219,6 +247,7 @@ class SharedMemoryBackend(ExecutionBackend):
         if not items:
             return []
         executor = self._ensure_executor()
+        t0 = time.perf_counter()
         wire_items, batch_segment = shm_mod.pack_batch(items)
         tasks = [(fn, item) for item in wire_items]
         chunk = _tuned_chunksize(len(tasks), self._pool_width())
@@ -244,6 +273,7 @@ class SharedMemoryBackend(ExecutionBackend):
                 results.append(shm_mod.adopt_result(wire))
             except BaseException as exc:     # adopt the rest before raising
                 error = error or exc
+        self._tally_map(len(items), time.perf_counter() - t0)
         if error is not None:
             raise error
         return results

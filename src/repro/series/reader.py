@@ -293,6 +293,12 @@ class SeriesHandle:
         #: the recipe every step handle opens its file through
         self._source_spec = source
         self.stats = ReadStats()
+        #: refresh accounting (mirrored into the engine's metrics registry):
+        #: polls issued, steps picked up live, and full manifest reloads
+        #: (compaction/finalize generation switches)
+        self.refreshes = 0
+        self.steps_appended = 0
+        self.index_reloads = 0
         #: optional shared :class:`~repro.service.cache.ChunkCache`; every
         #: step handle stores its decoded chunk values there (keyed by the
         #: step's own path) instead of a private per-step dict
@@ -386,14 +392,17 @@ class SeriesHandle:
         with self._refresh_lock:
             if not self._live:
                 return 0
+            self.refreshes += 1
             path = os.path.join(self.directory, JOURNAL_FILENAME)
             tail = tail_journal(path, self._journal_offset, self._journal_crc)
             if tail.status == "ok":
                 appended = replay_journal(self.index, tail, path=path)
                 self._journal_offset = tail.end_offset
+                self.steps_appended += appended
                 return appended
             # compaction or finalize switched generations: full reload,
             # merged by appending the unseen suffix onto the live index
+            self.index_reloads += 1
             before = self.index.nsteps
             if tail.status == "gone":
                 fresh, view = SeriesIndex.load(self.directory), None
@@ -413,6 +422,7 @@ class SeriesHandle:
             else:
                 self._journal_offset = view.end_offset
                 self._journal_crc = view.genesis_crc
+            self.steps_appended += self.index.nsteps - before
             return self.index.nsteps - before
 
     def describe(self) -> Dict[str, object]:

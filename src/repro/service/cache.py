@@ -73,7 +73,7 @@ class ChunkCache:
     sharing needs no defensive copies.
     """
 
-    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES):
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES, registry=None):
         max_bytes = int(max_bytes)
         if max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
@@ -82,6 +82,35 @@ class ChunkCache:
         self._lock = threading.Lock()
         self._entries: "OrderedDict[CacheKey, np.ndarray]" = OrderedDict()
         self._current_bytes = 0
+        if registry is not None:
+            self.bind_registry(registry)
+
+    def bind_registry(self, registry) -> None:
+        """Mirror this cache's counters into a metrics registry.
+
+        Registered as a snapshot-time collector (see
+        :meth:`repro.obs.metrics.MetricsRegistry.add_collector`), so the
+        ``get``/``put`` hot paths keep their plain ``+=`` accounting and the
+        registry export costs nothing between snapshots.
+        """
+        cache = self
+
+        def collect():
+            s = cache.stats
+            rows = [("repro_cache_hits_total", "counter", s.hits),
+                    ("repro_cache_misses_total", "counter", s.misses),
+                    ("repro_cache_insertions_total", "counter", s.insertions),
+                    ("repro_cache_evictions_total", "counter", s.evictions),
+                    ("repro_cache_evicted_bytes_total", "counter",
+                     s.evicted_bytes),
+                    ("repro_cache_rejected_total", "counter", s.rejected),
+                    ("repro_cache_current_bytes", "gauge", cache.current_bytes),
+                    ("repro_cache_max_bytes", "gauge", cache.max_bytes),
+                    ("repro_cache_entries", "gauge", len(cache))]
+            return [(name, kind, {}, float(value))
+                    for name, kind, value in rows]
+
+        registry.add_collector(collect)
 
     # ------------------------------------------------------------------
     @property

@@ -16,6 +16,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.amr.box import Box
+from repro.obs import new_trace_id
 from repro.service.engine import BoxQuery
 from repro.service.server import DEFAULT_PORT
 from repro.service.wire import (
@@ -49,13 +50,19 @@ class ReproClient:
     """A blocking client for one :class:`~repro.service.server.ReproServer`."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
-                 timeout: float = 120.0):
+                 timeout: float = 120.0, trace: bool = True):
         self.host = host
         self.port = int(port)
         self._sock = socket.create_connection((host, self.port), timeout=timeout)
         self._rfile = self._sock.makefile("rb")
         self._next_id = 0
         self._closed = False
+        #: mint a fresh trace ID per request (additive wire field; a server
+        #: that predates it ignores it — see :mod:`repro.service.wire`)
+        self._trace = bool(trace)
+        #: the trace ID of the most recent request sent (None before the
+        #: first request, or with tracing off)
+        self.last_trace: Optional[str] = None
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -88,6 +95,9 @@ class ReproClient:
         self._next_id += 1
         request = {"v": PROTOCOL_VERSION, "id": self._next_id, "op": op,
                    **params}
+        if self._trace:
+            self.last_trace = new_trace_id()
+            request["trace"] = self.last_trace
         try:
             self._sock.sendall(encode_line(request))
             line = self._rfile.readline()
@@ -171,6 +181,9 @@ class ReproClient:
         request = {"v": PROTOCOL_VERSION, "id": self._next_id,
                    "op": "subscribe", "path": str(path),
                    "from_step": int(from_step)}
+        if self._trace:
+            self.last_trace = new_trace_id()
+            request["trace"] = self.last_trace
         try:
             self._sock.sendall(encode_line(request))
             line = self._rfile.readline()

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.amr.box import Box
 from repro.core.reader import PlotfileHandle
+from repro.obs import MetricsRegistry, current_trace_id, get_registry, span
 from repro.parallel.backend import ExecutionBackend, make_backend
 from repro.series.index import INDEX_FILENAME
 from repro.series.reader import SeriesHandle
@@ -109,8 +110,16 @@ class QueryEngine:
                  cache_bytes: int = DEFAULT_CACHE_BYTES,
                  backend: "ExecutionBackend | str | None" = None,
                  max_workers: Optional[int] = None,
-                 source=None):
+                 source=None, registry: Optional[MetricsRegistry] = None):
         self.cache = cache if cache is not None else ChunkCache(cache_bytes)
+        #: this engine's metrics spine.  Private by default so a server's
+        #: ``stats`` snapshot describes *that* server, not every tenant of
+        #: the process; pass :data:`~repro.obs.NULL_REGISTRY` to opt out
+        #: (the instrumentation-overhead bench baseline does).
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: trace ID of the most recent traced query this engine served (the
+        #: tail of the client → server → engine propagation chain)
+        self.last_trace: Optional[str] = None
         #: byte-source recipe (spec string / factory) every pooled handle
         #: opens its file through; None = plain local files
         self._source_spec = source
@@ -127,6 +136,8 @@ class QueryEngine:
         self._requests = 0
         self._batches = 0
         self._closed = False
+        self.cache.bind_registry(self.registry)
+        self.registry.add_collector(self._metrics_samples)
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -240,29 +251,34 @@ class QueryEngine:
         with self._lock:
             self._requests += len(queries)
             self._batches += 1
-        # -- coalesce: dataset -> union of chunk indices --------------------
-        groups: Dict[Tuple[int, str], Tuple[PlotfileHandle, object, object, set]] = {}
-        for query in queries:
-            handle = self._target(query)
-            plan, dplan, indices = handle.chunks_for_box(
-                query.field, level=query.level, box=query.box)
-            if not indices:
-                continue
-            key = (id(handle), dplan.name)
-            entry = groups.get(key)
-            if entry is None:
-                entry = (handle, plan, dplan, set())
-                groups[key] = entry
-            entry[3].update(indices)
-        for handle, plan, dplan, chunk_set in groups.values():
-            handle._decode_chunks(plan, dplan, sorted(chunk_set),
-                                  backend=self._backend)
-        # -- assemble each answer from the warm cache -----------------------
-        return [self._target(q).read_field(q.field, level=q.level, box=q.box,
-                                           refill=q.refill,
-                                           fill_value=q.fill_value,
-                                           max_level=q.max_level)
-                for q in queries]
+        self.last_trace = current_trace_id() or self.last_trace
+        with span("engine.read_batch", registry=self.registry,
+                  queries=len(queries)) as sp:
+            # -- coalesce: dataset -> union of chunk indices ----------------
+            groups: Dict[Tuple[int, str], Tuple[PlotfileHandle, object, object, set]] = {}
+            for query in queries:
+                handle = self._target(query)
+                plan, dplan, indices = handle.chunks_for_box(
+                    query.field, level=query.level, box=query.box)
+                if not indices:
+                    continue
+                key = (id(handle), dplan.name)
+                entry = groups.get(key)
+                if entry is None:
+                    entry = (handle, plan, dplan, set())
+                    groups[key] = entry
+                entry[3].update(indices)
+            for handle, plan, dplan, chunk_set in groups.values():
+                handle._decode_chunks(plan, dplan, sorted(chunk_set),
+                                      backend=self._backend)
+            # -- assemble each answer from the warm cache -------------------
+            answers = [self._target(q).read_field(q.field, level=q.level,
+                                                  box=q.box, refill=q.refill,
+                                                  fill_value=q.fill_value,
+                                                  max_level=q.max_level)
+                       for q in queries]
+            sp.add_bytes(sum(int(a.nbytes) for a in answers))
+            return answers
 
     def time_slice(self, directory: str, field: str, box: Optional[Box] = None,
                    level: int = 0, steps: Optional[Sequence[int]] = None,
@@ -280,22 +296,104 @@ class QueryEngine:
         series = self.series(directory)
         indices = list(range(series.nsteps)) if steps is None \
             else [series._step_index(s) for s in steps]
-        for index in sorted(set(indices)):
-            handle = series.open_step(index)
-            plan, dplan, chunk_indices = handle.chunks_for_box(field,
-                                                               level=level,
-                                                               box=box)
-            if chunk_indices:
-                handle._decode_chunks(plan, dplan, chunk_indices)
-        with self._lock:
-            self._requests += len(indices)
-        return series.time_slice(field, box=box, level=level, steps=steps,
-                                 refill=refill, fill_value=fill_value,
-                                 max_level=max_level)
+        self.last_trace = current_trace_id() or self.last_trace
+        with span("engine.time_slice", registry=self.registry,
+                  steps=len(indices)) as sp:
+            for index in sorted(set(indices)):
+                handle = series.open_step(index)
+                plan, dplan, chunk_indices = handle.chunks_for_box(field,
+                                                                   level=level,
+                                                                   box=box)
+                if chunk_indices:
+                    handle._decode_chunks(plan, dplan, chunk_indices)
+            with self._lock:
+                self._requests += len(indices)
+            times, values = series.time_slice(field, box=box, level=level,
+                                              steps=steps, refill=refill,
+                                              fill_value=fill_value,
+                                              max_level=max_level)
+            sp.add_bytes(int(values.nbytes))
+            return times, values
 
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
+    def _metrics_samples(self):
+        """Snapshot-time collector: fold pooled-handle stats into the registry.
+
+        The I/O totals aggregate the underlying
+        :class:`~repro.h5lite.source.SourceStats` deduped by object identity,
+        so two pooled handles over one *shared* ByteSource contribute its
+        wire counters exactly once (the per-handle view dedups the same
+        traffic through its pre-open watermark — see
+        :meth:`PlotfileHandle._sync_io`).
+        """
+        with self._lock:
+            handles = list(self._plotfiles.values())
+            series = list(self._series.values())
+            requests, batches = self._requests, self._batches
+        rows = [
+            ("repro_engine_requests_total", "counter", {}, float(requests)),
+            ("repro_engine_batches_total", "counter", {}, float(batches)),
+            ("repro_engine_plotfiles_open", "gauge", {}, float(len(handles))),
+            ("repro_engine_series_open", "gauge", {}, float(len(series))),
+        ]
+        all_stats = [h.stats for h in handles] + [s.stats for s in series]
+        rows.append(("repro_chunks_decoded_total", "counter", {},
+                     float(sum(s.chunks_decoded for s in all_stats))))
+        rows.append(("repro_series_refreshes_total", "counter", {},
+                     float(sum(s.refreshes for s in series))))
+        rows.append(("repro_series_steps_appended_total", "counter", {},
+                     float(sum(s.steps_appended for s in series))))
+        rows.append(("repro_series_index_reloads_total", "counter", {},
+                     float(sum(s.index_reloads for s in series))))
+        # unique byte sources: pooled plotfile handles + pooled series steps
+        sources: Dict[int, object] = {}
+        step_handles: List[PlotfileHandle] = list(handles)
+        for s in series:
+            with s._handles_lock:
+                step_handles.extend(s._handles.values())
+        for h in step_handles:
+            try:
+                ss = h.source_stats
+            except Exception:          # noqa: BLE001 - a closed handle is not data
+                continue
+            sources[id(ss)] = ss
+        io_totals: Dict[Tuple[str, str], float] = {}
+        for ss in sources.values():
+            for name, kind, _labels, value in ss.samples():
+                io_totals[(name, kind)] = io_totals.get((name, kind), 0.0) + value
+        rows.extend((name, kind, {}, value)
+                    for (name, kind), value in sorted(io_totals.items()))
+        if self._backend is not None:
+            tally = self._backend.map_stats()
+            labels = {"backend": self._backend.name}
+            rows.append(("repro_backend_maps_total", "counter", labels,
+                         float(tally["maps"])))
+            rows.append(("repro_backend_items_total", "counter", labels,
+                         float(tally["items"])))
+            rows.append(("repro_backend_map_seconds_total", "counter", labels,
+                         float(tally["seconds"])))
+        return rows
+
+    def metrics_snapshot(self, include_global: bool = True) -> Dict[str, object]:
+        """The registry snapshot (the payload of the ``stats`` wire op).
+
+        With ``include_global`` the process-wide default registry
+        (:func:`repro.obs.get_registry` — writer-stage spans, journal
+        producer counters) is folded in, so a server co-located with an in
+        situ producer exposes the whole pipeline's telemetry in one place.
+        The fold happens in a scratch registry: nothing is double-counted
+        into this engine's persistent instruments.
+        """
+        snap = self.registry.snapshot()
+        if not include_global:
+            return snap
+        merged = MetricsRegistry()
+        merged.merge_snapshot(snap)
+        merged.merge_snapshot(get_registry().snapshot())
+        return merged.snapshot()
+
     def stats(self) -> Dict[str, object]:
         """One flat snapshot: engine counters + cache counters + decode totals."""
         with self._lock:

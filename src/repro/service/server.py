@@ -36,9 +36,11 @@ from __future__ import annotations
 import asyncio
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, Optional
 
+from repro.obs import make_request_log, trace_scope
 from repro.service.engine import BoxQuery, QueryEngine, _is_series_dir
 from repro.service.wire import (
     ERROR_UNKNOWN_OP,
@@ -109,9 +111,14 @@ class ReproServer:
 
     def __init__(self, engine: Optional[QueryEngine] = None,
                  host: str = "127.0.0.1", port: int = DEFAULT_PORT,
-                 max_workers: int = 8, watch_interval: float = 0.25):
+                 max_workers: int = 8, watch_interval: float = 0.25,
+                 request_log=None):
         self.engine = engine if engine is not None else QueryEngine()
         self._owns_engine = engine is None
+        #: structured JSON request log (a stream, a RequestLog, or None for
+        #: silent); one line per answered request, stamped with latency,
+        #: cache hit rate, and the client's trace ID when it sent one
+        self.request_log = make_request_log(request_log)
         self.host = host
         self.requested_port = int(port)
         #: the bound port (== requested_port unless that was 0); set on listen
@@ -136,6 +143,51 @@ class ReproServer:
     # request execution (runs on the worker pool)
     # ------------------------------------------------------------------
     def _execute(self, request) -> Dict[str, object]:
+        """Instrumented entry point: trace binding, latency, request logging.
+
+        Runs on a worker thread; the trace ID (when the client sent one) is
+        bound to this thread for the duration of the engine call, which is
+        what carries it client → server → engine.
+        """
+        op = request.get("op") if isinstance(request, dict) else None
+        trace = request.get("trace") if isinstance(request, dict) else None
+        trace = trace if isinstance(trace, str) and trace else None
+        start = time.perf_counter()
+        with trace_scope(trace):
+            response = self._dispatch(request)
+        self._tally(op, trace, response, time.perf_counter() - start)
+        return response
+
+    def _tally(self, op, trace: Optional[str], response: Dict[str, object],
+               elapsed: float) -> None:
+        """Count and log one answered request (also used by subscribe)."""
+        registry = self.engine.registry
+        op_label = str(op) if op is not None else "invalid"
+        registry.counter("repro_server_requests_total",
+                         {"op": op_label}).inc()
+        registry.histogram("repro_server_request_seconds",
+                           {"op": op_label}).observe(elapsed)
+        ok = bool(response.get("ok"))
+        error_kind = response.get("kind")
+        if not ok:
+            # structured kinds (unknown_op, unsupported_version) get their
+            # own label so protocol skew is visible in the snapshot
+            registry.counter("repro_server_errors_total",
+                             {"kind": str(error_kind or "exception")}).inc()
+        if self.request_log is None:
+            return
+        fields: Dict[str, object] = {
+            "op": op_label, "id": response.get("id"), "ok": ok,
+            "latency_ms": round(elapsed * 1000.0, 3),
+            "cache_hit_rate": round(self.engine.cache.stats.hit_rate, 4),
+        }
+        if trace is not None:
+            fields["trace"] = trace
+        if error_kind is not None:
+            fields["error_kind"] = error_kind
+        self.request_log.log("request", **fields)
+
+    def _dispatch(self, request) -> Dict[str, object]:
         request_id = None
         try:
             if not isinstance(request, dict):
@@ -182,7 +234,10 @@ class ReproServer:
                     max_level=int(max_level) if max_level is not None else None)
                 result = {"times": times, "values": values}
             elif op == "stats":
-                result = self.engine.stats()
+                # flat engine keys (backwards compatible) + the full metrics
+                # registry snapshot under "registry"
+                result = dict(self.engine.stats())
+                result["registry"] = self.engine.metrics_snapshot()
             elif op == "refresh":
                 path = str(request["path"])
                 appended = self.engine.refresh(path)
@@ -302,15 +357,21 @@ class ReproServer:
         """
         loop = asyncio.get_running_loop()
         request_id = request.get("id")
+        start = time.perf_counter()
+        trace = request.get("trace")
+        trace = trace if isinstance(trace, str) and trace else None
         v = request.get("v")
         if isinstance(v, int) and not isinstance(v, bool) \
                 and v > PROTOCOL_VERSION:
-            writer.write(encode_line(error_envelope(
+            response = error_envelope(
                 request_id,
                 f"request speaks protocol version {v} but this server "
                 f"speaks {PROTOCOL_VERSION}; upgrade the server",
-                kind=ERROR_UNSUPPORTED_VERSION)))
+                kind=ERROR_UNSUPPORTED_VERSION)
+            writer.write(encode_line(response))
             await writer.drain()
+            self._tally("subscribe", trace, response,
+                        time.perf_counter() - start)
             return None
         try:
             path = request.get("path")
@@ -323,9 +384,11 @@ class ReproServer:
             series = await loop.run_in_executor(
                 self._executor, self._open_subscribed_series, path)
         except Exception as exc:  # noqa: BLE001 - refusal, not a stream
-            writer.write(encode_line(error_envelope(
-                request_id, f"{type(exc).__name__}: {exc}")))
+            response = error_envelope(request_id, f"{type(exc).__name__}: {exc}")
+            writer.write(encode_line(response))
             await writer.drain()
+            self._tally("subscribe", trace, response,
+                        time.perf_counter() - start)
             return None
         from repro.analysis.series_report import step_summary_row
 
@@ -333,12 +396,15 @@ class ReproServer:
         watcher = await self._acquire_watcher(key, series)
         read_task: Optional[asyncio.Task] = None
         try:
-            writer.write(encode_line({
+            response = {
                 "v": PROTOCOL_VERSION, "id": request_id, "ok": True,
                 "result": {"subscribed": path, "nsteps": watcher.nsteps,
                            "high_water": watcher.nsteps - 1,
-                           "live": watcher.live}}))
+                           "live": watcher.live}}
+            writer.write(encode_line(response))
             await writer.drain()
+            self._tally("subscribe", trace, response,
+                        time.perf_counter() - start)
             read_task = asyncio.ensure_future(reader.readline())
             next_step = from_step
             while True:

@@ -19,6 +19,13 @@ instead of guessing.  Error responses may carry a machine-readable ``kind``
 (:data:`ERROR_UNKNOWN_OP`, :data:`ERROR_UNSUPPORTED_VERSION`) next to the
 human-readable ``error`` string, so a client can distinguish "this server
 predates subscribe" from an ordinary failed request.
+
+**Tracing.**  A request may carry an optional ``"trace"`` string — a
+client-minted trace ID (see :func:`repro.obs.new_trace_id`).  The field is
+additive within protocol version 2: a server that predates it ignores it; a
+server that speaks it binds the ID around the engine call and stamps it into
+its structured request log, so one ID follows a query client → server →
+engine.
 """
 
 from __future__ import annotations

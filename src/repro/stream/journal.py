@@ -322,6 +322,10 @@ class SeriesJournal:
         self.genesis_crc = 0
         self.base = 0
         self.end_offset = 0
+        #: producer-side accounting, also pushed to the process-wide metrics
+        #: registry (an in situ writer has no query engine to collect through)
+        self.appends = 0
+        self.compactions = 0
 
     # -- generation switches (atomic) ----------------------------------
     def _write_generation(self, config: dict, base: int) -> None:
@@ -359,6 +363,10 @@ class SeriesJournal:
         durably on disk — the old generation's step records vanish here.
         """
         self._write_generation(config, base)
+        self.compactions += 1
+        from repro.obs import get_registry
+
+        get_registry().counter("repro_journal_compactions_total").inc()
 
     @classmethod
     def open_existing(cls, directory: str) -> Tuple["SeriesJournal", JournalView]:
@@ -390,6 +398,10 @@ class SeriesJournal:
         self._fh.flush()
         os.fsync(self._fh.fileno())
         self.end_offset += len(record)
+        self.appends += 1
+        from repro.obs import get_registry
+
+        get_registry().counter("repro_journal_appends_total").inc()
 
     # -- lifecycle ------------------------------------------------------
     def remove(self) -> None:

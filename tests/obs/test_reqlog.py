@@ -1,0 +1,60 @@
+"""Structured JSON-lines request logs."""
+
+import io
+import json
+import threading
+
+from repro.obs import RequestLog, make_request_log
+
+
+class TestRequestLog:
+    def test_one_json_object_per_line(self):
+        stream = io.StringIO()
+        log = RequestLog(stream)
+        log.log("request", op="ping", latency_ms=0.2)
+        log.log("request", op="read_field", trace="abc")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert log.records == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "request"
+        assert first["op"] == "ping"
+        assert "ts" in first
+        assert json.loads(lines[1])["trace"] == "abc"
+
+    def test_unserialisable_values_are_stringified(self):
+        stream = io.StringIO()
+        RequestLog(stream).log("request", weird={1, 2})
+        record = json.loads(stream.getvalue())
+        assert "weird" in record         # logged, not raised on
+
+    def test_concurrent_writers_never_interleave(self):
+        stream = io.StringIO()
+        log = RequestLog(stream)
+
+        def work(i):
+            for _ in range(200):
+                log.log("request", worker=i, payload="x" * 64)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 800
+        for line in lines:
+            json.loads(line)             # every line parses on its own
+
+
+class TestMakeRequestLog:
+    def test_none_passes_through(self):
+        assert make_request_log(None) is None
+
+    def test_existing_log_passes_through(self):
+        log = RequestLog(io.StringIO())
+        assert make_request_log(log) is log
+
+    def test_stream_is_wrapped(self):
+        wrapped = make_request_log(io.StringIO())
+        assert isinstance(wrapped, RequestLog)

@@ -1,0 +1,99 @@
+"""Trace IDs, context propagation, and span instrumentation."""
+
+import re
+import threading
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    current_trace_id,
+    get_registry,
+    new_trace_id,
+    span,
+    trace_scope,
+)
+
+
+class TestTraceIds:
+    def test_format_and_uniqueness(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(re.fullmatch(r"[0-9a-f]{16}", t) for t in ids)
+
+    def test_no_trace_outside_a_scope(self):
+        assert current_trace_id() is None
+
+    def test_scope_binds_and_restores(self):
+        with trace_scope("abc123"):
+            assert current_trace_id() == "abc123"
+            with trace_scope("nested"):
+                assert current_trace_id() == "nested"
+            assert current_trace_id() == "abc123"
+        assert current_trace_id() is None
+
+    def test_none_scope_is_passthrough(self):
+        """trace_scope(None) keeps the surrounding binding visible."""
+        with trace_scope("outer"):
+            with trace_scope(None) as seen:
+                assert seen == "outer"
+                assert current_trace_id() == "outer"
+
+    def test_scope_is_thread_local(self):
+        seen = {}
+
+        def other_thread():
+            seen["other"] = current_trace_id()
+
+        with trace_scope("mine"):
+            t = threading.Thread(target=other_thread)
+            t.start()
+            t.join()
+        assert seen["other"] is None
+
+
+class TestSpans:
+    def test_span_records_latency_and_count(self):
+        reg = MetricsRegistry()
+        with span("decode", registry=reg):
+            pass
+        labels = {"span": "decode"}
+        assert reg.counter("repro_span_total", labels).value == 1
+        hist = reg.histogram("repro_span_seconds", labels)
+        assert hist.count == 1
+        assert hist.sum >= 0
+
+    def test_span_bytes_and_attributes(self):
+        reg = MetricsRegistry()
+        with span("read", registry=reg, dataset="density") as sp:
+            sp.add_bytes(1024)
+            sp.add_bytes(1024)
+        assert sp.attributes == {"dataset": "density"}
+        assert sp.elapsed is not None
+        assert reg.counter("repro_span_bytes_total",
+                           {"span": "read"}).value == 2048
+
+    def test_span_counts_errors_and_reraises(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with span("boom", registry=reg):
+                raise RuntimeError("nope")
+        labels = {"span": "boom"}
+        assert reg.counter("repro_span_errors_total", labels).value == 1
+        assert reg.counter("repro_span_total", labels).value == 1
+
+    def test_span_captures_current_trace(self):
+        reg = MetricsRegistry()
+        with trace_scope("feedbeef00000000"):
+            with span("traced", registry=reg) as sp:
+                pass
+        assert sp.trace_id == "feedbeef00000000"
+
+    def test_default_registry_is_the_process_wide_one(self):
+        before = get_registry().counter("repro_span_total",
+                                        {"span": "default-reg"}).value
+        with span("default-reg"):
+            pass
+        after = get_registry().counter("repro_span_total",
+                                       {"span": "default-reg"}).value
+        assert after == before + 1

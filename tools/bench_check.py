@@ -29,7 +29,11 @@ targets** on the fresh ``BENCH_stream.json`` (see :func:`check_stream`) hold
 the journal to its point: a live ``refresh()`` must be at least
 :data:`STREAM_REFRESH_MIN` times cheaper than a full reopen, and a
 subscriber's mean commit-to-event lag must stay under
-:data:`STREAM_LAG_MAX_SECONDS`.  The target is declared for a 4-core machine and
+:data:`STREAM_LAG_MAX_SECONDS`.  The **observability-overhead target** on the
+fresh ``BENCH_obs.json`` (see :func:`check_obs`) holds the metrics layer to
+its pull-model promise: warm batched reads on an instrumented engine may
+cost at most :data:`OBS_OVERHEAD_MAX` (5%) over the same reads with
+``NULL_REGISTRY``.  The speedup target is declared for a 4-core machine and
 auto-scales to the *recording* machine's core count (stamped into each
 benchmark's ``extra_info.cpu_count`` by the perf conftest): below 2 cores it
 relaxes to "no worse than serial", and when the fresh run's machine has
@@ -338,6 +342,61 @@ def check_remote(fresh_dir: str) -> Tuple[List[str], List[str], int]:
 
 
 # ----------------------------------------------------------------------
+# observability-overhead assertions (BENCH_obs.json)
+# ----------------------------------------------------------------------
+#: the obs suite's instrumented and opted-out warm batched reads
+OBS_SUITE = "obs"
+OBS_INSTRUMENTED_BENCH = "test_obs_warm_batched_instrumented"
+OBS_NULL_BENCH = "test_obs_warm_batched_null_registry"
+#: instrumented warm batched reads may cost at most 5% over NULL_REGISTRY
+OBS_OVERHEAD_MAX = 1.05
+
+
+def check_obs(fresh_dir: str) -> Tuple[List[str], List[str], int]:
+    """Assert the metrics-overhead ceiling on a fresh ``BENCH_obs.json``.
+
+    Returns ``(result lines, notices, failures)`` like :func:`check_stream`.
+    The preferred signal is the ``obs_overhead_ratio`` the suite stamps into
+    the instrumented benchmark's ``extra_info`` — interleaved min-of-N
+    timing, far less noisy than two independently recorded medians — with
+    the median ratio as a fallback when the stamp is absent.
+    """
+    lines: List[str] = []
+    notices: List[str] = []
+    failures = 0
+    fresh_path = os.path.join(fresh_dir, f"BENCH_{OBS_SUITE}.json")
+    if not os.path.isfile(fresh_path):
+        notices.append(f"obs: no fresh BENCH_{OBS_SUITE}.json; skipped")
+        return lines, notices, failures
+    entries = load_entries(fresh_path)
+    instrumented = entries.get(OBS_INSTRUMENTED_BENCH)
+    null = entries.get(OBS_NULL_BENCH)
+    if instrumented is None or null is None:
+        missing = OBS_INSTRUMENTED_BENCH if instrumented is None \
+            else OBS_NULL_BENCH
+        notices.append(f"obs: {missing!r} not in fresh results; skipped")
+        return lines, notices, failures
+    ratio = instrumented["extra_info"].get("obs_overhead_ratio")
+    how = "interleaved min-of-N"
+    if ratio is None:
+        if null["median"] <= 0:
+            notices.append(
+                f"obs: {OBS_NULL_BENCH!r} has a zero median and no "
+                "obs_overhead_ratio extra_info; skipped")
+            return lines, notices, failures
+        ratio = instrumented["median"] / null["median"]
+        how = "median ratio (no obs_overhead_ratio extra_info)"
+    ratio = float(ratio)
+    ok = ratio <= OBS_OVERHEAD_MAX
+    failures += 0 if ok else 1
+    lines.append(
+        f"obs: metrics overhead {(ratio - 1.0) * 100:+.1f}% on warm batched "
+        f"reads, {how} ({'ok' if ok else 'FAIL'}; required <= "
+        f"+{(OBS_OVERHEAD_MAX - 1.0) * 100:.0f}%)")
+    return lines, notices, failures
+
+
+# ----------------------------------------------------------------------
 # live-streaming assertions (BENCH_stream.json)
 # ----------------------------------------------------------------------
 #: the stream suite's full live reopen and its journal-tail refresh
@@ -474,14 +533,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.baseline_dir, args.fresh_dir, args.tolerance)
     remote_lines, remote_notices, remote_failures = check_remote(args.fresh_dir)
     stream_lines, stream_notices, stream_failures = check_stream(args.fresh_dir)
-    for notice in notices + speedup_notices + remote_notices + stream_notices:
+    obs_lines, obs_notices, obs_failures = check_obs(args.fresh_dir)
+    for notice in notices + speedup_notices + remote_notices \
+            + stream_notices + obs_notices:
         print(f"note: {notice}")
     if rows:
         print(format_rows(rows))
-    for line in speedup_lines + remote_lines + stream_lines:
+    for line in speedup_lines + remote_lines + stream_lines + obs_lines:
         print(line)
     bad = [row for row in rows if row["status"] in (REGRESSED, MISSING)]
-    if bad or speedup_failures or remote_failures or stream_failures:
+    if bad or speedup_failures or remote_failures or stream_failures \
+            or obs_failures:
         parts = []
         if bad:
             parts.append(f"{len(bad)} benchmark(s) regressed beyond "
@@ -492,12 +554,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             parts.append(f"{remote_failures} remote-read assertion(s) failed")
         if stream_failures:
             parts.append(f"{stream_failures} streaming assertion(s) failed")
+        if obs_failures:
+            parts.append(f"{obs_failures} observability assertion(s) failed")
         print(f"\nFAIL: " + "; ".join(parts))
         return 1
     checked = sum(1 for row in rows if row["status"] in (OK, IMPROVED))
     print(f"\nbench-check: {checked} benchmark(s) within {args.tolerance:.0%} "
           f"of baseline; {len(speedup_lines)} speedup, {len(remote_lines)} "
-          f"remote-read and {len(stream_lines)} streaming assertion(s) held")
+          f"remote-read, {len(stream_lines)} streaming and {len(obs_lines)} "
+          "observability assertion(s) held")
     return 0
 
 
