@@ -8,9 +8,11 @@
 # end, `make smoke-series` does the same for the series subsystem,
 # `make smoke-remote` drives a box read through a simulated high-latency
 # RangeSource, `make smoke-stream` runs a live producer -> serve ->
-# `query follow` pipeline across three real processes and `make smoke-obs`
+# `query follow` pipeline across three real processes, `make smoke-obs`
 # drives traced queries against a live server and checks the telemetry the
-# `stats` verb reports about them.  The smoke targets honour REPRO_BACKEND
+# `stats` verb reports about them, and `make smoke-http` exercises the HTTP
+# gateway (auth, limits, /metrics, read parity with TCP) across real
+# processes.  The smoke targets honour REPRO_BACKEND
 # (CI runs them with REPRO_BACKEND=process).
 
 PY := PYTHONPATH=src python
@@ -24,10 +26,11 @@ BENCH_SUITES := \
 	service:benchmarks/perf/test_perf_service.py \
 	remote:benchmarks/perf/test_perf_remote.py \
 	stream:benchmarks/perf/test_perf_stream.py \
-	obs:benchmarks/perf/test_perf_obs.py
+	obs:benchmarks/perf/test_perf_obs.py \
+	http:benchmarks/perf/test_perf_http.py
 
 .PHONY: test lint bench bench-check bench-baseline smoke smoke-series \
-	smoke-remote smoke-stream smoke-obs
+	smoke-remote smoke-stream smoke-obs smoke-http
 
 test:
 	$(PY) -m pytest -x -q
@@ -111,3 +114,6 @@ smoke-stream:
 
 smoke-obs:
 	$(PY) tools/smoke_obs.py
+
+smoke-http:
+	$(PY) tools/smoke_http.py

@@ -1,0 +1,116 @@
+"""HTTP gateway overhead: the same warm batched reads over HTTP vs TCP.
+
+``make bench`` runs this file into ``BENCH_http.json``: the service suite's
+warm batched request mix served twice through real sockets — once by the
+JSON-over-TCP transport, once by the HTTP/1.1 gateway — with both transports
+sharing *one* :class:`~repro.service.core.RequestHandler` (one engine, one
+warm chunk cache), so the difference is pure transport cost: HTTP request
+lines, headers and status framing versus newline framing.
+
+The headline number is the **HTTP/TCP overhead ratio**, measured with
+interleaved min-of-N timing (robust against clock noise) and stamped into
+``extra_info`` so ``tools/bench_check.py`` can hold it to
+:data:`HTTP_OVERHEAD_MAX` (2x): the gateway buys standard tooling, auth and
+status codes, and this suite is the gate that it never costs more than one
+extra transport's worth of work on the reads that matter.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+pytest.importorskip("pytest_benchmark")
+
+import repro
+from repro.amr.box import Box
+from repro.service import BoxQuery, QueryEngine, ReproClient, ReproServer
+from repro.service.core import RequestHandler
+from repro.service.http import HttpClient, HttpServer
+
+NREQUESTS = 24
+FIELDS = ("baryon_density", "temperature")
+#: interleaved timing rounds for the overhead ratio (min-of-N each side)
+RATIO_ROUNDS = 5
+
+
+@pytest.fixture(scope="module")
+def plotfile(tmp_path_factory, midsize_hierarchy):
+    path = tmp_path_factory.mktemp("http") / "nyx.h5z"
+    repro.write(midsize_hierarchy, str(path), error_bound=1e-3)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def queries(plotfile):
+    """The service suite's request mix: overlapping coarse probe boxes."""
+    out = []
+    for i in range(NREQUESTS):
+        lo = ((3 * i) % 16, (5 * i) % 16, (7 * i) % 16)
+        box = Box(lo, tuple(l + 15 for l in lo))
+        out.append(BoxQuery(path=plotfile, field=FIELDS[i % len(FIELDS)],
+                            level=0, box=box))
+    return out
+
+
+@pytest.fixture(scope="module")
+def shared_service(queries):
+    """Both transports over one core: (tcp client, http client), cache warm."""
+    engine = QueryEngine()
+    handler = RequestHandler(engine)
+    tcp = ReproServer(handler=handler, port=0).start()
+    http = HttpServer(handler=handler, port=0).start()
+    tcp_client = ReproClient(port=tcp.port, trace=False)
+    http_client = HttpClient(port=http.port, trace=False)
+    engine.read_batch(queries)                      # warm the shared cache
+    yield tcp_client, http_client
+    tcp_client.close()
+    http_client.close()
+    http.stop()
+    tcp.stop()
+    handler.close()
+    engine.close()
+
+
+def _timed(fn, arg) -> float:
+    start = time.perf_counter()
+    fn(arg)
+    return time.perf_counter() - start
+
+
+def test_http_warm_batched(benchmark, shared_service, queries):
+    """Timed: warm batched reads over the HTTP gateway, plus the interleaved
+    HTTP/TCP overhead ratio in ``extra_info``."""
+    tcp_client, http_client = shared_service
+    # interleave the transports so clock drift hits both sides equally
+    over_http, over_tcp = [], []
+    for _ in range(RATIO_ROUNDS):
+        over_http.append(_timed(http_client.read_batch, queries))
+        over_tcp.append(_timed(tcp_client.read_batch, queries))
+    benchmark.extra_info["http_overhead_ratio"] = \
+        min(over_http) / min(over_tcp)
+    results = benchmark.pedantic(http_client.read_batch, args=(queries,),
+                                 rounds=3, iterations=1)
+    assert len(results) == NREQUESTS
+
+
+def test_tcp_warm_batched(benchmark, shared_service, queries):
+    """Timed: the same requests over the TCP transport (the denominator)."""
+    tcp_client, _ = shared_service
+    results = benchmark.pedantic(tcp_client.read_batch, args=(queries,),
+                                 rounds=3, iterations=1)
+    assert len(results) == NREQUESTS
+
+
+def test_http_reads_identical_to_tcp_and_direct(shared_service, queries,
+                                                plotfile):
+    """The parity bar: one request mix, three access paths, equal arrays."""
+    tcp_client, http_client = shared_service
+    via_tcp = tcp_client.read_batch(queries)
+    via_http = http_client.read_batch(queries)
+    with repro.open(plotfile) as direct:
+        for q, a, b in zip(queries, via_tcp, via_http):
+            expected = direct.read_field(q.field, level=q.level, box=q.box)
+            assert a.dtype == b.dtype == expected.dtype
+            assert np.array_equal(a, expected)
+            assert np.array_equal(b, expected)

@@ -27,10 +27,15 @@ and their series/service counterparts:
     Decode every step of a series (resolving all delta chains) and check
     manifest/file consistency, keyframe cadence and finiteness.
 ``serve``
-    Run the JSON-over-TCP query service (:mod:`repro.service`): one shared
-    chunk cache and query engine serving describe/read_field/time_slice to
-    concurrent clients, and watching live (append-mode) series for
-    subscribers.
+    Run the query service (:mod:`repro.service`): one shared chunk cache and
+    query engine serving describe/read_field/time_slice to concurrent
+    clients, and watching live (append-mode) series for subscribers.  By
+    default a JSON-over-TCP listener; ``--http PORT`` adds (or, with
+    ``--http-only``, substitutes) the HTTP/JSON gateway — ``POST /v1/query``,
+    ``GET /metrics``, ``GET /healthz``, chunked ``GET /v1/subscribe`` — over
+    the *same* request core, so both transports share one auth policy
+    (``--auth-token``, literal or ``env:NAME`` / ``file:PATH``), one request
+    size limit and one per-client rate limiter.
 ``query``
     One request against a running ``serve`` instance (describe, read-field,
     time-slice, stats, ping, refresh) — or a *stream*: ``query follow DIR``
@@ -194,6 +199,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--no-request-log", action="store_true",
                        help="suppress the structured JSON request log "
                             "(one line per answered request on stderr)")
+    p_srv.add_argument("--http", type=int, default=None, metavar="PORT",
+                       help="also serve the HTTP/JSON gateway on this port "
+                            "(0 binds an ephemeral port, printed on startup)")
+    p_srv.add_argument("--http-only", action="store_true",
+                       help="serve only the HTTP gateway (requires --http)")
+    p_srv.add_argument("--auth-token", default=None, metavar="SPEC",
+                       help="require this bearer token on both transports: "
+                            "a literal value, env:NAME, or file:PATH")
+    p_srv.add_argument("--max-request-bytes", type=int, default=None,
+                       help="refuse requests larger than this "
+                            "(default 16 MiB; structured oversized_request "
+                            "error / HTTP 413)")
+    p_srv.add_argument("--rate-limit", type=float, default=None,
+                       help="per-client token-bucket rate limit in "
+                            "requests/second (default: unlimited)")
+    p_srv.add_argument("--rate-burst", type=float, default=None,
+                       help="token-bucket depth (default: max(1, rate))")
     _add_source_arg(p_srv)
 
     p_stats = sub.add_parser("stats",
@@ -212,6 +234,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "exposition format")
     p_stats.add_argument("--json", action="store_true", dest="as_json",
                          help="emit the raw snapshot as JSON")
+    p_stats.add_argument("--auth-token", default=None, metavar="SPEC",
+                         help="bearer token for a server running with "
+                              "--auth-token (literal, env:NAME, or file:PATH)")
 
     p_q = sub.add_parser("query",
                          help="one request against a running serve instance")
@@ -244,6 +269,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default 0: catch up from the start)")
     p_q.add_argument("--json", action="store_true", dest="as_json",
                      help="emit the full result (arrays included) as JSON")
+    p_q.add_argument("--http", action="store_true",
+                     help="talk to the HTTP gateway instead of the TCP "
+                          "service (default port 9754)")
+    p_q.add_argument("--auth-token", default=None, metavar="SPEC",
+                     help="bearer token for a server running with "
+                          "--auth-token (literal, env:NAME, or file:PATH)")
     return parser
 
 
@@ -520,27 +551,60 @@ def _run_series_verify(args, backend) -> int:
 def _cmd_serve(args) -> int:
     from repro.service import QueryEngine, ReproServer
     from repro.service.cache import DEFAULT_CACHE_BYTES
+    from repro.service.core import RequestHandler, resolve_auth_token
     from repro.service.server import DEFAULT_PORT
 
+    if args.http_only and args.http is None:
+        raise ValueError("--http-only needs --http PORT")
     engine = QueryEngine(cache_bytes=args.cache_bytes
                          if args.cache_bytes is not None else DEFAULT_CACHE_BYTES,
                          backend=args.backend, max_workers=args.max_workers,
                          source=args.source)
-    server_kwargs = {}
-    if args.watch_interval is not None:
-        server_kwargs["watch_interval"] = args.watch_interval
-    if not args.no_request_log:
-        # one structured JSON line per answered request (op, latency,
-        # cache hit rate, client trace ID) — stderr, so piped results
-        # of a foreground serve stay clean
-        server_kwargs["request_log"] = sys.stderr
-    server = ReproServer(engine, host=args.host,
-                         port=args.port if args.port is not None else DEFAULT_PORT,
-                         **server_kwargs)
-    server.run(on_ready=lambda s: print(
-        f"serving on {s.host}:{s.port} "
-        f"(cache budget {engine.cache.max_bytes} bytes)", flush=True))
-    engine.close()
+    # one shared core: op dispatch, auth, size/rate limits and telemetry are
+    # identical no matter which transport a request arrives on.  The request
+    # log is one structured JSON line per answered request (op, latency,
+    # cache hit rate, client trace ID) — stderr, so piped results of a
+    # foreground serve stay clean.
+    handler = RequestHandler(
+        engine,
+        auth_token=resolve_auth_token(args.auth_token),
+        max_request_bytes=args.max_request_bytes,
+        rate_limit=args.rate_limit, rate_burst=args.rate_burst,
+        request_log=None if args.no_request_log else sys.stderr)
+    watch_interval = args.watch_interval if args.watch_interval is not None \
+        else 0.25
+    http_server = None
+    try:
+        if args.http is not None:
+            from repro.service.http import HttpServer
+
+            http_server = HttpServer(handler=handler, host=args.host,
+                                     port=args.http,
+                                     watch_interval=watch_interval)
+        if args.http_only:
+            http_server.run(on_ready=lambda s: print(
+                f"http gateway on {s.host}:{s.port} "
+                f"(cache budget {engine.cache.max_bytes} bytes)", flush=True))
+            return 0
+
+        def on_ready(s) -> None:
+            print(f"serving on {s.host}:{s.port} "
+                  f"(cache budget {engine.cache.max_bytes} bytes)", flush=True)
+            if http_server is not None:
+                http_server.start()
+                print(f"http gateway on {http_server.host}:{http_server.port}",
+                      flush=True)
+
+        server = ReproServer(
+            handler=handler, host=args.host,
+            port=args.port if args.port is not None else DEFAULT_PORT,
+            max_workers=args.max_workers if args.max_workers is not None else 8,
+            watch_interval=watch_interval)
+        server.run(on_ready=on_ready)
+    finally:
+        if http_server is not None:
+            http_server.stop()
+        engine.close()
     return 0
 
 
@@ -568,9 +632,11 @@ def _parse_addr(addr: Optional[str], host: Optional[str],
 
 def _cmd_stats(args) -> int:
     from repro.service import ReproClient
+    from repro.service.core import resolve_auth_token
 
     host, port = _parse_addr(args.addr, args.host, args.port)
-    with ReproClient(host=host, port=port) as client:
+    with ReproClient(host=host, port=port,
+                     auth_token=resolve_auth_token(args.auth_token)) as client:
         stats = client.stats()
     registry = stats.pop("registry", {}) if isinstance(stats, dict) else {}
     if args.prom:
@@ -615,7 +681,7 @@ def _print_array_result(label: str, arr: np.ndarray, as_json: bool) -> None:
               f"max={arr.max():.6g} mean={arr.mean():.6g}")
 
 
-def _cmd_follow(args, port: int) -> int:
+def _cmd_follow(args, port: int, auth_token) -> int:
     from repro.service.client import follow_series
 
     print(f"following {args.path} from step {args.from_step} "
@@ -624,7 +690,8 @@ def _cmd_follow(args, port: int) -> int:
                            level=args.level, box=_parse_box(args.box),
                            from_step=args.from_step,
                            refill=not args.no_refill,
-                           max_level=args.max_level)
+                           max_level=args.max_level,
+                           auth_token=auth_token)
     for event, arr in stream:
         name = event.get("event")
         if name == "step":
@@ -652,6 +719,7 @@ _QUERY_OPS = ("describe", "read-field", "time-slice", "stats", "ping",
 
 def _cmd_query(args) -> int:
     from repro.service import ReproClient
+    from repro.service.core import resolve_auth_token
     from repro.service.server import DEFAULT_PORT
 
     # `query --follow DIR` parses the directory into the op slot; normalise
@@ -668,10 +736,24 @@ def _cmd_query(args) -> int:
         raise ValueError(f"query {args.op} needs a path argument")
     if args.op in ("read-field", "time-slice") and args.field is None:
         raise ValueError(f"query {args.op} needs --field")
-    port = args.port if args.port is not None else DEFAULT_PORT
+    auth_token = resolve_auth_token(args.auth_token)
+    if args.http:
+        from repro.service.http import DEFAULT_HTTP_PORT, HttpClient
+
+        if args.op == "follow" or args.follow:
+            raise ValueError(
+                "query follow streams over the TCP service; use it without "
+                "--http (the gateway's stream is GET /v1/subscribe)")
+        port = args.port if args.port is not None else DEFAULT_HTTP_PORT
+        make_client = lambda: HttpClient(host=args.host, port=port,  # noqa: E731
+                                         auth_token=auth_token)
+    else:
+        port = args.port if args.port is not None else DEFAULT_PORT
+        make_client = lambda: ReproClient(host=args.host, port=port,  # noqa: E731
+                                          auth_token=auth_token)
     if args.op == "follow" or args.follow:
-        return _cmd_follow(args, port)
-    with ReproClient(host=args.host, port=port) as client:
+        return _cmd_follow(args, port, auth_token)
+    with make_client() as client:
         if args.op == "ping":
             print("pong" if client.ping() else "no pong")
         elif args.op == "describe":

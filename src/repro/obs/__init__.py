@@ -16,6 +16,7 @@ from repro.obs.metrics import (
     DEFAULT_BYTE_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
     NULL_REGISTRY,
+    PROMETHEUS_CONTENT_TYPE,
     Counter,
     Gauge,
     Histogram,
@@ -41,6 +42,7 @@ __all__ = [
     "NULL_REGISTRY",
     "get_registry",
     "render_prometheus",
+    "PROMETHEUS_CONTENT_TYPE",
     "quantile_from_buckets",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_BYTE_BUCKETS",

@@ -59,6 +59,7 @@ __all__ = [
     "NULL_REGISTRY",
     "get_registry",
     "render_prometheus",
+    "PROMETHEUS_CONTENT_TYPE",
     "quantile_from_buckets",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_BYTE_BUCKETS",
@@ -479,6 +480,11 @@ def _format_value(value: float) -> str:
         return "-Inf"
     f = float(value)
     return str(int(f)) if f.is_integer() else repr(f)
+
+
+#: the Content-Type an HTTP endpoint serving :func:`render_prometheus`
+#: output should declare (Prometheus text exposition format 0.0.4)
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 def render_prometheus(snapshot: Mapping[str, Mapping[str, object]]) -> str:

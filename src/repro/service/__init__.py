@@ -1,4 +1,4 @@
-"""The serving layer: shared chunk cache, batched queries, and the TCP service.
+"""The serving layer: shared chunk cache, batched queries, and the service.
 
 Everything the PR-3/PR-4 readers decode is chunk-granular; this package makes
 those chunks *shareable*:
@@ -12,14 +12,24 @@ those chunks *shareable*:
   coalesces requests hitting the same chunk or delta chain so each chunk is
   decoded at most once per batch, and prefetches keyframe→delta chains for
   time slices.
-* :mod:`repro.service.server` / :mod:`repro.service.client` — an asyncio
-  JSON-over-TCP server and a thin synchronous client exposing
-  describe/read_field/read_batch/time_slice to concurrent analysis clients
+* :mod:`repro.service.core` — the transport-neutral :class:`RequestHandler`:
+  op dispatch, protocol-version negotiation, bearer-token auth, request-size
+  and rate limits, trace binding, per-op tallies and the structured request
+  log.  Every transport is a thin shell over it.
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the asyncio
+  JSON-over-TCP transport and its thin synchronous client
   (``python -m repro serve`` / ``python -m repro query``), plus the
   streaming ``subscribe`` verb: the server watches live (append-mode)
   series and pushes step-committed events; :func:`follow_series` pairs
   each event with a box read, reconnecting and resuming on failure
   (``python -m repro query --follow``).
+* :mod:`repro.service.http` — the HTTP/1.1 JSON gateway over the same core
+  (``repro serve --http``): ``POST /v1/query``, ``GET /metrics`` (Prometheus),
+  ``GET /healthz``, chunked ``GET /v1/subscribe``; :class:`HttpClient`
+  mirrors :class:`ReproClient`.
+* :mod:`repro.service.fakes` — in-process :class:`FakeTransport` /
+  :class:`FakeClient` driving the real core (through the real wire codec)
+  with no sockets, for tests and embedding.
 """
 
 __all__ = [
@@ -27,22 +37,36 @@ __all__ = [
     "ChunkCache",
     "BoxQuery",
     "QueryEngine",
+    "RequestContext",
+    "RequestHandler",
+    "resolve_auth_token",
     "ReproClient",
     "ReproServer",
+    "HttpClient",
+    "HttpServer",
+    "FakeClient",
+    "FakeTransport",
     "ServiceError",
     "follow_series",
 ]
 
 #: public name -> defining submodule; resolved lazily so importing the cache
 #: (or `import repro`, which re-exports ChunkCache) does not pull the engine,
-#: the asyncio server and the socket client into every process
+#: the servers and the socket client into every process
 _EXPORTS = {
     "CacheStats": "repro.service.cache",
     "ChunkCache": "repro.service.cache",
     "BoxQuery": "repro.service.engine",
     "QueryEngine": "repro.service.engine",
+    "RequestContext": "repro.service.core",
+    "RequestHandler": "repro.service.core",
+    "resolve_auth_token": "repro.service.core",
     "ReproClient": "repro.service.client",
     "ReproServer": "repro.service.server",
+    "HttpClient": "repro.service.http",
+    "HttpServer": "repro.service.http",
+    "FakeClient": "repro.service.fakes",
+    "FakeTransport": "repro.service.fakes",
     "ServiceError": "repro.service.client",
     "follow_series": "repro.service.client",
 }

@@ -5,6 +5,12 @@ line arrives.  Arrays come back bit-identical to what the server's engine
 decoded (see :mod:`repro.service.wire`).  A server-side failure raises
 :class:`ServiceError` carrying the server's one-line error message; the
 connection stays usable afterwards.
+
+The one-method-per-op surface (``ping`` ... ``refresh``) lives in the
+:class:`ServiceOps` mixin, shared verbatim with the HTTP client
+(:class:`~repro.service.http.HttpClient`) and the in-process fake
+(:class:`~repro.service.fakes.FakeClient`): a transport only implements
+``call(op, **params)``, and the three clients cannot drift apart.
 """
 
 from __future__ import annotations
@@ -17,24 +23,20 @@ import numpy as np
 
 from repro.amr.box import Box
 from repro.obs import new_trace_id
+from repro.service.core import ERROR_UNKNOWN_OP, PROTOCOL_VERSION
 from repro.service.engine import BoxQuery
 from repro.service.server import DEFAULT_PORT
-from repro.service.wire import (
-    ERROR_UNKNOWN_OP,
-    PROTOCOL_VERSION,
-    decode_line,
-    encode_line,
-)
+from repro.service.wire import decode_line, encode_line
 
-__all__ = ["ReproClient", "ServiceError", "follow_series"]
+__all__ = ["ReproClient", "ServiceError", "ServiceOps", "follow_series"]
 
 
 class ServiceError(RuntimeError):
     """The server answered ``ok: false`` (its error string is the message).
 
     :attr:`kind` carries the server's machine-readable error class when it
-    sent one (e.g. :data:`~repro.service.wire.ERROR_UNKNOWN_OP` from a
-    pre-streaming server asked to ``subscribe``), else ``None``.
+    sent one (e.g. :data:`~repro.service.core.ERROR_UNAUTHORIZED` for a
+    refused bearer token), else ``None``.
     """
 
     def __init__(self, message: str, kind: Optional[str] = None):
@@ -46,83 +48,17 @@ def _box_json(box: Optional[Box]):
     return [list(box.lo), list(box.hi)] if box is not None else None
 
 
-class ReproClient:
-    """A blocking client for one :class:`~repro.service.server.ReproServer`."""
+class ServiceOps:
+    """The service surface, one method per op, over an abstract ``call``.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
-                 timeout: float = 120.0, trace: bool = True):
-        self.host = host
-        self.port = int(port)
-        self._sock = socket.create_connection((host, self.port), timeout=timeout)
-        self._rfile = self._sock.makefile("rb")
-        self._next_id = 0
-        self._closed = False
-        #: mint a fresh trace ID per request (additive wire field; a server
-        #: that predates it ignores it — see :mod:`repro.service.wire`)
-        self._trace = bool(trace)
-        #: the trace ID of the most recent request sent (None before the
-        #: first request, or with tracing off)
-        self.last_trace: Optional[str] = None
+    Mixed into every client (TCP, HTTP, fake); subclasses provide
+    ``call(op, **params)`` returning the decoded ``result`` or raising
+    :class:`ServiceError`.
+    """
 
-    # ------------------------------------------------------------------
-    def close(self) -> None:
-        if not self._closed:
-            self._rfile.close()
-            self._sock.close()
-            self._closed = True
+    def call(self, op: str, **params):  # pragma: no cover - interface
+        raise NotImplementedError
 
-    def __enter__(self) -> "ReproClient":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ReproClient({self.host}:{self.port})"
-
-    # ------------------------------------------------------------------
-    def call(self, op: str, **params):
-        """Send one request and return its decoded result (or raise).
-
-        A transport failure (timeout, reset) closes the client: the next
-        line on the socket would belong to the abandoned request, so the
-        connection cannot be trusted again.  Responses are matched to the
-        request id for the same reason — a mismatch means the stream is
-        desynchronised.
-        """
-        if self._closed:
-            raise ValueError("client is closed")
-        self._next_id += 1
-        request = {"v": PROTOCOL_VERSION, "id": self._next_id, "op": op,
-                   **params}
-        if self._trace:
-            self.last_trace = new_trace_id()
-            request["trace"] = self.last_trace
-        try:
-            self._sock.sendall(encode_line(request))
-            line = self._rfile.readline()
-        except OSError:
-            self.close()
-            raise
-        if not line:
-            raise ConnectionError(
-                f"server at {self.host}:{self.port} closed the connection")
-        response = decode_line(line)
-        if not isinstance(response, dict):
-            raise ConnectionError(f"malformed response: {response!r}")
-        if response.get("id") is not None and response["id"] != request["id"]:
-            self.close()
-            raise ConnectionError(
-                f"out-of-sync response (id {response['id']!r}, expected "
-                f"{request['id']}); connection closed")
-        if not response.get("ok"):
-            raise ServiceError(response.get("error", "unknown server error"),
-                               kind=response.get("kind"))
-        return response.get("result")
-
-    # ------------------------------------------------------------------
-    # the service surface, one method per op
-    # ------------------------------------------------------------------
     def ping(self) -> bool:
         return bool(self.call("ping").get("pong"))
 
@@ -160,30 +96,59 @@ class ReproClient:
         """Poll one live series for new commits: {appended, nsteps, high_water, live}."""
         return self.call("refresh", path=str(path))
 
-    # ------------------------------------------------------------------
-    # the streaming verb
-    # ------------------------------------------------------------------
-    def subscribe(self, path: str, from_step: int = 0) -> Iterator[dict]:
-        """Stream a live series' step-committed events (a generator).
 
-        Yields a ``{"event": "subscribed", ...}`` acknowledgement, then one
-        ``{"event": "step", "step_index": ..., "summary": ...}`` per committed
-        step — strictly ordered from ``from_step``, each exactly once — and
-        finally ``{"event": "finalized", ...}`` when the writer finalizes.
-        The stream consumes the connection; to stop early, close the client
-        (or use :func:`follow_series`, which also reconnects).  Against a
-        pre-streaming server the generator raises :class:`ServiceError` with
-        a clear "does not support subscribe" message instead of hanging.
-        """
-        if self._closed:
-            raise ValueError("client is closed")
+class ReproClient(ServiceOps):
+    """A blocking client for one :class:`~repro.service.server.ReproServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 timeout: float = 120.0, trace: bool = True,
+                 auth_token: Optional[str] = None):
+        self.host = host
+        self.port = int(port)
+        self._sock = socket.create_connection((host, self.port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._next_id = 0
+        self._closed = False
+        #: mint a fresh trace ID per request (additive wire field; a server
+        #: that predates it ignores it — see :mod:`repro.service.wire`)
+        self._trace = bool(trace)
+        #: bearer token sent as the ``"auth"`` field of every request (for a
+        #: server running with ``--auth-token``); None against an open server
+        self.auth_token = auth_token
+        #: the trace ID of the most recent request sent (None before the
+        #: first request, or with tracing off)
+        self.last_trace: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if not self._closed:
+            self._rfile.close()
+            self._sock.close()
+            self._closed = True
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReproClient({self.host}:{self.port})"
+
+    # ------------------------------------------------------------------
+    def _request(self, op: str, **params) -> dict:
         self._next_id += 1
-        request = {"v": PROTOCOL_VERSION, "id": self._next_id,
-                   "op": "subscribe", "path": str(path),
-                   "from_step": int(from_step)}
+        request = {"v": PROTOCOL_VERSION, "id": self._next_id, "op": op,
+                   **params}
+        if self.auth_token is not None:
+            request["auth"] = self.auth_token
         if self._trace:
             self.last_trace = new_trace_id()
             request["trace"] = self.last_trace
+        return request
+
+    def _round_trip(self, request: dict) -> dict:
+        """Send one line, read one line, enforce id matching."""
         try:
             self._sock.sendall(encode_line(request))
             line = self._rfile.readline()
@@ -201,6 +166,45 @@ class ReproClient:
             raise ConnectionError(
                 f"out-of-sync response (id {response['id']!r}, expected "
                 f"{request['id']}); connection closed")
+        return response
+
+    def call(self, op: str, **params):
+        """Send one request and return its decoded result (or raise).
+
+        A transport failure (timeout, reset) closes the client: the next
+        line on the socket would belong to the abandoned request, so the
+        connection cannot be trusted again.  Responses are matched to the
+        request id for the same reason — a mismatch means the stream is
+        desynchronised.
+        """
+        if self._closed:
+            raise ValueError("client is closed")
+        response = self._round_trip(self._request(op, **params))
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown server error"),
+                               kind=response.get("kind"))
+        return response.get("result")
+
+    # ------------------------------------------------------------------
+    # the streaming verb
+    # ------------------------------------------------------------------
+    def subscribe(self, path: str, from_step: int = 0) -> Iterator[dict]:
+        """Stream a live series' step-committed events (a generator).
+
+        Yields a ``{"event": "subscribed", ...}`` acknowledgement, then one
+        ``{"event": "step", "step_index": ..., "summary": ...}`` per committed
+        step — strictly ordered from ``from_step``, each exactly once — and
+        finally ``{"event": "finalized", ...}`` when the writer finalizes.
+        The stream consumes the connection; to stop early, close the client
+        (or use :func:`follow_series`, which also reconnects).  Against a
+        pre-streaming server the generator raises :class:`ServiceError` with
+        a clear "does not support subscribe" message instead of hanging.
+        """
+        if self._closed:
+            raise ValueError("client is closed")
+        request = self._request("subscribe", path=str(path),
+                                from_step=int(from_step))
+        response = self._round_trip(request)
         if not response.get("ok"):
             error = str(response.get("error", "unknown server error"))
             kind = response.get("kind")
@@ -242,7 +246,8 @@ def follow_series(path: str, field: Optional[str] = None, *,
                   from_step: int = 0, refill: bool = True,
                   fill_value: float = 0.0, max_level: Optional[int] = None,
                   reconnect: bool = True, max_retries: int = 5,
-                  retry_delay: float = 0.5, timeout: float = 120.0
+                  retry_delay: float = 0.5, timeout: float = 120.0,
+                  auth_token: Optional[str] = None
                   ) -> Iterator[Tuple[dict, Optional[np.ndarray]]]:
     """Follow a live series end to end: ``(event, array)`` per committed step.
 
@@ -266,9 +271,11 @@ def follow_series(path: str, field: Optional[str] = None, *,
         sub: Optional[ReproClient] = None
         reads: Optional[ReproClient] = None
         try:
-            sub = ReproClient(host, port, timeout=timeout)
+            sub = ReproClient(host, port, timeout=timeout,
+                              auth_token=auth_token)
             if field is not None:
-                reads = ReproClient(host, port, timeout=timeout)
+                reads = ReproClient(host, port, timeout=timeout,
+                                    auth_token=auth_token)
             for event in sub.subscribe(path, from_step=next_step):
                 name = event.get("event")
                 if name == "step":

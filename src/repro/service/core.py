@@ -1,0 +1,524 @@
+"""The transport-neutral request core of the query service.
+
+Every transport — the asyncio JSON-over-TCP server, the HTTP/JSON gateway,
+the in-process fakes — is a thin shell over one :class:`RequestHandler`.
+The handler owns everything that must behave identically no matter how a
+request arrived:
+
+* **op dispatch** (``ping``, ``describe``, ``read_field``, ``read_batch``,
+  ``time_slice``, ``stats``, ``refresh``) against one
+  :class:`~repro.service.engine.QueryEngine`;
+* **protocol-version negotiation** and the structured
+  :func:`error_envelope` vocabulary (``kind`` =
+  :data:`ERROR_UNKNOWN_OP`, :data:`ERROR_UNSUPPORTED_VERSION`, ...);
+* **admission control** — request-size limits
+  (:data:`ERROR_OVERSIZED_REQUEST`), bearer-token auth with a constant-time
+  compare (:data:`ERROR_UNAUTHORIZED`), and a per-client token-bucket rate
+  limiter (:data:`ERROR_RATE_LIMITED`).  A transport only has to say who the
+  client is and how many bytes it sent (:class:`RequestContext`); the policy
+  lives here, so adding a transport can never fork auth or limits;
+* **instrumentation** — trace binding around the engine call, per-op request
+  counters and latency histograms, error-kind counters, and the structured
+  JSON request log.  The streaming path routes its per-event tallies through
+  :meth:`RequestHandler.tally_event`, so TCP pushes and HTTP chunked streams
+  report identically.
+
+Transports keep only what is genuinely theirs: newline framing and
+connection lifecycle (TCP), routes/status codes/chunked encoding (HTTP),
+nothing at all (fakes).
+
+Auth tokens come from :func:`resolve_auth_token`: a literal value, or
+``env:NAME`` / ``file:PATH`` indirections so secrets stay out of ``ps``
+output and shell history.
+"""
+
+from __future__ import annotations
+
+import hmac
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional
+
+from repro.obs import make_request_log, trace_scope
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ERROR_UNKNOWN_OP",
+    "ERROR_UNSUPPORTED_VERSION",
+    "ERROR_UNAUTHORIZED",
+    "ERROR_OVERSIZED_REQUEST",
+    "ERROR_RATE_LIMITED",
+    "DEFAULT_MAX_REQUEST_BYTES",
+    "error_envelope",
+    "check_version",
+    "resolve_auth_token",
+    "RateLimiter",
+    "RequestContext",
+    "RequestHandler",
+    "step_event",
+    "finalized_event",
+    "error_event",
+]
+
+#: version 1: the original PR-5 request/response protocol (no "v" field);
+#: version 2: adds "v", error ``kind``s, and the streaming ``subscribe`` verb
+PROTOCOL_VERSION = 2
+
+#: error kinds (the ``kind`` field of an error envelope)
+ERROR_UNKNOWN_OP = "unknown_op"
+ERROR_UNSUPPORTED_VERSION = "unsupported_version"
+ERROR_UNAUTHORIZED = "unauthorized"
+ERROR_OVERSIZED_REQUEST = "oversized_request"
+ERROR_RATE_LIMITED = "rate_limited"
+
+#: default per-request size ceiling.  Requests are queries (JSON objects
+#: naming paths, fields and boxes) — only *responses* carry arrays — so this
+#: is far below the wire layer's response line limit, and generous enough
+#: for read_batch calls with tens of thousands of queries.
+DEFAULT_MAX_REQUEST_BYTES = 16 * 1024 * 1024
+
+
+def error_envelope(request_id, message: str,
+                   kind: Optional[str] = None) -> dict:
+    """A failed-request response (optionally machine-classified by ``kind``)."""
+    response = {"v": PROTOCOL_VERSION, "id": request_id, "ok": False,
+                "error": str(message)}
+    if kind is not None:
+        response["kind"] = kind
+    return response
+
+
+def check_version(request) -> Optional[dict]:
+    """The negotiation rule shared by every transport and the subscribe path.
+
+    A request from a *newer* protocol is refused with a structured envelope
+    instead of guessed at; a ``v``-less (version 1) request is served.
+    Returns the refusal, or None when the version is acceptable.
+    """
+    if not isinstance(request, dict):
+        return None
+    v = request.get("v")
+    if isinstance(v, int) and not isinstance(v, bool) and v > PROTOCOL_VERSION:
+        return error_envelope(
+            request.get("id"),
+            f"request speaks protocol version {v} but this server "
+            f"speaks {PROTOCOL_VERSION}; upgrade the server",
+            kind=ERROR_UNSUPPORTED_VERSION)
+    return None
+
+
+def resolve_auth_token(spec: Optional[str]) -> Optional[str]:
+    """Resolve an ``--auth-token`` spec into the secret itself.
+
+    ``None`` disables auth; ``env:NAME`` reads the environment; ``file:PATH``
+    reads (and strips) a file; anything else is the literal token.  An empty
+    resolved token is an error — it would make every compare succeed against
+    an empty presentation.
+    """
+    if spec is None:
+        return None
+    if spec.startswith("env:"):
+        name = spec[len("env:"):]
+        token = os.environ.get(name)
+        if not token:
+            raise ValueError(f"auth token environment variable {name!r} is "
+                             "unset or empty")
+        return token
+    if spec.startswith("file:"):
+        path = spec[len("file:"):]
+        with open(path, "r", encoding="utf-8") as fh:
+            token = fh.read().strip()
+        if not token:
+            raise ValueError(f"auth token file {path!r} is empty")
+        return token
+    if not spec:
+        raise ValueError("auth token must not be empty")
+    return spec
+
+
+class RateLimiter:
+    """Per-client token buckets: ``rate`` requests/second, ``burst`` deep.
+
+    One bucket per client key, refilled continuously; a request costs one
+    token and is refused when the bucket is dry.  ``clock`` is injectable so
+    tests can step time instead of sleeping.  Stale (full) buckets are pruned
+    opportunistically so an open service cannot be grown unboundedly by
+    clients that each show up once.
+    """
+
+    _PRUNE_AT = 4096
+
+    def __init__(self, rate: float, burst: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate <= 0:
+            raise ValueError("rate must be > 0 requests/second")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        if self.burst < 1.0:
+            raise ValueError("burst must allow at least one request")
+        self._clock = clock
+        import threading
+
+        self._lock = threading.Lock()
+        #: client key -> [tokens, last refill timestamp]
+        self._buckets: Dict[str, list] = {}
+
+    def allow(self, key: str = "global") -> bool:
+        """Spend one token of ``key``'s bucket; False when rate-limited."""
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = [self.burst, now]
+                if len(self._buckets) >= self._PRUNE_AT:
+                    self._prune(now)
+                self._buckets[key] = bucket
+            tokens, last = bucket
+            tokens = min(self.burst, tokens + (now - last) * self.rate)
+            if tokens >= 1.0:
+                bucket[0] = tokens - 1.0
+                bucket[1] = now
+                return True
+            bucket[0] = tokens
+            bucket[1] = now
+            return False
+
+    def _prune(self, now: float) -> None:
+        """Drop buckets that have refilled completely (idle clients)."""
+        for key in [k for k, (tokens, last) in self._buckets.items()
+                    if tokens + (now - last) * self.rate >= self.burst]:
+            del self._buckets[key]
+
+
+@dataclass
+class RequestContext:
+    """What a transport knows about one request's arrival.
+
+    ``transport`` labels tallies and log lines; ``client`` keys the rate
+    limiter (peer IP for sockets); ``auth`` is the presented bearer token
+    (from the HTTP ``Authorization`` header — TCP requests carry theirs in
+    the ``"auth"`` wire field instead); ``nbytes`` is the encoded request
+    size for the admission limit (None = not measured, e.g. local calls).
+    """
+
+    transport: str = "local"
+    client: str = "local"
+    auth: Optional[str] = None
+    nbytes: Optional[int] = None
+
+
+# ----------------------------------------------------------------------
+# streaming event payloads (shared verbatim by TCP push and HTTP chunked)
+# ----------------------------------------------------------------------
+def step_event(series, step_index: int) -> dict:
+    """One committed step of a live series, as the wire event both
+    transports push."""
+    from repro.analysis.series_report import step_summary_row
+
+    record = series.index.steps[step_index]
+    return {"v": PROTOCOL_VERSION, "event": "step",
+            "step_index": step_index, "step": record.step,
+            "time": record.time, "kind": record.kind, "path": record.path,
+            "summary": step_summary_row(record)}
+
+
+def finalized_event(nsteps: int) -> dict:
+    return {"v": PROTOCOL_VERSION, "event": "finalized", "nsteps": int(nsteps)}
+
+
+def error_event(message: str) -> dict:
+    return {"v": PROTOCOL_VERSION, "event": "error", "error": str(message)}
+
+
+class RequestHandler:
+    """Dispatch, validation, auth, limits and telemetry for every transport."""
+
+    #: ops answered with one response (``subscribe`` is the streaming verb)
+    OPS = ("ping", "describe", "read_field", "read_batch", "time_slice",
+           "stats", "refresh", "subscribe")
+
+    def __init__(self, engine=None, *, auth_token: Optional[str] = None,
+                 max_request_bytes: Optional[int] = None,
+                 rate_limit: Optional[float] = None,
+                 rate_burst: Optional[float] = None,
+                 request_log=None,
+                 rate_clock: Callable[[], float] = time.monotonic):
+        from repro.service.engine import QueryEngine
+
+        self.engine = engine if engine is not None else QueryEngine()
+        self._owns_engine = engine is None
+        #: the resolved bearer token (None = open service).  Compared
+        #: constant-time; use :func:`resolve_auth_token` for env:/file: specs.
+        self.auth_token = auth_token
+        self.max_request_bytes = int(max_request_bytes) \
+            if max_request_bytes is not None else DEFAULT_MAX_REQUEST_BYTES
+        self.limiter = RateLimiter(rate_limit, rate_burst, clock=rate_clock) \
+            if rate_limit is not None else None
+        #: structured JSON request log (a stream, a RequestLog, or None);
+        #: one line per answered request and per pushed stream event
+        self.request_log = make_request_log(request_log)
+
+    @property
+    def registry(self):
+        return self.engine.registry
+
+    def close(self) -> None:
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "RequestHandler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # admission control (size -> auth -> rate), shared by every transport
+    # ------------------------------------------------------------------
+    def refuse(self, request, context: RequestContext) -> Optional[dict]:
+        """The admission refusal for one request, or None when admitted.
+
+        Order matters: the size check is free and guards everything after
+        it; auth comes before rate so an attacker without the token cannot
+        starve an authenticated client's bucket.
+        """
+        request_id = request.get("id") if isinstance(request, dict) else None
+        if context.nbytes is not None \
+                and context.nbytes > self.max_request_bytes:
+            return error_envelope(
+                request_id,
+                f"request of {context.nbytes} bytes exceeds this server's "
+                f"{self.max_request_bytes}-byte request limit",
+                kind=ERROR_OVERSIZED_REQUEST)
+        if self.auth_token is not None:
+            presented = context.auth
+            if presented is None and isinstance(request, dict):
+                auth = request.get("auth")
+                presented = auth if isinstance(auth, str) else None
+            if presented is None:
+                return error_envelope(
+                    request_id,
+                    "authentication required: present a bearer token "
+                    "(HTTP 'Authorization: Bearer <token>' header, or the "
+                    "'auth' field of a TCP request)",
+                    kind=ERROR_UNAUTHORIZED)
+            if not hmac.compare_digest(presented.encode("utf-8"),
+                                       self.auth_token.encode("utf-8")):
+                return error_envelope(request_id, "invalid bearer token",
+                                      kind=ERROR_UNAUTHORIZED)
+        if self.limiter is not None and not self.limiter.allow(context.client):
+            return error_envelope(
+                request_id,
+                f"rate limit exceeded for client {context.client} "
+                f"({self.limiter.rate:g} requests/s, burst "
+                f"{self.limiter.burst:g}); retry later",
+                kind=ERROR_RATE_LIMITED)
+        return None
+
+    # ------------------------------------------------------------------
+    # the instrumented entry point
+    # ------------------------------------------------------------------
+    def handle(self, request, context: Optional[RequestContext] = None) -> dict:
+        """One request, end to end: admission, trace binding, dispatch, tally.
+
+        This is the method a transport calls (on whatever thread suits it);
+        the trace ID the client minted is bound around the engine call,
+        which is what carries it client -> server -> engine.
+        """
+        context = context if context is not None else RequestContext()
+        op = request.get("op") if isinstance(request, dict) else None
+        trace = request.get("trace") if isinstance(request, dict) else None
+        trace = trace if isinstance(trace, str) and trace else None
+        start = time.perf_counter()
+        response = self.refuse(request, context)
+        if response is None:
+            with trace_scope(trace):
+                response = self.dispatch(request)
+        self.tally(op, trace, response, time.perf_counter() - start,
+                   transport=context.transport)
+        return response
+
+    def dispatch(self, request) -> dict:
+        """The op switch: request dict in, response envelope out (never raises)."""
+        request_id = None
+        try:
+            if not isinstance(request, dict):
+                raise ValueError("a request must be a JSON object")
+            request_id = request.get("id")
+            refusal = check_version(request)
+            if refusal is not None:
+                return refusal
+            op = request.get("op")
+            if op == "ping":
+                result: object = {"pong": True,
+                                  "protocol_version": PROTOCOL_VERSION}
+            elif op == "describe":
+                result = self.engine.describe(str(request["path"]))
+            elif op == "read_field":
+                from repro.service.engine import BoxQuery
+
+                result = self.engine.read_field(
+                    **vars(BoxQuery.from_json(request)))
+            elif op == "read_batch":
+                from repro.service.engine import BoxQuery
+
+                queries = request.get("queries")
+                if not isinstance(queries, list):
+                    raise ValueError("read_batch needs a 'queries' list")
+                result = self.engine.read_batch(
+                    [BoxQuery.from_json(q) for q in queries])
+            elif op == "time_slice":
+                from repro.amr.box import Box
+
+                box = request.get("box")
+                if box is not None:
+                    box = Box(tuple(int(v) for v in box[0]),
+                              tuple(int(v) for v in box[1]))
+                steps = request.get("steps")
+                max_level = request.get("max_level")
+                times, values = self.engine.time_slice(
+                    str(request["path"]), str(request["field"]), box=box,
+                    level=int(request.get("level", 0)),
+                    steps=[int(s) for s in steps] if steps is not None else None,
+                    refill=bool(request.get("refill", True)),
+                    fill_value=float(request.get("fill_value", 0.0)),
+                    max_level=int(max_level) if max_level is not None else None)
+                result = {"times": times, "values": values}
+            elif op == "stats":
+                # flat engine keys (backwards compatible) + the full metrics
+                # registry snapshot under "registry"
+                result = dict(self.engine.stats())
+                result["registry"] = self.engine.metrics_snapshot()
+            elif op == "refresh":
+                path = str(request["path"])
+                appended = self.engine.refresh(path)
+                series = self.engine.series(path)
+                result = {"appended": appended, "nsteps": series.nsteps,
+                          "high_water": series.high_water,
+                          "live": series.live}
+            elif op == "subscribe":
+                # unary dispatch cannot stream; each transport has a
+                # streaming endpoint that takes this op instead
+                return error_envelope(
+                    request_id,
+                    "subscribe is a streaming op: use the TCP subscribe "
+                    "verb or HTTP GET /v1/subscribe")
+            else:
+                return error_envelope(
+                    request_id,
+                    f"unknown op {op!r}; this server supports "
+                    f"{', '.join(self.OPS)}",
+                    kind=ERROR_UNKNOWN_OP)
+            return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True,
+                    "result": result}
+        except Exception as exc:  # noqa: BLE001 - every failure becomes a reply
+            return error_envelope(request_id, f"{type(exc).__name__}: {exc}")
+
+    # ------------------------------------------------------------------
+    # telemetry (also used by the streaming paths of both transports)
+    # ------------------------------------------------------------------
+    def tally(self, op, trace: Optional[str], response: dict,
+              elapsed: float, transport: str = "local") -> None:
+        """Count and log one answered request."""
+        registry = self.registry
+        op_label = str(op) if op is not None else "invalid"
+        registry.counter("repro_server_requests_total",
+                         {"op": op_label}).inc()
+        registry.histogram("repro_server_request_seconds",
+                           {"op": op_label}).observe(elapsed)
+        ok = bool(response.get("ok"))
+        error_kind = response.get("kind")
+        if not ok:
+            # structured kinds (unknown_op, unauthorized, rate_limited, ...)
+            # get their own label so policy refusals and protocol skew are
+            # visible in the snapshot
+            registry.counter("repro_server_errors_total",
+                             {"kind": str(error_kind or "exception")}).inc()
+        if self.request_log is None:
+            return
+        fields: Dict[str, object] = {
+            "op": op_label, "id": response.get("id"), "ok": ok,
+            "transport": transport,
+            "latency_ms": round(elapsed * 1000.0, 3),
+            "cache_hit_rate": round(self.engine.cache.stats.hit_rate, 4),
+        }
+        if trace is not None:
+            fields["trace"] = trace
+        if error_kind is not None:
+            fields["error_kind"] = error_kind
+        self.request_log.log("request", **fields)
+
+    def tally_event(self, op, event: str, trace: Optional[str] = None,
+                    transport: str = "local", **fields: object) -> None:
+        """Count and log one pushed stream event (the per-event sibling of
+        :meth:`tally`, so TCP and HTTP subscriptions report identically)."""
+        self.registry.counter("repro_server_stream_events_total",
+                              {"op": str(op), "event": str(event)}).inc()
+        if self.request_log is None:
+            return
+        payload: Dict[str, object] = {"op": str(op), "stream_event": str(event),
+                                      "transport": transport}
+        if trace is not None:
+            payload["trace"] = trace
+        payload.update(fields)
+        self.request_log.log("stream", **payload)
+
+    # ------------------------------------------------------------------
+    # the streaming verb (transport-neutral halves)
+    # ------------------------------------------------------------------
+    def open_subscribed_series(self, path: str):
+        """Validate + open + first refresh of a subscription target."""
+        from repro.service.engine import _is_series_dir
+
+        if not _is_series_dir(path):
+            raise ValueError(
+                f"{path!r} is not a series directory (no manifest or journal)")
+        series = self.engine.series(path)
+        series.refresh()
+        return series
+
+    def subscribe_events(self, path: str, from_step: int = 0,
+                         poll_interval: float = 0.25,
+                         trace: Optional[str] = None,
+                         transport: str = "local",
+                         stop: Optional[Callable[[], bool]] = None
+                         ) -> Iterator[dict]:
+        """A synchronous stream of one live series' committed-step events.
+
+        Yields the same ``step``/``finalized``/``error`` payloads the TCP
+        server pushes — strictly ordered, each step exactly once from
+        ``from_step`` — polling :meth:`QueryEngine.refresh` every
+        ``poll_interval`` seconds while the series is live.  Used by the
+        HTTP chunked endpoint and the in-process fakes; ``stop`` lets the
+        caller end the stream (server shutdown, client hangup).  Every
+        event is tallied through :meth:`tally_event`.
+        """
+        from_step = int(from_step)
+        if from_step < 0:
+            raise ValueError("from_step must be >= 0")
+        series = self.open_subscribed_series(path)
+        next_step = from_step
+        while True:
+            while next_step < series.nsteps:
+                event = step_event(series, next_step)
+                self.tally_event("subscribe", "step", trace, transport,
+                                 step_index=next_step)
+                yield event
+                next_step += 1
+            if not series.live:
+                self.tally_event("subscribe", "finalized", trace, transport,
+                                 nsteps=series.nsteps)
+                yield finalized_event(series.nsteps)
+                return
+            if stop is not None and stop():
+                return
+            time.sleep(poll_interval)
+            try:
+                self.engine.refresh(path)
+            except Exception as exc:  # noqa: BLE001 - published to the stream
+                message = f"{type(exc).__name__}: {exc}"
+                self.tally_event("subscribe", "error", trace, transport,
+                                 error=message)
+                yield error_event(message)
+                return

@@ -1,0 +1,577 @@
+"""The HTTP/1.1 JSON gateway of the query service (``repro serve --http``).
+
+A second thin transport over the same :class:`~repro.service.core.RequestHandler`
+the TCP server uses — stdlib only (:mod:`http.server`), so browsers, load
+balancers, ``curl`` and standard tooling can reach a repro service without
+speaking the custom TCP wire format.  The gateway owns nothing but HTTP:
+routes, status codes, headers, chunked encoding.  Dispatch, auth, size and
+rate limits, tracing and tallies are the shared core's, so the two transports
+cannot drift.
+
+Endpoints::
+
+    GET  /healthz          liveness (always open; no auth)
+    GET  /metrics          Prometheus exposition of the engine registry
+    POST /v1/query         a protocol request envelope, verbatim: {"op": ...}
+    POST /v1/<op>          sugar: the op named by the path, params in the body
+    GET  /v1/subscribe     chunked stream of a live series' step events
+                           (?path=...&from_step=N)
+
+Request/response bodies are the wire codec's JSON (arrays travel base64-raw,
+so an HTTP read is element-wise identical to a TCP or direct one).  Error
+envelopes keep their structured ``kind`` and additionally map onto status
+codes: ``unauthorized`` → 401, ``oversized_request`` → 413, ``rate_limited``
+→ 429, ``unknown_op`` → 404, anything else failed → 400.
+
+Auth is a standard ``Authorization: Bearer <token>`` header, checked by the
+core with a constant-time compare.  ``/healthz`` stays open (a load balancer
+probe must not need the secret); ``/metrics`` requires the token when one is
+set.  Oversized requests are refused from ``Content-Length`` *before* the
+body is read.
+
+:class:`HttpClient` mirrors :class:`~repro.service.client.ReproClient`
+method-for-method (both get the surface from
+:class:`~repro.service.client.ServiceOps`), including ``subscribe`` over the
+chunked stream.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Iterator, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs import new_trace_id
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.service.client import ServiceError, ServiceOps
+from repro.service.core import (
+    ERROR_OVERSIZED_REQUEST,
+    ERROR_RATE_LIMITED,
+    ERROR_UNAUTHORIZED,
+    ERROR_UNKNOWN_OP,
+    PROTOCOL_VERSION,
+    RequestContext,
+    RequestHandler,
+    error_envelope,
+)
+from repro.service.wire import encode_line, from_wire, to_wire
+
+__all__ = ["HttpServer", "HttpClient", "DEFAULT_HTTP_PORT"]
+
+DEFAULT_HTTP_PORT = 9754
+
+#: structured error kind -> HTTP status (else failed=400, ok=200)
+_STATUS_BY_KIND = {
+    ERROR_UNAUTHORIZED: 401,
+    ERROR_OVERSIZED_REQUEST: 413,
+    ERROR_RATE_LIMITED: 429,
+    ERROR_UNKNOWN_OP: 404,
+}
+
+_JSON = "application/json; charset=utf-8"
+
+
+def _status_for(response: dict) -> int:
+    if response.get("ok"):
+        return 200
+    return _STATUS_BY_KIND.get(response.get("kind"), 400)
+
+
+class _GatewayRequestHandler(BaseHTTPRequestHandler):
+    """One HTTP exchange: route, build a protocol request, answer with JSON.
+
+    ``self.server`` is the :class:`HttpServer`, whose ``handler`` is the
+    shared core.  Instances are per-connection (ThreadingHTTPServer), so no
+    state lives here.
+    """
+
+    protocol_version = "HTTP/1.1"
+    server: "HttpServer"
+
+    # the default implementation writes an access line per request to
+    # stderr; the structured request log is the core's job
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    # ------------------------------------------------------------------
+    def _context(self, nbytes: Optional[int]) -> RequestContext:
+        auth = None
+        header = self.headers.get("Authorization")
+        if isinstance(header, str) and header.startswith("Bearer "):
+            auth = header[len("Bearer "):]
+        return RequestContext(transport="http",
+                              client=self.client_address[0],
+                              auth=auth, nbytes=nbytes)
+
+    def _send_json(self, status: int, payload: dict,
+                   close: bool = False) -> None:
+        body = json.dumps(to_wire(payload),
+                          separators=(",", ":")).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", _JSON)
+        self.send_header("Content-Length", str(len(body)))
+        if close:
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_envelope(self, response: dict, close: bool = False) -> None:
+        self._send_json(_status_for(response), response, close=close)
+
+    def _refuse_admission(self, request: dict,
+                          context: RequestContext) -> bool:
+        """Run the core's admission checks; True when the request was refused
+        (and tallied + answered)."""
+        refusal = self.server.handler.refuse(request, context)
+        if refusal is None:
+            return False
+        # an oversized refusal happens before the body is read: close the
+        # connection rather than trying to resync past an unread body
+        close = refusal.get("kind") == ERROR_OVERSIZED_REQUEST
+        self.server.handler.tally(request.get("op"), None, refusal, 0.0,
+                                  transport="http")
+        self._send_envelope(refusal, close=close)
+        return True
+
+    def _read_body(self) -> Optional[dict]:
+        """Read and decode the JSON body, or answer the error and return None."""
+        length = self.headers.get("Content-Length")
+        if length is None:
+            self._send_json(411, error_envelope(
+                None, "Content-Length required"))
+            return None
+        try:
+            nbytes = int(length)
+        except ValueError:
+            self._send_json(400, error_envelope(
+                None, f"bad Content-Length: {length!r}"))
+            return None
+        raw = self.rfile.read(nbytes)
+        try:
+            body = from_wire(json.loads(raw.decode("utf-8")))
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._send_json(400, error_envelope(
+                None, f"bad request body: {exc}"))
+            return None
+        if not isinstance(body, dict):
+            self._send_json(400, error_envelope(
+                None, "request body must be a JSON object"))
+            return None
+        return body
+
+    # ------------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path
+        if path != "/v1/query" and not path.startswith("/v1/"):
+            self._send_json(404, error_envelope(
+                None, f"no such endpoint: POST {path}", kind=ERROR_UNKNOWN_OP))
+            return
+        # refuse oversized requests from the declared length, before reading:
+        # the limit exists so a huge body costs the server nothing
+        length = self.headers.get("Content-Length")
+        try:
+            declared = int(length) if length is not None else None
+        except ValueError:
+            declared = None
+        if declared is not None \
+                and declared > self.server.handler.max_request_bytes:
+            context = self._context(declared)
+            if self._refuse_admission({}, context):
+                return
+        body = self._read_body()
+        if body is None:
+            return
+        if path != "/v1/query":
+            op = path[len("/v1/"):]
+            if "op" in body and body["op"] != op:
+                self._send_json(400, error_envelope(
+                    body.get("id"),
+                    f"body op {body['op']!r} contradicts endpoint {path!r}"))
+                return
+            body["op"] = op
+        body.setdefault("v", PROTOCOL_VERSION)
+        nbytes = declared if declared is not None else len(json.dumps(body))
+        response = self.server.handler.handle(body, self._context(nbytes))
+        self._send_envelope(response)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        split = urlsplit(self.path)
+        path = split.path
+        if path == "/healthz":
+            # liveness must not need the secret: a load balancer health
+            # probe is configured long before tokens are distributed
+            self._send_json(200, {"ok": True, "status": "serving",
+                                  "protocol_version": PROTOCOL_VERSION})
+            return
+        if path == "/metrics":
+            context = self._context(None)
+            refusal = self.server.handler.refuse({}, context)
+            if refusal is not None:
+                self.server.handler.tally("metrics", None, refusal, 0.0,
+                                          transport="http")
+                self._send_envelope(refusal)
+                return
+            body = render_prometheus(
+                self.server.handler.registry.snapshot()).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        if path == "/v1/subscribe":
+            self._do_subscribe(parse_qs(split.query))
+            return
+        self._send_json(404, error_envelope(
+            None, f"no such endpoint: GET {path}", kind=ERROR_UNKNOWN_OP))
+
+    def _do_subscribe(self, query: dict) -> None:
+        """The chunked streaming endpoint: one JSON line per event.
+
+        The first line is the acknowledgement envelope the TCP subscribe
+        verb sends; then ``step``/``finalized``/``error`` events follow as
+        they commit, each a chunk, so a plain ``curl -N`` shows the stream
+        live.  Admission and per-event tallies go through the same core
+        hooks as TCP, which is what makes the two transports' telemetry
+        identical.
+        """
+        handler = self.server.handler
+        paths = query.get("path")
+        request = {"op": "subscribe",
+                   "path": paths[0] if paths else None,
+                   "from_step": query.get("from_step", ["0"])[0],
+                   "trace": query.get("trace", [None])[0]}
+        context = self._context(None)
+        if self._refuse_admission(request, context):
+            return
+        trace = request["trace"]
+        trace = trace if isinstance(trace, str) and trace else None
+        try:
+            path = request["path"]
+            if not isinstance(path, str):
+                raise ValueError("subscribe needs a ?path= query parameter")
+            from_step = int(request["from_step"])
+            if from_step < 0:
+                raise ValueError("from_step must be >= 0")
+            series = handler.open_subscribed_series(path)
+        except Exception as exc:  # noqa: BLE001 - refusal, not a stream
+            response = error_envelope(None, f"{type(exc).__name__}: {exc}")
+            handler.tally("subscribe", trace, response, 0.0, transport="http")
+            self._send_envelope(response)
+            return
+        ack = {"v": PROTOCOL_VERSION, "id": None, "ok": True,
+               "result": {"subscribed": path, "nsteps": series.nsteps,
+                          "high_water": series.nsteps - 1,
+                          "live": series.live}}
+        handler.tally("subscribe", trace, ack, 0.0, transport="http")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson; charset=utf-8")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+
+        def write_chunk(line: bytes) -> None:
+            self.wfile.write(f"{len(line):x}\r\n".encode("ascii"))
+            self.wfile.write(line)
+            self.wfile.write(b"\r\n")
+            self.wfile.flush()
+
+        try:
+            write_chunk(encode_line(ack))
+            for event in handler.subscribe_events(
+                    path, from_step=from_step,
+                    poll_interval=self.server.watch_interval,
+                    trace=trace, transport="http",
+                    stop=self.server.stopping.is_set):
+                write_chunk(encode_line(event))
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError):
+            # the client hung up; the generator's cleanup already ran
+            pass
+
+
+class HttpServer:
+    """The gateway's lifecycle: a ThreadingHTTPServer over one shared core.
+
+    Mirrors :class:`~repro.service.server.ReproServer`: construct from an
+    engine, from nothing, or from an explicit ``handler`` (how
+    ``repro serve --http`` shares one core between TCP and HTTP);
+    ``port=0`` binds an ephemeral port published as :attr:`port`;
+    foreground :meth:`run` for the CLI, background :meth:`start` /
+    :meth:`stop` for tests and in-process use.
+    """
+
+    def __init__(self, engine=None, host: str = "127.0.0.1",
+                 port: int = DEFAULT_HTTP_PORT,
+                 watch_interval: float = 0.25,
+                 request_log=None, handler: Optional[RequestHandler] = None,
+                 auth_token: Optional[str] = None,
+                 max_request_bytes: Optional[int] = None,
+                 rate_limit: Optional[float] = None,
+                 rate_burst: Optional[float] = None):
+        if handler is not None:
+            if engine is not None:
+                raise ValueError("pass either engine or handler, not both")
+            self.handler = handler
+            self._owns_handler = False
+        else:
+            self.handler = RequestHandler(
+                engine, auth_token=auth_token,
+                max_request_bytes=max_request_bytes,
+                rate_limit=rate_limit, rate_burst=rate_burst,
+                request_log=request_log)
+            self._owns_handler = True
+        self.engine = self.handler.engine
+        self.host = host
+        self.requested_port = int(port)
+        self.port: Optional[int] = None
+        #: poll cadence of /v1/subscribe streams (same meaning as the TCP
+        #: server's watch_interval)
+        self.watch_interval = float(watch_interval)
+        #: set on stop; live subscribe streams check it between polls so
+        #: shutdown is not held hostage by an open stream
+        self.stopping = threading.Event()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    def _bind(self) -> None:
+        gateway = self
+
+        class _Server(ThreadingHTTPServer):
+            # a stuck keep-alive connection must not block process exit
+            daemon_threads = True
+            handler = gateway.handler
+            watch_interval = gateway.watch_interval
+            stopping = gateway.stopping
+
+        self._httpd = _Server((self.host, self.requested_port),
+                              _GatewayRequestHandler)
+        self.port = self._httpd.server_address[1]
+
+    def run(self, on_ready: Optional[Callable[["HttpServer"], None]] = None
+            ) -> None:
+        """Serve in the foreground until interrupted (Ctrl-C returns cleanly)."""
+        self._bind()
+        if on_ready is not None:
+            on_ready(self)
+        try:
+            self._httpd.serve_forever(poll_interval=0.1)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def start(self) -> "HttpServer":
+        """Serve on a background thread; returns once the port is bound."""
+        if self._stopped:
+            raise RuntimeError(
+                "this server was stopped and cannot be restarted; "
+                "create a new HttpServer")
+        if self._thread is not None:
+            raise RuntimeError("server is already running")
+        self._bind()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.1},
+            name="repro-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        self.stopping.set()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+        if self._owns_handler:
+            self.handler.close()
+
+    def __enter__(self) -> "HttpServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HttpServer({self.host}:{self.port or self.requested_port})"
+
+
+class HttpClient(ServiceOps):
+    """A blocking client for one :class:`HttpServer`, mirroring
+    :class:`~repro.service.client.ReproClient` method-for-method.
+
+    One keep-alive connection, one ``POST /v1/query`` per call; arrays
+    decode through the same wire codec as TCP, so an HTTP read is
+    element-wise identical to a TCP or direct one.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_HTTP_PORT,
+                 timeout: float = 120.0, trace: bool = True,
+                 auth_token: Optional[str] = None):
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._conn = http.client.HTTPConnection(host, self.port,
+                                                timeout=timeout)
+        self._next_id = 0
+        self._closed = False
+        self._trace = bool(trace)
+        self.auth_token = auth_token
+        self.last_trace: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if not self._closed:
+            self._conn.close()
+            self._closed = True
+
+    def __enter__(self) -> "HttpClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HttpClient({self.host}:{self.port})"
+
+    # ------------------------------------------------------------------
+    def _headers(self) -> dict:
+        headers = {"Content-Type": _JSON}
+        if self.auth_token is not None:
+            headers["Authorization"] = f"Bearer {self.auth_token}"
+        return headers
+
+    def call(self, op: str, **params):
+        if self._closed:
+            raise ValueError("client is closed")
+        self._next_id += 1
+        request = {"v": PROTOCOL_VERSION, "id": self._next_id, "op": op,
+                   **params}
+        if self._trace:
+            self.last_trace = new_trace_id()
+            request["trace"] = self.last_trace
+        body = json.dumps(to_wire(request),
+                          separators=(",", ":")).encode("utf-8")
+        try:
+            self._conn.request("POST", "/v1/query", body=body,
+                               headers=self._headers())
+            resp = self._conn.getresponse()
+            raw = resp.read()
+        except OSError:
+            self.close()
+            raise
+        try:
+            response = from_wire(json.loads(raw.decode("utf-8")))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ConnectionError(
+                f"malformed response from {self.host}:{self.port} "
+                f"(HTTP {resp.status}): {exc}")
+        if not isinstance(response, dict):
+            raise ConnectionError(f"malformed response: {response!r}")
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown server error"),
+                               kind=response.get("kind"))
+        return response.get("result")
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> str:
+        """The raw Prometheus exposition from ``GET /metrics``."""
+        if self._closed:
+            raise ValueError("client is closed")
+        self._conn.request("GET", "/metrics", headers=self._headers())
+        resp = self._conn.getresponse()
+        raw = resp.read()
+        if resp.status != 200:
+            try:
+                envelope = json.loads(raw.decode("utf-8"))
+            except ValueError:
+                envelope = {}
+            raise ServiceError(
+                envelope.get("error", f"GET /metrics failed: {resp.status}"),
+                kind=envelope.get("kind"))
+        return raw.decode("utf-8")
+
+    def healthz(self) -> dict:
+        if self._closed:
+            raise ValueError("client is closed")
+        self._conn.request("GET", "/healthz")
+        resp = self._conn.getresponse()
+        return json.loads(resp.read().decode("utf-8"))
+
+    def subscribe(self, path: str, from_step: int = 0) -> Iterator[dict]:
+        """Stream a live series' step events over chunked HTTP.
+
+        Same yields as :meth:`ReproClient.subscribe <repro.service.client.ReproClient.subscribe>`:
+        the ``subscribed`` acknowledgement, one ``step`` event per committed
+        step (exactly once, in order), then ``finalized``.  Uses its own
+        connection — the stream consumes it — so ``call`` stays usable on
+        this client while a subscription runs.
+        """
+        if self._closed:
+            raise ValueError("client is closed")
+        trace = None
+        if self._trace:
+            trace = self.last_trace = new_trace_id()
+        target = f"/v1/subscribe?path={_quote(path)}&from_step={int(from_step)}"
+        if trace is not None:
+            target += f"&trace={trace}"
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", target, headers=self._headers())
+            resp = conn.getresponse()
+            if resp.status != 200:
+                raw = resp.read()
+                try:
+                    envelope = from_wire(json.loads(raw.decode("utf-8")))
+                except ValueError:
+                    envelope = {}
+                raise ServiceError(
+                    envelope.get("error",
+                                 f"subscribe failed: HTTP {resp.status}"),
+                    kind=envelope.get("kind"))
+            # the ack line first (yielded in the TCP client's shape), then
+            # events as chunks arrive; readline sees through chunked framing
+            line = resp.readline()
+            ack = from_wire(json.loads(line.decode("utf-8")))
+            if not isinstance(ack, dict) or not ack.get("ok"):
+                raise ServiceError(str(
+                    ack.get("error", "unknown server error")
+                    if isinstance(ack, dict) else ack))
+            result = ack.get("result")
+            yield {"event": "subscribed",
+                   **(result if isinstance(result, dict) else {})}
+            while True:
+                line = resp.readline()
+                if not line:
+                    raise ConnectionError(
+                        f"server at {self.host}:{self.port} dropped the "
+                        "subscription stream")
+                event = from_wire(json.loads(line.decode("utf-8")))
+                if not isinstance(event, dict) or "event" not in event:
+                    raise ConnectionError(f"malformed event: {event!r}")
+                if event["event"] == "error":
+                    raise ServiceError(
+                        str(event.get("error", "unknown server error")))
+                yield event
+                if event["event"] in ("finalized", "end"):
+                    return
+        finally:
+            conn.close()
+
+
+def _quote(value: str) -> str:
+    from urllib.parse import quote
+
+    return quote(str(value), safe="")

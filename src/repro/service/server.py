@@ -1,13 +1,23 @@
-"""The asyncio JSON-over-TCP query server (``python -m repro serve``).
+"""The asyncio JSON-over-TCP transport (``python -m repro serve``).
+
+Since PR 10 this module is a *thin transport*: op dispatch, validation,
+auth, size/rate limits and telemetry all live in the transport-neutral
+:class:`~repro.service.core.RequestHandler`, which the TCP server shares
+with the HTTP gateway (:mod:`repro.service.http`).  What remains here is
+genuinely TCP's: newline framing, connection lifecycle, and the asyncio
+push machinery of the ``subscribe`` stream.
 
 Each client connection speaks the newline-delimited JSON protocol of
 :mod:`repro.service.wire`: a request line ``{"id": n, "op": ..., ...params}``
 is answered by ``{"id": n, "ok": true, "result": ...}`` (or ``"ok": false``
 with an ``error`` string; a failed request never tears down the connection).
-The asyncio loop only shuttles bytes — every engine call runs on a worker
-thread pool, so slow decodes on one connection do not stall the others, and
-many clients share one :class:`~repro.service.engine.QueryEngine` (and hence
-one chunk cache: a chunk decoded for client A is a cache hit for client B).
+When the shared core enforces auth, a request carries its bearer token in
+the ``"auth"`` field; oversized and rate-limited requests are refused with
+the same structured envelopes the HTTP gateway maps to 413/429.  The asyncio
+loop only shuttles bytes — every engine call runs on a worker thread pool,
+so slow decodes on one connection do not stall the others, and many clients
+share one :class:`~repro.service.engine.QueryEngine` (and hence one chunk
+cache: a chunk decoded for client A is a cache hit for client B).
 
 Ops: ``ping``, ``describe``, ``read_field``, ``read_batch``, ``time_slice``,
 ``stats``, ``refresh``.  Array results travel base64-raw, so a served read is
@@ -21,7 +31,10 @@ by a ``finalized`` event when the writer finalizes.  A
 :class:`_SeriesWatcher` per watched series polls
 :meth:`QueryEngine.refresh <repro.service.engine.QueryEngine.refresh>` off
 the event loop (committed steps are immutable, so a poll costs a ``stat``)
-and fans one wakeup out to every subscriber.  The client may send a line at
+and fans one wakeup out to every subscriber.  Event payloads are built by
+the core (:func:`~repro.service.core.step_event`) and every pushed event is
+tallied through :meth:`RequestHandler.tally_event`, so a TCP subscription
+and an HTTP chunked one report identically.  The client may send a line at
 any time to end the stream (``event: "end"``); that line is then answered as
 an ordinary request on the same connection.
 
@@ -40,25 +53,21 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, Optional
 
-from repro.obs import make_request_log, trace_scope
-from repro.service.engine import BoxQuery, QueryEngine, _is_series_dir
-from repro.service.wire import (
-    ERROR_UNKNOWN_OP,
-    ERROR_UNSUPPORTED_VERSION,
-    MAX_LINE_BYTES,
+from repro.service.core import (
     PROTOCOL_VERSION,
-    decode_line,
-    encode_line,
+    RequestContext,
+    RequestHandler,
+    check_version,
     error_envelope,
+    finalized_event,
+    step_event,
 )
+from repro.service.core import error_event as core_error_event
+from repro.service.wire import MAX_LINE_BYTES, decode_line, encode_line
 
 __all__ = ["ReproServer", "DEFAULT_PORT"]
 
 DEFAULT_PORT = 9753
-
-#: ops answered with one response line (``subscribe`` streams instead)
-_OPS = ("ping", "describe", "read_field", "read_batch", "time_slice",
-        "stats", "refresh", "subscribe")
 
 
 class _SeriesWatcher:
@@ -107,18 +116,40 @@ class _SeriesWatcher:
 
 
 class ReproServer:
-    """Serve one :class:`QueryEngine` to concurrent TCP clients."""
+    """Serve one :class:`RequestHandler` to concurrent TCP clients.
 
-    def __init__(self, engine: Optional[QueryEngine] = None,
+    Construct it from an engine (a private handler is built around it), from
+    nothing (a private engine too), or from an explicit ``handler`` — the
+    latter is how ``repro serve --http`` runs TCP and HTTP over one shared
+    core, so both transports enforce one auth/limits policy and tally into
+    one registry.
+    """
+
+    def __init__(self, engine=None,
                  host: str = "127.0.0.1", port: int = DEFAULT_PORT,
                  max_workers: int = 8, watch_interval: float = 0.25,
-                 request_log=None):
-        self.engine = engine if engine is not None else QueryEngine()
-        self._owns_engine = engine is None
-        #: structured JSON request log (a stream, a RequestLog, or None for
-        #: silent); one line per answered request, stamped with latency,
-        #: cache hit rate, and the client's trace ID when it sent one
-        self.request_log = make_request_log(request_log)
+                 request_log=None, handler: Optional[RequestHandler] = None,
+                 auth_token: Optional[str] = None,
+                 max_request_bytes: Optional[int] = None,
+                 rate_limit: Optional[float] = None,
+                 rate_burst: Optional[float] = None):
+        if handler is not None:
+            if engine is not None:
+                raise ValueError("pass either engine or handler, not both")
+            self.handler = handler
+            self._owns_handler = False
+        else:
+            self.handler = RequestHandler(
+                engine, auth_token=auth_token,
+                max_request_bytes=max_request_bytes,
+                rate_limit=rate_limit, rate_burst=rate_burst,
+                request_log=request_log)
+            # the handler owns the engine exactly when we built both
+            self._owns_handler = True
+        self.engine = self.handler.engine
+        #: the shared core's structured request log (kept as an attribute
+        #: for introspection; the core writes it)
+        self.request_log = self.handler.request_log
         self.host = host
         self.requested_port = int(port)
         #: the bound port (== requested_port unless that was 0); set on listen
@@ -140,125 +171,20 @@ class ReproServer:
         self._stopped = False
 
     # ------------------------------------------------------------------
-    # request execution (runs on the worker pool)
-    # ------------------------------------------------------------------
-    def _execute(self, request) -> Dict[str, object]:
-        """Instrumented entry point: trace binding, latency, request logging.
-
-        Runs on a worker thread; the trace ID (when the client sent one) is
-        bound to this thread for the duration of the engine call, which is
-        what carries it client → server → engine.
-        """
-        op = request.get("op") if isinstance(request, dict) else None
-        trace = request.get("trace") if isinstance(request, dict) else None
-        trace = trace if isinstance(trace, str) and trace else None
-        start = time.perf_counter()
-        with trace_scope(trace):
-            response = self._dispatch(request)
-        self._tally(op, trace, response, time.perf_counter() - start)
-        return response
-
-    def _tally(self, op, trace: Optional[str], response: Dict[str, object],
-               elapsed: float) -> None:
-        """Count and log one answered request (also used by subscribe)."""
-        registry = self.engine.registry
-        op_label = str(op) if op is not None else "invalid"
-        registry.counter("repro_server_requests_total",
-                         {"op": op_label}).inc()
-        registry.histogram("repro_server_request_seconds",
-                           {"op": op_label}).observe(elapsed)
-        ok = bool(response.get("ok"))
-        error_kind = response.get("kind")
-        if not ok:
-            # structured kinds (unknown_op, unsupported_version) get their
-            # own label so protocol skew is visible in the snapshot
-            registry.counter("repro_server_errors_total",
-                             {"kind": str(error_kind or "exception")}).inc()
-        if self.request_log is None:
-            return
-        fields: Dict[str, object] = {
-            "op": op_label, "id": response.get("id"), "ok": ok,
-            "latency_ms": round(elapsed * 1000.0, 3),
-            "cache_hit_rate": round(self.engine.cache.stats.hit_rate, 4),
-        }
-        if trace is not None:
-            fields["trace"] = trace
-        if error_kind is not None:
-            fields["error_kind"] = error_kind
-        self.request_log.log("request", **fields)
-
-    def _dispatch(self, request) -> Dict[str, object]:
-        request_id = None
-        try:
-            if not isinstance(request, dict):
-                raise ValueError("a request must be a JSON object")
-            request_id = request.get("id")
-            v = request.get("v")
-            if isinstance(v, int) and not isinstance(v, bool) \
-                    and v > PROTOCOL_VERSION:
-                return error_envelope(
-                    request_id,
-                    f"request speaks protocol version {v} but this server "
-                    f"speaks {PROTOCOL_VERSION}; upgrade the server",
-                    kind=ERROR_UNSUPPORTED_VERSION)
-            op = request.get("op")
-            if op == "ping":
-                result: object = {"pong": True,
-                                  "protocol_version": PROTOCOL_VERSION}
-            elif op == "describe":
-                result = self.engine.describe(str(request["path"]))
-            elif op == "read_field":
-                result = self.engine.read_field(
-                    **vars(BoxQuery.from_json(request)))
-            elif op == "read_batch":
-                queries = request.get("queries")
-                if not isinstance(queries, list):
-                    raise ValueError("read_batch needs a 'queries' list")
-                result = self.engine.read_batch(
-                    [BoxQuery.from_json(q) for q in queries])
-            elif op == "time_slice":
-                from repro.amr.box import Box
-
-                box = request.get("box")
-                if box is not None:
-                    box = Box(tuple(int(v) for v in box[0]),
-                              tuple(int(v) for v in box[1]))
-                steps = request.get("steps")
-                max_level = request.get("max_level")
-                times, values = self.engine.time_slice(
-                    str(request["path"]), str(request["field"]), box=box,
-                    level=int(request.get("level", 0)),
-                    steps=[int(s) for s in steps] if steps is not None else None,
-                    refill=bool(request.get("refill", True)),
-                    fill_value=float(request.get("fill_value", 0.0)),
-                    max_level=int(max_level) if max_level is not None else None)
-                result = {"times": times, "values": values}
-            elif op == "stats":
-                # flat engine keys (backwards compatible) + the full metrics
-                # registry snapshot under "registry"
-                result = dict(self.engine.stats())
-                result["registry"] = self.engine.metrics_snapshot()
-            elif op == "refresh":
-                path = str(request["path"])
-                appended = self.engine.refresh(path)
-                series = self.engine.series(path)
-                result = {"appended": appended, "nsteps": series.nsteps,
-                          "high_water": series.high_water,
-                          "live": series.live}
-            else:
-                return error_envelope(
-                    request_id,
-                    f"unknown op {op!r}; this server supports "
-                    f"{', '.join(_OPS)}",
-                    kind=ERROR_UNKNOWN_OP)
-            return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True,
-                    "result": result}
-        except Exception as exc:  # noqa: BLE001 - every failure becomes a reply
-            return error_envelope(request_id, f"{type(exc).__name__}: {exc}")
-
-    # ------------------------------------------------------------------
     # the asyncio shell
     # ------------------------------------------------------------------
+    @staticmethod
+    def _peer(writer: asyncio.StreamWriter) -> str:
+        peername = writer.get_extra_info("peername")
+        if isinstance(peername, (tuple, list)) and peername:
+            return str(peername[0])
+        return str(peername) if peername else "unknown"
+
+    def _context(self, writer: asyncio.StreamWriter,
+                 line: bytes) -> RequestContext:
+        return RequestContext(transport="tcp", client=self._peer(writer),
+                              nbytes=len(line))
+
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         loop = asyncio.get_running_loop()
@@ -281,6 +207,20 @@ class ReproServer:
                         break
                 if not line:
                     break
+                if len(line) > self.handler.max_request_bytes:
+                    # refuse before parsing: the size limit exists so a
+                    # huge line costs the server nothing but this reply
+                    response = error_envelope(
+                        None,
+                        f"request of {len(line)} bytes exceeds this "
+                        f"server's {self.handler.max_request_bytes}-byte "
+                        "request limit",
+                        kind="oversized_request")
+                    self.handler.tally(None, None, response, 0.0,
+                                       transport="tcp")
+                    writer.write(encode_line(response))
+                    await writer.drain()
+                    continue
                 try:
                     request = decode_line(line)
                 except ValueError as exc:
@@ -293,14 +233,16 @@ class ReproServer:
                         # series finalizes or the client sends a line (which
                         # comes back here as the next request)
                         pending_line = await self._stream_subscription(
-                            reader, writer, request)
+                            reader, writer, request,
+                            self._context(writer, line))
                         if pending_line is None:
                             continue
                         if not pending_line:
                             break
                         continue
                     response = await loop.run_in_executor(
-                        self._executor, self._execute, request)
+                        self._executor, self.handler.handle, request,
+                        self._context(writer, line))
                 writer.write(encode_line(response))
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
@@ -317,15 +259,6 @@ class ReproServer:
     # ------------------------------------------------------------------
     # the subscribe stream
     # ------------------------------------------------------------------
-    def _open_subscribed_series(self, path: str):
-        """Worker-thread half of subscription setup: open + first refresh."""
-        if not _is_series_dir(path):
-            raise ValueError(
-                f"{path!r} is not a series directory (no manifest or journal)")
-        series = self.engine.series(path)
-        series.refresh()
-        return series
-
     async def _acquire_watcher(self, key: str, series) -> _SeriesWatcher:
         watcher = self._watchers.get(key)
         if watcher is None:
@@ -347,7 +280,8 @@ class ReproServer:
 
     async def _stream_subscription(self, reader: asyncio.StreamReader,
                                    writer: asyncio.StreamWriter,
-                                   request: dict) -> Optional[bytes]:
+                                   request: dict,
+                                   context: RequestContext) -> Optional[bytes]:
         """Push step-committed events until finalize or a client line.
 
         Returns ``None`` when the stream never started (a refused request —
@@ -360,18 +294,15 @@ class ReproServer:
         start = time.perf_counter()
         trace = request.get("trace")
         trace = trace if isinstance(trace, str) and trace else None
-        v = request.get("v")
-        if isinstance(v, int) and not isinstance(v, bool) \
-                and v > PROTOCOL_VERSION:
-            response = error_envelope(
-                request_id,
-                f"request speaks protocol version {v} but this server "
-                f"speaks {PROTOCOL_VERSION}; upgrade the server",
-                kind=ERROR_UNSUPPORTED_VERSION)
-            writer.write(encode_line(response))
+        # admission + version negotiation go through the same core checks a
+        # unary op gets (HTTP's streaming endpoint does the same)
+        refusal = self.handler.refuse(request, context) \
+            or check_version(request)
+        if refusal is not None:
+            writer.write(encode_line(refusal))
             await writer.drain()
-            self._tally("subscribe", trace, response,
-                        time.perf_counter() - start)
+            self.handler.tally("subscribe", trace, refusal,
+                               time.perf_counter() - start, transport="tcp")
             return None
         try:
             path = request.get("path")
@@ -382,16 +313,14 @@ class ReproServer:
             if from_step < 0:
                 raise ValueError("from_step must be >= 0")
             series = await loop.run_in_executor(
-                self._executor, self._open_subscribed_series, path)
+                self._executor, self.handler.open_subscribed_series, path)
         except Exception as exc:  # noqa: BLE001 - refusal, not a stream
             response = error_envelope(request_id, f"{type(exc).__name__}: {exc}")
             writer.write(encode_line(response))
             await writer.drain()
-            self._tally("subscribe", trace, response,
-                        time.perf_counter() - start)
+            self.handler.tally("subscribe", trace, response,
+                               time.perf_counter() - start, transport="tcp")
             return None
-        from repro.analysis.series_report import step_summary_row
-
         key = os.path.abspath(path)
         watcher = await self._acquire_watcher(key, series)
         read_task: Optional[asyncio.Task] = None
@@ -403,34 +332,32 @@ class ReproServer:
                            "live": watcher.live}}
             writer.write(encode_line(response))
             await writer.drain()
-            self._tally("subscribe", trace, response,
-                        time.perf_counter() - start)
+            self.handler.tally("subscribe", trace, response,
+                               time.perf_counter() - start, transport="tcp")
             read_task = asyncio.ensure_future(reader.readline())
             next_step = from_step
             while True:
                 # drain every committed step the subscriber has not seen;
                 # strictly ordered, each exactly once
                 while next_step < watcher.nsteps:
-                    record = series.index.steps[next_step]
-                    writer.write(encode_line({
-                        "v": PROTOCOL_VERSION, "event": "step",
-                        "step_index": next_step, "step": record.step,
-                        "time": record.time, "kind": record.kind,
-                        "path": record.path,
-                        "summary": step_summary_row(record)}))
+                    writer.write(encode_line(step_event(series, next_step)))
+                    self.handler.tally_event("subscribe", "step", trace,
+                                             "tcp", step_index=next_step)
                     next_step += 1
                 await writer.drain()
                 if watcher.error is not None:
-                    writer.write(encode_line({
-                        "v": PROTOCOL_VERSION, "event": "error",
-                        "error": watcher.error}))
+                    writer.write(encode_line(
+                        core_error_event(watcher.error)))
                     await writer.drain()
+                    self.handler.tally_event("subscribe", "error", trace,
+                                             "tcp", error=watcher.error)
                     break
                 if not watcher.live:
-                    writer.write(encode_line({
-                        "v": PROTOCOL_VERSION, "event": "finalized",
-                        "nsteps": watcher.nsteps}))
+                    writer.write(encode_line(
+                        finalized_event(watcher.nsteps)))
                     await writer.drain()
+                    self.handler.tally_event("subscribe", "finalized", trace,
+                                             "tcp", nsteps=watcher.nsteps)
                     break
                 wait_task = asyncio.ensure_future(
                     watcher.wait_for_step(next_step))
@@ -451,9 +378,11 @@ class ReproServer:
                         line = b""
                     read_task = None
                     if line:
-                        writer.write(encode_line({
-                            "v": PROTOCOL_VERSION, "event": "end"}))
+                        writer.write(encode_line(
+                            {"v": PROTOCOL_VERSION, "event": "end"}))
                         await writer.drain()
+                        self.handler.tally_event("subscribe", "end", trace,
+                                                 "tcp")
                     return line
             # stream over (finalized/error) with the client silent so far:
             # its next line — whenever it comes — resumes the request loop
@@ -559,8 +488,8 @@ class ReproServer:
     def _shutdown_sync(self) -> None:
         self._stopped = True
         self._executor.shutdown(wait=False)
-        if self._owns_engine:
-            self.engine.close()
+        if self._owns_handler:
+            self.handler.close()
 
     def __enter__(self) -> "ReproServer":
         return self.start()

@@ -1,7 +1,8 @@
-"""The wire format of the query service: newline-delimited JSON.
+"""The shared codec of the query service, plus the TCP line framing.
 
-One request or response per line.  Arrays travel as tagged objects carrying
-their raw bytes base64-encoded::
+**The codec** (used by *every* transport — TCP, HTTP, fakes): results convert
+to JSON-serialisable form with :func:`to_wire` / back with :func:`from_wire`.
+Arrays travel as tagged objects carrying their raw bytes base64-encoded::
 
     {"__ndarray__": {"dtype": "float64", "shape": [8, 8, 8], "data": "..."}}
 
@@ -10,21 +11,23 @@ server-mediated read *element-wise identical* to a direct one: the decoded
 array is bit-for-bit the array the engine produced.  Everything else is plain
 JSON; tuples flatten to lists, numpy scalars to Python numbers.
 
-**Versioning.**  Requests and responses carry a ``"v"`` field
-(:data:`PROTOCOL_VERSION`); a message without one is version 1 (the PR-5
-protocol, which predates the field).  The rules are the manifest's: within a
-major version evolution is additive (unknown fields are ignored), and a
-server answers a request from a *newer* protocol with a structured refusal
-instead of guessing.  Error responses may carry a machine-readable ``kind``
-(:data:`ERROR_UNKNOWN_OP`, :data:`ERROR_UNSUPPORTED_VERSION`) next to the
-human-readable ``error`` string, so a client can distinguish "this server
-predates subscribe" from an ordinary failed request.
+**The framing** (TCP only): one request or response per newline-terminated
+JSON line, via :func:`encode_line` / :func:`decode_line`.  The HTTP gateway
+does not use it — an HTTP message's extent is its ``Content-Length`` or
+chunk framing — but reuses the codec underneath, which is how the two
+transports stay bit-compatible.
+
+**Versioning, error envelopes.**  Protocol-version negotiation and the
+structured error vocabulary are *transport policy*, not encoding, and live
+in :mod:`repro.service.core` (:data:`~repro.service.core.PROTOCOL_VERSION`,
+:func:`~repro.service.core.error_envelope`, the ``ERROR_*`` kinds).  The old
+names are still importable from here through deprecation shims.
 
 **Tracing.**  A request may carry an optional ``"trace"`` string — a
 client-minted trace ID (see :func:`repro.obs.new_trace_id`).  The field is
 additive within protocol version 2: a server that predates it ignores it; a
 server that speaks it binds the ID around the engine call and stamps it into
-its structured request log, so one ID follows a query client → server →
+its structured request log, so one ID follows a query client -> server ->
 engine.
 """
 
@@ -32,7 +35,8 @@ from __future__ import annotations
 
 import base64
 import json
-from typing import Any, Optional
+import warnings
+from typing import Any
 
 import numpy as np
 
@@ -43,23 +47,22 @@ __all__ = ["to_wire", "from_wire", "encode_line", "decode_line",
 #: refuse lines past this size when reading (a corrupt peer must not OOM us)
 MAX_LINE_BYTES = 512 * 1024 * 1024
 
-#: version 1: the original PR-5 request/response protocol (no "v" field);
-#: version 2: adds "v", error ``kind``s, and the streaming ``subscribe`` verb
-PROTOCOL_VERSION = 2
-
-#: error kinds (the ``kind`` field of an error envelope)
-ERROR_UNKNOWN_OP = "unknown_op"
-ERROR_UNSUPPORTED_VERSION = "unsupported_version"
+#: names that moved to the transport-neutral core in PR 10; importing them
+#: from here still works, with a pointer to the new home
+_MOVED_TO_CORE = ("PROTOCOL_VERSION", "ERROR_UNKNOWN_OP",
+                  "ERROR_UNSUPPORTED_VERSION", "error_envelope")
 
 
-def error_envelope(request_id: Any, message: str,
-                   kind: Optional[str] = None) -> dict:
-    """A failed-request response line (optionally machine-classified)."""
-    response = {"v": PROTOCOL_VERSION, "id": request_id, "ok": False,
-                "error": str(message)}
-    if kind is not None:
-        response["kind"] = kind
-    return response
+def __getattr__(name: str) -> Any:
+    if name in _MOVED_TO_CORE:
+        warnings.warn(
+            f"repro.service.wire.{name} moved to repro.service.core; "
+            "update the import — this shim will be removed",
+            DeprecationWarning, stacklevel=2)
+        from repro.service import core
+
+        return getattr(core, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def to_wire(obj: Any) -> Any:
@@ -95,7 +98,7 @@ def from_wire(obj: Any) -> Any:
 
 
 def encode_line(obj: Any) -> bytes:
-    """One message as a single JSON line (terminator included)."""
+    """One message as a single JSON line (terminator included; TCP framing)."""
     return json.dumps(to_wire(obj), separators=(",", ":")).encode("utf-8") + b"\n"
 
 

@@ -14,7 +14,7 @@ from repro.amr.box import Box
 from repro.series.writer import SeriesWriter, write_series
 from repro.service import QueryEngine, ReproClient, ReproServer
 from repro.service.client import ServiceError, follow_series
-from repro.service.wire import (
+from repro.service.core import (
     ERROR_UNKNOWN_OP,
     ERROR_UNSUPPORTED_VERSION,
     PROTOCOL_VERSION,

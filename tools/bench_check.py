@@ -33,7 +33,12 @@ subscriber's mean commit-to-event lag must stay under
 fresh ``BENCH_obs.json`` (see :func:`check_obs`) holds the metrics layer to
 its pull-model promise: warm batched reads on an instrumented engine may
 cost at most :data:`OBS_OVERHEAD_MAX` (5%) over the same reads with
-``NULL_REGISTRY``.  The speedup target is declared for a 4-core machine and
+``NULL_REGISTRY``.  The **HTTP-gateway target** on the fresh
+``BENCH_http.json`` (see :func:`check_http`) holds the second transport to
+its thin-shell promise: warm batched reads over the HTTP/JSON gateway may
+cost at most :data:`HTTP_OVERHEAD_MAX` (2x) the same reads over the TCP
+transport, both served by one shared request core and warm cache.  The
+speedup target is declared for a 4-core machine and
 auto-scales to the *recording* machine's core count (stamped into each
 benchmark's ``extra_info.cpu_count`` by the perf conftest): below 2 cores it
 relaxes to "no worse than serial", and when the fresh run's machine has
@@ -397,6 +402,60 @@ def check_obs(fresh_dir: str) -> Tuple[List[str], List[str], int]:
 
 
 # ----------------------------------------------------------------------
+# HTTP-gateway-overhead assertions (BENCH_http.json)
+# ----------------------------------------------------------------------
+#: the http suite's warm batched reads over each transport (one shared core)
+HTTP_SUITE = "http"
+HTTP_BENCH = "test_http_warm_batched"
+HTTP_TCP_BENCH = "test_tcp_warm_batched"
+#: warm batched reads over the HTTP gateway may cost at most 2x TCP
+HTTP_OVERHEAD_MAX = 2.0
+
+
+def check_http(fresh_dir: str) -> Tuple[List[str], List[str], int]:
+    """Assert the gateway-overhead ceiling on a fresh ``BENCH_http.json``.
+
+    Returns ``(result lines, notices, failures)`` like :func:`check_obs`.
+    The preferred signal is the ``http_overhead_ratio`` the suite stamps
+    into the HTTP benchmark's ``extra_info`` — interleaved min-of-N timing
+    over one shared warm cache — with the median ratio as a fallback when
+    the stamp is absent.
+    """
+    lines: List[str] = []
+    notices: List[str] = []
+    failures = 0
+    fresh_path = os.path.join(fresh_dir, f"BENCH_{HTTP_SUITE}.json")
+    if not os.path.isfile(fresh_path):
+        notices.append(f"http: no fresh BENCH_{HTTP_SUITE}.json; skipped")
+        return lines, notices, failures
+    entries = load_entries(fresh_path)
+    over_http = entries.get(HTTP_BENCH)
+    over_tcp = entries.get(HTTP_TCP_BENCH)
+    if over_http is None or over_tcp is None:
+        missing = HTTP_BENCH if over_http is None else HTTP_TCP_BENCH
+        notices.append(f"http: {missing!r} not in fresh results; skipped")
+        return lines, notices, failures
+    ratio = over_http["extra_info"].get("http_overhead_ratio")
+    how = "interleaved min-of-N"
+    if ratio is None:
+        if over_tcp["median"] <= 0:
+            notices.append(
+                f"http: {HTTP_TCP_BENCH!r} has a zero median and no "
+                "http_overhead_ratio extra_info; skipped")
+            return lines, notices, failures
+        ratio = over_http["median"] / over_tcp["median"]
+        how = "median ratio (no http_overhead_ratio extra_info)"
+    ratio = float(ratio)
+    ok = ratio <= HTTP_OVERHEAD_MAX
+    failures += 0 if ok else 1
+    lines.append(
+        f"http: gateway overhead {ratio:.2f}x TCP on warm batched reads, "
+        f"{how} ({'ok' if ok else 'FAIL'}; required <= "
+        f"{HTTP_OVERHEAD_MAX:.1f}x)")
+    return lines, notices, failures
+
+
+# ----------------------------------------------------------------------
 # live-streaming assertions (BENCH_stream.json)
 # ----------------------------------------------------------------------
 #: the stream suite's full live reopen and its journal-tail refresh
@@ -534,16 +593,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     remote_lines, remote_notices, remote_failures = check_remote(args.fresh_dir)
     stream_lines, stream_notices, stream_failures = check_stream(args.fresh_dir)
     obs_lines, obs_notices, obs_failures = check_obs(args.fresh_dir)
+    http_lines, http_notices, http_failures = check_http(args.fresh_dir)
     for notice in notices + speedup_notices + remote_notices \
-            + stream_notices + obs_notices:
+            + stream_notices + obs_notices + http_notices:
         print(f"note: {notice}")
     if rows:
         print(format_rows(rows))
-    for line in speedup_lines + remote_lines + stream_lines + obs_lines:
+    for line in speedup_lines + remote_lines + stream_lines + obs_lines \
+            + http_lines:
         print(line)
     bad = [row for row in rows if row["status"] in (REGRESSED, MISSING)]
     if bad or speedup_failures or remote_failures or stream_failures \
-            or obs_failures:
+            or obs_failures or http_failures:
         parts = []
         if bad:
             parts.append(f"{len(bad)} benchmark(s) regressed beyond "
@@ -556,13 +617,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             parts.append(f"{stream_failures} streaming assertion(s) failed")
         if obs_failures:
             parts.append(f"{obs_failures} observability assertion(s) failed")
+        if http_failures:
+            parts.append(f"{http_failures} http-gateway assertion(s) failed")
         print(f"\nFAIL: " + "; ".join(parts))
         return 1
     checked = sum(1 for row in rows if row["status"] in (OK, IMPROVED))
     print(f"\nbench-check: {checked} benchmark(s) within {args.tolerance:.0%} "
           f"of baseline; {len(speedup_lines)} speedup, {len(remote_lines)} "
-          f"remote-read, {len(stream_lines)} streaming and {len(obs_lines)} "
-          "observability assertion(s) held")
+          f"remote-read, {len(stream_lines)} streaming, {len(obs_lines)} "
+          f"observability and {len(http_lines)} http-gateway assertion(s) "
+          "held")
     return 0
 
 

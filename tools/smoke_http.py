@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""End-to-end HTTP gateway smoke (``make smoke-http``).
+
+The gateway as an operator would deploy it, across real processes:
+
+* a **server** (``python -m repro serve --http 0``) running TCP and HTTP
+  over one shared request core, with bearer-token auth and a request-size
+  limit on both transports;
+* **curl-equivalent requests** (stdlib urllib, no CLI shortcuts) against
+  ``/healthz``, ``/v1/query``, ``/v1/describe`` and ``/metrics``;
+* the **query CLI over HTTP** (``python -m repro query --http``) reading a
+  box through the gateway;
+* **negative paths**: a missing token must get 401, a wrong token 401, an
+  oversized body 413, an unknown op 404 — each with the structured JSON
+  error envelope, and the same refusals on the TCP port.
+
+The driver asserts an HTTP-served box read is byte-identical to the same
+read over TCP, and that ``/metrics`` serves the Prometheus exposition with
+the per-op counters the traffic just generated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import urllib.error
+import urllib.request
+
+FIELD = "baryon_density"
+BOX = "0:15,0:15,0:15"
+TOKEN = "smoke-http-token"
+
+
+def python_cmd(*args: str) -> list:
+    return [sys.executable, *args]
+
+
+def run(env, *args: str) -> subprocess.CompletedProcess:
+    proc = subprocess.run(python_cmd("-m", "repro", *args), env=env,
+                          capture_output=True, text=True, timeout=300)
+    if proc.returncode != 0:
+        print(f"repro {' '.join(args)} failed:\n{proc.stdout}\n{proc.stderr}",
+              file=sys.stderr)
+        raise SystemExit(1)
+    return proc
+
+
+def http(port: str, method: str, path: str, body=None, token=None,
+         expect: int = 200) -> dict:
+    """One raw HTTP exchange; asserts the status and decodes the JSON body."""
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", method=method,
+        data=json.dumps(body).encode() if body is not None else None)
+    if body is not None:
+        request.add_header("Content-Type", "application/json")
+    if token is not None:
+        request.add_header("Authorization", f"Bearer {token}")
+    try:
+        with urllib.request.urlopen(request, timeout=60) as resp:
+            status, raw = resp.status, resp.read()
+    except urllib.error.HTTPError as err:
+        status, raw = err.code, err.read()
+    assert status == expect, \
+        f"{method} {path}: HTTP {status}, expected {expect}: {raw[:300]!r}"
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except ValueError:
+        return {"_raw": raw.decode("utf-8", "replace")}
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp(prefix="smoke-http-")
+    plotfile = os.path.join(workdir, "plt.h5z")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH")) if p)
+    env["SMOKE_HTTP_TOKEN"] = TOKEN
+    server = None
+    try:
+        run(env, "compress", "--preset", "nyx_1", plotfile)
+
+        # ---- one process, both transports, one auth policy ---------------
+        server = subprocess.Popen(
+            python_cmd("-m", "repro", "serve", "--port", "0", "--http", "0",
+                       "--auth-token", "env:SMOKE_HTTP_TOKEN",
+                       "--max-request-bytes", "1048576"),
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+        ready = server.stdout.readline()
+        match = re.search(r"serving on [\w.]+:(\d+)", ready)
+        if not match:
+            print(f"server never came up: {ready!r}", file=sys.stderr)
+            return 1
+        tcp_port = match.group(1)
+        ready = server.stdout.readline()
+        match = re.search(r"http gateway on [\w.]+:(\d+)", ready)
+        if not match:
+            print(f"gateway never came up: {ready!r}", file=sys.stderr)
+            return 1
+        port = match.group(1)
+
+        # ---- the happy paths ---------------------------------------------
+        health = http(port, "GET", "/healthz")
+        assert health["ok"] is True, health
+
+        pong = http(port, "POST", "/v1/query",
+                    body={"id": 1, "op": "ping"}, token=TOKEN)
+        assert pong["ok"] is True and pong["result"]["pong"] is True, pong
+
+        described = http(port, "POST", "/v1/describe",
+                         body={"path": plotfile}, token=TOKEN)
+        assert FIELD in described["result"]["fields"], described
+
+        # ---- the negative paths: structured refusals with status codes ---
+        missing = http(port, "POST", "/v1/query", body={"op": "ping"},
+                       expect=401)
+        assert missing["kind"] == "unauthorized", missing
+        wrong = http(port, "POST", "/v1/query", body={"op": "ping"},
+                     token="not-the-token", expect=401)
+        assert wrong["kind"] == "unauthorized", wrong
+        huge = http(port, "POST", "/v1/query",
+                    body={"op": "ping", "junk": "x" * 2_000_000},
+                    token=TOKEN, expect=413)
+        assert huge["kind"] == "oversized_request", huge
+        unknown = http(port, "POST", "/v1/florble", body={},
+                       token=TOKEN, expect=404)
+        assert unknown["kind"] == "unknown_op", unknown
+
+        # ---- the same policy on the TCP port (one shared core) -----------
+        proc = subprocess.run(
+            python_cmd("-m", "repro", "query", "ping", "--port", tcp_port),
+            env=env, capture_output=True, text=True, timeout=300)
+        assert proc.returncode == 1, "tokenless TCP query was not refused"
+        assert "authentication required" in proc.stderr, proc.stderr
+        run(env, "query", "ping", "--port", tcp_port,
+            "--auth-token", "env:SMOKE_HTTP_TOKEN")
+
+        # ---- reads: HTTP vs TCP byte-identical through the CLIs ----------
+        via_http = run(env, "query", "read-field", plotfile, "--http",
+                       "--port", port, "--auth-token", "env:SMOKE_HTTP_TOKEN",
+                       "--field", FIELD, "--box", BOX, "--json").stdout
+        via_tcp = run(env, "query", "read-field", plotfile,
+                      "--port", tcp_port, "--auth-token",
+                      "env:SMOKE_HTTP_TOKEN",
+                      "--field", FIELD, "--box", BOX, "--json").stdout
+        assert json.loads(via_http) == json.loads(via_tcp), \
+            "HTTP and TCP reads disagree"
+
+        # ---- /metrics: the Prometheus exposition, live -------------------
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/metrics",
+            headers={"Authorization": f"Bearer {TOKEN}"})
+        with urllib.request.urlopen(request, timeout=60) as resp:
+            assert resp.status == 200
+            ctype = resp.headers["Content-Type"]
+            prom = resp.read().decode("utf-8")
+        assert ctype.startswith("text/plain"), ctype
+        assert "# TYPE repro_server_requests_total counter" in prom
+        assert 'repro_server_requests_total{op="ping"}' in prom
+        assert re.search(
+            r'repro_server_request_seconds_bucket\{op="read_field",le="[^"]+"}',
+            prom), "no per-op latency buckets in the exposition"
+        # refusals from both transports share one error counter
+        assert 'repro_server_errors_total{kind="unauthorized"}' in prom
+        # and /metrics itself requires the token
+        http(port, "GET", "/metrics", expect=401)
+
+        print("smoke-http ok: shared-core gateway served health/query/"
+              "describe/metrics; 401/413/404 refused with structured "
+              "envelopes; HTTP read identical to TCP read")
+        return 0
+    finally:
+        if server is not None and server.poll() is None:
+            server.terminate()
+            try:
+                server.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                server.kill()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
